@@ -1,0 +1,124 @@
+//! One Criterion bench per table/figure of the paper. Each bench runs a
+//! time-reduced version of the corresponding experiment — same topology,
+//! workload generator, baseline roster and reporting path as the
+//! full-scale binaries in `wmn-experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wmn_bench::bench_config;
+use wmn_experiments as exp;
+
+fn fig2_overhead(c: &mut Criterion) {
+    c.bench_function("fig2_overhead_table", |b| {
+        b.iter(|| black_box(exp::fig2::generate()));
+    });
+}
+
+fn motivation(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("motivation");
+    group.sample_size(10);
+    group.bench_function("spr_vs_exor", |b| {
+        b.iter(|| black_box(exp::motivation::generate(&cfg)));
+    });
+    group.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("long_tcp_ber1e6", |b| {
+        b.iter(|| black_box(exp::fig3::generate(1e-6, &cfg)));
+    });
+    group.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("long_tcp_ber1e5", |b| {
+        b.iter(|| black_box(exp::fig3::generate(1e-5, &cfg)));
+    });
+    group.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("regular_collisions", |b| {
+        b.iter(|| black_box(exp::fig6::generate_regular(&cfg)));
+    });
+    group.bench_function("hidden_collisions", |b| {
+        b.iter(|| black_box(exp::fig6::generate_hidden(&cfg)));
+    });
+    group.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("hops_sweep", |b| {
+        b.iter(|| black_box(exp::fig7::generate(&cfg)));
+    });
+    group.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("web_traffic", |b| {
+        b.iter(|| black_box(exp::fig8::generate_with_users(&cfg, 2)));
+    });
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("voip_mos", |b| {
+        b.iter(|| black_box(exp::table3::generate(&cfg)));
+    });
+    group.finish();
+}
+
+fn fig10(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("wigle", |b| {
+        b.iter(|| black_box(exp::fig10::generate(&cfg)));
+    });
+    group.finish();
+}
+
+fn fig12(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("roofnet", |b| {
+        b.iter(|| black_box(exp::fig12::generate(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig2_overhead,
+    motivation,
+    fig3,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    table3,
+    fig10,
+    fig12
+);
+criterion_main!(figures);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the simulator's hot paths: the event queue, the
+//! shadowing medium, frame wire-size arithmetic, and end-to-end scheme
+//! comparisons on a canonical 3-hop flow (the ablation the DESIGN.md calls
+//! out: mTXOP alone vs aggregation alone vs both).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wmn_bench::run_three_hop;
+use wmn_netsim::Scheme;
+use wmn_phy::{Medium, PhyParams, Position};
+use wmn_sim::{EventQueue, NodeId, SimTime, StreamRng};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn medium_planning(c: &mut Criterion) {
+    let positions: Vec<Position> =
+        (0..36).map(|i| Position::new(f64::from(i % 6) * 5.5, f64::from(i / 6) * 5.5)).collect();
+    let medium = Medium::new(PhyParams::paper_216(), positions);
+    c.bench_function("medium_plan_transmission_36_nodes", |b| {
+        let mut rng = StreamRng::derive(1, "bench-medium");
+        b.iter(|| black_box(medium.plan_transmission(NodeId::new(14), &mut rng)));
+    });
+}
+
+/// The ablation of the paper's two mechanisms (Section IV-A): pure mTXOP
+/// (R1), pure aggregation (AFR), and both (R16), against the DCF baseline.
+fn scheme_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_3hop_tcp");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("dcf", Scheme::Dcf { aggregation: 1 }),
+        ("mtxop_only_r1", Scheme::Ripple { aggregation: 1 }),
+        ("aggregation_only_afr", Scheme::Dcf { aggregation: 16 }),
+        ("both_r16", Scheme::Ripple { aggregation: 16 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_three_hop(scheme)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(micro, event_queue, medium_planning, scheme_ablation);
+criterion_main!(micro);

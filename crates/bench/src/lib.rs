@@ -1,0 +1,52 @@
+//! Benchmark harness support: scaled-down experiment configurations for
+//! Criterion runs, plus the scenario builders the micro-benches share.
+//!
+//! Each Criterion bench in `benches/figures.rs` regenerates (a reduced
+//! version of) one table or figure of the paper — the point is not the
+//! wall-clock number but a harness that exercises the exact workload,
+//! parameter sweep, baseline set and reporting path behind each artefact.
+//! Set `RIPPLE_REPRO=paper` and run the `wmn-experiments` binaries for the
+//! full-scale numbers.
+
+use wmn_experiments::ExpConfig;
+use wmn_netsim::{run, FlowSpec, RunResult, Scenario, Scheme, Workload};
+use wmn_phy::{PhyParams, Position};
+use wmn_sim::{NodeId, SimDuration};
+
+/// The configuration benches run experiments with (150 ms, one seed).
+pub fn bench_config() -> ExpConfig {
+    ExpConfig::bench()
+}
+
+/// A canonical 3-hop FTP scenario used by the micro benches.
+pub fn three_hop_scenario(scheme: Scheme) -> Scenario {
+    Scenario {
+        name: "bench-3hop".into(),
+        params: PhyParams::paper_216(),
+        positions: (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect(),
+        scheme,
+        flows: vec![FlowSpec {
+            path: (0..4).map(NodeId::new).collect(),
+            workload: Workload::Ftp,
+        }],
+        duration: SimDuration::from_millis(100),
+        seed: 7,
+        max_forwarders: 5,
+    }
+}
+
+/// Runs the canonical scenario (used to keep bench bodies one-liners).
+pub fn run_three_hop(scheme: Scheme) -> RunResult {
+    run(&three_hop_scenario(scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_is_runnable() {
+        let result = run_three_hop(Scheme::Ripple { aggregation: 16 });
+        assert!(result.flows[0].delivered_bytes > 0);
+    }
+}

@@ -1,0 +1,1098 @@
+//! The RIPPLE MAC state machine.
+//!
+//! One `RippleMac` instance runs at every station and plays all three roles
+//! of Section III simultaneously, per frame:
+//!
+//! * **Source** — contends once (DIFS + backoff) per mTXOP, aggregates up to
+//!   16 queued packets into a frame addressed to an opportunistic priority
+//!   list, arms the end-to-end mTXOP timeout, and retransmits (with CW
+//!   doubling) only the subframes the destination's bitmap ACK did not
+//!   cover. The send queue `Sq` = the in-flight window plus the interface
+//!   queue.
+//! * **Forwarder** — holds *no* queue. An overheard data frame from an
+//!   upstream station is relayed exactly once after `rank·T_slot + T_SIFS`
+//!   of continuous idle; an overheard ACK from a downstream station after
+//!   `(rank−1)·T_slot + T_SIFS`. Any channel activity during the wait
+//!   aborts the relay (the mTXOP is broken or a higher-priority station
+//!   acted first).
+//! * **Destination** — replies with a bitmap ACK one SIFS after every
+//!   received data frame (acknowledging both freshly decoded subframes and
+//!   ones it already holds) and delivers packets strictly in order through
+//!   the receive queue `Rq`.
+
+use std::collections::{HashMap, HashSet};
+
+use wmn_mac::frame::{AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe};
+use wmn_mac::{
+    Backoff, DropReason, IfQueue, MacAction, MacEntity, MacStats, RateClass, ReorderBuffer,
+    TimerToken,
+};
+use wmn_sim::{FlowId, NodeId, SimTime, StreamRng};
+
+use crate::config::RippleConfig;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DataState {
+    Idle,
+    Transmitting,
+    WaitAck,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    subframes: Vec<(u32, Packet)>,
+    list: Vec<NodeId>,
+    flow: FlowId,
+    retries: u8,
+    frame_seq: u64,
+}
+
+#[derive(Debug)]
+enum Role {
+    BackoffDone,
+    MtxopTimeout,
+    SendAck,
+    RelayFire { pending: u64 },
+}
+
+/// A relay waiting for its continuous idle window. Paused (timer disarmed)
+/// whenever the channel turns busy and re-armed with the *full* wait on the
+/// next idle edge — the paper's rule is "relay only after detecting the
+/// channel idle for T", so a broken window restarts the wait. The relay is
+/// abandoned only when a copy from a higher-priority station (or, for data,
+/// the destination's ACK) is overheard.
+#[derive(Debug)]
+struct PendingRelay {
+    id: u64,
+    /// (flow, anchor node, frame_seq, is_ack); the anchor is the data
+    /// frame's end-to-end source (ACKs carry it in `to`).
+    key: (FlowId, NodeId, u64, bool),
+    frame: Frame,
+    wait: wmn_sim::SimDuration,
+    token: Option<TimerToken>,
+}
+
+/// The RIPPLE MAC for one station. See the module docs for the protocol
+/// roles it implements.
+pub struct RippleMac {
+    cfg: RippleConfig,
+    node: NodeId,
+    q: IfQueue,
+    inflight: Option<Inflight>,
+    data_state: DataState,
+    ack_tx_in_progress: bool,
+    relay_tx_in_progress: bool,
+    pending_ack: Option<AckFrame>,
+    armed_send_ack: Option<TimerToken>,
+    channel_busy: bool,
+    idle_since: SimTime,
+    backoff: Backoff,
+    armed_backoff: Option<TimerToken>,
+    countdown_anchor: SimTime,
+    armed_timeout: Option<TimerToken>,
+    /// Relays waiting for their idle window (armed or paused).
+    pending_relays: Vec<PendingRelay>,
+    next_pending: u64,
+    timer_roles: HashMap<u64, Role>,
+    next_token: u64,
+    /// (flow, origin, frame_seq) data frames this node has already relayed.
+    data_relayed: HashSet<(FlowId, NodeId, u64)>,
+    /// (flow, source, frame_seq) ACK frames this node has already relayed.
+    ack_relayed: HashSet<(FlowId, NodeId, u64)>,
+    /// Bitmap-ACK frame_seqs the source side has already applied.
+    handled_acks: HashSet<u64>,
+    seq_counters: HashMap<(FlowId, NodeId), u32>,
+    frame_seq_counter: u64,
+    rq: HashMap<(FlowId, NodeId), ReorderBuffer>,
+    rng: StreamRng,
+    stats: MacStats,
+    /// Relays performed (diagnostic; counts both data and ACK relays).
+    relays_performed: u64,
+}
+
+impl std::fmt::Debug for RippleMac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RippleMac")
+            .field("node", &self.node)
+            .field("state", &self.data_state)
+            .field("queued", &self.q.len())
+            .finish()
+    }
+}
+
+impl RippleMac {
+    /// Creates the MAC for `node` with its own backoff RNG stream.
+    pub fn new(cfg: RippleConfig, node: NodeId, rng: StreamRng) -> Self {
+        let (cw_min, cw_max, ifq) = (cfg.cw_min, cfg.cw_max, cfg.ifq_capacity);
+        RippleMac {
+            cfg,
+            node,
+            q: IfQueue::new(ifq),
+            inflight: None,
+            data_state: DataState::Idle,
+            ack_tx_in_progress: false,
+            relay_tx_in_progress: false,
+            pending_ack: None,
+            armed_send_ack: None,
+            channel_busy: false,
+            idle_since: SimTime::ZERO,
+            backoff: Backoff::new(cw_min, cw_max),
+            armed_backoff: None,
+            countdown_anchor: SimTime::ZERO,
+            armed_timeout: None,
+            pending_relays: Vec::new(),
+            next_pending: 0,
+            timer_roles: HashMap::new(),
+            next_token: 0,
+            data_relayed: HashSet::new(),
+            ack_relayed: HashSet::new(),
+            handled_acks: HashSet::new(),
+            seq_counters: HashMap::new(),
+            frame_seq_counter: 0,
+            rq: HashMap::new(),
+            rng,
+            stats: MacStats::default(),
+        relays_performed: 0,
+        }
+    }
+
+    /// The station this MAC belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total data + ACK relays this station has performed as a forwarder.
+    pub fn relays_performed(&self) -> u64 {
+        self.relays_performed
+    }
+
+    fn mint(&mut self, role: Role) -> TimerToken {
+        let token = TimerToken(self.next_token);
+        self.next_token += 1;
+        self.timer_roles.insert(token.0, role);
+        token
+    }
+
+    fn next_seq(&mut self, flow: FlowId, src: NodeId) -> u32 {
+        let c = self.seq_counters.entry((flow, src)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+
+    fn radio_free(&self) -> bool {
+        self.data_state != DataState::Transmitting
+            && !self.ack_tx_in_progress
+            && !self.relay_tx_in_progress
+    }
+
+    fn has_work(&self) -> bool {
+        self.inflight.is_some() || !self.q.is_empty()
+    }
+
+    fn try_progress(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.data_state != DataState::Idle || !self.radio_free() || !self.has_work() {
+            return;
+        }
+        if self.channel_busy {
+            return;
+        }
+        let idle_for = now.saturating_since(self.idle_since);
+        if self.backoff.remaining().is_none() && idle_for >= self.cfg.difs {
+            self.transmit_data(out);
+            return;
+        }
+        self.arm_backoff(now, out);
+    }
+
+    fn arm_backoff(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.armed_backoff.is_some() || self.channel_busy {
+            return;
+        }
+        let remaining = self.backoff.ensure_drawn(&mut self.rng);
+        let boundary = self.idle_since + self.cfg.difs;
+        let start = if boundary > now { boundary } else { now };
+        self.countdown_anchor = start;
+        let fire_at = start + self.cfg.slot * u64::from(remaining);
+        let token = self.mint(Role::BackoffDone);
+        self.armed_backoff = Some(token);
+        out.push(MacAction::SetTimer { delay: fire_at.saturating_since(now), token });
+    }
+
+    fn disarm_backoff(&mut self, now: SimTime) {
+        if let Some(token) = self.armed_backoff.take() {
+            self.timer_roles.remove(&token.0);
+            let idle = now.saturating_since(self.countdown_anchor);
+            self.backoff.consume_idle(idle, self.cfg.slot);
+        }
+    }
+
+    /// Busy channel: pause every armed relay (the idle window broke).
+    fn pause_relays(&mut self) {
+        for pr in &mut self.pending_relays {
+            if let Some(token) = pr.token.take() {
+                self.timer_roles.remove(&token.0);
+            }
+        }
+    }
+
+    /// Idle channel: re-arm every paused relay with its full wait.
+    fn resume_relays(&mut self, out: &mut Vec<MacAction>) {
+        let mut arms = Vec::new();
+        for pr in &mut self.pending_relays {
+            if pr.token.is_none() {
+                let token = TimerToken(self.next_token);
+                self.next_token += 1;
+                pr.token = Some(token);
+                arms.push((token, pr.id, pr.wait));
+            }
+        }
+        for (token, id, wait) in arms {
+            self.timer_roles.insert(token.0, Role::RelayFire { pending: id });
+            out.push(MacAction::SetTimer { delay: wait, token });
+        }
+    }
+
+    fn schedule_relay(
+        &mut self,
+        key: (FlowId, NodeId, u64, bool),
+        frame: Frame,
+        wait: wmn_sim::SimDuration,
+        out: &mut Vec<MacAction>,
+    ) {
+        let id = self.next_pending;
+        self.next_pending += 1;
+        let mut pr = PendingRelay { id, key, frame, wait, token: None };
+        if !self.channel_busy {
+            let token = self.mint(Role::RelayFire { pending: id });
+            pr.token = Some(token);
+            out.push(MacAction::SetTimer { delay: wait, token });
+        }
+        self.pending_relays.push(pr);
+        // Bound the backlog: the oldest pending relays are stale mTXOPs.
+        while self.pending_relays.len() > 32 {
+            let dead = self.pending_relays.remove(0);
+            if let Some(token) = dead.token {
+                self.timer_roles.remove(&token.0);
+            }
+        }
+    }
+
+    fn drop_pending_relay(&mut self, key: (FlowId, NodeId, u64, bool)) {
+        if let Some(idx) = self.pending_relays.iter().position(|pr| pr.key == key) {
+            let dead = self.pending_relays.remove(idx);
+            if let Some(token) = dead.token {
+                self.timer_roles.remove(&token.0);
+            }
+        }
+    }
+
+    /// Source side: build and transmit the next aggregated frame, topping up
+    /// a partial retransmission with fresh packets for the same list.
+    fn transmit_data(&mut self, out: &mut Vec<MacAction>) {
+        self.backoff.clear();
+        if self.inflight.is_none() {
+            let batch = self
+                .q
+                .pop_batch_matching_head(self.cfg.max_aggregation, self.cfg.max_frame_payload_bytes);
+            if batch.is_empty() {
+                return;
+            }
+            let RouteInfo::Opportunistic { list } = batch[0].route.clone() else {
+                panic!("RIPPLE requires opportunistic priority-list routes");
+            };
+            let flow = batch[0].packet.header.flow;
+            let subframes: Vec<(u32, Packet)> = batch
+                .into_iter()
+                .map(|qp| {
+                    let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
+                    (seq, qp.packet)
+                })
+                .collect();
+            self.inflight = Some(Inflight { subframes, list, flow, retries: 0, frame_seq: 0 });
+        } else {
+            let route = {
+                let inflight = self.inflight.as_ref().expect("checked");
+                RouteInfo::Opportunistic { list: inflight.list.clone() }
+            };
+            let space =
+                self.cfg.max_aggregation - self.inflight.as_ref().expect("checked").subframes.len();
+            if space > 0 {
+                let spent: u32 = self
+                    .inflight
+                    .as_ref()
+                    .expect("checked")
+                    .subframes
+                    .iter()
+                    .map(|(_, p)| p.header.wire_bytes)
+                    .sum();
+                let byte_budget = self.cfg.max_frame_payload_bytes.saturating_sub(spent).max(1);
+                let extra = self.q.pop_matching(&route, space, byte_budget);
+                for qp in extra {
+                    let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
+                    self.inflight.as_mut().expect("checked").subframes.push((seq, qp.packet));
+                }
+            }
+        }
+        self.frame_seq_counter += 1;
+        let fs = self.frame_seq_counter;
+        let inflight = self.inflight.as_mut().expect("just set");
+        inflight.frame_seq = fs;
+        let first = &inflight.subframes[0].1.header;
+        let frame = DataFrame {
+            transmitter: self.node,
+            link_dst: LinkDst::Opportunistic { list: inflight.list.clone() },
+            flow: inflight.flow,
+            src: first.src,
+            dst: first.dst,
+            frame_seq: fs,
+            subframes: inflight
+                .subframes
+                .iter()
+                .map(|(seq, p)| Subframe { seq: *seq, packet: p.clone(), corrupted: false })
+                .collect(),
+            retry: inflight.retries,
+        };
+        self.data_state = DataState::Transmitting;
+        self.stats.data_frames_sent += 1;
+        out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
+    }
+
+    fn handle_data_frame(&mut self, d: DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
+        let LinkDst::Opportunistic { list } = &d.link_dst else {
+            return; // unicast traffic belongs to other MACs
+        };
+        let Some(my_rank) = list.iter().position(|&n| n == self.node) else {
+            return;
+        };
+        self.stats.data_frames_received += 1;
+
+        if my_rank == 0 {
+            // Destination: acknowledge and deliver in order via the Rq.
+            self.destination_receive(d, out);
+            return;
+        }
+
+        // Forwarder. Only relay frames heard from upstream: the end-to-end
+        // source (not on the list) or a lower-priority (higher-rank)
+        // forwarder. A copy from downstream means the frame already passed
+        // us — and also cancels any relay we still have pending for it.
+        let tx_rank = list.iter().position(|&n| n == d.transmitter);
+        if let Some(tx_rank) = tx_rank {
+            if tx_rank <= my_rank {
+                self.drop_pending_relay((d.flow, d.src, d.frame_seq, false));
+                return;
+            }
+        }
+        let key = (d.flow, d.src, d.frame_seq);
+        if self.data_relayed.contains(&key) {
+            return; // at most one relay per overheard frame
+        }
+        let clean: Vec<Subframe> = d
+            .subframes
+            .iter()
+            .filter(|s| !s.corrupted)
+            .map(|s| Subframe { seq: s.seq, packet: s.packet.clone(), corrupted: false })
+            .collect();
+        if clean.is_empty() {
+            return;
+        }
+        let relay = DataFrame {
+            transmitter: self.node,
+            subframes: clean,
+            ..d.clone()
+        };
+        let wait = self.cfg.timing.data_relay_wait(my_rank);
+        self.data_relayed.insert(key);
+        self.schedule_relay((d.flow, d.src, d.frame_seq, false), Frame::Data(relay), wait, out);
+        let _ = now;
+    }
+
+    fn destination_receive(&mut self, d: DataFrame, out: &mut Vec<MacAction>) {
+        let LinkDst::Opportunistic { list } = &d.link_dst else { return };
+        let mut acked_seqs = Vec::new();
+        let cap = self.cfg.reorder_capacity;
+        let mut released = Vec::new();
+        for sf in &d.subframes {
+            // Rq per (flow, end-to-end source): frames may mix flows that
+            // share a route, so the key comes from the subframe.
+            let key = (sf.packet.header.flow, sf.packet.header.src);
+            let rq = self.rq.entry(key).or_insert_with(|| ReorderBuffer::new(cap));
+            if sf.corrupted {
+                // Acknowledge subframes we already hold from earlier copies,
+                // so the source stops retransmitting them.
+                if rq.has(sf.seq) {
+                    acked_seqs.push((sf.packet.header.flow, sf.seq));
+                }
+                continue;
+            }
+            acked_seqs.push((sf.packet.header.flow, sf.seq));
+            let (_, rel) = rq.accept(sf.seq, sf.packet.clone());
+            released.extend(rel);
+        }
+        for p in released {
+            self.stats.delivered_up += 1;
+            out.push(MacAction::Deliver { packet: p });
+        }
+        let ack = AckFrame {
+            transmitter: self.node,
+            to: d.src,
+            flow: d.flow,
+            frame_seq: d.frame_seq,
+            acked_seqs,
+            relay_list: list.clone(),
+        };
+        self.pending_ack = Some(ack);
+        let token = self.mint(Role::SendAck);
+        self.armed_send_ack = Some(token);
+        out.push(MacAction::SetTimer { delay: self.cfg.timing.destination_ack_wait(), token });
+    }
+
+    fn handle_ack_frame(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+        if a.to == self.node {
+            self.source_apply_ack(a, now, out);
+            return;
+        }
+        // Forwarder: relay ACKs heard from downstream (closer to the
+        // destination, i.e. lower rank) toward the source. An ACK also
+        // proves the data frame reached the destination, so any data relay
+        // we still hold for that frame is obsolete.
+        self.drop_pending_relay((a.flow, a.to, a.frame_seq, false));
+        let Some(my_rank) = a.relay_list.iter().position(|&n| n == self.node) else {
+            return;
+        };
+        if my_rank == 0 {
+            return; // we are the destination of the data; nothing to do
+        }
+        let tx_rank = a.relay_list.iter().position(|&n| n == a.transmitter);
+        if let Some(tx_rank) = tx_rank {
+            if tx_rank >= my_rank {
+                // The ACK has already travelled past us.
+                self.drop_pending_relay((a.flow, a.to, a.frame_seq, true));
+                return;
+            }
+        } else {
+            return; // ACKs originate on the list; anything else is stale
+        }
+        let key = (a.flow, a.to, a.frame_seq);
+        if self.ack_relayed.contains(&key) {
+            return;
+        }
+        let relay = AckFrame { transmitter: self.node, ..a.clone() };
+        let wait = self.cfg.timing.ack_relay_wait(my_rank);
+        self.ack_relayed.insert(key);
+        self.schedule_relay((a.flow, a.to, a.frame_seq, true), Frame::Ack(relay), wait, out);
+    }
+
+    fn source_apply_ack(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+        let Some(inflight) = self.inflight.as_mut() else { return };
+        if a.frame_seq != inflight.frame_seq || !self.handled_acks.insert(a.frame_seq) {
+            return; // stale attempt or duplicate (relayed) ACK copy
+        }
+        if self.data_state == DataState::Transmitting {
+            return; // cannot happen with a half-duplex radio
+        }
+        self.stats.acks_received += 1;
+        if let Some(token) = self.armed_timeout.take() {
+            self.timer_roles.remove(&token.0);
+        }
+        let before = inflight.subframes.len();
+        inflight
+            .subframes
+            .retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
+        let progressed = inflight.subframes.len() < before;
+        self.data_state = DataState::Idle;
+        self.backoff.on_success();
+        if inflight.subframes.is_empty() {
+            self.inflight = None;
+        } else {
+            // Fragment-retransmission semantics: progress resets the retry
+            // budget; only a fruitless ACK consumes one.
+            if progressed {
+                inflight.retries = 0;
+            } else {
+                inflight.retries += 1;
+            }
+            if inflight.retries > self.cfg.retry_limit {
+                let dead = self.inflight.take().expect("present");
+                for (_, packet) in dead.subframes {
+                    self.stats.drops_retry_limit += 1;
+                    out.push(MacAction::Drop { packet, reason: DropReason::RetryLimit });
+                }
+            }
+        }
+        self.backoff.draw(&mut self.rng);
+        self.try_progress(now, out);
+    }
+
+    fn handle_mtxop_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        self.armed_timeout = None;
+        if self.data_state != DataState::WaitAck {
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.data_state = DataState::Idle;
+        self.backoff.on_failure();
+        let drop_all = {
+            let inflight = self.inflight.as_mut().expect("timeout without inflight");
+            inflight.retries += 1;
+            inflight.retries > self.cfg.retry_limit
+        };
+        if drop_all {
+            let dead = self.inflight.take().expect("present");
+            for (_, packet) in dead.subframes {
+                self.stats.drops_retry_limit += 1;
+                out.push(MacAction::Drop { packet, reason: DropReason::RetryLimit });
+            }
+            self.backoff.on_success();
+        }
+        self.backoff.draw(&mut self.rng);
+        self.try_progress(now, out);
+    }
+
+    fn fire_send_ack(&mut self, out: &mut Vec<MacAction>) {
+        self.armed_send_ack = None;
+        let Some(ack) = self.pending_ack.take() else { return };
+        if !self.radio_free() {
+            return; // pathological; sender recovers end-to-end
+        }
+        self.ack_tx_in_progress = true;
+        self.stats.ack_frames_sent += 1;
+        out.push(MacAction::StartTx { frame: Frame::Ack(ack), rate: RateClass::Basic });
+    }
+
+    fn fire_relay(&mut self, pending: u64, out: &mut Vec<MacAction>) {
+        let Some(idx) = self.pending_relays.iter().position(|pr| pr.id == pending) else {
+            return; // cancelled in the meantime
+        };
+        if self.channel_busy {
+            return; // a pause is in flight; resume_relays will re-arm
+        }
+        if !self.radio_free() {
+            // Our own radio is mid-transmission (e.g. sending an ACK): the
+            // relay re-arms on the next idle edge.
+            self.pending_relays[idx].token = None;
+            return;
+        }
+        let pr = self.pending_relays.remove(idx);
+        self.relay_tx_in_progress = true;
+        self.relays_performed += 1;
+        let rate = match &pr.frame {
+            Frame::Data(_) => RateClass::Data,
+            Frame::Ack(_) => RateClass::Basic,
+        };
+        out.push(MacAction::StartTx { frame: pr.frame, rate });
+    }
+}
+
+impl MacEntity for RippleMac {
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        if let Some(rejected) = self.q.push(packet, route) {
+            self.stats.drops_queue_full += 1;
+            out.push(MacAction::Drop { packet: rejected, reason: DropReason::QueueFull });
+            return out;
+        }
+        self.try_progress(now, &mut out);
+        out
+    }
+
+    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+        self.channel_busy = true;
+        self.disarm_backoff(now);
+        // A busy channel breaks every pending idle window; the relays pause
+        // and restart their full wait on the next idle edge.
+        self.pause_relays();
+        Vec::new()
+    }
+
+    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+        self.channel_busy = false;
+        self.idle_since = now;
+        let mut out = Vec::new();
+        self.resume_relays(&mut out);
+        if self.data_state == DataState::Idle && self.radio_free() && self.has_work() {
+            self.arm_backoff(now, &mut out);
+        }
+        out
+    }
+
+    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        match frame {
+            Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
+            Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
+        }
+        out
+    }
+
+    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        if self.relay_tx_in_progress {
+            self.relay_tx_in_progress = false;
+        } else if self.ack_tx_in_progress {
+            self.ack_tx_in_progress = false;
+            self.try_progress(now, &mut out);
+        } else if self.data_state == DataState::Transmitting {
+            self.data_state = DataState::WaitAck;
+            let (list_len, bytes) = {
+                let inflight = self.inflight.as_ref().expect("transmitting without inflight");
+                let bytes: u32 = inflight
+                    .subframes
+                    .iter()
+                    .map(|(_, p)| {
+                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + p.header.wire_bytes
+                    })
+                    .sum::<u32>()
+                    + wmn_mac::frame::MAC_HEADER_BYTES;
+                (inflight.list.len(), bytes)
+            };
+            let timeout = self.cfg.timing.mtxop_timeout(list_len, bytes);
+            let token = self.mint(Role::MtxopTimeout);
+            self.armed_timeout = Some(token);
+            out.push(MacAction::SetTimer { delay: timeout, token });
+        }
+        out
+    }
+
+    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        let Some(role) = self.timer_roles.remove(&token.0) else {
+            return out;
+        };
+        match role {
+            Role::BackoffDone => {
+                if self.armed_backoff == Some(token) {
+                    self.armed_backoff = None;
+                    if !self.channel_busy
+                        && self.radio_free()
+                        && self.data_state == DataState::Idle
+                        && self.has_work()
+                    {
+                        self.backoff.clear();
+                        self.transmit_data(&mut out);
+                    }
+                }
+            }
+            Role::MtxopTimeout => {
+                if self.armed_timeout == Some(token) {
+                    self.handle_mtxop_timeout(now, &mut out);
+                }
+            }
+            Role::SendAck => {
+                if self.armed_send_ack == Some(token) {
+                    self.fire_send_ack(&mut out);
+                }
+            }
+            Role::RelayFire { pending } => self.fire_relay(pending, &mut out),
+        }
+        out
+    }
+
+    fn stats(&self) -> MacStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_mac::frame::{NetHeader, Proto};
+    use wmn_phy::PhyParams;
+    use wmn_sim::SimDuration;
+
+    fn cfg(agg: usize) -> RippleConfig {
+        RippleConfig::from_phy(&PhyParams::paper_216(), agg)
+    }
+
+    fn mac(node: u32, agg: usize) -> RippleMac {
+        RippleMac::new(cfg(agg), NodeId::new(node), StreamRng::derive(11, "ripple-test"))
+    }
+
+    fn packet(flow: u32, src: u32, dst: u32) -> Packet {
+        Packet::new(
+            NetHeader {
+                flow: FlowId::new(flow),
+                src: NodeId::new(src),
+                dst: NodeId::new(dst),
+                proto: Proto::Tcp,
+                wire_bytes: 1000,
+            },
+            vec![],
+        )
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    /// List for flow 0→3 via forwarders 2 (rank 1) and 1 (rank 2).
+    fn list() -> Vec<NodeId> {
+        vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)]
+    }
+
+    fn route() -> RouteInfo {
+        RouteInfo::Opportunistic { list: list() }
+    }
+
+    fn find_tx(actions: &[MacAction]) -> Option<&Frame> {
+        actions.iter().find_map(|a| match a {
+            MacAction::StartTx { frame, .. } => Some(frame),
+            _ => None,
+        })
+    }
+
+    fn timers(actions: &[MacAction]) -> Vec<(SimDuration, TimerToken)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                MacAction::SetTimer { delay, token } => Some((*delay, *token)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn source_frame(src: &mut RippleMac, now: SimTime) -> DataFrame {
+        let acts = src.on_enqueue(packet(0, 0, 3), route(), now);
+        match find_tx(&acts) {
+            Some(Frame::Data(d)) => d.clone(),
+            _ => panic!("expected immediate data tx"),
+        }
+    }
+
+    #[test]
+    fn source_sends_opportunistic_frame() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        assert_eq!(d.link_dst, LinkDst::Opportunistic { list: list() });
+        assert_eq!(d.subframes.len(), 1);
+        assert_eq!(d.src, NodeId::new(0));
+        assert_eq!(d.dst, NodeId::new(3));
+    }
+
+    #[test]
+    fn forwarder_arms_rank_scaled_relay() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        // Node 1 has rank 2: waits SIFS + 2 slots.
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let (delay, token) = timers(&acts)[0];
+        assert_eq!(delay, SimDuration::from_micros(16 + 18));
+        // Fire it: the relay goes out with us as transmitter.
+        let acts = f1.on_timer(token, t(200) + delay);
+        match find_tx(&acts) {
+            Some(Frame::Data(r)) => {
+                assert_eq!(r.transmitter, NodeId::new(1));
+                assert_eq!(r.frame_seq, d.frame_seq, "relays keep the frame identity");
+            }
+            _ => panic!("expected relayed data frame"),
+        }
+        assert_eq!(f1.relays_performed(), 1);
+    }
+
+    #[test]
+    fn busy_channel_pauses_relay_and_idle_rearms_it() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(d), t(200));
+        let (delay, token) = timers(&acts)[0];
+        // Someone transmits during the wait: the idle window broke.
+        f1.on_busy(t(210));
+        let acts = f1.on_timer(token, t(200) + delay);
+        assert!(find_tx(&acts).is_none(), "paused relay must not fire");
+        assert_eq!(f1.relays_performed(), 0);
+        // The next idle edge restarts the full wait…
+        let acts = f1.on_idle(t(400));
+        let (delay2, token2) = timers(&acts)[0];
+        assert_eq!(delay2, delay, "the wait restarts in full");
+        // …and the relay finally goes out.
+        let acts = f1.on_timer(token2, t(400) + delay2);
+        assert!(matches!(find_tx(&acts), Some(Frame::Data(_))));
+        assert_eq!(f1.relays_performed(), 1);
+    }
+
+    #[test]
+    fn overheard_ack_cancels_pending_data_relay() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let (delay, token) = timers(&acts)[0];
+        // The destination's ACK arrives before our relay slot: the frame
+        // already made it end-to-end, so the relay is pointless.
+        let ack = AckFrame {
+            transmitter: NodeId::new(3),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: list(),
+        };
+        f1.on_frame_rx(Frame::Ack(ack), t(205));
+        let acts = f1.on_timer(token, t(200) + delay);
+        assert!(find_tx(&acts).is_none(), "ACK proves delivery; relay cancelled");
+        assert_eq!(f1.relays_performed(), 0);
+    }
+
+    #[test]
+    fn downstream_copy_cancels_pending_data_relay() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        // Node 1 (rank 2) holds a pending relay; then hears node 2 (rank 1)
+        // relay the same frame: it progressed past us.
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let (delay, token) = timers(&acts)[0];
+        let downstream = DataFrame { transmitter: NodeId::new(2), ..d };
+        f1.on_frame_rx(Frame::Data(downstream), t(210));
+        let acts = f1.on_timer(token, t(200) + delay);
+        assert!(find_tx(&acts).is_none(), "higher-priority relay cancels ours");
+    }
+
+    #[test]
+    fn forwarder_relays_each_frame_at_most_once() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        assert_eq!(timers(&acts).len(), 1);
+        // Hearing the same frame again (e.g. another copy) arms nothing.
+        let acts = f1.on_frame_rx(Frame::Data(d), t(400));
+        assert!(timers(&acts).is_empty(), "at most one relay per frame");
+    }
+
+    #[test]
+    fn forwarder_ignores_downstream_copies() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        // Node 1 (rank 2) hears the copy relayed by node 2 (rank 1):
+        // the frame already progressed past it.
+        let relayed = DataFrame { transmitter: NodeId::new(2), ..d };
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(relayed), t(300));
+        assert!(timers(&acts).is_empty());
+    }
+
+    #[test]
+    fn destination_acks_after_sifs_and_delivers() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let mut dst = mac(3, 16);
+        let acts = dst.on_frame_rx(Frame::Data(d), t(200));
+        assert!(acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
+        let (delay, token) = timers(&acts)[0];
+        assert_eq!(delay, SimDuration::from_micros(16));
+        let acts = dst.on_timer(token, t(216));
+        match find_tx(&acts) {
+            Some(Frame::Ack(a)) => {
+                assert_eq!(a.to, NodeId::new(0), "ACK targets the end-to-end source");
+                assert_eq!(a.acked_seqs, vec![(FlowId::new(0), 0)]);
+                assert_eq!(a.relay_list, list(), "ACK carries the relay priority list");
+            }
+            _ => panic!("expected bitmap ACK"),
+        }
+    }
+
+    #[test]
+    fn destination_acks_already_held_subframes() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let mut dst = mac(3, 16);
+        dst.on_frame_rx(Frame::Data(d.clone()), t(200));
+        // Retransmission arrives with the same seq corrupted this time.
+        let mut retx = d;
+        retx.frame_seq += 1;
+        retx.subframes[0].corrupted = true;
+        let acts = dst.on_frame_rx(Frame::Data(retx), t(400));
+        let (_, token) = timers(&acts)[0];
+        let acts = dst.on_timer(token, t(420));
+        match find_tx(&acts) {
+            Some(Frame::Ack(a)) => {
+                assert_eq!(
+                    a.acked_seqs,
+                    vec![(FlowId::new(0), 0)],
+                    "already-held subframe still acknowledged"
+                );
+            }
+            _ => panic!("expected ACK"),
+        }
+    }
+
+    #[test]
+    fn ack_relay_waits_one_slot_less_and_travels_upstream() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let ack = AckFrame {
+            transmitter: NodeId::new(3), // the destination
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: list(),
+        };
+        // Rank-1 forwarder (node 2) relays after SIFS exactly.
+        let mut f2 = mac(2, 16);
+        let acts = f2.on_frame_rx(Frame::Ack(ack.clone()), t(300));
+        let (delay, token) = timers(&acts)[0];
+        assert_eq!(delay, SimDuration::from_micros(16));
+        let acts = f2.on_timer(token, t(316));
+        assert!(matches!(find_tx(&acts), Some(Frame::Ack(_))));
+        // A forwarder never relays an ACK heard from upstream of itself:
+        // node 2 (rank 1) ignores a copy transmitted by node 1 (rank 2).
+        let upstream_copy = AckFrame { transmitter: NodeId::new(1), ..ack };
+        let mut f2b = mac(2, 16);
+        let acts = f2b.on_frame_rx(Frame::Ack(upstream_copy), t(300));
+        assert!(timers(&acts).is_empty());
+    }
+
+    #[test]
+    fn source_completes_on_bitmap_ack() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        src.on_tx_end(t(160));
+        let ack = AckFrame {
+            transmitter: NodeId::new(2), // a relayed ACK copy works too
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: list(),
+        };
+        src.on_frame_rx(Frame::Ack(ack.clone()), t(400));
+        assert!(src.inflight.is_none(), "frame acknowledged end-to-end");
+        // A duplicate ACK copy (the destination's direct one) is harmless.
+        let acts = src.on_frame_rx(Frame::Ack(ack), t(410));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn partial_ack_retransmits_missing_subframes_only() {
+        let mut src = mac(0, 16);
+        // Enqueue 3 packets; the first transmits alone, 2 queue up.
+        src.on_enqueue(packet(0, 0, 3), route(), t(100));
+        src.on_enqueue(packet(0, 0, 3), route(), t(101));
+        src.on_enqueue(packet(0, 0, 3), route(), t(102));
+        src.on_tx_end(t(160));
+        let fs = src.inflight.as_ref().unwrap().frame_seq;
+        let ack = AckFrame {
+            transmitter: NodeId::new(3),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: fs,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: list(),
+        };
+        let acts = src.on_frame_rx(Frame::Ack(ack), t(400));
+        let (delay, token) = timers(&acts)[0];
+        let acts = src.on_timer(token, t(400) + delay);
+        let Some(Frame::Data(d2)) = find_tx(&acts) else { panic!("expected retx") };
+        // Seq 0 acked; seqs 1,2 (queued packets) aggregate into the frame.
+        assert_eq!(d2.subframes.len(), 2);
+        assert_eq!(d2.subframes.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn timeout_retries_and_eventually_drops() {
+        let mut src = mac(0, 1);
+        src.on_enqueue(packet(0, 0, 3), route(), t(100));
+        let mut now = t(160);
+        let mut drops = 0;
+        for _ in 0..30 {
+            let acts = src.on_tx_end(now);
+            let Some((delay, token)) = timers(&acts).first().copied() else { break };
+            now = now + delay;
+            let acts = src.on_timer(token, now);
+            drops += acts
+                .iter()
+                .filter(|a| matches!(a, MacAction::Drop { reason: DropReason::RetryLimit, .. }))
+                .count();
+            if drops > 0 {
+                break;
+            }
+            if let Some((d2, tok2)) = timers(&acts).first().copied() {
+                now = now + d2;
+                let acts = src.on_timer(tok2, now);
+                if find_tx(&acts).is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(drops, 1, "end-to-end retry limit enforced");
+        assert!(src.stats().timeouts >= 8);
+    }
+
+    #[test]
+    fn aggregates_up_to_sixteen() {
+        let mut src = mac(0, 16);
+        src.on_busy(t(0)); // hold the channel so packets accumulate
+        for i in 0..20 {
+            src.on_enqueue(packet(0, 0, 3), route(), t(1 + i));
+        }
+        let acts = src.on_idle(t(100));
+        let (delay, token) = timers(&acts)[0];
+        let acts = src.on_timer(token, t(100) + delay);
+        match find_tx(&acts) {
+            Some(Frame::Data(d)) => assert_eq!(d.subframes.len(), 16),
+            _ => panic!("expected aggregated frame"),
+        }
+    }
+
+    #[test]
+    fn non_list_member_ignores_everything() {
+        let mut src = mac(0, 16);
+        let d = source_frame(&mut src, t(100));
+        let mut outsider = mac(7, 16);
+        assert!(outsider.on_frame_rx(Frame::Data(d.clone()), t(200)).is_empty());
+        let ack = AckFrame {
+            transmitter: NodeId::new(3),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: list(),
+        };
+        assert!(outsider.on_frame_rx(Frame::Ack(ack), t(300)).is_empty());
+    }
+
+    #[test]
+    fn relay_with_all_subframes_corrupted_is_skipped() {
+        let mut src = mac(0, 16);
+        let mut d = source_frame(&mut src, t(100));
+        for sf in &mut d.subframes {
+            sf.corrupted = true;
+        }
+        let mut f1 = mac(1, 16);
+        let acts = f1.on_frame_rx(Frame::Data(d), t(200));
+        assert!(timers(&acts).is_empty(), "nothing decodable to relay");
+    }
+
+    #[test]
+    fn in_order_delivery_across_partial_loss() {
+        // Destination receives seqs 0 and 2 clean, 1 corrupted; holds 2,
+        // then releases 1 and 2 together after the retransmission.
+        let mut dst = mac(3, 16);
+        let mk = |seqs: Vec<(u32, bool)>, fs: u64| {
+            Frame::Data(DataFrame {
+                transmitter: NodeId::new(0),
+                link_dst: LinkDst::Opportunistic { list: list() },
+                flow: FlowId::new(0),
+                src: NodeId::new(0),
+                dst: NodeId::new(3),
+                frame_seq: fs,
+                subframes: seqs
+                    .into_iter()
+                    .map(|(seq, corrupted)| Subframe { seq, packet: packet(0, 0, 3), corrupted })
+                    .collect(),
+                retry: 0,
+            })
+        };
+        let acts = dst.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1), t(100));
+        let delivered = acts.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
+        assert_eq!(delivered, 1, "only seq 0 may be delivered");
+        let acts = dst.on_frame_rx(mk(vec![(1, false)], 2), t(1000));
+        let delivered = acts.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
+        assert_eq!(delivered, 2, "seqs 1 and 2 released in order");
+    }
+}

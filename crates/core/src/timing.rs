@@ -1,0 +1,167 @@
+//! mTXOP timing rules (Section III-A of the paper).
+//!
+//! All waits are measured in *continuous idle channel time*: detecting any
+//! transmission restarts nothing — it aborts the pending relay, because a
+//! broken idle window means either a higher-priority station already acted
+//! or the mTXOP collided with other traffic (Section III-B remark 3).
+
+use wmn_phy::PhyParams;
+use wmn_sim::SimDuration;
+
+use wmn_mac::frame::{ACK_BITMAP_BYTES, ACK_BYTES, FORWARDER_ENTRY_BYTES};
+
+/// Computes RIPPLE's relay waits and the source's end-to-end mTXOP timeout.
+///
+/// # Example
+///
+/// ```
+/// use ripple::MtxopTiming;
+/// use wmn_phy::PhyParams;
+/// use wmn_sim::SimDuration;
+///
+/// let t = MtxopTiming::new(PhyParams::paper_216());
+/// // Destination ACKs after SIFS; forwarder rank 1 relays data after
+/// // SIFS + 1 slot; rank 2 after SIFS + 2 slots.
+/// assert_eq!(t.data_relay_wait(1), SimDuration::from_micros(16 + 9));
+/// assert_eq!(t.data_relay_wait(2), SimDuration::from_micros(16 + 18));
+/// // ACK relays defer one slot less than data relays of the same rank.
+/// assert_eq!(t.ack_relay_wait(1), SimDuration::from_micros(16));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MtxopTiming {
+    params: PhyParams,
+}
+
+impl MtxopTiming {
+    /// Builds the timing rules from the scenario's PHY parameters.
+    pub fn new(params: PhyParams) -> Self {
+        MtxopTiming { params }
+    }
+
+    /// The PHY parameters these rules are derived from.
+    pub fn params(&self) -> &PhyParams {
+        &self.params
+    }
+
+    /// Idle time a forwarder of priority rank `i ≥ 1` must observe before
+    /// relaying a **data** frame: `i·T_slot + T_SIFS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero (the destination acknowledges, it does not
+    /// relay data).
+    pub fn data_relay_wait(&self, rank: usize) -> SimDuration {
+        assert!(rank >= 1, "data relays are performed by forwarders (rank >= 1)");
+        self.params.slot * rank as u64 + self.params.sifs
+    }
+
+    /// Idle time a forwarder of priority rank `i ≥ 1` must observe before
+    /// relaying a **MAC ACK**: `(i−1)·T_slot + T_SIFS` (one slot less than a
+    /// data relay, since ACKs are themselves unacknowledged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero.
+    pub fn ack_relay_wait(&self, rank: usize) -> SimDuration {
+        assert!(rank >= 1, "ACK relays are performed by forwarders (rank >= 1)");
+        self.params.slot * (rank as u64 - 1) + self.params.sifs
+    }
+
+    /// The destination's acknowledgement delay: one SIFS.
+    pub fn destination_ack_wait(&self) -> SimDuration {
+        self.params.sifs
+    }
+
+    /// Airtime of a RIPPLE bitmap ACK carrying a relay list of `list_len`
+    /// entries, at the basic rate.
+    pub fn ack_airtime(&self, list_len: usize) -> SimDuration {
+        let bytes = ACK_BYTES + ACK_BITMAP_BYTES + FORWARDER_ENTRY_BYTES * list_len as u32;
+        self.params.airtime(self.params.basic_rate, bytes)
+    }
+
+    /// Worst-case duration of the remainder of an mTXOP measured from the
+    /// end of the source's own data transmission, for a priority list of
+    /// `list_len` entries (destination + forwarders) and a data frame of
+    /// `frame_wire_bytes`. This is the source's ACK timeout.
+    ///
+    /// The bound assumes every forwarder relays both the data frame and the
+    /// ACK at its maximum deferral, plus a fixed scheduling margin.
+    pub fn mtxop_timeout(&self, list_len: usize, frame_wire_bytes: u32) -> SimDuration {
+        let p = &self.params;
+        let l = list_len.max(1) as u64;
+        let data_air = p.airtime(p.data_rate, frame_wire_bytes);
+        let max_wait = p.slot * l + p.sifs;
+        // Up to l−1 further data transmissions (each preceded by a wait),
+        // then l ACK transmissions travelling back (each preceded by a wait).
+        let data_phase = (data_air + max_wait) * (l - 1);
+        let ack_phase = (self.ack_airtime(list_len) + max_wait) * l;
+        data_phase + ack_phase + SimDuration::from_micros(50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> MtxopTiming {
+        MtxopTiming::new(PhyParams::paper_216())
+    }
+
+    /// The paper's worked example: station 1 (rank 2) waits SIFS + 2 slots,
+    /// station 2 (rank 1) waits SIFS + 1 slot before relaying P1.
+    #[test]
+    fn fig2_data_relay_waits() {
+        let t = timing();
+        assert_eq!(t.data_relay_wait(2), SimDuration::from_micros(16 + 2 * 9));
+        assert_eq!(t.data_relay_wait(1), SimDuration::from_micros(16 + 9));
+    }
+
+    /// "a forwarder defers one less slot in relaying a MAC ACK than relaying
+    /// a data frame".
+    #[test]
+    fn ack_relay_is_one_slot_less() {
+        let t = timing();
+        for rank in 1..=5 {
+            assert_eq!(
+                t.data_relay_wait(rank) - t.ack_relay_wait(rank),
+                SimDuration::from_micros(9)
+            );
+        }
+    }
+
+    #[test]
+    fn destination_acks_after_sifs() {
+        assert_eq!(timing().destination_ack_wait(), SimDuration::from_micros(16));
+    }
+
+    /// Relay waits are strictly ordered by rank, which is what makes the
+    /// prioritised acknowledging collision-free among list members in range
+    /// of each other.
+    #[test]
+    fn waits_strictly_ordered_by_rank() {
+        let t = timing();
+        for rank in 1..6 {
+            assert!(t.data_relay_wait(rank + 1) > t.data_relay_wait(rank));
+            assert!(t.ack_relay_wait(rank + 1) > t.ack_relay_wait(rank));
+        }
+        // The destination always wins against any forwarder.
+        assert!(t.destination_ack_wait() < t.data_relay_wait(1));
+    }
+
+    #[test]
+    fn timeout_grows_with_path_length_and_frame_size() {
+        let t = timing();
+        assert!(t.mtxop_timeout(4, 1040) > t.mtxop_timeout(2, 1040));
+        assert!(t.mtxop_timeout(3, 16 * 1012) > t.mtxop_timeout(3, 1040));
+        // A single-entry list (destination in range) is still positive and
+        // covers the ACK.
+        let single = t.mtxop_timeout(1, 1040);
+        assert!(single > t.ack_airtime(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank >= 1")]
+    fn destination_does_not_relay_data() {
+        let _ = timing().data_relay_wait(0);
+    }
+}

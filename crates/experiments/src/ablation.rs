@@ -1,0 +1,155 @@
+//! Ablation studies for the design choices the paper calls out:
+//!
+//! * **Maximum forwarders** (Sec. III-B remark 4 / Sec. IV-C): the paper
+//!   defaults to 5 and considers up to 7; too many forwarders means more
+//!   intra-path collisions. We sweep the cap on a 7-hop line.
+//! * **Aggregation limit** (Sec. III-A: 16, following 802.11n/AFR): sweep
+//!   1/2/4/8/16 on the 3-hop ROUTE0 flow, for both AFR and RIPPLE.
+//! * **PHY rates** (the paper's future work is multi-rate operation): the
+//!   same 3-hop flow at 6/54/216 Mbps data rates, showing how RIPPLE's
+//!   relative gain grows with rate (per-frame overhead dominates at high
+//!   rates, which is exactly what aggregation and mTXOPs amortise).
+
+use wmn_metrics::Table;
+use wmn_netsim::{FlowSpec, Scenario, Scheme, Workload};
+use wmn_phy::{PhyParams, Rate};
+use wmn_topology::{fig1, line};
+
+use crate::common::{run_averaged, ExpConfig};
+
+/// Sweep of the forwarder-list cap on the 7-hop line (RIPPLE-16).
+pub fn max_forwarders(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Ablation — forwarder cap on a 7-hop line (RIPPLE-16)",
+        vec!["max forwarders", "throughput (Mbps)"],
+    );
+    let topo = line::line(7, false);
+    for cap in 1..=7usize {
+        let scenario = Scenario {
+            name: format!("ablation-fwd-{cap}"),
+            params: PhyParams::paper_216(),
+            positions: topo.positions.clone(),
+            scheme: Scheme::Ripple { aggregation: 16 },
+            flows: vec![FlowSpec { path: line::main_path(7), workload: Workload::Ftp }],
+            duration: cfg.duration,
+            seed: 0,
+            max_forwarders: cap,
+        };
+        let avg = run_averaged(&scenario, cfg);
+        table.add_numeric_row(cap.to_string(), &[avg.flows[0].throughput_mbps]);
+    }
+    table
+}
+
+/// Sweep of the aggregation limit on the ROUTE0 flow-1 path.
+pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Ablation — aggregation limit on ROUTE0 flow 1",
+        vec!["packets/frame", "AFR (Mbps)", "RIPPLE (Mbps)"],
+    );
+    let topo = fig1::topology();
+    for agg in [1usize, 2, 4, 8, 16] {
+        let mut row = Vec::new();
+        for scheme in [Scheme::Dcf { aggregation: agg }, Scheme::Ripple { aggregation: agg }] {
+            let scenario = Scenario {
+                name: format!("ablation-agg-{agg}"),
+                params: PhyParams::paper_216(),
+                positions: topo.positions.clone(),
+                scheme,
+                flows: vec![FlowSpec {
+                    path: fig1::RouteSet::Route0.flow_path(1),
+                    workload: Workload::Ftp,
+                }],
+                duration: cfg.duration,
+                seed: 0,
+                max_forwarders: 5,
+            };
+            row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
+        }
+        table.add_numeric_row(agg.to_string(), &row);
+    }
+    table
+}
+
+/// The multi-rate extension sweep (the paper's stated future work).
+pub fn phy_rates(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Extension — PHY data rates on ROUTE0 flow 1",
+        vec!["data rate", "DCF (Mbps)", "RIPPLE (Mbps)", "gain"],
+    );
+    let topo = fig1::topology();
+    for (label, data_mbps, basic_mbps) in
+        [("6 Mbps", 6.0, 6.0), ("54 Mbps", 54.0, 24.0), ("216 Mbps", 216.0, 54.0)]
+    {
+        let mut params = PhyParams::paper_216();
+        params.data_rate = Rate::mbps(data_mbps);
+        params.basic_rate = Rate::mbps(basic_mbps);
+        let mut row = Vec::new();
+        for scheme in [Scheme::Dcf { aggregation: 1 }, Scheme::Ripple { aggregation: 16 }] {
+            let scenario = Scenario {
+                name: format!("ablation-rate-{label}"),
+                params: params.clone(),
+                positions: topo.positions.clone(),
+                scheme,
+                flows: vec![FlowSpec {
+                    path: fig1::RouteSet::Route0.flow_path(1),
+                    workload: Workload::Ftp,
+                }],
+                duration: cfg.duration,
+                seed: 0,
+                max_forwarders: 5,
+            };
+            row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
+        }
+        let gain = if row[0] > 0.0 { row[1] / row[0] } else { 0.0 };
+        table.add_row(vec![
+            label.to_string(),
+            format!("{:.2}", row[0]),
+            format!("{:.2}", row[1]),
+            format!("{gain:.2}x"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_sim::SimDuration;
+
+    fn quick() -> ExpConfig {
+        ExpConfig { duration: SimDuration::from_millis(250), seeds: vec![1] }
+    }
+
+    #[test]
+    fn forwarder_cap_sweep_has_seven_rows() {
+        let t = max_forwarders(&quick());
+        assert_eq!(t.row_count(), 7);
+        // With at least 5 forwarders the 7-hop flow must move real data.
+        let v5: f64 = t.cell(4, 1).unwrap().parse().unwrap();
+        assert!(v5 > 0.1, "cap 5 on 7 hops should work: {v5}");
+    }
+
+    #[test]
+    fn aggregation_is_monotonically_useful() {
+        let t = aggregation_limit(&quick());
+        let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
+        // 16-packet aggregation clearly beats none, for both schemes.
+        assert!(v(4, 1) > 1.5 * v(0, 1), "AFR-16 {} vs DCF {}", v(4, 1), v(0, 1));
+        assert!(v(4, 2) > 1.5 * v(0, 2), "R16 {} vs R1 {}", v(4, 2), v(0, 2));
+    }
+
+    #[test]
+    fn ripple_gain_grows_with_rate() {
+        let t = phy_rates(&quick());
+        let gain = |r: usize| {
+            t.cell(r, 3).unwrap().trim_end_matches('x').parse::<f64>().unwrap()
+        };
+        assert!(
+            gain(2) > gain(0),
+            "the overhead-amortisation gain must grow with PHY rate: {} vs {}",
+            gain(2),
+            gain(0)
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Prints the ablation tables: forwarder cap, aggregation limit, PHY rates.
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("{}", wmn_experiments::ablation::max_forwarders(&cfg));
+    println!("{}", wmn_experiments::ablation::aggregation_limit(&cfg));
+    println!("{}", wmn_experiments::ablation::phy_rates(&cfg));
+}

@@ -1,0 +1,10 @@
+//! Prints the Fig. 10 tables (Wigle topology).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    for table in wmn_experiments::fig10::generate(&cfg) {
+        println!("{table}");
+    }
+}

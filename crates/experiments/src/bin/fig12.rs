@@ -1,0 +1,10 @@
+//! Prints the Fig. 12 tables (Roofnet topology).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    for table in wmn_experiments::fig12::generate(&cfg) {
+        println!("{table}");
+    }
+}

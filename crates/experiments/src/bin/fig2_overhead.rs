@@ -1,0 +1,6 @@
+//! Prints the Fig. 2 / Section II analytic overhead comparison.
+
+fn main() {
+    println!("{}", wmn_experiments::fig2::generate());
+    println!("{}", wmn_experiments::fig2::worked_example());
+}

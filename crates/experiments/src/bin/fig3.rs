@@ -1,0 +1,10 @@
+//! Prints the Fig. 3 tables (long-lived TCP, BER 1e-6).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    for table in wmn_experiments::fig3::generate(1e-6, &cfg) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Prints the Fig. 6 tables (regular and hidden collisions).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("{}", wmn_experiments::fig6::generate_regular(&cfg));
+    println!("{}", wmn_experiments::fig6::generate_hidden(&cfg));
+}

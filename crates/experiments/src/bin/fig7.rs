@@ -1,0 +1,10 @@
+//! Prints the Fig. 7 tables (2-7 hops, with/without cross traffic).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    for table in wmn_experiments::fig7::generate(&cfg) {
+        println!("{table}");
+    }
+}

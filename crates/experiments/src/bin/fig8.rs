@@ -1,0 +1,8 @@
+//! Prints the Fig. 8 table (web traffic).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("{}", wmn_experiments::fig8::generate(&cfg));
+}

@@ -1,0 +1,8 @@
+//! Prints the Section II motivation measurement (SPR vs preExOR vs MCExOR).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("{}", wmn_experiments::motivation::generate(&cfg));
+}

@@ -1,0 +1,34 @@
+//! Runs every experiment and prints all tables — the full reproduction in
+//! one command. Set RIPPLE_REPRO=paper for the 10 s x 5 seed settings.
+
+use wmn_experiments as exp;
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("# RIPPLE reproduction — all tables\n");
+    println!("{}", exp::fig2::generate());
+    println!("{}", exp::fig2::worked_example());
+    println!("{}", exp::motivation::generate(&cfg));
+    for t in exp::fig3::generate(1e-6, &cfg) {
+        println!("{t}");
+    }
+    for t in exp::fig3::generate(1e-5, &cfg) {
+        println!("{t}");
+    }
+    println!("{}", exp::fig6::generate_regular(&cfg));
+    println!("{}", exp::fig6::generate_hidden(&cfg));
+    for t in exp::fig7::generate(&cfg) {
+        println!("{t}");
+    }
+    println!("{}", exp::fig8::generate(&cfg));
+    for t in exp::table3::generate(&cfg) {
+        println!("{t}");
+    }
+    for t in exp::fig10::generate(&cfg) {
+        println!("{t}");
+    }
+    for t in exp::fig12::generate(&cfg) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Prints the Table III reproduction (VoIP MoS).
+
+use wmn_experiments::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    for table in wmn_experiments::table3::generate(&cfg) {
+        println!("{table}");
+    }
+}

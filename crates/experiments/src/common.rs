@@ -1,0 +1,168 @@
+//! Shared experiment plumbing: seed-averaged runs and the figure scheme
+//! roster.
+
+use wmn_metrics::mean;
+use wmn_netsim::{run, Scenario, Scheme};
+use wmn_sim::SimDuration;
+
+/// How long and how many times to run each configuration.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Simulated duration per run (paper: 10 s).
+    pub duration: SimDuration,
+    /// Seeds to average over ("All results presented are averages over
+    /// multiple runs").
+    pub seeds: Vec<u64>,
+}
+
+impl ExpConfig {
+    /// Fast settings for CI / benches: 1 s, two seeds.
+    pub fn quick() -> Self {
+        ExpConfig { duration: SimDuration::from_secs_f64(1.0), seeds: vec![1, 2] }
+    }
+
+    /// Tiny settings used by Criterion benches.
+    pub fn bench() -> Self {
+        ExpConfig { duration: SimDuration::from_millis(150), seeds: vec![1] }
+    }
+
+    /// The paper's settings: 10 s, five seeds.
+    pub fn paper() -> Self {
+        ExpConfig { duration: SimDuration::from_secs_f64(10.0), seeds: vec![1, 2, 3, 4, 5] }
+    }
+
+    /// Middle ground used to generate EXPERIMENTS.md: 3 s, three seeds.
+    pub fn mid() -> Self {
+        ExpConfig { duration: SimDuration::from_secs_f64(3.0), seeds: vec![1, 2, 3] }
+    }
+
+    /// Reads `RIPPLE_REPRO` from the environment: `paper` selects the full
+    /// 10 s × 5 seed runs, `mid` the 3 s × 3 seed runs, anything else the
+    /// quick settings.
+    pub fn from_env() -> Self {
+        match std::env::var("RIPPLE_REPRO").as_deref() {
+            Ok("paper") => ExpConfig::paper(),
+            Ok("mid") => ExpConfig::mid(),
+            _ => ExpConfig::quick(),
+        }
+    }
+}
+
+/// Seed-averaged per-flow results.
+#[derive(Clone, Debug)]
+pub struct AvgFlow {
+    /// Mean throughput, Mbps.
+    pub throughput_mbps: f64,
+    /// Mean TCP re-order fraction (0 for non-TCP flows).
+    pub reorder_fraction: f64,
+    /// Mean MoS (VoIP flows only).
+    pub mos: Option<f64>,
+}
+
+/// Seed-averaged results for one scenario configuration.
+#[derive(Clone, Debug)]
+pub struct AvgResult {
+    /// Per-flow averages, in scenario flow order.
+    pub flows: Vec<AvgFlow>,
+    /// Mean total throughput, Mbps.
+    pub total_throughput_mbps: f64,
+}
+
+/// Runs `scenario` once per seed (overriding its seed and duration from
+/// `cfg`) and averages the results.
+pub fn run_averaged(scenario: &Scenario, cfg: &ExpConfig) -> AvgResult {
+    let mut totals = Vec::new();
+    let mut per_flow: Vec<Vec<(f64, f64, Option<f64>)>> =
+        vec![Vec::new(); scenario.flows.len()];
+    for &seed in &cfg.seeds {
+        let mut s = scenario.clone();
+        s.seed = seed;
+        s.duration = cfg.duration;
+        let result = run(&s);
+        totals.push(result.total_throughput_mbps);
+        for (i, f) in result.flows.iter().enumerate() {
+            per_flow[i].push((
+                f.throughput_mbps,
+                f.tcp.map(|t| t.reorder_fraction()).unwrap_or(0.0),
+                f.voip.map(|v| v.mos),
+            ));
+        }
+    }
+    let flows = per_flow
+        .into_iter()
+        .map(|samples| {
+            let tputs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let reorders: Vec<f64> = samples.iter().map(|s| s.1).collect();
+            let moses: Vec<f64> = samples.iter().filter_map(|s| s.2).collect();
+            AvgFlow {
+                throughput_mbps: mean(&tputs),
+                reorder_fraction: mean(&reorders),
+                mos: if moses.is_empty() { None } else { Some(mean(&moses)) },
+            }
+        })
+        .collect();
+    AvgResult { flows, total_throughput_mbps: mean(&totals) }
+}
+
+/// The five schemes of Figs. 3/4 in paper order: S (direct DCF), D
+/// (route DCF), R1 (RIPPLE no aggregation), A (AFR), R16 (RIPPLE).
+/// `direct` tells the caller to collapse each flow's path to source →
+/// destination.
+pub fn figure_schemes() -> Vec<(&'static str, Scheme, bool)> {
+    vec![
+        ("S", Scheme::Dcf { aggregation: 1 }, true),
+        ("D", Scheme::Dcf { aggregation: 1 }, false),
+        ("R1", Scheme::Ripple { aggregation: 1 }, false),
+        ("A", Scheme::Dcf { aggregation: 16 }, false),
+        ("R16", Scheme::Ripple { aggregation: 16 }, false),
+    ]
+}
+
+/// The three-scheme roster (DCF / AFR / RIPPLE) used by Figs. 6–8, 10, 12
+/// and Table III.
+pub fn dar_schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("DCF", Scheme::Dcf { aggregation: 1 }),
+        ("AFR", Scheme::Dcf { aggregation: 16 }),
+        ("RIPPLE", Scheme::Ripple { aggregation: 16 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_netsim::{FlowSpec, Workload};
+    use wmn_phy::{PhyParams, Position};
+    use wmn_sim::NodeId;
+
+    #[test]
+    fn averaging_covers_all_seeds() {
+        let scenario = Scenario {
+            name: "avg".into(),
+            params: PhyParams::paper_216(),
+            positions: vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+            scheme: Scheme::Dcf { aggregation: 1 },
+            flows: vec![FlowSpec {
+                path: vec![NodeId::new(0), NodeId::new(1)],
+                workload: Workload::Ftp,
+            }],
+            duration: SimDuration::from_millis(100),
+            seed: 0,
+            max_forwarders: 5,
+        };
+        let cfg = ExpConfig { duration: SimDuration::from_millis(100), seeds: vec![1, 2, 3] };
+        let avg = run_averaged(&scenario, &cfg);
+        assert_eq!(avg.flows.len(), 1);
+        assert!(avg.flows[0].throughput_mbps > 1.0);
+        assert!(avg.total_throughput_mbps > 1.0);
+    }
+
+    #[test]
+    fn scheme_rosters() {
+        let figs = figure_schemes();
+        assert_eq!(figs.len(), 5);
+        assert_eq!(figs[0].0, "S");
+        assert!(figs[0].2, "S uses the direct path");
+        assert_eq!(dar_schemes().len(), 3);
+    }
+}

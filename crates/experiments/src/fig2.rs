@@ -1,0 +1,81 @@
+//! Fig. 2 / Section II: the analytic per-packet delivery-time comparison
+//! (the transmission-timeline figure rendered as numbers).
+
+use wmn_mac::OverheadModel;
+use wmn_metrics::Table;
+use wmn_phy::PhyParams;
+
+/// Per-packet delivery time (µs) over 1–7 transmissions for every scheme
+/// in Fig. 2, from the Section II closed forms with Table I parameters.
+pub fn generate() -> Table {
+    let model = OverheadModel::new(PhyParams::paper_216());
+    let mut table = Table::new(
+        "Fig. 2 — analytic per-packet delivery time (us) vs path length",
+        vec!["hops (n)", "PRR", "preExOR", "MCExOR", "RIPPLE-1", "RIPPLE-16"],
+    );
+    for n in 1..=7u32 {
+        table.add_numeric_row(
+            n.to_string(),
+            &[
+                model.prr(n).as_micros_f64(),
+                model.pre_exor(n).as_micros_f64(),
+                model.mc_exor(n).as_micros_f64(),
+                model.ripple(n, 1).as_micros_f64(),
+                model.ripple(n, 16).as_micros_f64(),
+            ],
+        );
+    }
+    table
+}
+
+/// The worked 3-hop, 2-packet example of Section II: the extra time each
+/// scheme needs relative to PRR, expressed in the paper's units.
+pub fn worked_example() -> Table {
+    let model = OverheadModel::new(PhyParams::paper_216());
+    let t_ack = model.t_ack().as_micros_f64();
+    let sifs = 16.0;
+    let mut table = Table::new(
+        "Sec. II worked example (2 packets over 0->1->2->3)",
+        vec!["comparison", "paper identity", "value (us)"],
+    );
+    let pre = model.pre_exor(3).as_micros_f64() * 2.0;
+    let mce = model.mc_exor(3).as_micros_f64() * 2.0;
+    table.add_row(vec![
+        "preExOR - MCExOR".into(),
+        "6 x T_ACK".into(),
+        format!("{:.2} (expect {:.2})", pre - mce, 6.0 * t_ack),
+    ]);
+    table.add_row(vec![
+        "extra ACK slots of preExOR".into(),
+        "6 x (T_ACK + T_SIFS)".into(),
+        format!("{:.2}", 6.0 * (t_ack + sifs)),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_seven_rows_and_fig2_ordering() {
+        let t = generate();
+        assert_eq!(t.row_count(), 7);
+        // Row for n=3: RIPPLE-16 < RIPPLE-1 < PRR < MCExOR < preExOR.
+        let v = |col: usize| t.cell(2, col).unwrap().parse::<f64>().unwrap();
+        let (prr, pre, mce, r1, r16) = (v(1), v(2), v(3), v(4), v(5));
+        assert!(r16 < r1 && r1 < prr && prr < mce && mce < pre);
+    }
+
+    #[test]
+    fn worked_example_matches_identity() {
+        let t = worked_example();
+        assert_eq!(t.row_count(), 2);
+        let cell = t.cell(0, 2).unwrap();
+        // "x (expect y)" with x == y.
+        let parts: Vec<&str> = cell.split(" (expect ").collect();
+        let x: f64 = parts[0].parse().unwrap();
+        let y: f64 = parts[1].trim_end_matches(')').parse().unwrap();
+        assert!((x - y).abs() < 0.01, "identity must hold: {cell}");
+    }
+}

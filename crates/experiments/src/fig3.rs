@@ -1,0 +1,80 @@
+//! Figs. 3 and 4: long-lived TCP transfers on the Fig. 1 topology.
+//!
+//! For each route set of Table II (ROUTE0/1/2) and each activation pattern
+//! ({flow 1}, {flows 1,2}, {flows 1,2,3}), the total throughput of the five
+//! schemes S / D / R1 / A / R16. Fig. 3 uses BER 10⁻⁶, Fig. 4 BER 10⁻⁵.
+//!
+//! Expected shape: R16 ≥ A > R1 ≥ D ≫ S on ROUTE0/ROUTE1; ROUTE2 lower for
+//! everyone; RIPPLE best everywhere.
+
+use wmn_metrics::Table;
+use wmn_netsim::{FlowSpec, Scenario, Workload};
+use wmn_phy::PhyParams;
+use wmn_topology::fig1::{self, RouteSet};
+
+use crate::common::{figure_schemes, run_averaged, ExpConfig};
+
+/// Generates one table per route set at the given BER.
+pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
+    let topo = fig1::topology();
+    let params = PhyParams::paper_216().with_ber(ber);
+    let mut tables = Vec::new();
+    for route_set in RouteSet::ALL {
+        let mut table = Table::new(
+            format!(
+                "Fig. {} ({}) — total TCP throughput (Mbps), BER {ber:.0e}",
+                if ber <= 1e-6 { 3 } else { 4 },
+                route_set.label()
+            ),
+            vec!["scheme", "flow 1", "flows 1+2", "flows 1+2+3"],
+        );
+        for (label, scheme, direct) in figure_schemes() {
+            let mut row = Vec::new();
+            for active in 1..=3usize {
+                let flows = (1..=active)
+                    .map(|f| {
+                        let path = if direct {
+                            let (s, d) = fig1::flow_endpoints(f);
+                            vec![s, d]
+                        } else {
+                            route_set.flow_path(f)
+                        };
+                        FlowSpec { path, workload: Workload::Ftp }
+                    })
+                    .collect();
+                let scenario = Scenario {
+                    name: format!("fig3-{}-{label}-{active}", route_set.label()),
+                    params: params.clone(),
+                    positions: topo.positions.clone(),
+                    scheme,
+                    flows,
+                    duration: cfg.duration,
+                    seed: 0,
+                    max_forwarders: 5,
+                };
+                row.push(run_averaged(&scenario, cfg).total_throughput_mbps);
+            }
+            table.add_numeric_row(label, &row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route0_single_flow_shape() {
+        let cfg = ExpConfig { duration: wmn_sim::SimDuration::from_millis(300), seeds: vec![1] };
+        let tables = generate(1e-6, &cfg);
+        assert_eq!(tables.len(), 3, "one table per route set");
+        let t = &tables[0]; // ROUTE0
+        let v = |r: usize| t.cell(r, 1).unwrap().parse::<f64>().unwrap();
+        let (s, d, _r1, a, r16) = (v(0), v(1), v(2), v(3), v(4));
+        assert!(d > 2.0 * s, "multi-hop D ({d}) must dominate direct S ({s})");
+        assert!(r16 > d, "R16 ({r16}) must beat DCF ({d})");
+        assert!(a > d, "AFR ({a}) must beat DCF ({d})");
+    }
+}

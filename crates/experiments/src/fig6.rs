@@ -1,0 +1,120 @@
+//! Fig. 6: the effect of regular and hidden collisions.
+//!
+//! * 6(a) — `n` single-hop TCP flows packed in one cell (Fig. 5a): total
+//!   throughput drops with contention; RIPPLE (aggregation) stays on top.
+//! * 6(b) — one 3-hop TCP flow whose forwarders/destination are exposed to
+//!   0–9 saturated hidden senders (Fig. 5b): flow-1 throughput collapses
+//!   with hidden load; RIPPLE wins at low hidden load but can dip below
+//!   DCF/AFR at ≥ 7 hidden flows (long mTXOPs lose more per hidden
+//!   collision).
+
+use wmn_metrics::Table;
+use wmn_netsim::{FlowSpec, Scenario, Workload};
+use wmn_phy::PhyParams;
+use wmn_topology::collision;
+use wmn_traffic::CbrModel;
+
+use crate::common::{dar_schemes, run_averaged, ExpConfig};
+
+/// Fig. 6(a): total throughput vs number of in-cell flows.
+pub fn generate_regular(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Fig. 6(a) — single cell, total TCP throughput (Mbps) vs #flows",
+        vec!["scheme", "2 flows", "4 flows", "6 flows", "8 flows", "10 flows"],
+    );
+    for (label, scheme) in dar_schemes() {
+        let mut row = Vec::new();
+        for n_flows in [2usize, 4, 6, 8, 10] {
+            let topo = collision::single_cell(n_flows);
+            let flows = (0..n_flows)
+                .map(|i| {
+                    let (s, d) = collision::cell_flow_endpoints(i);
+                    FlowSpec { path: vec![s, d], workload: Workload::Ftp }
+                })
+                .collect();
+            let scenario = Scenario {
+                name: format!("fig6a-{label}-{n_flows}"),
+                params: PhyParams::paper_216(),
+                positions: topo.positions.clone(),
+                scheme,
+                flows,
+                duration: cfg.duration,
+                seed: 0,
+                max_forwarders: 5,
+            };
+            row.push(run_averaged(&scenario, cfg).total_throughput_mbps);
+        }
+        table.add_numeric_row(label, &row);
+    }
+    table
+}
+
+/// Fig. 6(b): flow-1 throughput vs number of hidden (saturated) flows.
+pub fn generate_hidden(cfg: &ExpConfig) -> Table {
+    let counts = [0usize, 1, 3, 5, 7, 9];
+    let headers: Vec<String> = std::iter::once("scheme".to_string())
+        .chain(counts.iter().map(|c| format!("{c} hidden")))
+        .collect();
+    let mut table =
+        Table::new("Fig. 6(b) — flow-1 TCP throughput (Mbps) vs hidden flows", headers);
+    for (label, scheme) in dar_schemes() {
+        let mut row = Vec::new();
+        for &n_hidden in &counts {
+            let topo = collision::hidden_terminals(n_hidden);
+            let mut flows =
+                vec![FlowSpec { path: collision::hidden_main_path(), workload: Workload::Ftp }];
+            for k in 0..n_hidden {
+                let (s, d) = collision::hidden_flow_endpoints(k);
+                flows.push(FlowSpec {
+                    path: vec![s, d],
+                    workload: Workload::Cbr(CbrModel::heavy()),
+                });
+            }
+            let scenario = Scenario {
+                name: format!("fig6b-{label}-{n_hidden}"),
+                params: PhyParams::paper_216(),
+                positions: topo.positions.clone(),
+                scheme,
+                flows,
+                duration: cfg.duration,
+                seed: 0,
+                max_forwarders: 5,
+            };
+            row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
+        }
+        table.add_numeric_row(label, &row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_sim::SimDuration;
+
+    fn quick() -> ExpConfig {
+        ExpConfig { duration: SimDuration::from_millis(250), seeds: vec![1] }
+    }
+
+    #[test]
+    fn regular_collisions_ripple_on_top() {
+        let t = generate_regular(&quick());
+        let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
+        // RIPPLE (row 2) beats DCF (row 0) at 2 flows.
+        assert!(v(2, 1) > v(0, 1), "RIPPLE {} vs DCF {}", v(2, 1), v(0, 1));
+    }
+
+    #[test]
+    fn hidden_load_throttles_flow1() {
+        let t = generate_hidden(&quick());
+        let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
+        for row in 0..3 {
+            assert!(
+                v(row, 1) > v(row, 6) || v(row, 6) < 1.0,
+                "heavy hidden load must throttle flow 1 (row {row}): {} -> {}",
+                v(row, 1),
+                v(row, 6)
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 8: short-lived web transfers on the Fig. 1 topology.
+//!
+//! Ten ON/OFF web users per source/destination pair (flows 1–10 between
+//! 0↔3, 11–20 between 0↔4, 21–30 between 5↔7); transfer sizes are
+//! Pareto(mean 80 KB, shape 1.5), think times exponential(1 s). The figure
+//! reports the total throughput of all active flows for DCF / AFR / RIPPLE
+//! over ROUTE0, with RIPPLE on top.
+
+use wmn_metrics::Table;
+use wmn_netsim::{FlowSpec, Scenario, Workload};
+use wmn_phy::PhyParams;
+use wmn_topology::fig1::RouteSet;
+use wmn_traffic::WebModel;
+
+use crate::common::{dar_schemes, run_averaged, ExpConfig};
+
+/// Number of web users per station pair (paper: 10).
+pub const USERS_PER_PAIR: usize = 10;
+
+/// Builds the 30-flow web traffic matrix over ROUTE0.
+pub fn web_flows(users_per_pair: usize) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for pair in 1..=3usize {
+        let path = RouteSet::Route0.flow_path(pair);
+        for _ in 0..users_per_pair {
+            flows.push(FlowSpec { path: path.clone(), workload: Workload::Web(WebModel::paper()) });
+        }
+    }
+    flows
+}
+
+/// Generates the Fig. 8 table.
+pub fn generate(cfg: &ExpConfig) -> Table {
+    generate_with_users(cfg, USERS_PER_PAIR)
+}
+
+/// Same with a configurable user count (benches use fewer).
+pub fn generate_with_users(cfg: &ExpConfig, users_per_pair: usize) -> Table {
+    let topo = wmn_topology::fig1::topology();
+    let mut table = Table::new(
+        "Fig. 8 — web traffic, total throughput of all flows (Mbps)",
+        vec!["scheme", "total Mbps"],
+    );
+    for (label, scheme) in dar_schemes() {
+        let scenario = Scenario {
+            name: format!("fig8-{label}"),
+            params: PhyParams::paper_216(),
+            positions: topo.positions.clone(),
+            scheme,
+            flows: web_flows(users_per_pair),
+            duration: cfg.duration,
+            seed: 0,
+            max_forwarders: 5,
+        };
+        let avg = run_averaged(&scenario, cfg);
+        table.add_numeric_row(label, &[avg.total_throughput_mbps]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_sim::SimDuration;
+
+    #[test]
+    fn web_matrix_is_30_flows() {
+        assert_eq!(web_flows(USERS_PER_PAIR).len(), 30);
+    }
+
+    #[test]
+    fn all_schemes_move_web_traffic() {
+        let cfg = ExpConfig { duration: SimDuration::from_millis(400), seeds: vec![1] };
+        let t = generate_with_users(&cfg, 2);
+        for row in 0..3 {
+            let v: f64 = t.cell(row, 1).unwrap().parse().unwrap();
+            assert!(v > 0.0, "row {row} must carry web traffic");
+        }
+    }
+}

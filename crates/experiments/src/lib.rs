@@ -1,0 +1,36 @@
+//! Experiment library: one module per table/figure of the paper.
+//!
+//! Every module exposes a `generate(&ExpConfig) -> Vec<Table>` (or similar)
+//! function that reruns the corresponding experiment and returns the rows /
+//! series the paper reports; the binaries in `src/bin/` print them. The
+//! absolute numbers come from this repo's simulator, not the authors' NS-2
+//! setup — EXPERIMENTS.md tracks the *shape* comparison (who wins, by
+//! roughly what factor, where crossovers fall).
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 2 / Sec. II timing formulas | [`fig2`] | `fig2_overhead` |
+//! | Sec. II motivation (SPR vs preExOR vs MCExOR) | [`motivation`] | `motivation` |
+//! | Fig. 3 (long TCP, BER 1e-6) | [`fig3`] | `fig3` |
+//! | Fig. 4 (long TCP, BER 1e-5) | [`fig3`] | `fig4` |
+//! | Fig. 6 (regular / hidden collisions) | [`fig6`] | `fig6` |
+//! | Fig. 7 (2–7 hops ± cross traffic) | [`fig7`] | `fig7` |
+//! | Fig. 8 (web traffic) | [`fig8`] | `fig8` |
+//! | Table III (VoIP MoS) | [`table3`] | `table3` |
+//! | Fig. 10 (Wigle) | [`fig10`] | `fig10` |
+//! | Fig. 12 (Roofnet) | [`fig12`] | `fig12` |
+//! | Ablations (forwarder cap, aggregation, PHY rates) | [`ablation`] | `ablation` |
+
+pub mod ablation;
+pub mod common;
+pub mod fig10;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod motivation;
+pub mod table3;
+
+pub use common::{AvgFlow, AvgResult, ExpConfig};

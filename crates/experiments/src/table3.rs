@@ -1,0 +1,91 @@
+//! Table III: VoIP MoS on the Fig. 1 topology at 6 Mbps PHY rates.
+//!
+//! VoIP flows 1–10 run between stations 0 and 3 (ROUTE0), 11–20 between 0
+//! and 4, 21–30 between 5 and 7. For each activation pattern (first 10 /
+//! 20 / 30 flows), each scheme's mean MoS is reported at BER 10⁻⁵ and
+//! 10⁻⁶. Expected shape: all schemes are fine with 10 flows; at 20–30
+//! flows DCF/AFR collapse toward MoS ≈ 1 while RIPPLE stays usable.
+
+use wmn_metrics::{mean, Table};
+use wmn_netsim::{FlowSpec, Scenario, Workload};
+use wmn_phy::PhyParams;
+use wmn_topology::fig1::RouteSet;
+use wmn_traffic::VoipModel;
+
+use crate::common::{dar_schemes, run_averaged, ExpConfig};
+
+/// Builds the first `count` VoIP flows of the Table III matrix (10 per
+/// station pair, ROUTE0 paths).
+pub fn voip_flows(count: usize) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for pair in 1..=3usize {
+        let path = RouteSet::Route0.flow_path(pair);
+        for _ in 0..10 {
+            if flows.len() == count {
+                return flows;
+            }
+            flows.push(FlowSpec { path: path.clone(), workload: Workload::Voip(VoipModel::paper()) });
+        }
+    }
+    flows
+}
+
+/// Generates the Table III reproduction: one table per BER.
+pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
+    [1e-5, 1e-6]
+        .into_iter()
+        .map(|ber| {
+            let topo = wmn_topology::fig1::topology();
+            let params = PhyParams::paper_6().with_ber(ber);
+            let mut table = Table::new(
+                format!("Table III — VoIP MoS, 6 Mbps, BER {ber:.0e}"),
+                vec!["scheme", "flows 1..10", "flows 1..20", "flows 1..30"],
+            );
+            for (label, scheme) in dar_schemes() {
+                let mut row = Vec::new();
+                for count in [10usize, 20, 30] {
+                    let scenario = Scenario {
+                        name: format!("table3-{label}-{count}-{ber:e}"),
+                        params: params.clone(),
+                        positions: topo.positions.clone(),
+                        scheme,
+                        flows: voip_flows(count),
+                        duration: cfg.duration,
+                        seed: 0,
+                        max_forwarders: 5,
+                    };
+                    let avg = run_averaged(&scenario, cfg);
+                    let moses: Vec<f64> = avg.flows.iter().filter_map(|f| f.mos).collect();
+                    row.push(mean(&moses));
+                }
+                table.add_numeric_row(label, &row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_sim::SimDuration;
+
+    #[test]
+    fn flow_matrix_counts() {
+        assert_eq!(voip_flows(10).len(), 10);
+        assert_eq!(voip_flows(30).len(), 30);
+        // First ten flows all share the 0->3 pair.
+        assert!(voip_flows(10).iter().all(|f| f.path == RouteSet::Route0.flow_path(1)));
+    }
+
+    #[test]
+    fn light_load_gives_good_mos() {
+        let cfg = ExpConfig { duration: SimDuration::from_millis(600), seeds: vec![1] };
+        let tables = generate(&cfg);
+        assert_eq!(tables.len(), 2);
+        // Clear channel, 10 flows, RIPPLE row: MoS should be well above 2.
+        let t = &tables[1];
+        let ripple_10: f64 = t.cell(2, 1).unwrap().parse().unwrap();
+        assert!(ripple_10 > 2.0, "light VoIP load must score decently: {ripple_10}");
+    }
+}

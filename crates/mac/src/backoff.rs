@@ -1,0 +1,174 @@
+//! The 802.11 binary-exponential contention-window engine.
+//!
+//! Tracks the contention window, draws backoff counters, and converts
+//! between elapsed idle time and consumed slots so the MAC can freeze and
+//! resume the countdown across busy periods without per-slot events.
+
+use wmn_sim::{SimDuration, StreamRng};
+
+/// Contention-window state: CW doubling on failure, reset on success, and
+/// slot bookkeeping for a freezable countdown.
+///
+/// # Example
+///
+/// ```
+/// use wmn_mac::Backoff;
+/// use wmn_sim::StreamRng;
+///
+/// let mut bo = Backoff::new(15, 1023);
+/// let mut rng = StreamRng::derive(1, "bo");
+/// let slots = bo.draw(&mut rng);
+/// assert!(slots <= 15);
+/// bo.on_failure();
+/// assert_eq!(bo.cw(), 31);
+/// bo.on_success();
+/// assert_eq!(bo.cw(), 15);
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    cw_min: u32,
+    cw_max: u32,
+    cw: u32,
+    /// Slots remaining in the current (possibly frozen) countdown.
+    remaining: Option<u32>,
+}
+
+impl Backoff {
+    /// Creates an engine with the given window bounds (inclusive slot
+    /// counts, e.g. 15 and 1023 for 802.11a/n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw_min > cw_max`.
+    pub fn new(cw_min: u32, cw_max: u32) -> Self {
+        assert!(cw_min <= cw_max, "cw_min must not exceed cw_max");
+        Backoff { cw_min, cw_max, cw: cw_min, remaining: None }
+    }
+
+    /// Current contention window.
+    pub fn cw(&self) -> u32 {
+        self.cw
+    }
+
+    /// Slots left in the pending countdown, if one exists.
+    pub fn remaining(&self) -> Option<u32> {
+        self.remaining
+    }
+
+    /// Draws a fresh counter uniform in `[0, cw]` and stores it as the
+    /// pending countdown. Returns the drawn slot count.
+    pub fn draw(&mut self, rng: &mut StreamRng) -> u32 {
+        let slots = rng.uniform_slots(self.cw);
+        self.remaining = Some(slots);
+        slots
+    }
+
+    /// Ensures a countdown exists (drawing one if necessary) and returns it.
+    pub fn ensure_drawn(&mut self, rng: &mut StreamRng) -> u32 {
+        match self.remaining {
+            Some(s) => s,
+            None => self.draw(rng),
+        }
+    }
+
+    /// Consumes slots after the channel stayed idle for `idle_time`
+    /// following the DIFS boundary. Returns the slots still remaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no countdown is pending.
+    pub fn consume_idle(&mut self, idle_time: SimDuration, slot: SimDuration) -> u32 {
+        let rem = self.remaining.expect("no backoff pending");
+        let consumed = idle_time.div_duration(slot).min(u64::from(rem)) as u32;
+        let left = rem - consumed;
+        self.remaining = Some(left);
+        left
+    }
+
+    /// The countdown completed (the MAC is about to transmit).
+    pub fn clear(&mut self) {
+        self.remaining = None;
+    }
+
+    /// Transmission succeeded: reset the window to CWmin.
+    pub fn on_success(&mut self) {
+        self.cw = self.cw_min;
+    }
+
+    /// Transmission failed: double the window, capped at CWmax.
+    pub fn on_failure(&mut self) {
+        self.cw = (self.cw * 2 + 1).min(self.cw_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn doubling_sequence_15_to_1023() {
+        let mut bo = Backoff::new(15, 1023);
+        let mut seen = vec![bo.cw()];
+        for _ in 0..8 {
+            bo.on_failure();
+            seen.push(bo.cw());
+        }
+        assert_eq!(seen, vec![15, 31, 63, 127, 255, 511, 1023, 1023, 1023]);
+    }
+
+    #[test]
+    fn success_resets_window() {
+        let mut bo = Backoff::new(15, 1023);
+        bo.on_failure();
+        bo.on_failure();
+        bo.on_success();
+        assert_eq!(bo.cw(), 15);
+    }
+
+    #[test]
+    fn consume_idle_partial_slots() {
+        let mut bo = Backoff::new(15, 1023);
+        bo.remaining = Some(5);
+        let slot = SimDuration::from_micros(9);
+        // 2.5 slots of idle time consumes 2 whole slots.
+        let left = bo.consume_idle(SimDuration::from_micros(22), slot);
+        assert_eq!(left, 3);
+        // Consuming more idle time than slots saturates at zero.
+        let left = bo.consume_idle(SimDuration::from_micros(900), slot);
+        assert_eq!(left, 0);
+    }
+
+    #[test]
+    fn ensure_drawn_is_idempotent() {
+        let mut bo = Backoff::new(15, 1023);
+        let mut rng = wmn_sim::StreamRng::derive(4, "bo");
+        let first = bo.ensure_drawn(&mut rng);
+        let second = bo.ensure_drawn(&mut rng);
+        assert_eq!(first, second);
+    }
+
+    proptest! {
+        /// Draws always lie inside the current window.
+        #[test]
+        fn prop_draw_in_window(failures in 0u32..10, seed in proptest::num::u64::ANY) {
+            let mut bo = Backoff::new(15, 1023);
+            for _ in 0..failures {
+                bo.on_failure();
+            }
+            let mut rng = wmn_sim::StreamRng::derive(seed, "draw");
+            let s = bo.draw(&mut rng);
+            prop_assert!(s <= bo.cw());
+        }
+
+        /// The window never leaves [cw_min, cw_max].
+        #[test]
+        fn prop_window_bounds(ops in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let mut bo = Backoff::new(15, 1023);
+            for success in ops {
+                if success { bo.on_success() } else { bo.on_failure() }
+                prop_assert!((15..=1023).contains(&bo.cw()));
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Network packets and MAC frames.
+//!
+//! Terminology follows the paper: a *packet* is what the upper layer hands
+//! to the MAC; a *frame* is what the MAC hands to the PHY. Under aggregation
+//! a frame carries up to 16 packets as subframes, each protected by its own
+//! CRC, so the channel can corrupt subframes individually while the frame
+//! header survives.
+//!
+//! Simulated wire sizes are computed from the declared packet size plus
+//! fixed header costs; the in-memory `body` bytes are metadata (an encoded
+//! transport segment) and do not influence airtime.
+
+use wmn_sim::{FlowId, NodeId};
+
+/// MAC header + FCS cost of a data frame, bytes.
+pub const MAC_HEADER_BYTES: u32 = 28;
+/// Per-subframe cost: subframe header (8) + per-subframe CRC (4), bytes.
+pub const SUBFRAME_OVERHEAD_BYTES: u32 = 12;
+/// Base size of a MAC ACK frame, bytes.
+pub const ACK_BYTES: u32 = 14;
+/// Extra bytes an aggregation-aware (bitmap) ACK carries.
+pub const ACK_BITMAP_BYTES: u32 = 4;
+/// Bytes consumed per entry of an in-frame forwarder list.
+pub const FORWARDER_ENTRY_BYTES: u32 = 6;
+
+/// Transport protocol selector for a network packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Proto {
+    /// TCP segment (data or acknowledgement).
+    Tcp,
+    /// UDP datagram (VoIP, CBR cross traffic).
+    Udp,
+}
+
+/// End-to-end network header carried by every packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NetHeader {
+    /// The conversation this packet belongs to.
+    pub flow: FlowId,
+    /// Originating station (end-to-end, not the current hop).
+    pub src: NodeId,
+    /// Final destination station.
+    pub dst: NodeId,
+    /// Transport protocol of the body.
+    pub proto: Proto,
+    /// Simulated on-the-wire size of this packet in bytes (network header +
+    /// transport header + application payload). Drives airtime and BER.
+    pub wire_bytes: u32,
+}
+
+/// An upper-layer packet queued at, carried by, and delivered from the MAC.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// End-to-end header.
+    pub header: NetHeader,
+    /// Encoded transport segment (metadata; see module docs).
+    pub body: Vec<u8>,
+}
+
+impl Packet {
+    /// Convenience constructor.
+    pub fn new(header: NetHeader, body: Vec<u8>) -> Self {
+        Packet { header, body }
+    }
+}
+
+/// Routing decision attached to a packet when the upper layer enqueues it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouteInfo {
+    /// Predetermined forwarding: transmit to exactly this neighbour.
+    NextHop(NodeId),
+    /// Opportunistic forwarding: a priority-ordered candidate list. Position
+    /// 0 is the destination (highest priority, "closest to the MAC header"
+    /// in the paper's framing), followed by forwarders in decreasing
+    /// priority.
+    Opportunistic {
+        /// Priority list; `list[0]` must be the packet's destination.
+        list: Vec<NodeId>,
+    },
+}
+
+impl RouteInfo {
+    /// The priority rank of `node` in an opportunistic list: 0 for the
+    /// destination, 1 for the highest-priority forwarder, … `None` if the
+    /// node is not on the list or the route is predetermined.
+    pub fn rank_of(&self, node: NodeId) -> Option<usize> {
+        match self {
+            RouteInfo::NextHop(_) => None,
+            RouteInfo::Opportunistic { list } => list.iter().position(|&n| n == node),
+        }
+    }
+}
+
+/// One aggregated packet inside a data frame, with its channel fate.
+#[derive(Clone, Debug)]
+pub struct Subframe {
+    /// Link-level sequence number, per (flow, end-to-end source). Under
+    /// RIPPLE this is the end-to-end sequence the Sq/Rq operate on.
+    pub seq: u32,
+    /// The carried packet.
+    pub packet: Packet,
+    /// Set by the channel on the receiver's copy when this subframe's CRC
+    /// fails (i.i.d. BER model). Transmitted copies always start clean.
+    pub corrupted: bool,
+}
+
+/// Who a data frame is addressed to at the link layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinkDst {
+    /// Conventional unicast to one neighbour.
+    Unicast(NodeId),
+    /// Opportunistic: any station on the priority list may act on it.
+    Opportunistic {
+        /// Priority list; position 0 is the end-to-end destination.
+        list: Vec<NodeId>,
+    },
+}
+
+/// A MAC data frame: header, addressing, and up to 16 subframes.
+#[derive(Clone, Debug)]
+pub struct DataFrame {
+    /// Station whose radio emitted this copy (changes as relays forward it).
+    pub transmitter: NodeId,
+    /// Link-layer addressing.
+    pub link_dst: LinkDst,
+    /// The flow whose packets dominate this frame (frames never mix flows in
+    /// this implementation; see DESIGN.md).
+    pub flow: FlowId,
+    /// End-to-end source of the carried packets.
+    pub src: NodeId,
+    /// End-to-end destination of the carried packets.
+    pub dst: NodeId,
+    /// Identifies one transmission attempt; retransmissions get fresh
+    /// values, relays keep the value so duplicates can be suppressed.
+    pub frame_seq: u64,
+    /// Aggregated packets (1 for plain DCF, up to 16 under AFR/RIPPLE).
+    pub subframes: Vec<Subframe>,
+    /// Retry counter of the attempt that produced this frame (diagnostic).
+    pub retry: u8,
+}
+
+impl DataFrame {
+    /// Simulated wire size: MAC header + forwarder list + per-subframe
+    /// overhead + payload bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        let list_cost = match &self.link_dst {
+            LinkDst::Unicast(_) => 0,
+            LinkDst::Opportunistic { list } => FORWARDER_ENTRY_BYTES * list.len() as u32,
+        };
+        MAC_HEADER_BYTES
+            + list_cost
+            + self
+                .subframes
+                .iter()
+                .map(|s| SUBFRAME_OVERHEAD_BYTES + s.packet.header.wire_bytes)
+                .sum::<u32>()
+    }
+
+    /// Sequence numbers of the subframes that survived the channel on this
+    /// copy.
+    pub fn clean_seqs(&self) -> Vec<u32> {
+        self.subframes.iter().filter(|s| !s.corrupted).map(|s| s.seq).collect()
+    }
+}
+
+/// A MAC acknowledgement, possibly carrying an aggregation bitmap and — for
+/// RIPPLE's two-way opportunistic forwarding — a relay priority list.
+#[derive(Clone, Debug)]
+pub struct AckFrame {
+    /// Station whose radio emitted this copy.
+    pub transmitter: NodeId,
+    /// The station being acknowledged (the data frame's origin for this
+    /// link; under RIPPLE, the end-to-end source).
+    pub to: NodeId,
+    /// Flow the acknowledged frame belonged to.
+    pub flow: FlowId,
+    /// `frame_seq` of the acknowledged data frame.
+    pub frame_seq: u64,
+    /// Subframes received correctly, identified by (flow, sequence) — the
+    /// flow id disambiguates frames that aggregate packets of several flows
+    /// sharing a route (bitmap ACK). Plain DCF ACKs carry one entry.
+    pub acked_seqs: Vec<(FlowId, u32)>,
+    /// For RIPPLE: the priority list the ACK travels back along (position 0
+    /// = the end-to-end destination that generated the ACK). Empty for
+    /// single-hop ACKs.
+    pub relay_list: Vec<NodeId>,
+}
+
+impl AckFrame {
+    /// Simulated wire size of the ACK.
+    pub fn wire_bytes(&self) -> u32 {
+        let bitmap = if self.acked_seqs.len() > 1 { ACK_BITMAP_BYTES } else { 0 };
+        ACK_BYTES + bitmap + FORWARDER_ENTRY_BYTES * self.relay_list.len() as u32
+    }
+}
+
+/// Anything a radio can put on the air.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A data frame.
+    Data(DataFrame),
+    /// A MAC acknowledgement.
+    Ack(AckFrame),
+}
+
+impl Frame {
+    /// Simulated wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            Frame::Data(d) => d.wire_bytes(),
+            Frame::Ack(a) => a.wire_bytes(),
+        }
+    }
+
+    /// The station that transmitted this copy.
+    pub fn transmitter(&self) -> NodeId {
+        match self {
+            Frame::Data(d) => d.transmitter,
+            Frame::Ack(a) => a.transmitter,
+        }
+    }
+
+    /// Header bytes protected by the frame-level CRC: if these are hit by
+    /// bit errors the whole frame is undecodable.
+    pub fn header_bytes(&self) -> u32 {
+        match self {
+            Frame::Data(d) => match &d.link_dst {
+                LinkDst::Unicast(_) => MAC_HEADER_BYTES,
+                LinkDst::Opportunistic { list } => {
+                    MAC_HEADER_BYTES + FORWARDER_ENTRY_BYTES * list.len() as u32
+                }
+            },
+            Frame::Ack(a) => a.wire_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hdr(bytes: u32) -> NetHeader {
+        NetHeader {
+            flow: FlowId::new(0),
+            src: NodeId::new(0),
+            dst: NodeId::new(3),
+            proto: Proto::Tcp,
+            wire_bytes: bytes,
+        }
+    }
+
+    fn frame_with(n: usize, list: Option<Vec<NodeId>>) -> DataFrame {
+        DataFrame {
+            transmitter: NodeId::new(0),
+            link_dst: match list {
+                Some(list) => LinkDst::Opportunistic { list },
+                None => LinkDst::Unicast(NodeId::new(1)),
+            },
+            flow: FlowId::new(0),
+            src: NodeId::new(0),
+            dst: NodeId::new(3),
+            frame_seq: 1,
+            subframes: (0..n)
+                .map(|i| Subframe {
+                    seq: i as u32,
+                    packet: Packet::new(hdr(1000), vec![]),
+                    corrupted: false,
+                })
+                .collect(),
+            retry: 0,
+        }
+    }
+
+    #[test]
+    fn unicast_single_packet_wire_size() {
+        let f = frame_with(1, None);
+        assert_eq!(f.wire_bytes(), 28 + 12 + 1000);
+    }
+
+    #[test]
+    fn aggregated_wire_size_scales_per_subframe() {
+        let f16 = frame_with(16, None);
+        assert_eq!(f16.wire_bytes(), 28 + 16 * (12 + 1000));
+    }
+
+    #[test]
+    fn forwarder_list_costs_bytes() {
+        let list = vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)];
+        let f = frame_with(1, Some(list));
+        assert_eq!(f.wire_bytes(), 28 + 3 * 6 + 12 + 1000);
+    }
+
+    #[test]
+    fn ack_wire_sizes() {
+        let mut a = AckFrame {
+            transmitter: NodeId::new(3),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: 9,
+            acked_seqs: vec![(FlowId::new(0), 4)],
+            relay_list: vec![],
+        };
+        assert_eq!(a.wire_bytes(), 14);
+        a.acked_seqs = (4u32..7).map(|q| (FlowId::new(0), q)).collect();
+        assert_eq!(a.wire_bytes(), 18);
+        a.relay_list = vec![NodeId::new(3), NodeId::new(2)];
+        assert_eq!(a.wire_bytes(), 18 + 12);
+    }
+
+    #[test]
+    fn clean_seqs_skips_corrupted() {
+        let mut f = frame_with(3, None);
+        f.subframes[1].corrupted = true;
+        assert_eq!(f.clean_seqs(), vec![0, 2]);
+    }
+
+    #[test]
+    fn rank_of_positions() {
+        let route = RouteInfo::Opportunistic {
+            list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)],
+        };
+        assert_eq!(route.rank_of(NodeId::new(3)), Some(0));
+        assert_eq!(route.rank_of(NodeId::new(1)), Some(2));
+        assert_eq!(route.rank_of(NodeId::new(9)), None);
+        assert_eq!(RouteInfo::NextHop(NodeId::new(1)).rank_of(NodeId::new(1)), None);
+    }
+
+    proptest! {
+        /// Wire size is additive in subframes: one n-subframe frame costs
+        /// exactly the header once plus n subframe costs.
+        #[test]
+        fn prop_wire_size_additive(n in 1usize..16, payload in 40u32..1500) {
+            let mut f = frame_with(n, None);
+            for s in &mut f.subframes {
+                s.packet.header.wire_bytes = payload;
+            }
+            let expected = MAC_HEADER_BYTES + n as u32 * (SUBFRAME_OVERHEAD_BYTES + payload);
+            prop_assert_eq!(f.wire_bytes(), expected);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! 802.11 MAC substrate: frame formats, the DCF/AFR state machines, queues,
+//! and the analytic signaling-overhead model from Section II of the paper.
+//!
+//! Every MAC in this workspace (plain DCF, AFR, preExOR, MCExOR and RIPPLE
+//! itself) is written as a *passive state machine*: the simulation runner
+//! calls `on_*` input methods and interprets the returned [`MacAction`]s
+//! (start a transmission, set a timer, deliver a packet upwards, …) against
+//! the event queue and the shared medium. Nothing in this crate touches the
+//! clock directly, which is what makes the protocol logic unit-testable at
+//! microsecond precision.
+//!
+//! Contents:
+//!
+//! * [`frame`] — network packets, aggregated data frames with per-subframe
+//!   CRC status, bitmap MAC ACKs, and wire-size arithmetic;
+//! * [`queue`] — the bounded interface queue (Table I: 50 packets);
+//! * [`reorder`] — the receiving-side in-order delivery buffer (the paper's
+//!   `Rq`), shared by AFR receivers and RIPPLE destinations;
+//! * [`backoff`] — the 802.11 contention-window engine;
+//! * [`dcf`] — the DCF MAC; with `max_aggregation > 1` it becomes AFR
+//!   (802.11n-like aggregation with partial retransmission), the paper's
+//!   strongest conventional baseline;
+//! * [`overhead`] — Section II's closed-form per-packet delivery-time model
+//!   (the Fig. 2 timeline), with the paper's worked 3-hop example as tests.
+
+pub mod backoff;
+pub mod dcf;
+pub mod frame;
+pub mod overhead;
+pub mod queue;
+pub mod reorder;
+
+pub use backoff::Backoff;
+pub use dcf::{DcfConfig, DcfMac};
+pub use frame::{
+    AckFrame, DataFrame, Frame, LinkDst, NetHeader, Packet, Proto, RouteInfo, Subframe,
+};
+pub use overhead::OverheadModel;
+pub use queue::IfQueue;
+pub use reorder::ReorderBuffer;
+
+use wmn_sim::{SimDuration, SimTime};
+
+/// Rate class for a transmission; the runner maps it to the scenario's
+/// concrete [`wmn_phy::Rate`] (data vs basic rate from Table I).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RateClass {
+    /// The PHY data rate (216 or 6 Mbps in the paper).
+    Data,
+    /// The PHY basic rate used for MAC ACKs (54 or 6 Mbps in the paper).
+    Basic,
+}
+
+/// Opaque timer handle. MACs mint tokens from a private counter and ignore
+/// fires for tokens they no longer recognise, which is how timers are
+/// "cancelled" without talking to the event queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerToken(pub u64);
+
+/// Why a packet was dropped by the MAC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The interface queue was full on enqueue (Table I capacity: 50).
+    QueueFull,
+    /// The per-hop (or, for RIPPLE, end-to-end) retry limit was exceeded.
+    RetryLimit,
+}
+
+/// An output of a MAC state machine, interpreted by the simulation runner.
+#[derive(Clone, Debug)]
+pub enum MacAction {
+    /// Begin transmitting `frame` at the given rate class. The runner
+    /// computes the airtime, informs the medium, and calls `on_tx_end` when
+    /// the transmission completes.
+    StartTx {
+        /// Frame to put on the air.
+        frame: Frame,
+        /// Rate class it is modulated at.
+        rate: RateClass,
+    },
+    /// Request a timer callback `delay` from now, identified by `token`.
+    SetTimer {
+        /// Delay from the current instant.
+        delay: SimDuration,
+        /// Token handed back on fire.
+        token: TimerToken,
+    },
+    /// Hand a packet to the upper layer at this node (the runner routes it
+    /// to the transport if this node is the packet's destination, or back
+    /// into the forwarding path otherwise).
+    Deliver {
+        /// The packet, CRC-clean and deduplicated.
+        packet: Packet,
+    },
+    /// The MAC gave up on a packet.
+    Drop {
+        /// The abandoned packet.
+        packet: Packet,
+        /// Why it was abandoned.
+        reason: DropReason,
+    },
+}
+
+/// Statistics every MAC keeps; used by experiments and by test assertions.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MacStats {
+    /// Data frames put on the air (including retransmissions).
+    pub data_frames_sent: u64,
+    /// MAC ACK frames put on the air.
+    pub ack_frames_sent: u64,
+    /// Data frames received cleanly.
+    pub data_frames_received: u64,
+    /// MAC ACKs received for our outstanding transmissions.
+    pub acks_received: u64,
+    /// Frame transmissions that ended in an ACK timeout.
+    pub timeouts: u64,
+    /// Packets dropped because the interface queue overflowed.
+    pub drops_queue_full: u64,
+    /// Packets dropped after exhausting retries.
+    pub drops_retry_limit: u64,
+    /// Packets delivered to the upper layer.
+    pub delivered_up: u64,
+}
+
+/// The input interface shared by every MAC state machine in the workspace.
+///
+/// The simulation runner (`wmn-netsim`) drives implementations through this
+/// trait; it is object-safe on purpose so the runner can store heterogeneous
+/// MACs behind one interface.
+pub trait MacEntity {
+    /// A packet arrives from the upper layer with its routing decision.
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction>;
+    /// The channel at this station turned busy.
+    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction>;
+    /// The channel at this station turned idle.
+    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction>;
+    /// A frame was received cleanly (header intact; per-subframe corruption
+    /// flags already applied by the channel).
+    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction>;
+    /// Our own transmission just finished.
+    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction>;
+    /// A previously requested timer fired.
+    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction>;
+    /// Running statistics.
+    fn stats(&self) -> MacStats;
+}

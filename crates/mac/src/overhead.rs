@@ -1,0 +1,265 @@
+//! Section II's closed-form signaling-overhead model — the analytic
+//! counterpart of the Fig. 2 transmission timeline.
+//!
+//! For a packet relayed over `n` transmissions (source → n−1 forwarders →
+//! destination), with `T_ack` the *complete* MAC-ACK transmission time
+//! (PHY header included) and `T_data` the complete data payload time after
+//! its PHY header:
+//!
+//! * **PRR** (predetermined route):
+//!   `n·(T_bo + T_DIFS + T_phy + T_data + T_SIFS + T_ack)`
+//! * **preExOR**: every potential receiver ACKs in its own slot, so hop `k`
+//!   (with `n−k+1` downstream list members) costs `n−k+1` ACK slots:
+//!   `n·(T_bo + T_DIFS + T_phy + T_data) + [n(n+1)/2]·(T_SIFS + T_ack)`
+//! * **MCExOR** (compressed ACKs — one ACK, rank-scaled SIFS waits):
+//!   `n·(T_bo + T_DIFS + T_phy + T_data + T_ack) + [n(n+1)/2]·T_SIFS`
+//! * **RIPPLE**: one contention for the whole multi-hop TXOP; forwarder of
+//!   rank `i` relays data after `i·T_slot + T_SIFS` idle and relays the ACK
+//!   after `(i−1)·T_slot + T_SIFS`; with `k`-packet aggregation the data
+//!   time grows sub-linearly and the whole mTXOP is amortised over `k`.
+//!
+//! The paper's worked example (two packets over the 3-hop route
+//! 0→1→2→3) is verified in the tests: preExOR is `6·(T_ACK + T_SIFS)`
+//! slower than PRR, MCExOR is `6·T_ACK` faster than preExOR yet `6·T_SIFS`
+//! slower than PRR.
+
+use wmn_phy::PhyParams;
+use wmn_sim::SimDuration;
+
+use crate::frame::{
+    ACK_BITMAP_BYTES, ACK_BYTES, FORWARDER_ENTRY_BYTES, MAC_HEADER_BYTES, SUBFRAME_OVERHEAD_BYTES,
+};
+
+/// Closed-form per-packet delivery-time model for each forwarding scheme.
+///
+/// # Example
+///
+/// ```
+/// use wmn_mac::OverheadModel;
+/// use wmn_phy::PhyParams;
+///
+/// let m = OverheadModel::new(PhyParams::paper_216());
+/// // On a 3-hop path RIPPLE's expedited mTXOP beats per-hop contention.
+/// assert!(m.ripple(3, 1) < m.prr(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OverheadModel {
+    params: PhyParams,
+    /// Expected backoff before a transmission opportunity, in slots
+    /// (CWmin/2 by default).
+    pub mean_backoff_slots: f64,
+}
+
+impl OverheadModel {
+    /// Builds the model with the default mean backoff of CWmin/2 slots.
+    pub fn new(params: PhyParams) -> Self {
+        let mean_backoff_slots = f64::from(params.cw_min) / 2.0;
+        OverheadModel { params, mean_backoff_slots }
+    }
+
+    fn t_bo(&self) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.mean_backoff_slots * self.params.slot.as_micros_f64(),
+        )
+    }
+
+    /// Complete ACK transmission time (PHY header + ACK payload at the
+    /// basic rate).
+    pub fn t_ack(&self) -> SimDuration {
+        self.params.airtime(self.params.basic_rate, ACK_BYTES)
+    }
+
+    fn t_ack_bitmap(&self) -> SimDuration {
+        self.params.airtime(self.params.basic_rate, ACK_BYTES + ACK_BITMAP_BYTES)
+    }
+
+    /// Complete data-frame transmission time for `k` aggregated packets
+    /// (PHY header + MAC header + k subframes), at the data rate.
+    pub fn t_data(&self, k: u32, forwarder_entries: u32) -> SimDuration {
+        let bytes = MAC_HEADER_BYTES
+            + FORWARDER_ENTRY_BYTES * forwarder_entries
+            + k * (SUBFRAME_OVERHEAD_BYTES + self.params.packet_size);
+        self.params.airtime(self.params.data_rate, bytes)
+    }
+
+    /// Per-packet delivery time under predetermined routing (PRR) over `n`
+    /// transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn prr(&self, n: u32) -> SimDuration {
+        assert!(n > 0, "at least one transmission required");
+        let per_hop =
+            self.t_bo() + self.params.difs() + self.t_data(1, 0) + self.params.sifs + self.t_ack();
+        per_hop * u64::from(n)
+    }
+
+    /// Per-packet delivery time under preExOR over `n` transmissions: hop
+    /// `k` is followed by `n−k+1` sequential ACK slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pre_exor(&self, n: u32) -> SimDuration {
+        assert!(n > 0, "at least one transmission required");
+        let data_part = (self.t_bo() + self.params.difs() + self.t_data(1, n)) * u64::from(n);
+        let ack_slots = u64::from(n) * u64::from(n + 1) / 2;
+        data_part + (self.params.sifs + self.t_ack()) * ack_slots
+    }
+
+    /// Per-packet delivery time under MCExOR over `n` transmissions: one
+    /// compressed ACK per hop plus rank-scaled SIFS waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn mc_exor(&self, n: u32) -> SimDuration {
+        assert!(n > 0, "at least one transmission required");
+        let per_hop = self.t_bo() + self.params.difs() + self.t_data(1, n) + self.t_ack();
+        let sifs_slots = u64::from(n) * u64::from(n + 1) / 2;
+        per_hop * u64::from(n) + self.params.sifs * sifs_slots
+    }
+
+    /// Per-packet delivery time under RIPPLE with `agg`-packet aggregation
+    /// over `n` transmissions (`n−1` forwarders), amortised per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `agg` is zero.
+    pub fn ripple(&self, n: u32, agg: u32) -> SimDuration {
+        assert!(n > 0, "at least one transmission required");
+        assert!(agg > 0, "aggregation must be at least 1");
+        let p = &self.params;
+        // One contention for the whole multi-hop TXOP.
+        let mut total = self.t_bo() + p.difs();
+        // Data path: source sends, forwarder of rank i relays after
+        // i·slot + SIFS. Ranks run n−1 … 1 toward the destination.
+        total += self.t_data(agg, n) * u64::from(n);
+        for rank in 1..n {
+            total += p.slot * u64::from(rank) + p.sifs;
+        }
+        // ACK path: destination after SIFS, forwarder of rank i relays the
+        // ACK after (i−1)·slot + SIFS.
+        total += (self.t_ack_bitmap() + p.sifs) * u64::from(n);
+        for rank in 1..n {
+            total += p.slot * u64::from(rank - 1);
+        }
+        total / u64::from(agg)
+    }
+
+    /// Per-packet delivery time under AFR (per-hop DCF with `agg`-packet
+    /// aggregation) over `n` transmissions, amortised per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `agg` is zero.
+    pub fn afr(&self, n: u32, agg: u32) -> SimDuration {
+        assert!(n > 0, "at least one transmission required");
+        assert!(agg > 0, "aggregation must be at least 1");
+        let per_hop = self.t_bo()
+            + self.params.difs()
+            + self.t_data(agg, 0)
+            + self.params.sifs
+            + self.t_ack_bitmap();
+        per_hop * u64::from(n) / u64::from(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OverheadModel {
+        OverheadModel::new(PhyParams::paper_216())
+    }
+
+    /// The paper's Fig.-2 example: two packets over the 3-hop route
+    /// 0→1→2→3; "preExOR takes 6·(T_ACK + T_SIFS) longer than PRR".
+    #[test]
+    fn pre_exor_costs_six_ack_slots_over_prr() {
+        let m = model();
+        let two_packets_extra = (m.pre_exor(3) - m.prr_with_list_data(3)) * 2;
+        let expected = (m.t_ack() + m.params.sifs) * 6;
+        assert_eq!(two_packets_extra, expected);
+    }
+
+    /// "MCExOR takes 6·T_ACK less time than preExOR".
+    #[test]
+    fn mc_exor_saves_six_acks_over_pre_exor() {
+        let m = model();
+        let saving = (m.pre_exor(3) - m.mc_exor(3)) * 2;
+        assert_eq!(saving, m.t_ack() * 6);
+    }
+
+    /// "…but still 6·T_SIFS longer than PRR".
+    #[test]
+    fn mc_exor_costs_six_sifs_over_prr() {
+        let m = model();
+        let extra = (m.mc_exor(3) - m.prr_with_list_data(3)) * 2;
+        assert_eq!(extra, m.params.sifs * 6);
+    }
+
+    /// RIPPLE without aggregation already beats PRR on multi-hop paths (it
+    /// contends once instead of n times).
+    #[test]
+    fn ripple_beats_prr_on_multihop() {
+        let m = model();
+        for n in 2..=7 {
+            assert!(
+                m.ripple(n, 1) < m.prr(n),
+                "ripple(n={n}) should beat PRR"
+            );
+        }
+    }
+
+    /// Aggregation amortises contention: RIPPLE-16 is far cheaper per packet
+    /// than RIPPLE-1, and AFR-16 far cheaper than DCF.
+    #[test]
+    fn aggregation_amortises_overhead() {
+        let m = model();
+        assert!(m.ripple(3, 16) * 2 < m.ripple(3, 1));
+        assert!(m.afr(3, 16) * 2 < m.afr(3, 1));
+    }
+
+    /// The full ordering the paper's Fig. 2 illustrates, for the most
+    /// probable transmission sequence: RIPPLE16 < RIPPLE1 < PRR < MCExOR <
+    /// preExOR.
+    #[test]
+    fn fig2_ordering() {
+        let m = model();
+        let n = 3;
+        let r16 = m.ripple(n, 16);
+        let r1 = m.ripple(n, 1);
+        let prr = m.prr(n);
+        let mce = m.mc_exor(n);
+        let pre = m.pre_exor(n);
+        assert!(r16 < r1, "{r16:?} < {r1:?}");
+        assert!(r1 < prr, "{r1:?} < {prr:?}");
+        assert!(prr < mce, "{prr:?} < {mce:?}");
+        assert!(mce < pre, "{mce:?} < {pre:?}");
+    }
+
+    /// Single-transmission degenerate case: opportunistic schemes reduce to
+    /// roughly PRR plus nothing pathological.
+    #[test]
+    fn single_hop_sane() {
+        let m = model();
+        assert!(m.pre_exor(1) >= m.prr_with_list_data(1));
+        assert!(m.mc_exor(1) >= m.prr_with_list_data(1));
+    }
+
+    impl OverheadModel {
+        /// PRR with the same forwarder-list bytes as the opportunistic
+        /// schemes carry, isolating pure signaling differences (the paper's
+        /// identities compare equal data payloads).
+        fn prr_with_list_data(&self, n: u32) -> SimDuration {
+            let per_hop = self.t_bo()
+                + self.params.difs()
+                + self.t_data(1, n)
+                + self.params.sifs
+                + self.t_ack();
+            per_hop * u64::from(n)
+        }
+    }
+}

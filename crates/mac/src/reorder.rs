@@ -1,0 +1,217 @@
+//! The receiving-side queue `Rq` (Section III-B remark 6).
+//!
+//! With packet aggregation, bit errors can corrupt a low-sequence subframe
+//! while higher-sequence subframes in the same frame survive. The receiver
+//! must hold the survivors and wait for the retransmission, otherwise the
+//! aggregation itself would *introduce* re-ordering. `ReorderBuffer` does
+//! exactly that: it deduplicates, buffers out-of-order arrivals, and
+//! releases packets to the upper layer strictly in sequence.
+//!
+//! A capacity bound protects against a permanently lost sequence (sender
+//! exhausted its retries): when the buffer is full, the window advances to
+//! the oldest buffered packet, accepting the hole.
+
+use std::collections::BTreeMap;
+
+use crate::frame::Packet;
+
+/// What happened to one subframe offered to the buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcceptOutcome {
+    /// New in-window packet; it (and possibly successors) will be released.
+    Accepted,
+    /// Already delivered or already buffered; acknowledge but do not
+    /// deliver again.
+    Duplicate,
+}
+
+/// In-order delivery buffer for one (flow, direction).
+///
+/// # Example
+///
+/// ```
+/// use wmn_mac::ReorderBuffer;
+/// use wmn_mac::{NetHeader, Packet, Proto};
+/// use wmn_sim::{FlowId, NodeId};
+///
+/// let h = NetHeader {
+///     flow: FlowId::new(0), src: NodeId::new(0), dst: NodeId::new(1),
+///     proto: Proto::Tcp, wire_bytes: 1000,
+/// };
+/// let mut rq = ReorderBuffer::new(64);
+/// // Sequence 1 arrives before 0: held back…
+/// assert!(rq.accept(1, Packet::new(h, vec![])).1.is_empty());
+/// // …and released, in order, once 0 fills the gap.
+/// let (_, released) = rq.accept(0, Packet::new(h, vec![]));
+/// assert_eq!(released.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    next_expected: u32,
+    pending: BTreeMap<u32, Packet>,
+    capacity: usize,
+    /// Packets released out of their original order because the window was
+    /// force-advanced past a hole.
+    holes_skipped: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer holding at most `capacity` out-of-order packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reorder buffer capacity must be positive");
+        ReorderBuffer { next_expected: 0, pending: BTreeMap::new(), capacity, holes_skipped: 0 }
+    }
+
+    /// Offers a received subframe. Returns the outcome plus the packets now
+    /// releasable to the upper layer, in sequence order.
+    pub fn accept(&mut self, seq: u32, packet: Packet) -> (AcceptOutcome, Vec<Packet>) {
+        if seq < self.next_expected || self.pending.contains_key(&seq) {
+            return (AcceptOutcome::Duplicate, Vec::new());
+        }
+        self.pending.insert(seq, packet);
+        let mut released = Vec::new();
+        // Release the contiguous run starting at next_expected.
+        while let Some(p) = self.pending.remove(&self.next_expected) {
+            released.push(p);
+            self.next_expected += 1;
+        }
+        // Window-full recovery: the sender has given up on a hole; advance
+        // to the oldest buffered packet so the flow is not stalled forever.
+        while self.pending.len() > self.capacity {
+            let (&oldest, _) = self.pending.iter().next().expect("non-empty");
+            self.holes_skipped += u64::from(oldest - self.next_expected);
+            self.next_expected = oldest;
+            while let Some(p) = self.pending.remove(&self.next_expected) {
+                released.push(p);
+                self.next_expected += 1;
+            }
+        }
+        (AcceptOutcome::Accepted, released)
+    }
+
+    /// The next sequence number the upper layer is waiting for.
+    pub fn next_expected(&self) -> u32 {
+        self.next_expected
+    }
+
+    /// Whether `seq` has already been received (delivered or buffered).
+    /// RIPPLE destinations use this to acknowledge retransmitted subframes
+    /// they already hold, so the source stops resending them.
+    pub fn has(&self, seq: u32) -> bool {
+        seq < self.next_expected || self.pending.contains_key(&seq)
+    }
+
+    /// Number of packets currently held back.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How many sequence numbers were abandoned by forced window advances.
+    pub fn holes_skipped(&self) -> u64 {
+        self.holes_skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wmn_sim::{FlowId, NodeId};
+
+    use crate::frame::{NetHeader, Proto};
+
+    fn pkt(seq: u32) -> Packet {
+        Packet::new(
+            NetHeader {
+                flow: FlowId::new(0),
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                proto: Proto::Tcp,
+                wire_bytes: 1000,
+            },
+            seq.to_le_bytes().to_vec(),
+        )
+    }
+
+    fn seq_of(p: &Packet) -> u32 {
+        u32::from_le_bytes(p.body.clone().try_into().unwrap())
+    }
+
+    #[test]
+    fn in_order_stream_flows_through() {
+        let mut rq = ReorderBuffer::new(8);
+        for s in 0..5 {
+            let (out, rel) = rq.accept(s, pkt(s));
+            assert_eq!(out, AcceptOutcome::Accepted);
+            assert_eq!(rel.len(), 1);
+            assert_eq!(seq_of(&rel[0]), s);
+        }
+        assert_eq!(rq.next_expected(), 5);
+        assert_eq!(rq.buffered(), 0);
+    }
+
+    #[test]
+    fn gap_holds_then_releases_in_order() {
+        let mut rq = ReorderBuffer::new(8);
+        assert!(rq.accept(1, pkt(1)).1.is_empty());
+        assert!(rq.accept(2, pkt(2)).1.is_empty());
+        assert_eq!(rq.buffered(), 2);
+        let (_, rel) = rq.accept(0, pkt(0));
+        assert_eq!(rel.iter().map(seq_of).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_flagged_not_delivered() {
+        let mut rq = ReorderBuffer::new(8);
+        rq.accept(0, pkt(0));
+        let (out, rel) = rq.accept(0, pkt(0));
+        assert_eq!(out, AcceptOutcome::Duplicate);
+        assert!(rel.is_empty());
+        // Duplicate of a still-buffered packet.
+        rq.accept(2, pkt(2));
+        let (out, _) = rq.accept(2, pkt(2));
+        assert_eq!(out, AcceptOutcome::Duplicate);
+    }
+
+    #[test]
+    fn forced_advance_skips_dead_hole() {
+        let mut rq = ReorderBuffer::new(3);
+        // Seq 0 never arrives; 1..=4 overflow the 3-slot buffer.
+        for s in 1..=4 {
+            rq.accept(s, pkt(s));
+        }
+        assert!(rq.holes_skipped() >= 1, "hole at 0 must be abandoned");
+        assert_eq!(rq.next_expected(), 5);
+        assert_eq!(rq.buffered(), 0);
+    }
+
+    proptest! {
+        /// Whatever the arrival permutation, released packets come out in
+        /// strictly increasing sequence order with no duplicates.
+        #[test]
+        fn prop_release_order_sorted(perm in proptest::sample::subsequence((0u32..40).collect::<Vec<_>>(), 1..40), extra_dups in 0usize..5) {
+            let mut order = perm.clone();
+            // Shuffle deterministically by reversing chunks.
+            order.reverse();
+            for _ in 0..extra_dups {
+                if let Some(&first) = order.first() {
+                    order.push(first);
+                }
+            }
+            let mut rq = ReorderBuffer::new(64);
+            let mut released = Vec::new();
+            for s in order {
+                let (_, rel) = rq.accept(s, pkt(s));
+                released.extend(rel.iter().map(seq_of));
+            }
+            let mut sorted = released.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&released, &sorted, "released stream must be sorted and dup-free");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Cross-checks of the Section II analytic model against the paper's
+//! stated per-scheme structure, through the public API.
+
+use wmn_mac::OverheadModel;
+use wmn_phy::PhyParams;
+use wmn_sim::SimDuration;
+
+fn model() -> OverheadModel {
+    OverheadModel::new(PhyParams::paper_216())
+}
+
+/// PRR scales exactly linearly in hop count (per-hop cost is constant).
+#[test]
+fn prr_is_linear_in_hops() {
+    let m = model();
+    let one = m.prr(1);
+    for n in 2..=7u32 {
+        assert_eq!(m.prr(n), one * u64::from(n));
+    }
+}
+
+/// preExOR's ACK overhead is quadratic: the *increment* between successive
+/// hop counts grows, unlike PRR's constant increment.
+#[test]
+fn pre_exor_ack_cost_is_superlinear() {
+    let m = model();
+    let inc2 = m.pre_exor(3) - m.pre_exor(2);
+    let inc6 = m.pre_exor(7) - m.pre_exor(6);
+    assert!(inc6 > inc2, "later hops must cost more ({inc6:?} vs {inc2:?})");
+}
+
+/// MCExOR sits strictly between PRR and preExOR for every multi-hop length.
+#[test]
+fn mc_exor_between_prr_and_pre_exor() {
+    let m = model();
+    for n in 2..=7u32 {
+        assert!(m.mc_exor(n) < m.pre_exor(n), "n={n}");
+        assert!(m.mc_exor(n) > m.prr(n), "n={n}");
+    }
+}
+
+/// RIPPLE's single-contention design means its per-hop marginal cost is
+/// smaller than PRR's: the gap widens with path length.
+#[test]
+fn ripple_gap_over_prr_widens_with_hops() {
+    let m = model();
+    let gap = |n: u32| m.prr(n).saturating_sub(m.ripple(n, 1));
+    assert!(gap(7) > gap(2), "{:?} vs {:?}", gap(7), gap(2));
+}
+
+/// Amortisation is monotone in the aggregation factor for both aggregated
+/// schemes.
+#[test]
+fn per_packet_cost_monotone_in_aggregation() {
+    let m = model();
+    for n in [1u32, 3, 7] {
+        let mut last_ripple = SimDuration::MAX;
+        let mut last_afr = SimDuration::MAX;
+        for k in [1u32, 2, 4, 8, 16] {
+            let r = m.ripple(n, k);
+            let a = m.afr(n, k);
+            assert!(r < last_ripple, "ripple n={n} k={k}");
+            assert!(a < last_afr, "afr n={n} k={k}");
+            last_ripple = r;
+            last_afr = a;
+        }
+    }
+}
+
+/// At the low 6 Mbps rate the relative benefit of aggregation shrinks (the
+/// payload dominates the fixed overhead), which is the regime distinction
+/// behind the paper's rate choices.
+#[test]
+fn aggregation_benefit_shrinks_at_low_rate() {
+    let hi = OverheadModel::new(PhyParams::paper_216());
+    let lo = OverheadModel::new(PhyParams::paper_6());
+    let ratio = |m: &OverheadModel| {
+        m.afr(3, 1).as_micros_f64() / m.afr(3, 16).as_micros_f64()
+    };
+    assert!(
+        ratio(&hi) > ratio(&lo),
+        "216 Mbps should benefit more from aggregation: {} vs {}",
+        ratio(&hi),
+        ratio(&lo)
+    );
+}
+
+/// The t_data helper accounts for the forwarder list bytes.
+#[test]
+fn forwarder_list_increases_data_airtime() {
+    let m = model();
+    assert!(m.t_data(1, 6) > m.t_data(1, 0));
+    assert_eq!(
+        m.t_data(1, 0),
+        PhyParams::paper_216().airtime(PhyParams::paper_216().data_rate, 28 + 12 + 1000)
+    );
+}

@@ -1,0 +1,70 @@
+//! Result accounting: throughput, summary statistics, the paper's
+//! R-factor → MoS VoIP quality model, and plain-text result tables for the
+//! experiment binaries.
+
+pub mod mos;
+pub mod percentile;
+pub mod table;
+
+pub use mos::{mos_from_r, r_factor, voip_mos, VoipQualityInputs};
+pub use percentile::{jitter, median, p95, quantile};
+pub use table::Table;
+
+use wmn_sim::SimDuration;
+
+/// Converts a byte count over a duration into megabits per second.
+///
+/// # Example
+///
+/// ```
+/// use wmn_metrics::throughput_mbps;
+/// use wmn_sim::SimDuration;
+/// let mbps = throughput_mbps(1_250_000, SimDuration::from_secs_f64(1.0));
+/// assert!((mbps - 10.0).abs() < 1e-9);
+/// ```
+pub fn throughput_mbps(bytes: u64, elapsed: SimDuration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / 1e6 / secs
+}
+
+/// Mean of a sample; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation; 0 for fewer than two points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_basics() {
+        assert_eq!(throughput_mbps(0, SimDuration::from_secs_f64(1.0)), 0.0);
+        assert_eq!(throughput_mbps(1000, SimDuration::ZERO), 0.0);
+        let mbps = throughput_mbps(125_000, SimDuration::from_secs_f64(0.1));
+        assert!((mbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138).abs() < 0.01);
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's VoIP quality model (Section IV-E).
+//!
+//! MoS is estimated from an R-factor:
+//!
+//! ```text
+//! R = 94.2 − 0.024·d − 0.11·(d − 177.3)·H(d − 177.3) − 11 − 40·log10(1 + 10·e)
+//! ```
+//!
+//! where `d` is the mouth-to-ear delay in milliseconds (coding + network +
+//! buffering), `e` the total loss rate (network losses plus late arrivals),
+//! and `H` the Heaviside step. MoS is then
+//!
+//! ```text
+//! MoS = 1                                     if R < 0
+//!     = 4.5                                   if R > 100
+//!     = 1 + 0.035·R + 7e-6·R(R−60)(100−R)     otherwise
+//! ```
+//!
+//! The paper targets a 177 ms mouth-to-ear budget of which 52 ms is the
+//! wireless part, so the fixed (coding + wired + buffering) component is
+//! 125 ms.
+
+use wmn_sim::SimDuration;
+
+/// Fixed non-wireless mouth-to-ear delay component: 177 ms target minus the
+/// 52 ms wireless budget.
+pub const FIXED_DELAY_MS: f64 = 125.0;
+
+/// The paper's wireless delay budget; packets later than this count as
+/// losses.
+pub const WIRELESS_BUDGET: SimDuration = SimDuration::from_millis(52);
+
+/// Inputs to the VoIP quality computation for one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct VoipQualityInputs {
+    /// Mean one-way wireless delay of on-time packets.
+    pub mean_wireless_delay: SimDuration,
+    /// Total loss fraction: network losses plus late (> budget) arrivals.
+    pub loss_fraction: f64,
+}
+
+/// The R-factor for a mouth-to-ear delay `d_ms` (milliseconds) and loss
+/// fraction `e`.
+pub fn r_factor(d_ms: f64, e: f64) -> f64 {
+    let h = if d_ms > 177.3 { 1.0 } else { 0.0 };
+    94.2 - 0.024 * d_ms - 0.11 * (d_ms - 177.3) * h - 11.0 - 40.0 * (1.0 + 10.0 * e).log10()
+}
+
+/// Maps an R-factor to a Mean Opinion Score.
+pub fn mos_from_r(r: f64) -> f64 {
+    if r < 0.0 {
+        1.0
+    } else if r > 100.0 {
+        4.5
+    } else {
+        1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r)
+    }
+}
+
+/// End-to-end MoS for one VoIP flow: adds the fixed 125 ms component to the
+/// measured wireless delay and applies the two formulas above.
+pub fn voip_mos(inputs: VoipQualityInputs) -> f64 {
+    let d_ms = FIXED_DELAY_MS + inputs.mean_wireless_delay.as_secs_f64() * 1e3;
+    mos_from_r(r_factor(d_ms, inputs.loss_fraction.clamp(0.0, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_conditions_score_high() {
+        // Zero wireless delay and loss: d = 125 ms, e = 0.
+        let mos = voip_mos(VoipQualityInputs {
+            mean_wireless_delay: SimDuration::ZERO,
+            loss_fraction: 0.0,
+        });
+        assert!(mos > 4.0, "clean call should be 'fair'-to-'perfect', got {mos}");
+    }
+
+    #[test]
+    fn heavy_loss_is_very_annoying() {
+        // With the paper's formula, pure loss saturates the log term at
+        // 40·log10(11) ≈ 41.7 dB of R-factor penalty: a 90 % loss call
+        // lands in the "very annoying" band (MoS ≈ 2), and well below the
+        // "fair" 4.x of a clean call.
+        let mos = voip_mos(VoipQualityInputs {
+            mean_wireless_delay: SimDuration::from_millis(52),
+            loss_fraction: 0.9,
+        });
+        assert!(mos < 2.2, "a 90 % loss call must be very annoying, got {mos}");
+        assert!(mos >= 1.0);
+    }
+
+    #[test]
+    fn delay_penalty_kicks_in_past_177ms() {
+        // Up to the 177.3 ms knee only the 0.024/ms slope applies.
+        let below = r_factor(170.0, 0.0);
+        let above = r_factor(185.0, 0.0);
+        let slope_only = below - 0.024 * 15.0;
+        assert!(above < slope_only, "the H(d−177.3) term must add penalty");
+    }
+
+    #[test]
+    fn r_to_mos_reference_points() {
+        assert_eq!(mos_from_r(-5.0), 1.0);
+        assert_eq!(mos_from_r(101.0), 4.5);
+        // R = 80 is commonly quoted as MoS ≈ 4.03.
+        assert!((mos_from_r(80.0) - 4.03).abs() < 0.03);
+    }
+
+    #[test]
+    fn paper_budget_constants() {
+        assert_eq!(FIXED_DELAY_MS, 125.0);
+        assert_eq!(WIRELESS_BUDGET, SimDuration::from_millis(52));
+    }
+
+    proptest! {
+        /// MoS is always in [1, 4.5] and monotone non-increasing in loss.
+        #[test]
+        fn prop_mos_bounded_and_monotone(delay_ms in 0u64..60, e1 in 0.0f64..1.0, e2 in 0.0f64..1.0) {
+            let (lo, hi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+            let d = SimDuration::from_millis(delay_ms);
+            let m_lo = voip_mos(VoipQualityInputs { mean_wireless_delay: d, loss_fraction: lo });
+            let m_hi = voip_mos(VoipQualityInputs { mean_wireless_delay: d, loss_fraction: hi });
+            prop_assert!((1.0..=4.5).contains(&m_lo));
+            prop_assert!((1.0..=4.5).contains(&m_hi));
+            prop_assert!(m_lo + 1e-9 >= m_hi, "more loss cannot improve MoS");
+        }
+
+        /// More wireless delay never improves MoS.
+        #[test]
+        fn prop_mos_monotone_in_delay(d1 in 0u64..200, d2 in 0u64..200, e in 0.0f64..0.5) {
+            let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            let m_lo = voip_mos(VoipQualityInputs {
+                mean_wireless_delay: SimDuration::from_millis(lo), loss_fraction: e });
+            let m_hi = voip_mos(VoipQualityInputs {
+                mean_wireless_delay: SimDuration::from_millis(hi), loss_fraction: e });
+            prop_assert!(m_lo + 1e-9 >= m_hi);
+        }
+    }
+}

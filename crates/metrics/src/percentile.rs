@@ -1,0 +1,125 @@
+//! Percentile helpers for delay distributions (VoIP quality depends on the
+//! delay *tail*, not just the mean — a p95 near the 52 ms budget means
+//! imminent late-loss).
+
+use wmn_sim::SimDuration;
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample using nearest-rank
+/// interpolation. Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use wmn_metrics::percentile::quantile;
+/// use wmn_sim::SimDuration;
+/// let xs: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
+/// assert_eq!(quantile(&xs, 0.95), Some(SimDuration::from_millis(95)));
+/// ```
+pub fn quantile(samples: &[SimDuration], q: f64) -> Option<SimDuration> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<SimDuration> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Median (p50) of a delay sample.
+pub fn median(samples: &[SimDuration]) -> Option<SimDuration> {
+    quantile(samples, 0.5)
+}
+
+/// 95th percentile of a delay sample.
+pub fn p95(samples: &[SimDuration]) -> Option<SimDuration> {
+    quantile(samples, 0.95)
+}
+
+/// Inter-arrival jitter estimate: mean absolute difference between
+/// consecutive delays (RFC 3550 flavour, without the smoothing filter).
+pub fn jitter(delays: &[SimDuration]) -> Option<SimDuration> {
+    if delays.len() < 2 {
+        return None;
+    }
+    let total: u64 = delays
+        .windows(2)
+        .map(|w| w[1].as_nanos().abs_diff(w[0].as_nanos()))
+        .sum();
+    Some(SimDuration::from_nanos(total / (delays.len() as u64 - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_sample_has_no_quantiles() {
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(median(&[]).is_none());
+        assert!(jitter(&[]).is_none());
+        assert!(jitter(&[ms(1)]).is_none());
+    }
+
+    #[test]
+    fn single_element_is_every_quantile() {
+        let xs = [ms(7)];
+        assert_eq!(quantile(&xs, 0.0), Some(ms(7)));
+        assert_eq!(quantile(&xs, 0.5), Some(ms(7)));
+        assert_eq!(quantile(&xs, 1.0), Some(ms(7)));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let xs = [ms(30), ms(10), ms(20)];
+        assert_eq!(median(&xs), Some(ms(20)));
+        assert_eq!(quantile(&xs, 1.0), Some(ms(30)));
+    }
+
+    #[test]
+    fn jitter_of_constant_stream_is_zero() {
+        let xs = [ms(5), ms(5), ms(5)];
+        assert_eq!(jitter(&xs), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn jitter_of_alternating_stream() {
+        let xs = [ms(10), ms(20), ms(10), ms(20)];
+        assert_eq!(jitter(&xs), Some(ms(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn out_of_range_quantile_panics() {
+        let _ = quantile(&[ms(1)], 1.5);
+    }
+
+    proptest! {
+        /// Quantiles are monotone in q and bounded by the sample extremes.
+        #[test]
+        fn prop_quantile_monotone(
+            mut xs in proptest::collection::vec(0u64..10_000, 1..50),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let samples: Vec<SimDuration> =
+                xs.drain(..).map(SimDuration::from_millis).collect();
+            let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
+            let a = quantile(&samples, lo).unwrap();
+            let b = quantile(&samples, hi).unwrap();
+            prop_assert!(a <= b);
+            let min = *samples.iter().min().unwrap();
+            let max = *samples.iter().max().unwrap();
+            prop_assert!(a >= min && b <= max);
+        }
+    }
+}

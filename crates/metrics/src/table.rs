@@ -1,0 +1,124 @@
+//! Plain-text result tables: each experiment binary prints the rows/series
+//! the corresponding paper table or figure reports.
+
+use std::fmt;
+
+/// A labelled result table rendered in GitHub-flavoured markdown.
+///
+/// # Example
+///
+/// ```
+/// use wmn_metrics::Table;
+/// let mut t = Table::new("Fig. 3(a)", vec!["scheme", "flow 1", "flows 1+2"]);
+/// t.add_row(vec!["RIPPLE-16".into(), "21.4".into(), "18.9".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("RIPPLE-16"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<impl Into<String>>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of a label followed by formatted numbers.
+    pub fn add_numeric_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        let mut row = vec![label.into()];
+        row.extend(values.iter().map(|v| format!("{v:.2}")));
+        self.add_row(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor used by experiment assertions.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "### {}", self.title)?;
+        write!(f, "|")?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(f, " {h:<w$} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", vec!["a", "b"]);
+        t.add_row(vec!["x".into(), "1".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("### Demo"));
+        assert!(s.contains("| x"));
+        assert!(s.contains("|---"));
+    }
+
+    #[test]
+    fn numeric_rows_format_two_decimals() {
+        let mut t = Table::new("N", vec!["scheme", "v"]);
+        t.add_numeric_row("D", &[6.7004]);
+        assert_eq!(t.cell(0, 1), Some("6.70"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("T", vec!["only one"]);
+        t.add_row(vec!["a".into(), "b".into()]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Scenario composition and the simulation runner.
+//!
+//! This crate is the only place where the passive state machines of the
+//! lower crates meet the event queue: it owns the [`wmn_phy::Medium`], one
+//! [`wmn_phy::Receiver`] and one MAC per station, the transport endpoints
+//! and workload generators per flow, and interprets every
+//! [`wmn_mac::MacAction`] / [`wmn_transport::TcpAction`] against simulated
+//! time.
+//!
+//! A [`Scenario`] fully describes one run (placement, forwarding scheme,
+//! flows, duration, seed); [`run`] executes it and returns per-flow
+//! [`FlowResult`]s. Runs are deterministic per seed.
+//!
+//! # Example
+//!
+//! ```
+//! use wmn_netsim::{run, FlowSpec, Scenario, Scheme, Workload};
+//! use wmn_phy::{PhyParams, Position};
+//! use wmn_sim::{NodeId, SimDuration};
+//!
+//! let scenario = Scenario {
+//!     name: "quick".into(),
+//!     params: PhyParams::paper_216(),
+//!     positions: vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+//!     scheme: Scheme::Dcf { aggregation: 1 },
+//!     flows: vec![FlowSpec {
+//!         path: vec![NodeId::new(0), NodeId::new(1)],
+//!         workload: Workload::Ftp,
+//!     }],
+//!     duration: SimDuration::from_millis(50),
+//!     seed: 1,
+//!     max_forwarders: 5,
+//! };
+//! let result = run(&scenario);
+//! assert!(result.flows[0].delivered_bytes > 0);
+//! ```
+
+pub mod runner;
+pub mod scenario;
+pub mod trace;
+
+pub use runner::{run, run_traced, FlowResult, RunResult};
+pub use scenario::{FlowSpec, Scenario, Scheme, Workload};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,869 @@
+//! The discrete-event simulation runner.
+//!
+//! Owns all per-node and per-flow state, interprets MAC/transport actions
+//! against the event queue, applies the channel (shadowing + collisions +
+//! BER) to every transmission, and accumulates per-flow results.
+
+use std::collections::HashMap;
+
+use ripple::{RippleConfig, RippleMac};
+use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
+use wmn_mac::{DcfConfig, DcfMac, MacAction, MacEntity, RateClass, TimerToken};
+use wmn_metrics::mos::{voip_mos, VoipQualityInputs, WIRELESS_BUDGET};
+use wmn_metrics::throughput_mbps;
+use wmn_phy::{ArrivalOutcome, BerModel, Medium, Receiver};
+use wmn_phy::medium::BusyTransition;
+use wmn_routing::{forwarder_list, ExorMac, ExorMode};
+use wmn_routing::exor::ExorConfig;
+use wmn_sim::{EventQueue, FlowId, NodeId, RngDirectory, SimDuration, SimTime, StreamRng};
+use wmn_traffic::{CbrModel, VoipModel};
+use wmn_transport::{TcpAction, TcpConfig, TcpReceiver, TcpSegment, TcpSender, UdpDatagram, UdpSink};
+
+use crate::scenario::{FlowSpec, Scenario, Scheme, Workload};
+use crate::trace::{FrameKind, Trace, TraceEvent, TraceKind};
+
+/// TCP-specific per-flow results.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpFlowResult {
+    /// Data segments that arrived at the receiver (incl. duplicates).
+    pub segments_arrived: u64,
+    /// Arrivals out of order (the paper's re-ordering count).
+    pub reordered_arrivals: u64,
+    /// Sender retransmissions.
+    pub retransmits: u64,
+    /// Sender RTO expirations.
+    pub timeouts: u64,
+}
+
+impl TcpFlowResult {
+    /// Fraction of arrivals that were out of order.
+    pub fn reorder_fraction(&self) -> f64 {
+        if self.segments_arrived == 0 {
+            return 0.0;
+        }
+        self.reordered_arrivals as f64 / self.segments_arrived as f64
+    }
+}
+
+/// VoIP-specific per-flow results.
+#[derive(Clone, Copy, Debug)]
+pub struct VoipFlowResult {
+    /// Datagrams handed to the MAC at the source.
+    pub sent: u64,
+    /// Distinct datagrams that arrived.
+    pub received: u64,
+    /// Combined loss: network losses plus late (> 52 ms) arrivals.
+    pub loss_fraction: f64,
+    /// Mean one-way delay of on-time datagrams.
+    pub mean_delay: SimDuration,
+    /// 95th-percentile one-way delay (all received datagrams). A p95 near
+    /// the 52 ms budget signals imminent late-loss.
+    pub p95_delay: SimDuration,
+    /// Mean inter-arrival jitter of the delay series.
+    pub jitter: SimDuration,
+    /// Mean opinion score per the paper's R-factor model.
+    pub mos: f64,
+}
+
+/// Results for one flow of a run.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The flow id (index into the scenario's flow list).
+    pub flow: FlowId,
+    /// Application-level bytes delivered in order.
+    pub delivered_bytes: u64,
+    /// Delivered bytes over the scenario duration, Mbps.
+    pub throughput_mbps: f64,
+    /// TCP details, if the workload was TCP.
+    pub tcp: Option<TcpFlowResult>,
+    /// VoIP details, if the workload was VoIP.
+    pub voip: Option<VoipFlowResult>,
+}
+
+/// Results of one complete run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-flow results, in scenario order.
+    pub flows: Vec<FlowResult>,
+    /// Sum of per-flow throughput, Mbps.
+    pub total_throughput_mbps: f64,
+    /// Per-station MAC statistics (frames sent/received, timeouts, drops).
+    pub mac_stats: Vec<wmn_mac::MacStats>,
+}
+
+#[derive(Debug)]
+enum Event {
+    TxEnd { node: NodeId },
+    RxStart { arrival: u64 },
+    RxEnd { arrival: u64 },
+    MacTimer { node: NodeId, token: TimerToken },
+    TcpRto { flow: FlowId, generation: u64 },
+    FlowStart { flow: FlowId },
+    UdpSend { flow: FlowId },
+    WebStart { flow: FlowId },
+}
+
+struct ArrivalState {
+    node: NodeId,
+    frame: Frame,
+    decodable: bool,
+    power_dbm: f64,
+}
+
+struct FlowRt {
+    spec: FlowSpec,
+    id: FlowId,
+    tcp_tx: Option<TcpSender>,
+    tcp_rx: Option<TcpReceiver>,
+    udp_sink: UdpSink,
+    udp_seq: u64,
+    udp_sent: u64,
+    fwd_routes: HashMap<NodeId, RouteInfo>,
+    rev_routes: HashMap<NodeId, RouteInfo>,
+    web_rng: Option<StreamRng>,
+}
+
+struct World {
+    end: SimTime,
+    now: SimTime,
+    medium: Medium,
+    ber: BerModel,
+    receivers: Vec<Receiver>,
+    macs: Vec<Box<dyn MacEntity>>,
+    flows: Vec<FlowRt>,
+    queue: EventQueue<Event>,
+    arrivals: HashMap<u64, ArrivalState>,
+    next_arrival: u64,
+    medium_rng: StreamRng,
+    ber_rng: StreamRng,
+    trace: Option<Trace>,
+}
+
+/// Executes a scenario to completion and returns per-flow results.
+///
+/// # Panics
+///
+/// Panics on malformed scenarios (empty paths, node ids out of range,
+/// opportunistic schemes with single-node paths, …) — these are programming
+/// errors in experiment definitions, not runtime conditions.
+pub fn run(scenario: &Scenario) -> RunResult {
+    let mut world = World::build(scenario);
+    world.run_loop();
+    world.results(scenario)
+}
+
+/// Like [`run`], but also returns the full event [`Trace`] of the run.
+/// Tracing costs memory proportional to the number of transmissions; use
+/// short durations.
+pub fn run_traced(scenario: &Scenario) -> (RunResult, Trace) {
+    let mut world = World::build(scenario);
+    world.trace = Some(Trace::default());
+    world.run_loop();
+    let trace = world.trace.take().expect("installed above");
+    (world.results(scenario), trace)
+}
+
+impl World {
+    fn build(scenario: &Scenario) -> World {
+        let dir = RngDirectory::new(scenario.seed);
+        let n = scenario.positions.len();
+        let params = scenario.params.clone();
+        let medium = Medium::new(params.clone(), scenario.positions.clone());
+        let ber = BerModel::new(params.ber);
+
+        let macs: Vec<Box<dyn MacEntity>> = (0..n)
+            .map(|i| -> Box<dyn MacEntity> {
+                let node = NodeId::new(i as u32);
+                let rng = dir.stream(&format!("mac/{i}"));
+                match scenario.scheme {
+                    Scheme::Dcf { aggregation } => {
+                        Box::new(DcfMac::new(DcfConfig::from_phy(&params, aggregation), node, rng))
+                    }
+                    Scheme::PreExor => Box::new(ExorMac::new(
+                        ExorMode::PreExor,
+                        ExorConfig::from_phy(&params),
+                        node,
+                        rng,
+                    )),
+                    Scheme::McExor => Box::new(ExorMac::new(
+                        ExorMode::McExor,
+                        ExorConfig::from_phy(&params),
+                        node,
+                        rng,
+                    )),
+                    Scheme::Ripple { aggregation } => Box::new(RippleMac::new(
+                        RippleConfig::from_phy(&params, aggregation),
+                        node,
+                        rng,
+                    )),
+                }
+            })
+            .collect();
+
+        let mut flows = Vec::with_capacity(scenario.flows.len());
+        for (i, spec) in scenario.flows.iter().enumerate() {
+            let id = FlowId::new(i as u32);
+            assert!(spec.path.len() >= 2, "flow {i}: path needs at least two nodes");
+            for node in &spec.path {
+                assert!(node.index() < n, "flow {i}: node {node} outside the placement");
+            }
+            let (fwd_routes, rev_routes) = build_routes(spec, scenario);
+            let (tcp_tx, tcp_rx) = match spec.workload {
+                Workload::Ftp | Workload::Web(_) => (
+                    Some(TcpSender::new(TcpConfig::default())),
+                    Some(TcpReceiver::new(TcpConfig::default())),
+                ),
+                _ => (None, None),
+            };
+            let web_rng = match spec.workload {
+                Workload::Web(_) => Some(dir.stream(&format!("web/{i}"))),
+                _ => None,
+            };
+            flows.push(FlowRt {
+                spec: spec.clone(),
+                id,
+                tcp_tx,
+                tcp_rx,
+                udp_sink: UdpSink::new(),
+                udp_seq: 0,
+                udp_sent: 0,
+                fwd_routes,
+                rev_routes,
+                web_rng,
+            });
+        }
+
+        let mut queue = EventQueue::new();
+        let end = SimTime::ZERO + scenario.duration;
+        for (i, flow) in flows.iter().enumerate() {
+            // Small deterministic stagger breaks pathological phase locks.
+            let stagger = SimDuration::from_micros(17 * i as u64);
+            match &flow.spec.workload {
+                Workload::Ftp | Workload::Web(_) => {
+                    queue.schedule(SimTime::ZERO + stagger, Event::FlowStart { flow: flow.id });
+                }
+                Workload::Voip(model) => {
+                    let mut rng = dir.stream(&format!("voip/{i}"));
+                    for dep in model.departure_schedule(scenario.duration, &mut rng) {
+                        queue.schedule(SimTime::ZERO + dep, Event::UdpSend { flow: flow.id });
+                    }
+                }
+                Workload::Cbr(_) => {
+                    queue.schedule(SimTime::ZERO + stagger, Event::UdpSend { flow: flow.id });
+                }
+            }
+        }
+
+        World {
+            end,
+            now: SimTime::ZERO,
+            medium,
+            ber,
+            receivers: (0..n).map(|_| Receiver::new()).collect(),
+            macs,
+            flows,
+            queue,
+            arrivals: HashMap::new(),
+            next_arrival: 0,
+            medium_rng: dir.stream("medium"),
+            ber_rng: dir.stream("ber"),
+            trace: None,
+        }
+    }
+
+    fn record(&mut self, node: NodeId, kind: TraceKind) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.events.push(TraceEvent { at: self.now, node, kind });
+        }
+    }
+
+    fn run_loop(&mut self) {
+        while let Some((t, event)) = self.queue.pop() {
+            if t > self.end {
+                break;
+            }
+            self.now = t;
+            self.dispatch(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::TxEnd { node } => {
+                self.record(node, TraceKind::TxEnd);
+                let actions = self.macs[node.index()].on_tx_end(self.now);
+                self.apply_mac_actions(node, actions);
+                if let Some(BusyTransition::BecameIdle) =
+                    self.receivers[node.index()].on_tx_end(self.now)
+                {
+                    let actions = self.macs[node.index()].on_idle(self.now);
+                    self.apply_mac_actions(node, actions);
+                }
+            }
+            Event::RxStart { arrival } => {
+                let Some(a) = self.arrivals.get(&arrival) else { return };
+                let (node, decodable, power) = (a.node, a.decodable, a.power_dbm);
+                if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()]
+                    .on_arrival_start(arrival, decodable, power, self.now)
+                {
+                    let actions = self.macs[node.index()].on_busy(self.now);
+                    self.apply_mac_actions(node, actions);
+                }
+            }
+            Event::RxEnd { arrival } => {
+                let Some(state) = self.arrivals.remove(&arrival) else { return };
+                let node = state.node;
+                let (outcome, transition) =
+                    self.receivers[node.index()].on_arrival_end(arrival, self.now);
+                // Idle first so relay waits measure from the channel edge.
+                if let Some(BusyTransition::BecameIdle) = transition {
+                    let actions = self.macs[node.index()].on_idle(self.now);
+                    self.apply_mac_actions(node, actions);
+                }
+                if outcome == ArrivalOutcome::Clean && state.decodable {
+                    if let Some(frame) = self.apply_bit_errors(state.frame) {
+                        if self.trace.is_some() {
+                            let (kind, flow, frame_seq) = match &frame {
+                                Frame::Data(d) => (FrameKind::Data, d.flow, d.frame_seq),
+                                Frame::Ack(a) => (FrameKind::Ack, a.flow, a.frame_seq),
+                            };
+                            self.record(
+                                node,
+                                TraceKind::Decoded {
+                                    kind,
+                                    from: frame.transmitter(),
+                                    flow,
+                                    frame_seq,
+                                },
+                            );
+                        }
+                        let actions = self.macs[node.index()].on_frame_rx(frame, self.now);
+                        self.apply_mac_actions(node, actions);
+                    }
+                }
+            }
+            Event::MacTimer { node, token } => {
+                let actions = self.macs[node.index()].on_timer(token, self.now);
+                self.apply_mac_actions(node, actions);
+            }
+            Event::TcpRto { flow, generation } => {
+                let now = self.now;
+                let actions = self.flows[flow.index()]
+                    .tcp_tx
+                    .as_mut()
+                    .map(|tx| tx.on_rto(generation, now))
+                    .unwrap_or_default();
+                self.apply_tcp_sender_actions(flow, actions);
+            }
+            Event::FlowStart { flow } => self.start_flow(flow),
+            Event::UdpSend { flow } => self.udp_send(flow),
+            Event::WebStart { flow } => self.web_next_transfer(flow),
+        }
+    }
+
+    /// Applies the i.i.d. BER model to one received frame copy: the header
+    /// must survive for anything to be decoded; each subframe's CRC fails
+    /// independently.
+    fn apply_bit_errors(&mut self, frame: Frame) -> Option<Frame> {
+        if !self.ber.unit_survives(frame.header_bytes(), &mut self.ber_rng) {
+            return None;
+        }
+        match frame {
+            Frame::Ack(a) => Some(Frame::Ack(a)),
+            Frame::Data(mut d) => {
+                for sf in &mut d.subframes {
+                    let bytes =
+                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
+                    if !self.ber.unit_survives(bytes, &mut self.ber_rng) {
+                        sf.corrupted = true;
+                    }
+                }
+                Some(Frame::Data(d))
+            }
+        }
+    }
+
+    fn apply_mac_actions(&mut self, node: NodeId, actions: Vec<MacAction>) {
+        for action in actions {
+            match action {
+                MacAction::StartTx { frame, rate } => self.start_transmission(node, frame, rate),
+                MacAction::SetTimer { delay, token } => {
+                    self.queue.schedule(self.now + delay, Event::MacTimer { node, token });
+                }
+                MacAction::Deliver { packet } => self.handle_delivery(node, packet),
+                MacAction::Drop { .. } => {
+                    // End-to-end recovery (TCP retransmission / VoIP loss
+                    // accounting) covers MAC drops; nothing to do here.
+                }
+            }
+        }
+    }
+
+    fn start_transmission(&mut self, node: NodeId, frame: Frame, rate: RateClass) {
+        if self.trace.is_some() {
+            let (kind, flow, frame_seq, subframes) = match &frame {
+                Frame::Data(d) => (FrameKind::Data, d.flow, d.frame_seq, d.subframes.len()),
+                Frame::Ack(a) => (FrameKind::Ack, a.flow, a.frame_seq, 0),
+            };
+            let wire_bytes = frame.wire_bytes();
+            self.record(
+                node,
+                TraceKind::TxStart { kind, flow, frame_seq, subframes, wire_bytes },
+            );
+        }
+        let params = self.medium.params();
+        let rate = match rate {
+            RateClass::Data => params.data_rate,
+            RateClass::Basic => params.basic_rate,
+        };
+        let airtime = params.airtime(rate, frame.wire_bytes());
+        if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()].on_tx_start(self.now)
+        {
+            let actions = self.macs[node.index()].on_busy(self.now);
+            self.apply_mac_actions(node, actions);
+        }
+        self.queue.schedule(self.now + airtime, Event::TxEnd { node });
+        let plans = self.medium.plan_transmission(node, &mut self.medium_rng);
+        for plan in plans {
+            let id = self.next_arrival;
+            self.next_arrival += 1;
+            self.arrivals.insert(
+                id,
+                ArrivalState {
+                    node: plan.to,
+                    frame: frame.clone(),
+                    decodable: plan.decodable,
+                    power_dbm: plan.power_dbm,
+                },
+            );
+            self.queue.schedule(self.now + plan.delay, Event::RxStart { arrival: id });
+            self.queue.schedule(self.now + plan.delay + airtime, Event::RxEnd { arrival: id });
+        }
+    }
+
+    fn handle_delivery(&mut self, node: NodeId, packet: Packet) {
+        let flow_id = packet.header.flow;
+        let spec_src = self.flows[flow_id.index()].spec.src();
+        let spec_dst = self.flows[flow_id.index()].spec.dst();
+        let forward = packet.header.src == spec_src;
+
+        if packet.header.dst == node {
+            // Reached a transport endpoint.
+            if node == spec_dst && forward {
+                self.record(node, TraceKind::Delivered { flow: flow_id });
+                self.deliver_at_destination(flow_id, packet);
+            } else if node == spec_src && !forward {
+                self.deliver_at_source(flow_id, packet);
+            }
+            return;
+        }
+        // Intermediate hop (predetermined routing only): forward along.
+        let route = {
+            let flow = &self.flows[flow_id.index()];
+            let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
+            table.get(&node).cloned()
+        };
+        if let Some(route) = route {
+            let now = self.now;
+            let actions = self.macs[node.index()].on_enqueue(packet, route, now);
+            self.apply_mac_actions(node, actions);
+        }
+    }
+
+    fn deliver_at_destination(&mut self, flow_id: FlowId, packet: Packet) {
+        let now = self.now;
+        match packet.header.proto {
+            Proto::Tcp => {
+                let actions = {
+                    let flow = &mut self.flows[flow_id.index()];
+                    let Some(rx) = flow.tcp_rx.as_mut() else { return };
+                    match TcpSegment::decode(&packet.body) {
+                        Some(TcpSegment::Data { seq, ts, retx }) => rx.on_data(seq, ts, retx),
+                        _ => return,
+                    }
+                };
+                self.apply_tcp_receiver_actions(flow_id, actions);
+            }
+            Proto::Udp => {
+                let flow = &mut self.flows[flow_id.index()];
+                if let Some(dg) = UdpDatagram::decode(&packet.body) {
+                    flow.udp_sink.on_datagram(dg, packet.header.wire_bytes, now);
+                }
+            }
+        }
+    }
+
+    fn deliver_at_source(&mut self, flow_id: FlowId, packet: Packet) {
+        let now = self.now;
+        let actions = {
+            let flow = &mut self.flows[flow_id.index()];
+            let Some(tx) = flow.tcp_tx.as_mut() else { return };
+            match TcpSegment::decode(&packet.body) {
+                Some(TcpSegment::Ack { cum_ack, ts_echo }) => tx.on_ack(cum_ack, ts_echo, now),
+                _ => return,
+            }
+        };
+        self.apply_tcp_sender_actions(flow_id, actions);
+    }
+
+    fn apply_tcp_sender_actions(&mut self, flow_id: FlowId, actions: Vec<TcpAction>) {
+        for action in actions {
+            match action {
+                TcpAction::Send { segment, wire_bytes } => {
+                    self.enqueue_transport_packet(flow_id, segment, wire_bytes, true);
+                }
+                TcpAction::SetRtoTimer { delay, generation } => {
+                    self.queue
+                        .schedule(self.now + delay, Event::TcpRto { flow: flow_id, generation });
+                }
+                TcpAction::SendComplete => {
+                    // Web workload: think, then start the next transfer.
+                    let off = {
+                        let flow = &mut self.flows[flow_id.index()];
+                        match (&flow.spec.workload, flow.web_rng.as_mut()) {
+                            (Workload::Web(model), Some(rng)) => Some(model.draw_off_period(rng)),
+                            _ => None,
+                        }
+                    };
+                    if let Some(off) = off {
+                        self.queue.schedule(self.now + off, Event::WebStart { flow: flow_id });
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_tcp_receiver_actions(&mut self, flow_id: FlowId, actions: Vec<TcpAction>) {
+        for action in actions {
+            if let TcpAction::Send { segment, wire_bytes } = action {
+                self.enqueue_transport_packet(flow_id, segment, wire_bytes, false);
+            }
+        }
+    }
+
+    fn enqueue_transport_packet(
+        &mut self,
+        flow_id: FlowId,
+        segment: TcpSegment,
+        wire_bytes: u32,
+        forward: bool,
+    ) {
+        let (src, dst, at_node, route) = {
+            let flow = &self.flows[flow_id.index()];
+            let (src, dst) =
+                if forward { (flow.spec.src(), flow.spec.dst()) } else { (flow.spec.dst(), flow.spec.src()) };
+            let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
+            let Some(route) = table.get(&src).cloned() else { return };
+            (src, dst, src, route)
+        };
+        let packet = Packet::new(
+            NetHeader { flow: flow_id, src, dst, proto: Proto::Tcp, wire_bytes },
+            segment.encode(),
+        );
+        let now = self.now;
+        let actions = self.macs[at_node.index()].on_enqueue(packet, route, now);
+        self.apply_mac_actions(at_node, actions);
+    }
+
+    fn start_flow(&mut self, flow_id: FlowId) {
+        let now = self.now;
+        match self.flows[flow_id.index()].spec.workload.clone() {
+            Workload::Ftp => {
+                let actions = self.flows[flow_id.index()]
+                    .tcp_tx
+                    .as_mut()
+                    .map(|tx| tx.start_unlimited(now))
+                    .unwrap_or_default();
+                self.apply_tcp_sender_actions(flow_id, actions);
+            }
+            Workload::Web(_) => self.web_next_transfer(flow_id),
+            _ => {}
+        }
+    }
+
+    fn web_next_transfer(&mut self, flow_id: FlowId) {
+        let now = self.now;
+        let actions = {
+            let flow = &mut self.flows[flow_id.index()];
+            let Workload::Web(model) = flow.spec.workload else { return };
+            let Some(rng) = flow.web_rng.as_mut() else { return };
+            let segments = model.draw_transfer_segments(rng);
+            flow.tcp_tx.as_mut().map(|tx| tx.request_send(segments, now)).unwrap_or_default()
+        };
+        self.apply_tcp_sender_actions(flow_id, actions);
+    }
+
+    fn udp_send(&mut self, flow_id: FlowId) {
+        let now = self.now;
+        let (packet, route, src, next) = {
+            let flow = &mut self.flows[flow_id.index()];
+            let (bytes, next) = match flow.spec.workload {
+                Workload::Voip(VoipModel { packet_bytes, .. }) => (packet_bytes, None),
+                Workload::Cbr(CbrModel { packet_bytes, interval }) => {
+                    (packet_bytes, Some(interval))
+                }
+                _ => return,
+            };
+            let src = flow.spec.src();
+            let dst = flow.spec.dst();
+            let Some(route) = flow.fwd_routes.get(&src).cloned() else { return };
+            let dg = UdpDatagram { seq: flow.udp_seq, sent_at_ns: now.as_nanos() };
+            flow.udp_seq += 1;
+            flow.udp_sent += 1;
+            let packet = Packet::new(
+                NetHeader { flow: flow_id, src, dst, proto: Proto::Udp, wire_bytes: bytes },
+                dg.encode(),
+            );
+            (packet, route, src, next)
+        };
+        let actions = self.macs[src.index()].on_enqueue(packet, route, now);
+        self.apply_mac_actions(src, actions);
+        if let Some(interval) = next {
+            if self.now + interval <= self.end {
+                self.queue.schedule(self.now + interval, Event::UdpSend { flow: flow_id });
+            }
+        }
+    }
+
+    fn results(&self, scenario: &Scenario) -> RunResult {
+        let mss = u64::from(TcpConfig::default().mss_wire_bytes);
+        let mut flows = Vec::with_capacity(self.flows.len());
+        for flow in &self.flows {
+            let (delivered_bytes, tcp, voip) = match &flow.spec.workload {
+                Workload::Ftp | Workload::Web(_) => {
+                    let rx = flow.tcp_rx.as_ref().expect("tcp flow has receiver");
+                    let tx = flow.tcp_tx.as_ref().expect("tcp flow has sender");
+                    let bytes = rx.delivered_segments() * mss;
+                    let tcp = TcpFlowResult {
+                        segments_arrived: rx.stats().segments_arrived,
+                        reordered_arrivals: rx.stats().reordered_arrivals,
+                        retransmits: tx.stats().retransmits,
+                        timeouts: tx.stats().timeouts,
+                    };
+                    (bytes, Some(tcp), None)
+                }
+                Workload::Voip(_) => {
+                    let sink = &flow.udp_sink;
+                    let sent = flow.udp_sent.max(1);
+                    let late = sink.late_fraction(WIRELESS_BUDGET);
+                    let ontime = sink.received() as f64 * (1.0 - late);
+                    let loss = (1.0 - ontime / sent as f64).clamp(0.0, 1.0);
+                    let mean_delay =
+                        sink.mean_ontime_delay(WIRELESS_BUDGET).unwrap_or(WIRELESS_BUDGET);
+                    let mos = voip_mos(VoipQualityInputs {
+                        mean_wireless_delay: mean_delay,
+                        loss_fraction: loss,
+                    });
+                    let v = VoipFlowResult {
+                        sent: flow.udp_sent,
+                        received: sink.received(),
+                        loss_fraction: loss,
+                        mean_delay,
+                        p95_delay: wmn_metrics::p95(sink.delays()).unwrap_or(SimDuration::ZERO),
+                        jitter: wmn_metrics::jitter(sink.delays())
+                            .unwrap_or(SimDuration::ZERO),
+                        mos,
+                    };
+                    (sink.bytes_received(), None, Some(v))
+                }
+                Workload::Cbr(_) => (flow.udp_sink.bytes_received(), None, None),
+            };
+            flows.push(FlowResult {
+                flow: flow.id,
+                delivered_bytes,
+                throughput_mbps: throughput_mbps(delivered_bytes, scenario.duration),
+                tcp,
+                voip,
+            });
+        }
+        let total = flows.iter().map(|f| f.throughput_mbps).sum();
+        let mac_stats = self.macs.iter().map(|m| m.stats()).collect();
+        RunResult { flows, total_throughput_mbps: total, mac_stats }
+    }
+}
+
+/// Builds per-node routing decisions for both directions of a flow.
+fn build_routes(
+    spec: &FlowSpec,
+    scenario: &Scenario,
+) -> (HashMap<NodeId, RouteInfo>, HashMap<NodeId, RouteInfo>) {
+    let mut fwd = HashMap::new();
+    let mut rev = HashMap::new();
+    let path = &spec.path;
+    let mut reversed: Vec<NodeId> = path.clone();
+    reversed.reverse();
+    if scenario.scheme.is_opportunistic() {
+        fwd.insert(path[0], RouteInfo::Opportunistic {
+            list: forwarder_list(path, scenario.max_forwarders),
+        });
+        rev.insert(reversed[0], RouteInfo::Opportunistic {
+            list: forwarder_list(&reversed, scenario.max_forwarders),
+        });
+    } else {
+        for w in path.windows(2) {
+            fwd.insert(w[0], RouteInfo::NextHop(w[1]));
+        }
+        for w in reversed.windows(2) {
+            rev.insert(w[0], RouteInfo::NextHop(w[1]));
+        }
+    }
+    (fwd, rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_phy::{PhyParams, Position};
+
+    fn line_positions(n: usize) -> Vec<Position> {
+        (0..n).map(|i| Position::new(i as f64 * 5.0, 0.0)).collect()
+    }
+
+    fn ftp_scenario(scheme: Scheme, path: Vec<u32>, positions: Vec<Position>) -> Scenario {
+        Scenario {
+            name: "test".into(),
+            params: PhyParams::paper_216(),
+            positions,
+            scheme,
+            flows: vec![FlowSpec {
+                path: path.into_iter().map(NodeId::new).collect(),
+                workload: Workload::Ftp,
+            }],
+            duration: SimDuration::from_millis(200),
+            seed: 42,
+            max_forwarders: 5,
+        }
+    }
+
+    #[test]
+    fn dcf_single_hop_delivers() {
+        let s = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], line_positions(2));
+        let r = run(&s);
+        assert!(r.flows[0].delivered_bytes > 100_000, "got {}", r.flows[0].delivered_bytes);
+        assert!(r.flows[0].throughput_mbps > 4.0, "got {}", r.flows[0].throughput_mbps);
+        let tcp = r.flows[0].tcp.unwrap();
+        assert_eq!(tcp.reordered_arrivals, 0, "DCF stop-and-wait never reorders");
+    }
+
+    #[test]
+    fn dcf_multihop_beats_lossy_direct() {
+        // The paper's premise: direct 0->3 (15 m) collapses, the 3-hop
+        // route thrives (0.76 vs 7.04 Mbps in the paper).
+        let direct =
+            run(&ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 3], line_positions(4)));
+        let routed =
+            run(&ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1, 2, 3], line_positions(4)));
+        let (d, r) = (direct.flows[0].throughput_mbps, routed.flows[0].throughput_mbps);
+        assert!(r > 2.0 * d, "multihop {r} must dominate direct {d}");
+        assert!(r > 3.0, "3-hop DCF should sustain a few Mbps, got {r}");
+    }
+
+    #[test]
+    fn afr_aggregation_beats_plain_dcf() {
+        let dcf =
+            run(&ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1, 2, 3], line_positions(4)));
+        let afr = run(&ftp_scenario(
+            Scheme::Dcf { aggregation: 16 },
+            vec![0, 1, 2, 3],
+            line_positions(4),
+        ));
+        assert!(
+            afr.flows[0].throughput_mbps > 1.3 * dcf.flows[0].throughput_mbps,
+            "AFR {} must clearly beat DCF {}",
+            afr.flows[0].throughput_mbps,
+            dcf.flows[0].throughput_mbps
+        );
+    }
+
+    #[test]
+    fn ripple_delivers_in_order_and_beats_dcf() {
+        let dcf =
+            run(&ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1, 2, 3], line_positions(4)));
+        let r16 = run(&ftp_scenario(
+            Scheme::Ripple { aggregation: 16 },
+            vec![0, 1, 2, 3],
+            line_positions(4),
+        ));
+        let tcp = r16.flows[0].tcp.unwrap();
+        assert_eq!(tcp.reordered_arrivals, 0, "RIPPLE must not reorder");
+        assert!(
+            r16.flows[0].throughput_mbps > dcf.flows[0].throughput_mbps,
+            "RIPPLE-16 {} must beat DCF {}",
+            r16.flows[0].throughput_mbps,
+            dcf.flows[0].throughput_mbps
+        );
+    }
+
+    #[test]
+    fn ripple_without_aggregation_still_delivers() {
+        let r1 = run(&ftp_scenario(
+            Scheme::Ripple { aggregation: 1 },
+            vec![0, 1, 2, 3],
+            line_positions(4),
+        ));
+        assert!(r1.flows[0].throughput_mbps > 2.0, "got {}", r1.flows[0].throughput_mbps);
+        assert_eq!(r1.flows[0].tcp.unwrap().reordered_arrivals, 0);
+    }
+
+    #[test]
+    fn preexor_delivers_but_reorders() {
+        let pre =
+            run(&ftp_scenario(Scheme::PreExor, vec![0, 1, 2, 3], line_positions(4)));
+        assert!(pre.flows[0].delivered_bytes > 50_000, "got {}", pre.flows[0].delivered_bytes);
+        let tcp = pre.flows[0].tcp.unwrap();
+        assert!(
+            tcp.reordered_arrivals > 0,
+            "opportunistic relaying with per-hop caching must reorder some packets"
+        );
+    }
+
+    #[test]
+    fn mcexor_delivers() {
+        let mce = run(&ftp_scenario(Scheme::McExor, vec![0, 1, 2, 3], line_positions(4)));
+        assert!(mce.flows[0].delivered_bytes > 50_000, "got {}", mce.flows[0].delivered_bytes);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let s = ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
+        let a = run(&s);
+        let b = run(&s);
+        assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
+        let mut s2 = s.clone();
+        s2.seed = 43;
+        let c = run(&s2);
+        assert_ne!(
+            a.flows[0].delivered_bytes, c.flows[0].delivered_bytes,
+            "different seeds should explore different sample paths"
+        );
+    }
+
+    #[test]
+    fn voip_flow_reports_mos() {
+        let mut s = ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
+        s.flows[0].workload = Workload::Voip(wmn_traffic::VoipModel::paper());
+        s.duration = SimDuration::from_millis(500);
+        let r = run(&s);
+        let v = r.flows[0].voip.expect("voip result");
+        assert!(v.sent > 0);
+        assert!(v.received > 0, "voice packets must get through");
+        assert!(v.mos > 3.0, "a lone VoIP call on a clean mesh should be good: {}", v.mos);
+    }
+
+    #[test]
+    fn cbr_saturates_and_delivers() {
+        let mut s = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], line_positions(2));
+        s.flows[0].workload = Workload::Cbr(wmn_traffic::CbrModel::saturating());
+        let r = run(&s);
+        assert!(r.flows[0].throughput_mbps > 10.0, "got {}", r.flows[0].throughput_mbps);
+    }
+
+    #[test]
+    fn web_flow_transfers_data() {
+        let mut s = ftp_scenario(Scheme::Dcf { aggregation: 16 }, vec![0, 1, 2], line_positions(3));
+        s.flows[0].workload = Workload::Web(wmn_traffic::WebModel::paper());
+        s.duration = SimDuration::from_millis(800);
+        let r = run(&s);
+        assert!(r.flows[0].delivered_bytes > 0, "web transfers must complete");
+    }
+}

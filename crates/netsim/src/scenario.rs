@@ -1,0 +1,140 @@
+//! Scenario description types.
+
+use wmn_phy::{PhyParams, Position};
+use wmn_sim::{NodeId, SimDuration};
+use wmn_traffic::{CbrModel, VoipModel, WebModel};
+
+/// Which forwarding scheme every station in the scenario runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// IEEE 802.11 DCF over predetermined routes. `aggregation = 1` is the
+    /// paper's "D" (and "S" when the path is direct); `aggregation = 16` is
+    /// AFR ("A").
+    Dcf {
+        /// Packets per frame (1 or 16 in the paper).
+        aggregation: usize,
+    },
+    /// preExOR: opportunistic forwarding with sequential per-member ACKs.
+    PreExor,
+    /// MCExOR: opportunistic forwarding with compressed ACKs.
+    McExor,
+    /// RIPPLE. `aggregation = 1` is "R1", `16` is the full scheme "R16".
+    Ripple {
+        /// Packets per frame (1 or 16 in the paper).
+        aggregation: usize,
+    },
+}
+
+impl Scheme {
+    /// The label the paper's figures use for this scheme.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Dcf { aggregation: 1 } => "DCF",
+            Scheme::Dcf { .. } => "AFR",
+            Scheme::PreExor => "preExOR",
+            Scheme::McExor => "MCExOR",
+            Scheme::Ripple { aggregation: 1 } => "RIPPLE-1",
+            Scheme::Ripple { .. } => "RIPPLE-16",
+        }
+    }
+
+    /// Whether routes must be expressed as opportunistic priority lists.
+    pub fn is_opportunistic(self) -> bool {
+        !matches!(self, Scheme::Dcf { .. })
+    }
+}
+
+/// The application driving one flow.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Long-lived TCP transfer: unlimited data from t = 0.
+    Ftp,
+    /// Web traffic: Pareto transfer sizes, exponential think times.
+    Web(WebModel),
+    /// On-off VoIP over UDP.
+    Voip(VoipModel),
+    /// Constant-bit-rate UDP (saturating cross / hidden traffic).
+    Cbr(CbrModel),
+}
+
+/// One end-to-end flow: its (predetermined) path and its workload. For
+/// opportunistic schemes the path's interior nodes become the forwarder
+/// candidates.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Source, forwarders, destination — inclusive, in order.
+    pub path: Vec<NodeId>,
+    /// The traffic generator.
+    pub workload: Workload,
+}
+
+impl FlowSpec {
+    /// The flow's source station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path has fewer than two nodes.
+    pub fn src(&self) -> NodeId {
+        assert!(self.path.len() >= 2, "a flow path needs at least two nodes");
+        self.path[0]
+    }
+
+    /// The flow's destination station.
+    pub fn dst(&self) -> NodeId {
+        assert!(self.path.len() >= 2, "a flow path needs at least two nodes");
+        *self.path.last().expect("non-empty")
+    }
+}
+
+/// A complete, reproducible simulation description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Name used in results and logs.
+    pub name: String,
+    /// PHY/MAC parameters (Table I presets, possibly with modified BER).
+    pub params: PhyParams,
+    /// Station placement; index = node id.
+    pub positions: Vec<Position>,
+    /// The forwarding scheme under test.
+    pub scheme: Scheme,
+    /// The traffic matrix.
+    pub flows: Vec<FlowSpec>,
+    /// Simulated duration (Table I: 10 s).
+    pub duration: SimDuration,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Cap on forwarders per opportunistic list (paper default: 5).
+    pub max_forwarders: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels_match_figures() {
+        assert_eq!(Scheme::Dcf { aggregation: 1 }.label(), "DCF");
+        assert_eq!(Scheme::Dcf { aggregation: 16 }.label(), "AFR");
+        assert_eq!(Scheme::Ripple { aggregation: 1 }.label(), "RIPPLE-1");
+        assert_eq!(Scheme::Ripple { aggregation: 16 }.label(), "RIPPLE-16");
+        assert_eq!(Scheme::PreExor.label(), "preExOR");
+        assert_eq!(Scheme::McExor.label(), "MCExOR");
+    }
+
+    #[test]
+    fn opportunism_flag() {
+        assert!(!Scheme::Dcf { aggregation: 16 }.is_opportunistic());
+        assert!(Scheme::Ripple { aggregation: 16 }.is_opportunistic());
+        assert!(Scheme::PreExor.is_opportunistic());
+    }
+
+    #[test]
+    fn flow_endpoints() {
+        let f = FlowSpec {
+            path: vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)],
+            workload: Workload::Ftp,
+        };
+        assert_eq!(f.src(), NodeId::new(0));
+        assert_eq!(f.dst(), NodeId::new(3));
+    }
+}

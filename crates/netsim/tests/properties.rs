@@ -1,0 +1,87 @@
+//! Property-based tests of whole-simulation invariants: random placements,
+//! random schemes, random seeds — conservation and sanity must always hold.
+
+use proptest::prelude::*;
+use wmn_netsim::{run, FlowSpec, Scenario, Scheme, Workload};
+use wmn_phy::{PhyParams, Position};
+use wmn_sim::{NodeId, SimDuration};
+
+fn scheme_from(index: u8) -> Scheme {
+    match index % 6 {
+        0 => Scheme::Dcf { aggregation: 1 },
+        1 => Scheme::Dcf { aggregation: 16 },
+        2 => Scheme::PreExor,
+        3 => Scheme::McExor,
+        4 => Scheme::Ripple { aggregation: 1 },
+        _ => Scheme::Ripple { aggregation: 16 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the geometry, scheme and seed: the run terminates, flow
+    /// accounting is conserved, and totals add up.
+    #[test]
+    fn prop_run_invariants(
+        scheme_idx in 0u8..6,
+        seed in 1u64..500,
+        n_nodes in 3usize..6,
+        spacing in 3.0f64..9.0,
+        bend in 0.0f64..3.0,
+    ) {
+        let positions: Vec<Position> = (0..n_nodes)
+            .map(|i| Position::new(i as f64 * spacing, if i % 2 == 0 { 0.0 } else { bend }))
+            .collect();
+        let scenario = Scenario {
+            name: "prop".into(),
+            params: PhyParams::paper_216(),
+            positions,
+            scheme: scheme_from(scheme_idx),
+            flows: vec![FlowSpec {
+                path: (0..n_nodes as u32).map(NodeId::new).collect(),
+                workload: Workload::Ftp,
+            }],
+            duration: SimDuration::from_millis(60),
+            seed,
+            max_forwarders: 5,
+        };
+        let result = run(&scenario);
+        let flow = &result.flows[0];
+        let tcp = flow.tcp.expect("ftp flow");
+        // Conservation: can't deliver more distinct segments than arrived.
+        prop_assert!(flow.delivered_bytes / 1000 <= tcp.segments_arrived);
+        // Re-ordered arrivals are a subset of arrivals.
+        prop_assert!(tcp.reordered_arrivals <= tcp.segments_arrived);
+        // Totals add up.
+        let sum: f64 = result.flows.iter().map(|f| f.throughput_mbps).sum();
+        prop_assert!((sum - result.total_throughput_mbps).abs() < 1e-9);
+        // MAC stats exist for every station.
+        prop_assert_eq!(result.mac_stats.len(), n_nodes);
+    }
+
+    /// RIPPLE's in-order guarantee holds under arbitrary chain geometry.
+    #[test]
+    fn prop_ripple_never_reorders(
+        seed in 1u64..300,
+        spacing in 3.0f64..8.0,
+    ) {
+        let positions: Vec<Position> =
+            (0..4).map(|i| Position::new(f64::from(i) * spacing, 0.0)).collect();
+        let scenario = Scenario {
+            name: "prop-ripple".into(),
+            params: PhyParams::paper_216().with_ber(1e-5),
+            positions,
+            scheme: Scheme::Ripple { aggregation: 16 },
+            flows: vec![FlowSpec {
+                path: (0..4).map(NodeId::new).collect(),
+                workload: Workload::Ftp,
+            }],
+            duration: SimDuration::from_millis(80),
+            seed,
+            max_forwarders: 5,
+        };
+        let result = run(&scenario);
+        prop_assert_eq!(result.flows[0].tcp.unwrap().reordered_arrivals, 0);
+    }
+}

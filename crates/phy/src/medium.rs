@@ -1,0 +1,504 @@
+//! The shared wireless medium and the per-node reception state machine.
+//!
+//! Modelling follows NS-2's 802.11 PHY, which the paper relies
+//! on for its collision results (Section IV-B):
+//!
+//! * Each transmission reaches each other station with power
+//!   `Pt − PL(d) + X_σ` (fresh shadowing draw per frame *and* per receiver).
+//! * Power ≥ `rx_thresh` → the frame is **decodable**; power ≥ `cs_thresh`
+//!   → it is **sensed** (contributes carrier sense / busy). Below carrier
+//!   sense the transmission is invisible and does not interfere.
+//! * **First-lock capture** (NS-2's `CPThresh`, 10 dB): when arrivals
+//!   overlap, the reception in progress survives if it is at least
+//!   [`CAPTURE_THRESHOLD_DB`] stronger than the interferer; otherwise both
+//!   are corrupted. A later arrival is never decodable itself while another
+//!   reception is in progress, and a station that is transmitting cannot
+//!   receive (half-duplex). Hidden-terminal collisions arise naturally.
+//!
+//! [`Medium`] computes the per-receiver reception plan for a transmission;
+//! [`Receiver`] tracks overlapping arrivals at one station and reports frame
+//! outcomes and channel busy/idle transitions. The simulation runner (crate
+//! `wmn-netsim`) owns one `Receiver` per node and drives both from the event
+//! queue.
+
+use wmn_sim::{NodeId, SimDuration, SimTime, StreamRng};
+
+/// NS-2's capture threshold (`CPThresh`): a reception in progress survives
+/// interference that is at least this many dB weaker.
+pub const CAPTURE_THRESHOLD_DB: f64 = 10.0;
+
+use crate::params::PhyParams;
+use crate::position::Position;
+
+/// How a single planned arrival will be perceived by one receiver.
+#[derive(Clone, Copy, Debug)]
+pub struct RxPlan {
+    /// The receiving station.
+    pub to: NodeId,
+    /// Propagation delay from the transmitter.
+    pub delay: SimDuration,
+    /// Received power in dBm (already includes the shadowing draw).
+    pub power_dbm: f64,
+    /// Whether the arrival is strong enough to decode.
+    pub decodable: bool,
+}
+
+/// The shared wireless medium: node positions plus the propagation model.
+///
+/// # Example
+///
+/// ```
+/// use wmn_phy::{Medium, PhyParams, Position};
+/// use wmn_sim::{NodeId, StreamRng};
+///
+/// let medium = Medium::new(
+///     PhyParams::paper_216(),
+///     vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+/// );
+/// let mut rng = StreamRng::derive(1, "medium");
+/// let plans = medium.plan_transmission(NodeId::new(0), &mut rng);
+/// // At 5 m the neighbour almost always senses the frame.
+/// assert!(plans.len() <= 1);
+/// ```
+#[derive(Debug)]
+pub struct Medium {
+    params: PhyParams,
+    positions: Vec<Position>,
+}
+
+impl Medium {
+    /// Creates a medium over the given station placement.
+    pub fn new(params: PhyParams, positions: Vec<Position>) -> Self {
+        Medium { params, positions }
+    }
+
+    /// Number of stations.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The placement of a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// The PHY parameter set this medium was built with.
+    pub fn params(&self) -> &PhyParams {
+        &self.params
+    }
+
+    /// Distance between two stations in metres.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.positions[a.index()].distance_to(self.positions[b.index()])
+    }
+
+    /// Computes, for one transmission by `from`, the set of stations that
+    /// will perceive it (power at or above carrier sense), with fresh
+    /// independent shadowing draws. Stations below carrier sense are omitted
+    /// — they neither decode nor defer.
+    pub fn plan_transmission(&self, from: NodeId, rng: &mut StreamRng) -> Vec<RxPlan> {
+        let p = &self.params;
+        let mut plans = Vec::new();
+        for idx in 0..self.positions.len() {
+            if idx == from.index() {
+                continue;
+            }
+            let to = NodeId::new(idx as u32);
+            let d = self.distance(from, to);
+            let power = p.shadowing.sample_rx_dbm(p.tx_power_dbm, d, rng);
+            if power < p.cs_thresh_dbm {
+                continue;
+            }
+            plans.push(RxPlan {
+                to,
+                delay: p.propagation_delay(d),
+                power_dbm: power,
+                decodable: power >= p.rx_thresh_dbm,
+            });
+        }
+        plans
+    }
+}
+
+/// Outcome of one arrival at one receiver, reported when the arrival ends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArrivalOutcome {
+    /// Decodable and never overlapped by another sensed arrival or by a
+    /// local transmission: the frame reaches the MAC (subject to bit
+    /// errors, applied by the caller).
+    Clean,
+    /// Sensed but corrupted by overlap / local transmission, or simply too
+    /// weak to decode. Nothing reaches the MAC.
+    Lost,
+}
+
+/// Channel busy/idle transition triggered by an arrival or local TX change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BusyTransition {
+    /// The channel just became busy at this station.
+    BecameBusy,
+    /// The channel just became idle at this station.
+    BecameIdle,
+}
+
+#[derive(Debug)]
+struct ActiveArrival {
+    id: u64,
+    decodable: bool,
+    corrupted: bool,
+    power_dbm: f64,
+}
+
+/// Per-station reception state machine: overlapping sensed arrivals, local
+/// transmission state, and the busy/idle signal the MAC consumes.
+///
+/// All arrivals passed in are sensed by construction (`Medium` filters out
+/// sub-carrier-sense receptions).
+#[derive(Debug)]
+pub struct Receiver {
+    transmitting: bool,
+    arrivals: Vec<ActiveArrival>,
+    idle_since: SimTime,
+}
+
+impl Receiver {
+    /// Creates a receiver whose channel has been idle since time zero.
+    pub fn new() -> Self {
+        Receiver { transmitting: false, arrivals: Vec::new(), idle_since: SimTime::ZERO }
+    }
+
+    /// Whether the channel currently appears busy at this station (a sensed
+    /// arrival in progress, or a local transmission).
+    pub fn is_busy(&self) -> bool {
+        self.transmitting || !self.arrivals.is_empty()
+    }
+
+    /// The instant the channel last became idle. Meaningful only while
+    /// [`Receiver::is_busy`] is false.
+    pub fn idle_since(&self) -> SimTime {
+        self.idle_since
+    }
+
+    /// Registers the start of a sensed arrival.
+    ///
+    /// An arrival that begins while another reception is in progress is
+    /// itself lost; the reception in progress survives only if it is at
+    /// least [`CAPTURE_THRESHOLD_DB`] stronger than the newcomer (NS-2's
+    /// capture rule). Starting while the station transmits corrupts the
+    /// arrival.
+    pub fn on_arrival_start(
+        &mut self,
+        id: u64,
+        decodable: bool,
+        power_dbm: f64,
+        _now: SimTime,
+    ) -> Option<BusyTransition> {
+        let was_busy = self.is_busy();
+        let mut corrupted = self.transmitting;
+        if !self.arrivals.is_empty() {
+            // The receiver is locked onto an earlier arrival: this one is
+            // lost, and it corrupts any ongoing reception it is too close
+            // to in power.
+            corrupted = true;
+            for a in &mut self.arrivals {
+                if a.power_dbm - power_dbm < CAPTURE_THRESHOLD_DB {
+                    a.corrupted = true;
+                }
+            }
+        }
+        self.arrivals.push(ActiveArrival { id, decodable, corrupted, power_dbm });
+        if was_busy {
+            None
+        } else {
+            Some(BusyTransition::BecameBusy)
+        }
+    }
+
+    /// Registers the end of a previously started arrival and reports its
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never started (a simulation-runner bug).
+    pub fn on_arrival_end(&mut self, id: u64, now: SimTime) -> (ArrivalOutcome, Option<BusyTransition>) {
+        let idx = self
+            .arrivals
+            .iter()
+            .position(|a| a.id == id)
+            .expect("arrival end without matching start");
+        let arrival = self.arrivals.swap_remove(idx);
+        let outcome = if arrival.decodable && !arrival.corrupted && !self.transmitting {
+            ArrivalOutcome::Clean
+        } else {
+            ArrivalOutcome::Lost
+        };
+        let transition = if !self.is_busy() {
+            self.idle_since = now;
+            Some(BusyTransition::BecameIdle)
+        } else {
+            None
+        };
+        (outcome, transition)
+    }
+
+    /// Registers the start of a local transmission. Any arrival in progress
+    /// is corrupted (half-duplex).
+    pub fn on_tx_start(&mut self, _now: SimTime) -> Option<BusyTransition> {
+        let was_busy = self.is_busy();
+        self.transmitting = true;
+        for a in &mut self.arrivals {
+            a.corrupted = true;
+        }
+        if was_busy {
+            None
+        } else {
+            Some(BusyTransition::BecameBusy)
+        }
+    }
+
+    /// Registers the end of the local transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission was in progress.
+    pub fn on_tx_end(&mut self, now: SimTime) -> Option<BusyTransition> {
+        assert!(self.transmitting, "tx end without tx start");
+        self.transmitting = false;
+        if !self.is_busy() {
+            self.idle_since = now;
+            Some(BusyTransition::BecameIdle)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Receiver {
+    fn default() -> Self {
+        Receiver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn lone_decodable_arrival_is_clean() {
+        let mut rx = Receiver::new();
+        assert_eq!(rx.on_arrival_start(1, true, -50.0, t(0)), Some(BusyTransition::BecameBusy));
+        assert!(rx.is_busy());
+        let (outcome, trans) = rx.on_arrival_end(1, t(50));
+        assert_eq!(outcome, ArrivalOutcome::Clean);
+        assert_eq!(trans, Some(BusyTransition::BecameIdle));
+        assert_eq!(rx.idle_since(), t(50));
+    }
+
+    #[test]
+    fn sensed_but_weak_arrival_is_lost() {
+        let mut rx = Receiver::new();
+        rx.on_arrival_start(1, false, -70.0, t(0));
+        let (outcome, _) = rx.on_arrival_end(1, t(10));
+        assert_eq!(outcome, ArrivalOutcome::Lost);
+    }
+
+    #[test]
+    fn comparable_power_overlap_corrupts_both() {
+        let mut rx = Receiver::new();
+        rx.on_arrival_start(1, true, -60.0, t(0));
+        assert_eq!(rx.on_arrival_start(2, true, -62.0, t(5)), None, "already busy");
+        let (o1, tr1) = rx.on_arrival_end(1, t(20));
+        assert_eq!(o1, ArrivalOutcome::Lost);
+        assert_eq!(tr1, None, "second arrival still active");
+        let (o2, tr2) = rx.on_arrival_end(2, t(30));
+        assert_eq!(o2, ArrivalOutcome::Lost);
+        assert_eq!(tr2, Some(BusyTransition::BecameIdle));
+    }
+
+    #[test]
+    fn late_overlap_corrupts_earlier_arrival() {
+        // Hidden-terminal case: the earlier frame is nearly done when a
+        // comparable-power collider starts — it must still be corrupted.
+        let mut rx = Receiver::new();
+        rx.on_arrival_start(1, true, -60.0, t(0));
+        rx.on_arrival_start(2, false, -63.0, t(49));
+        let (o1, _) = rx.on_arrival_end(1, t(50));
+        assert_eq!(o1, ArrivalOutcome::Lost);
+    }
+
+    #[test]
+    fn strong_reception_captures_over_weak_interference() {
+        // NS-2 capture: a 24 dB stronger reception in progress survives a
+        // weak hidden-terminal arrival; the weak arrival is lost.
+        let mut rx = Receiver::new();
+        rx.on_arrival_start(1, true, -50.0, t(0));
+        rx.on_arrival_start(2, true, -74.0, t(10));
+        let (o1, _) = rx.on_arrival_end(1, t(50));
+        assert_eq!(o1, ArrivalOutcome::Clean, "captured reception survives");
+        let (o2, _) = rx.on_arrival_end(2, t(60));
+        assert_eq!(o2, ArrivalOutcome::Lost, "the latecomer is always lost");
+    }
+
+    #[test]
+    fn strong_latecomer_destroys_weak_reception() {
+        // The locked-on weak frame cannot survive a much stronger collider,
+        // and the collider itself is not decodable either (no re-locking).
+        let mut rx = Receiver::new();
+        rx.on_arrival_start(1, true, -74.0, t(0));
+        rx.on_arrival_start(2, true, -50.0, t(10));
+        let (o1, _) = rx.on_arrival_end(1, t(50));
+        assert_eq!(o1, ArrivalOutcome::Lost);
+        let (o2, _) = rx.on_arrival_end(2, t(60));
+        assert_eq!(o2, ArrivalOutcome::Lost);
+    }
+
+    #[test]
+    fn transmission_corrupts_reception() {
+        let mut rx = Receiver::new();
+        rx.on_arrival_start(1, true, -50.0, t(0));
+        assert_eq!(rx.on_tx_start(t(5)), None);
+        let (o, _) = rx.on_arrival_end(1, t(20));
+        assert_eq!(o, ArrivalOutcome::Lost);
+        assert!(rx.is_busy(), "still transmitting");
+        assert_eq!(rx.on_tx_end(t(40)), Some(BusyTransition::BecameIdle));
+    }
+
+    #[test]
+    fn arrival_during_tx_is_lost() {
+        let mut rx = Receiver::new();
+        assert_eq!(rx.on_tx_start(t(0)), Some(BusyTransition::BecameBusy));
+        rx.on_arrival_start(1, true, -50.0, t(5));
+        rx.on_tx_end(t(10));
+        let (o, trans) = rx.on_arrival_end(1, t(20));
+        assert_eq!(o, ArrivalOutcome::Lost);
+        assert_eq!(trans, Some(BusyTransition::BecameIdle));
+    }
+
+    #[test]
+    fn idle_since_tracks_last_transition() {
+        let mut rx = Receiver::new();
+        assert_eq!(rx.idle_since(), SimTime::ZERO);
+        rx.on_arrival_start(1, true, -50.0, t(10));
+        rx.on_arrival_end(1, t(60));
+        assert_eq!(rx.idle_since(), t(60));
+        assert!(!rx.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching start")]
+    fn unknown_arrival_end_panics() {
+        let mut rx = Receiver::new();
+        let _ = rx.on_arrival_end(99, t(0));
+    }
+
+    #[test]
+    fn medium_plans_exclude_transmitter_and_far_nodes() {
+        use crate::params::PhyParams;
+        let medium = Medium::new(
+            PhyParams::paper_216(),
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(5.0, 0.0),
+                Position::new(1000.0, 0.0), // far outside carrier sense
+            ],
+        );
+        let mut rng = StreamRng::derive(2, "plan");
+        let mut neighbour_seen = 0;
+        let mut far_seen = 0;
+        for _ in 0..200 {
+            for plan in medium.plan_transmission(NodeId::new(0), &mut rng) {
+                assert_ne!(plan.to, NodeId::new(0), "never deliver to self");
+                match plan.to.index() {
+                    1 => neighbour_seen += 1,
+                    2 => far_seen += 1,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        assert!(neighbour_seen > 190, "5 m neighbour almost always sensed");
+        assert_eq!(far_seen, 0, "1 km station never sensed");
+    }
+
+    #[test]
+    fn medium_decodable_fraction_matches_analytic() {
+        use crate::params::PhyParams;
+        let params = PhyParams::paper_216();
+        let analytic = params.link_delivery_probability(10.0);
+        let medium =
+            Medium::new(params, vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0)]);
+        let mut rng = StreamRng::derive(9, "frac");
+        let n = 20_000;
+        let decodable = (0..n)
+            .filter(|_| {
+                medium
+                    .plan_transmission(NodeId::new(0), &mut rng)
+                    .iter()
+                    .any(|p| p.decodable)
+            })
+            .count() as f64
+            / n as f64;
+        assert!(
+            (decodable - analytic).abs() < 0.02,
+            "empirical {decodable} vs analytic {analytic}"
+        );
+    }
+
+    proptest! {
+        /// Busy transitions alternate: the receiver never reports two
+        /// BecameBusy (or two BecameIdle) in a row, no matter the interleaving
+        /// of arrival/tx starts and ends.
+        #[test]
+        fn prop_busy_transitions_alternate(ops in proptest::collection::vec(0u8..4, 1..60)) {
+            let mut rx = Receiver::new();
+            let mut active: Vec<u64> = Vec::new();
+            let mut next_id = 0u64;
+            let mut transmitting = false;
+            let mut last: Option<BusyTransition> = None;
+            let check = |tr: Option<BusyTransition>, last: &mut Option<BusyTransition>| {
+                if let Some(tr) = tr {
+                    if let Some(prev) = *last {
+                        prop_assert!(prev != tr, "two identical transitions in a row");
+                    }
+                    *last = Some(tr);
+                }
+                Ok(())
+            };
+            for (i, op) in ops.iter().enumerate() {
+                let now = SimTime::from_micros(i as u64);
+                match op {
+                    0 => {
+                        next_id += 1;
+                        active.push(next_id);
+                        let tr = rx.on_arrival_start(next_id, true, -60.0, now);
+                        check(tr, &mut last)?;
+                    }
+                    1 if !active.is_empty() => {
+                        let id = active.remove(0);
+                        let (_, tr) = rx.on_arrival_end(id, now);
+                        check(tr, &mut last)?;
+                    }
+                    2 if !transmitting => {
+                        transmitting = true;
+                        let tr = rx.on_tx_start(now);
+                        check(tr, &mut last)?;
+                    }
+                    3 if transmitting => {
+                        transmitting = false;
+                        let tr = rx.on_tx_end(now);
+                        check(tr, &mut last)?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

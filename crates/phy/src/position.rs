@@ -1,0 +1,69 @@
+//! Node placement on a 2-D plane (the paper's topologies are planar maps:
+//! Fig. 1's eight stations, the Wigle AP map, the Roofnet GPS coordinates).
+
+use std::fmt;
+
+/// A station's position, in metres.
+///
+/// # Example
+///
+/// ```
+/// use wmn_phy::Position;
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from metre coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance_to(self, other: Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_zero_to_self() {
+        let p = Position::new(2.5, -1.0);
+        assert_eq!(p.distance_to(p), 0.0);
+    }
+
+    #[test]
+    fn distance_345() {
+        assert!((Position::new(1.0, 1.0).distance_to(Position::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Distance is symmetric and satisfies the triangle inequality.
+        #[test]
+        fn prop_metric(ax in -100.0..100.0, ay in -100.0..100.0,
+                       bx in -100.0..100.0, by in -100.0..100.0,
+                       cx in -100.0..100.0, cy in -100.0..100.0) {
+            let (a, b, c) = (Position::new(ax, ay), Position::new(bx, by), Position::new(cx, cy));
+            prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+            prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! PHY data rates and frame airtime arithmetic.
+//!
+//! Table I of the paper fixes a 216 Mbps data rate with a 54 Mbps basic
+//! (control) rate for most experiments, and 6/6 Mbps for the low-rate
+//! Wigle/Roofnet and VoIP experiments. Airtime is `PHY header + bits/rate`;
+//! the 20 µs PHY header is rate-independent.
+
+use std::fmt;
+
+use wmn_sim::SimDuration;
+
+/// A physical-layer transmission rate.
+///
+/// # Example
+///
+/// ```
+/// use wmn_phy::Rate;
+/// let r = Rate::mbps(54.0);
+/// assert_eq!(r.as_mbps(), 54.0);
+/// // 14 bytes at 54 Mbps is about 2.07 us of payload airtime.
+/// let t = r.payload_airtime(14);
+/// assert!((t.as_micros_f64() - 2.074).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+pub struct Rate {
+    mbps: f64,
+}
+
+impl Rate {
+    /// Creates a rate from megabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mbps` is strictly positive and finite.
+    pub fn mbps(mbps: f64) -> Self {
+        assert!(mbps.is_finite() && mbps > 0.0, "invalid rate: {mbps} Mbps");
+        Rate { mbps }
+    }
+
+    /// The rate in megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.mbps
+    }
+
+    /// Time to serialise `bytes` of payload at this rate (PHY header **not**
+    /// included).
+    pub fn payload_airtime(self, bytes: u32) -> SimDuration {
+        let bits = f64::from(bytes) * 8.0;
+        SimDuration::from_micros_f64(bits / self.mbps)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Mbps", self.mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn payload_airtime_at_216() {
+        // 1000 B = 8000 bits at 216 Mbps = 37.04 us.
+        let t = Rate::mbps(216.0).payload_airtime(1000);
+        assert!((t.as_micros_f64() - 37.037).abs() < 0.01);
+    }
+
+    #[test]
+    fn payload_airtime_at_6() {
+        // 1000 B at 6 Mbps = 1333.3 us.
+        let t = Rate::mbps(6.0).payload_airtime(1000);
+        assert!((t.as_micros_f64() - 1333.33).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn zero_rate_panics() {
+        let _ = Rate::mbps(0.0);
+    }
+
+    proptest! {
+        /// Airtime is monotone in size and inverse-monotone in rate.
+        #[test]
+        fn prop_airtime_monotone(bytes in 1u32..100_000, mbps in 1.0f64..1000.0) {
+            let r = Rate::mbps(mbps);
+            prop_assert!(r.payload_airtime(bytes + 1) >= r.payload_airtime(bytes));
+            let faster = Rate::mbps(mbps * 2.0);
+            prop_assert!(faster.payload_airtime(bytes) <= r.payload_airtime(bytes));
+        }
+    }
+}

@@ -1,0 +1,799 @@
+//! The preExOR and MCExOR opportunistic MACs (Section II of the paper).
+//!
+//! Both schemes transmit each data packet with an in-frame priority list
+//! (destination first). Receivers on the list acknowledge:
+//!
+//! * **preExOR** — *every* list member that decoded the packet sends a MAC
+//!   ACK in its own sequential slot (`SIFS + rank·(T_ack + SIFS)` after the
+//!   data frame), so a transmission with `m` list members costs up to `m`
+//!   ACK slots.
+//! * **MCExOR** — a list member of rank `i` waits `(i+1)·SIFS`; if it hears
+//!   an ACK start during the wait it suppresses its own, so only the best
+//!   receiver acknowledges.
+//!
+//! In both, the best receiver *caches* the packet and contends for the
+//! channel (DIFS + backoff) to relay it with a truncated priority list.
+//! That contention races with the source's next packet — the mechanism that
+//! re-orders 26–28 % of TCP packets in the paper's measurement and
+//! motivates RIPPLE's mTXOP design.
+//!
+//! Retransmission is per-hop: the transmitter retries (CW doubling) until
+//! it hears any ACK for the frame or exhausts the retry limit.
+
+use std::collections::{HashMap, HashSet};
+
+use wmn_mac::frame::{AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe};
+use wmn_mac::{
+    Backoff, DropReason, IfQueue, MacAction, MacEntity, MacStats, RateClass, TimerToken,
+};
+use wmn_phy::PhyParams;
+use wmn_sim::{FlowId, NodeId, SimDuration, SimTime, StreamRng};
+
+use wmn_mac::frame::ACK_BYTES;
+
+/// Which acknowledgement discipline the MAC runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExorMode {
+    /// Sequential per-member ACK slots (the early ExOR of Biswas & Morris).
+    PreExor,
+    /// Compressed, suppression-based ACKs (Zubow et al.).
+    McExor,
+}
+
+/// Configuration shared by both modes.
+#[derive(Clone, Debug)]
+pub struct ExorConfig {
+    /// Short interframe space.
+    pub sifs: SimDuration,
+    /// Slot time.
+    pub slot: SimDuration,
+    /// DIFS.
+    pub difs: SimDuration,
+    /// Minimum contention window.
+    pub cw_min: u32,
+    /// Maximum contention window.
+    pub cw_max: u32,
+    /// Per-hop retry limit.
+    pub retry_limit: u8,
+    /// Interface queue capacity.
+    pub ifq_capacity: usize,
+    /// Complete ACK airtime (PHY header + payload at basic rate).
+    pub t_ack: SimDuration,
+    /// Extra slack added to ACK-window timeouts.
+    pub timeout_margin: SimDuration,
+}
+
+impl ExorConfig {
+    /// Derives the configuration from PHY parameters.
+    pub fn from_phy(params: &PhyParams) -> Self {
+        ExorConfig {
+            sifs: params.sifs,
+            slot: params.slot,
+            difs: params.difs(),
+            cw_min: params.cw_min,
+            cw_max: params.cw_max,
+            retry_limit: params.retry_limit,
+            ifq_capacity: params.ifq_capacity,
+            t_ack: params.airtime(params.basic_rate, ACK_BYTES),
+            timeout_margin: SimDuration::from_micros(15),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DataState {
+    Idle,
+    Transmitting,
+    WaitAck,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    seq: u32,
+    packet: Packet,
+    list: Vec<NodeId>,
+    retries: u8,
+    frame_seq: u64,
+}
+
+#[derive(Debug)]
+struct QItem {
+    seq: u32,
+    packet: Packet,
+    list: Vec<NodeId>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    seq: u32,
+    packet: Packet,
+    list: Vec<NodeId>,
+    my_rank: usize,
+    flow: FlowId,
+    data_tx: NodeId,
+    frame_seq: u64,
+    heard_higher: bool,
+    /// First time this node sees this (flow, src, seq): eligible to relay.
+    fresh: bool,
+}
+
+#[derive(Debug)]
+enum Role {
+    BackoffDone,
+    AckTimeout,
+    /// Fire the ACK for a pending reception; `key` indexes `pending`.
+    SendAck { key: (NodeId, u64) },
+    /// preExOR end-of-window relay decision.
+    RelayDecision { key: (NodeId, u64) },
+}
+
+/// The preExOR / MCExOR MAC state machine for one station.
+pub struct ExorMac {
+    mode: ExorMode,
+    cfg: ExorConfig,
+    node: NodeId,
+    q: IfQueue,
+    relay_q: Vec<QItem>,
+    inflight: Option<Inflight>,
+    data_state: DataState,
+    ack_tx_in_progress: bool,
+    channel_busy: bool,
+    idle_since: SimTime,
+    backoff: Backoff,
+    armed_backoff: Option<TimerToken>,
+    countdown_anchor: SimTime,
+    armed_ack_timeout: Option<TimerToken>,
+    timer_roles: HashMap<u64, Role>,
+    next_token: u64,
+    pending: HashMap<(NodeId, u64), Pending>,
+    seen: HashMap<(FlowId, NodeId), HashSet<u32>>,
+    seq_counters: HashMap<(FlowId, NodeId), u32>,
+    frame_seq_counter: u64,
+    rng: StreamRng,
+    stats: MacStats,
+}
+
+impl std::fmt::Debug for ExorMac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExorMac")
+            .field("mode", &self.mode)
+            .field("node", &self.node)
+            .field("state", &self.data_state)
+            .finish()
+    }
+}
+
+impl ExorMac {
+    /// Creates the MAC for `node` in the given acknowledgement mode.
+    pub fn new(mode: ExorMode, cfg: ExorConfig, node: NodeId, rng: StreamRng) -> Self {
+        let (cw_min, cw_max, ifq) = (cfg.cw_min, cfg.cw_max, cfg.ifq_capacity);
+        ExorMac {
+            mode,
+            cfg,
+            node,
+            q: IfQueue::new(ifq),
+            relay_q: Vec::new(),
+            inflight: None,
+            data_state: DataState::Idle,
+            ack_tx_in_progress: false,
+            channel_busy: false,
+            idle_since: SimTime::ZERO,
+            backoff: Backoff::new(cw_min, cw_max),
+            armed_backoff: None,
+            countdown_anchor: SimTime::ZERO,
+            armed_ack_timeout: None,
+            timer_roles: HashMap::new(),
+            next_token: 0,
+            pending: HashMap::new(),
+            seen: HashMap::new(),
+            seq_counters: HashMap::new(),
+            frame_seq_counter: 0,
+            rng,
+            stats: MacStats::default(),
+        }
+    }
+
+    /// The acknowledgement discipline this MAC runs.
+    pub fn mode(&self) -> ExorMode {
+        self.mode
+    }
+
+    fn mint(&mut self, role: Role) -> TimerToken {
+        let token = TimerToken(self.next_token);
+        self.next_token += 1;
+        self.timer_roles.insert(token.0, role);
+        token
+    }
+
+    fn next_seq(&mut self, flow: FlowId, src: NodeId) -> u32 {
+        let c = self.seq_counters.entry((flow, src)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+
+    fn radio_free(&self) -> bool {
+        self.data_state != DataState::Transmitting && !self.ack_tx_in_progress
+    }
+
+    fn has_work(&self) -> bool {
+        self.inflight.is_some() || !self.q.is_empty() || !self.relay_q.is_empty()
+    }
+
+    /// The ACK wait of list rank `i` after the data frame ends.
+    fn ack_offset(&self, rank: usize) -> SimDuration {
+        match self.mode {
+            ExorMode::PreExor => {
+                self.cfg.sifs + (self.cfg.t_ack + self.cfg.sifs) * rank as u64
+            }
+            ExorMode::McExor => self.cfg.sifs * (rank as u64 + 1),
+        }
+    }
+
+    /// Sender-side ACK window for a list of `m` members (timeout measured
+    /// from the end of the data transmission).
+    fn ack_window(&self, m: usize) -> SimDuration {
+        let last = match self.mode {
+            ExorMode::PreExor => self.ack_offset(m.saturating_sub(1)) + self.cfg.t_ack,
+            ExorMode::McExor => self.ack_offset(m.saturating_sub(1)) + self.cfg.t_ack,
+        };
+        last + self.cfg.timeout_margin
+    }
+
+    fn try_progress(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.data_state != DataState::Idle || !self.radio_free() || !self.has_work() {
+            return;
+        }
+        if self.channel_busy {
+            return;
+        }
+        let idle_for = now.saturating_since(self.idle_since);
+        if self.backoff.remaining().is_none() && idle_for >= self.cfg.difs {
+            self.transmit_data(out);
+            return;
+        }
+        self.arm_backoff(now, out);
+    }
+
+    fn arm_backoff(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.armed_backoff.is_some() || self.channel_busy {
+            return;
+        }
+        let remaining = self.backoff.ensure_drawn(&mut self.rng);
+        let boundary = self.idle_since + self.cfg.difs;
+        let start = if boundary > now { boundary } else { now };
+        self.countdown_anchor = start;
+        let fire_at = start + self.cfg.slot * u64::from(remaining);
+        let token = self.mint(Role::BackoffDone);
+        self.armed_backoff = Some(token);
+        out.push(MacAction::SetTimer { delay: fire_at.saturating_since(now), token });
+    }
+
+    fn disarm_backoff(&mut self, now: SimTime) {
+        if let Some(token) = self.armed_backoff.take() {
+            self.timer_roles.remove(&token.0);
+            let idle = now.saturating_since(self.countdown_anchor);
+            self.backoff.consume_idle(idle, self.cfg.slot);
+        }
+    }
+
+    fn next_outgoing(&mut self) -> Option<(u32, Packet, Vec<NodeId>)> {
+        // Relays first: they carry packets already mid-path.
+        if !self.relay_q.is_empty() {
+            let item = self.relay_q.remove(0);
+            return Some((item.seq, item.packet, item.list));
+        }
+        let qp = self.q.pop()?;
+        let RouteInfo::Opportunistic { list } = qp.route else {
+            panic!("ExOR-family MACs require opportunistic routes");
+        };
+        let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
+        Some((seq, qp.packet, list))
+    }
+
+    fn transmit_data(&mut self, out: &mut Vec<MacAction>) {
+        self.backoff.clear();
+        if self.inflight.is_none() {
+            let Some((seq, packet, list)) = self.next_outgoing() else { return };
+            self.inflight = Some(Inflight { seq, packet, list, retries: 0, frame_seq: 0 });
+        }
+        self.frame_seq_counter += 1;
+        let fs = self.frame_seq_counter;
+        let inflight = self.inflight.as_mut().expect("just set");
+        inflight.frame_seq = fs;
+        let frame = DataFrame {
+            transmitter: self.node,
+            link_dst: LinkDst::Opportunistic { list: inflight.list.clone() },
+            flow: inflight.packet.header.flow,
+            src: inflight.packet.header.src,
+            dst: inflight.packet.header.dst,
+            frame_seq: fs,
+            subframes: vec![Subframe {
+                seq: inflight.seq,
+                packet: inflight.packet.clone(),
+                corrupted: false,
+            }],
+            retry: inflight.retries,
+        };
+        self.data_state = DataState::Transmitting;
+        self.stats.data_frames_sent += 1;
+        out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
+    }
+
+    fn handle_data_frame(&mut self, d: DataFrame, _now: SimTime, out: &mut Vec<MacAction>) {
+        let LinkDst::Opportunistic { list } = &d.link_dst else {
+            return; // unicast frames belong to other MACs
+        };
+        let Some(my_rank) = list.iter().position(|&n| n == self.node) else {
+            return; // not on the candidate list
+        };
+        let Some(sf) = d.subframes.first() else { return };
+        if sf.corrupted {
+            return; // payload CRC failed; nothing to acknowledge
+        }
+        self.stats.data_frames_received += 1;
+        let key_flow = (sf.packet.header.flow, sf.packet.header.src);
+        let fresh = self.seen.entry(key_flow).or_default().insert(sf.seq);
+
+        if my_rank == 0 {
+            // We are the destination: deliver immediately (no reordering
+            // buffer — preExOR/MCExOR deliver as received, which is the
+            // behaviour the paper measures).
+            if fresh {
+                self.stats.delivered_up += 1;
+                out.push(MacAction::Deliver { packet: sf.packet.clone() });
+            }
+        }
+
+        let key = (d.transmitter, d.frame_seq);
+        self.pending.insert(
+            key,
+            Pending {
+                seq: sf.seq,
+                packet: sf.packet.clone(),
+                list: list.clone(),
+                my_rank,
+                flow: d.flow,
+                data_tx: d.transmitter,
+                frame_seq: d.frame_seq,
+                heard_higher: false,
+                fresh,
+            },
+        );
+        let token = self.mint(Role::SendAck { key });
+        out.push(MacAction::SetTimer { delay: self.ack_offset(my_rank), token });
+        if self.mode == ExorMode::PreExor && my_rank > 0 {
+            let token = self.mint(Role::RelayDecision { key });
+            out.push(MacAction::SetTimer { delay: self.ack_window(list.len()), token });
+        }
+    }
+
+    fn handle_ack_frame(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+        // Sender side: does this acknowledge our inflight frame?
+        if a.to == self.node && self.data_state == DataState::WaitAck {
+            if let Some(inflight) = self.inflight.as_ref() {
+                if inflight.frame_seq == a.frame_seq {
+                    self.stats.acks_received += 1;
+                    if let Some(token) = self.armed_ack_timeout.take() {
+                        self.timer_roles.remove(&token.0);
+                    }
+                    self.inflight = None;
+                    self.data_state = DataState::Idle;
+                    self.backoff.on_success();
+                    self.backoff.draw(&mut self.rng);
+                    self.try_progress(now, out);
+                }
+            }
+        }
+        // Receiver side: a higher-priority member may have acknowledged a
+        // frame we are still holding.
+        if let Some(p) = self.pending.get_mut(&(a.to, a.frame_seq)) {
+            if let Some(rank) = p.list.iter().position(|&n| n == a.transmitter) {
+                if rank < p.my_rank {
+                    p.heard_higher = true;
+                }
+            }
+        }
+    }
+
+    fn fire_send_ack(&mut self, key: (NodeId, u64), now: SimTime, out: &mut Vec<MacAction>) {
+        let Some(p) = self.pending.get(&key) else { return };
+        let suppressed = self.mode == ExorMode::McExor && p.heard_higher;
+        if suppressed {
+            self.pending.remove(&key);
+            return;
+        }
+        let ack = AckFrame {
+            transmitter: self.node,
+            to: p.data_tx,
+            flow: p.flow,
+            frame_seq: p.frame_seq,
+            acked_seqs: vec![(p.flow, p.seq)],
+            relay_list: Vec::new(),
+        };
+        if self.radio_free() {
+            self.ack_tx_in_progress = true;
+            self.stats.ack_frames_sent += 1;
+            out.push(MacAction::StartTx { frame: Frame::Ack(ack), rate: RateClass::Basic });
+        }
+        // MCExOR: the acknowledging member is the relay; adopt immediately.
+        if self.mode == ExorMode::McExor {
+            let p = self.pending.remove(&key).expect("present");
+            if p.my_rank > 0 && p.fresh {
+                let list = p.list[..p.my_rank].to_vec();
+                self.relay_q.push(QItem { seq: p.seq, packet: p.packet, list });
+                self.try_progress(now, out);
+            }
+        }
+        // preExOR keeps `pending` until the window-end relay decision.
+    }
+
+    fn fire_relay_decision(&mut self, key: (NodeId, u64), now: SimTime, out: &mut Vec<MacAction>) {
+        let Some(p) = self.pending.remove(&key) else { return };
+        if p.my_rank > 0 && p.fresh && !p.heard_higher {
+            let list = p.list[..p.my_rank].to_vec();
+            self.relay_q.push(QItem { seq: p.seq, packet: p.packet, list });
+            self.try_progress(now, out);
+        }
+    }
+
+    fn handle_ack_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        self.armed_ack_timeout = None;
+        if self.data_state != DataState::WaitAck {
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.data_state = DataState::Idle;
+        self.backoff.on_failure();
+        let drop = {
+            let inflight = self.inflight.as_mut().expect("timeout without inflight");
+            inflight.retries += 1;
+            inflight.retries > self.cfg.retry_limit
+        };
+        if drop {
+            let dead = self.inflight.take().expect("present");
+            self.stats.drops_retry_limit += 1;
+            out.push(MacAction::Drop { packet: dead.packet, reason: DropReason::RetryLimit });
+            self.backoff.on_success();
+        }
+        self.backoff.draw(&mut self.rng);
+        self.try_progress(now, out);
+    }
+}
+
+impl MacEntity for ExorMac {
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        if let Some(rejected) = self.q.push(packet, route) {
+            self.stats.drops_queue_full += 1;
+            out.push(MacAction::Drop { packet: rejected, reason: DropReason::QueueFull });
+            return out;
+        }
+        self.try_progress(now, &mut out);
+        out
+    }
+
+    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+        self.channel_busy = true;
+        self.disarm_backoff(now);
+        Vec::new()
+    }
+
+    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+        self.channel_busy = false;
+        self.idle_since = now;
+        let mut out = Vec::new();
+        if self.data_state == DataState::Idle && self.radio_free() && self.has_work() {
+            self.arm_backoff(now, &mut out);
+        }
+        out
+    }
+
+    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        match frame {
+            Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
+            Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
+        }
+        out
+    }
+
+    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        if self.ack_tx_in_progress {
+            self.ack_tx_in_progress = false;
+            self.try_progress(now, &mut out);
+        } else if self.data_state == DataState::Transmitting {
+            self.data_state = DataState::WaitAck;
+            let m = self.inflight.as_ref().map(|i| i.list.len()).unwrap_or(1);
+            let token = self.mint(Role::AckTimeout);
+            self.armed_ack_timeout = Some(token);
+            out.push(MacAction::SetTimer { delay: self.ack_window(m), token });
+        }
+        out
+    }
+
+    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        let Some(role) = self.timer_roles.remove(&token.0) else {
+            return out;
+        };
+        match role {
+            Role::BackoffDone => {
+                if self.armed_backoff == Some(token) {
+                    self.armed_backoff = None;
+                    if !self.channel_busy
+                        && self.radio_free()
+                        && self.data_state == DataState::Idle
+                        && self.has_work()
+                    {
+                        self.backoff.clear();
+                        self.transmit_data(&mut out);
+                    }
+                }
+            }
+            Role::AckTimeout => {
+                if self.armed_ack_timeout == Some(token) {
+                    self.handle_ack_timeout(now, &mut out);
+                }
+            }
+            Role::SendAck { key } => self.fire_send_ack(key, now, &mut out),
+            Role::RelayDecision { key } => self.fire_relay_decision(key, now, &mut out),
+        }
+        out
+    }
+
+    fn stats(&self) -> MacStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_mac::frame::{NetHeader, Proto};
+
+    fn cfg() -> ExorConfig {
+        ExorConfig::from_phy(&PhyParams::paper_216())
+    }
+
+    fn mac(mode: ExorMode, node: u32) -> ExorMac {
+        ExorMac::new(mode, cfg(), NodeId::new(node), StreamRng::derive(3, "exor"))
+    }
+
+    fn packet(flow: u32, src: u32, dst: u32) -> Packet {
+        Packet::new(
+            NetHeader {
+                flow: FlowId::new(flow),
+                src: NodeId::new(src),
+                dst: NodeId::new(dst),
+                proto: Proto::Tcp,
+                wire_bytes: 1000,
+            },
+            vec![],
+        )
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn route_0_to_3() -> RouteInfo {
+        // Destination 3 first, then forwarders 2 (rank 1) and 1 (rank 2).
+        RouteInfo::Opportunistic {
+            list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)],
+        }
+    }
+
+    fn find_tx(actions: &[MacAction]) -> Option<&Frame> {
+        actions.iter().find_map(|a| match a {
+            MacAction::StartTx { frame, .. } => Some(frame),
+            _ => None,
+        })
+    }
+
+    fn timers(actions: &[MacAction]) -> Vec<(SimDuration, TimerToken)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                MacAction::SetTimer { delay, token } => Some((*delay, *token)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn tx_data_frame(src_mac: &mut ExorMac, now: SimTime) -> DataFrame {
+        let actions = src_mac.on_enqueue(packet(0, 0, 3), route_0_to_3(), now);
+        match find_tx(&actions) {
+            Some(Frame::Data(d)) => d.clone(),
+            _ => panic!("expected immediate data tx"),
+        }
+    }
+
+    #[test]
+    fn source_transmits_with_priority_list() {
+        let mut m = mac(ExorMode::PreExor, 0);
+        let d = tx_data_frame(&mut m, t(100));
+        assert_eq!(
+            d.link_dst,
+            LinkDst::Opportunistic { list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)] }
+        );
+        assert_eq!(d.subframes.len(), 1, "no aggregation in preExOR/MCExOR");
+    }
+
+    #[test]
+    fn preexor_ack_slots_are_sequential_by_rank() {
+        let mut src = mac(ExorMode::PreExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        let c = cfg();
+        // Destination (rank 0).
+        let mut dest = mac(ExorMode::PreExor, 3);
+        let acts = dest.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let (delay0, _) = timers(&acts)[0];
+        assert_eq!(delay0, c.sifs);
+        // Forwarder rank 2 (node 1).
+        let mut fwd = mac(ExorMode::PreExor, 1);
+        let acts = fwd.on_frame_rx(Frame::Data(d), t(200));
+        let (delay2, _) = timers(&acts)[0];
+        assert_eq!(delay2, c.sifs + (c.t_ack + c.sifs) * 2);
+    }
+
+    #[test]
+    fn mcexor_waits_are_sifs_multiples() {
+        let mut src = mac(ExorMode::McExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        let c = cfg();
+        let mut fwd = mac(ExorMode::McExor, 2); // rank 1
+        let acts = fwd.on_frame_rx(Frame::Data(d), t(200));
+        let (delay, _) = timers(&acts)[0];
+        assert_eq!(delay, c.sifs * 2, "rank 1 waits 2 SIFS");
+    }
+
+    #[test]
+    fn destination_delivers_immediately_without_reordering_buffer() {
+        let mut src = mac(ExorMode::PreExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        let mut dest = mac(ExorMode::PreExor, 3);
+        let acts = dest.on_frame_rx(Frame::Data(d), t(200));
+        assert!(acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
+    }
+
+    #[test]
+    fn duplicate_is_acked_but_not_redelivered_or_rerelayed() {
+        let mut src = mac(ExorMode::PreExor, 0);
+        let d1 = tx_data_frame(&mut src, t(100));
+        let mut dest = mac(ExorMode::PreExor, 3);
+        dest.on_frame_rx(Frame::Data(d1.clone()), t(200));
+        // Source retransmits (missed ACK): same seq, new frame_seq.
+        let mut d2 = d1;
+        d2.frame_seq += 10;
+        let acts = dest.on_frame_rx(Frame::Data(d2), t(400));
+        assert!(
+            !acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
+            "duplicates must not be delivered twice"
+        );
+        assert!(!timers(&acts).is_empty(), "duplicate still acknowledged");
+    }
+
+    #[test]
+    fn mcexor_suppresses_ack_after_hearing_higher_priority() {
+        let mut src = mac(ExorMode::McExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        let mut fwd = mac(ExorMode::McExor, 1); // rank 2
+        let acts = fwd.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let (_, token) = timers(&acts)[0];
+        // The destination's ACK is overheard before our slot.
+        let higher_ack = AckFrame {
+            transmitter: NodeId::new(3),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: vec![],
+        };
+        fwd.on_frame_rx(Frame::Ack(higher_ack), t(210));
+        let acts = fwd.on_timer(token, t(232));
+        assert!(find_tx(&acts).is_none(), "ACK suppressed");
+        assert!(fwd.relay_q.is_empty(), "no relay adopted");
+    }
+
+    #[test]
+    fn mcexor_best_receiver_acks_and_relays() {
+        let mut src = mac(ExorMode::McExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        let mut fwd = mac(ExorMode::McExor, 2); // rank 1: best receiver if dest missed
+        let acts = fwd.on_frame_rx(Frame::Data(d), t(200));
+        let (delay, token) = timers(&acts)[0];
+        let acts = fwd.on_timer(token, t(200) + delay);
+        match find_tx(&acts) {
+            Some(Frame::Ack(a)) => assert_eq!(a.to, NodeId::new(0)),
+            _ => panic!("expected ACK"),
+        }
+        assert_eq!(fwd.relay_q.len(), 1, "forwarder adopts the packet");
+        assert_eq!(fwd.relay_q[0].list, vec![NodeId::new(3)], "truncated list");
+    }
+
+    #[test]
+    fn preexor_relays_only_without_higher_ack() {
+        let mut src = mac(ExorMode::PreExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        // Case 1: no higher-priority ACK heard → relay.
+        let mut fwd = mac(ExorMode::PreExor, 2); // rank 1
+        let acts = fwd.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let relay_timer = timers(&acts).last().copied().unwrap();
+        let acts = fwd.on_timer(relay_timer.1, t(200) + relay_timer.0);
+        // The idle channel lets the adopted relay transmit immediately.
+        let relayed = match find_tx(&acts) {
+            Some(Frame::Data(r)) => {
+                assert_eq!(r.link_dst, LinkDst::Opportunistic { list: vec![NodeId::new(3)] });
+                true
+            }
+            _ => !fwd.relay_q.is_empty(),
+        };
+        assert!(relayed, "forwarder must adopt and relay the packet");
+        // Case 2: destination ACK heard → discard.
+        let mut fwd2 = mac(ExorMode::PreExor, 2);
+        let acts = fwd2.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let relay_timer = timers(&acts).last().copied().unwrap();
+        let dest_ack = AckFrame {
+            transmitter: NodeId::new(3),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: vec![],
+        };
+        fwd2.on_frame_rx(Frame::Ack(dest_ack), t(220));
+        fwd2.on_timer(relay_timer.1, t(200) + relay_timer.0);
+        assert!(fwd2.relay_q.is_empty(), "higher-priority ACK cancels the relay");
+    }
+
+    #[test]
+    fn sender_succeeds_on_any_list_ack() {
+        let mut src = mac(ExorMode::PreExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        src.on_tx_end(t(160));
+        let fwd_ack = AckFrame {
+            transmitter: NodeId::new(1),
+            to: NodeId::new(0),
+            flow: FlowId::new(0),
+            frame_seq: d.frame_seq,
+            acked_seqs: vec![(FlowId::new(0), 0)],
+            relay_list: vec![],
+        };
+        src.on_frame_rx(Frame::Ack(fwd_ack), t(260));
+        assert!(src.inflight.is_none(), "forwarder ACK means progress");
+        assert_eq!(src.stats().acks_received, 1);
+    }
+
+    #[test]
+    fn sender_times_out_and_retries() {
+        let mut src = mac(ExorMode::McExor, 0);
+        let d = tx_data_frame(&mut src, t(100));
+        let acts = src.on_tx_end(t(160));
+        let (delay, token) = timers(&acts)[0];
+        let acts = src.on_timer(token, t(160) + delay);
+        assert_eq!(src.stats().timeouts, 1);
+        // Retry goes through backoff.
+        let (d2, tok2) = timers(&acts)[0];
+        let acts = src.on_timer(tok2, t(160) + delay + d2);
+        match find_tx(&acts) {
+            Some(Frame::Data(retry)) => {
+                assert_eq!(retry.subframes[0].seq, d.subframes[0].seq);
+                assert!(retry.frame_seq > d.frame_seq, "fresh frame_seq per attempt");
+            }
+            _ => panic!("expected retransmission"),
+        }
+    }
+
+    #[test]
+    fn ack_window_covers_all_slots() {
+        let pre = mac(ExorMode::PreExor, 0);
+        let mce = mac(ExorMode::McExor, 0);
+        let c = cfg();
+        // 3-member list: preExOR window spans 3 ACK slots.
+        assert!(pre.ack_window(3) > (c.sifs + c.t_ack) * 3);
+        // MCExOR's compressed window is much shorter.
+        assert!(mce.ack_window(3) < pre.ack_window(3));
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared identifier newtypes used across every layer of the simulator.
+
+use std::fmt;
+
+/// Identifies a wireless station within one simulation.
+///
+/// Node ids are dense indices assigned by the scenario builder, so they can be
+/// used directly to index per-node state tables.
+///
+/// # Example
+///
+/// ```
+/// use wmn_sim::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index, suitable for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifies an end-to-end traffic flow within one simulation.
+///
+/// A flow is directional at the application level (e.g. an FTP download), but
+/// its id is shared by both directions of the underlying conversation (TCP
+/// data and TCP acknowledgements use the same `FlowId`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// Creates a flow id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        FlowId(index)
+    }
+
+    /// Returns the dense index, suitable for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<u32> for FlowId {
+    fn from(v: u32) -> Self {
+        FlowId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7u32), n);
+    }
+
+    #[test]
+    fn flow_id_display() {
+        assert_eq!(format!("{}", FlowId::new(2)), "f2");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(FlowId::new(0) < FlowId::new(9));
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-event simulation engine for the RIPPLE wireless-mesh reproduction.
+//!
+//! This crate is the bottom layer of the workspace. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated clock
+//!   newtypes with microsecond convenience constructors (802.11 timing is
+//!   specified in µs),
+//! * [`EventQueue`] — a deterministic future-event list with stable FIFO
+//!   ordering among simultaneous events,
+//! * [`rng`] — named, independently-seeded random-number streams so that
+//!   changing how one component consumes randomness does not perturb others,
+//! * small shared identifier newtypes ([`NodeId`], [`FlowId`]).
+//!
+//! Every protocol entity in the upper crates is written as a passive state
+//! machine; the event queue in this crate is the only source of time.
+//!
+//! # Example
+//!
+//! ```
+//! use wmn_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_micros(5), "beacon");
+//! q.schedule(SimTime::ZERO + SimDuration::from_micros(3), "ack");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "ack");
+//! assert_eq!(t, SimTime::from_micros(3));
+//! ```
+
+pub mod ids;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use ids::{FlowId, NodeId};
+pub use queue::EventQueue;
+pub use rng::{RngDirectory, StreamRng};
+pub use time::{SimDuration, SimTime};

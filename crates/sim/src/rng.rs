@@ -1,0 +1,236 @@
+//! Named random-number streams.
+//!
+//! Every stochastic component of the simulator (per-link shadowing, per-node
+//! backoff, each traffic generator, …) draws from its own [`StreamRng`],
+//! derived deterministically from the master seed and a stream label. This
+//! keeps components statistically independent and means adding a new consumer
+//! of randomness does not perturb the draws seen by existing ones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream derived from `(master_seed, label)`.
+///
+/// Wraps a [`SmallRng`] and adds the distribution helpers the simulator
+/// needs: exponential, Pareto, and standard-normal variates.
+///
+/// # Example
+///
+/// ```
+/// use wmn_sim::StreamRng;
+/// let mut a = StreamRng::derive(42, "backoff/n0");
+/// let mut b = StreamRng::derive(42, "backoff/n0");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same label => same stream
+/// ```
+#[derive(Debug)]
+pub struct StreamRng {
+    inner: SmallRng,
+}
+
+impl StreamRng {
+    /// Derives a stream from the master seed and a stable label.
+    pub fn derive(master_seed: u64, label: &str) -> Self {
+        // FNV-1a over the label, mixed with the master seed via splitmix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let seed = splitmix64(master_seed ^ h);
+        StreamRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n]` (inclusive). Used for 802.11 backoff
+    /// counter draws over the contention window.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; `n = 0` always yields 0.
+    pub fn uniform_slots(&mut self, n: u32) -> u32 {
+        self.inner.gen_range(0..=n)
+    }
+
+    /// Exponential variate with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "invalid exponential mean: {mean}");
+        let u: f64 = 1.0 - self.uniform(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Pareto variate with the given `shape` and *mean* (not scale).
+    ///
+    /// The paper's web workload draws transfer sizes from a Pareto
+    /// distribution with mean 80 KB and shape 1.5. For shape `a > 1` the mean
+    /// of a Pareto with scale `x_m` is `a·x_m/(a−1)`, so the scale is derived
+    /// as `mean·(a−1)/a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shape > 1` and `mean > 0` (the mean is otherwise
+    /// undefined).
+    pub fn pareto_with_mean(&mut self, shape: f64, mean: f64) -> f64 {
+        assert!(shape > 1.0, "Pareto mean undefined for shape <= 1 (got {shape})");
+        assert!(mean.is_finite() && mean > 0.0, "invalid Pareto mean: {mean}");
+        let scale = mean * (shape - 1.0) / shape;
+        let u: f64 = 1.0 - self.uniform(); // in (0, 1]
+        scale / u.powf(1.0 / shape)
+    }
+
+    /// Standard normal variate (Box–Muller), for log-normal shadowing draws.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller transform; one variate per call keeps the stream simple.
+        let u1: f64 = 1.0 - self.uniform(); // in (0,1], avoids ln(0)
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Bernoulli trial that succeeds with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A factory handing out [`StreamRng`]s for a fixed master seed.
+///
+/// Scenario runners hold one directory and derive per-component streams from
+/// it, e.g. `dir.stream("phy/shadowing/n3")`.
+#[derive(Debug, Clone, Copy)]
+pub struct RngDirectory {
+    master_seed: u64,
+}
+
+impl RngDirectory {
+    /// Creates a directory for the given master seed.
+    pub const fn new(master_seed: u64) -> Self {
+        RngDirectory { master_seed }
+    }
+
+    /// The master seed this directory was built from.
+    pub const fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derives the stream with the given label.
+    pub fn stream(&self, label: &str) -> StreamRng {
+        StreamRng::derive(self.master_seed, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let dir = RngDirectory::new(7);
+        let mut a = dir.stream("x");
+        let mut b = dir.stream("x");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let dir = RngDirectory::new(7);
+        let mut a = dir.stream("x");
+        let mut b = dir.stream("y");
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams with different labels should diverge");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StreamRng::derive(1, "x");
+        let mut b = StreamRng::derive(2, "x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StreamRng::derive(11, "exp");
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(1.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.5).abs() < 0.05, "sample mean {mean} too far from 1.5");
+    }
+
+    #[test]
+    fn pareto_mean_is_close() {
+        let mut rng = StreamRng::derive(13, "pareto");
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.pareto_with_mean(1.5, 80_000.0)).sum();
+        let mean = sum / n as f64;
+        // Heavy-tailed: allow a generous tolerance.
+        assert!(
+            (mean - 80_000.0).abs() / 80_000.0 < 0.25,
+            "sample mean {mean} too far from 80000"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StreamRng::derive(17, "norm");
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = StreamRng::derive(19, "chance");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    proptest! {
+        /// Backoff draws always fall inside the contention window.
+        #[test]
+        fn prop_uniform_slots_in_range(n in 0u32..4096, seed in any::<u64>()) {
+            let mut rng = StreamRng::derive(seed, "slots");
+            for _ in 0..32 {
+                prop_assert!(rng.uniform_slots(n) <= n);
+            }
+        }
+
+        /// Pareto variates are never below the derived scale parameter.
+        #[test]
+        fn prop_pareto_lower_bound(seed in any::<u64>()) {
+            let mut rng = StreamRng::derive(seed, "p");
+            let shape = 1.5;
+            let mean = 80_000.0;
+            let scale = mean * (shape - 1.0) / shape;
+            for _ in 0..64 {
+                prop_assert!(rng.pareto_with_mean(shape, mean) >= scale - 1e-9);
+            }
+        }
+    }
+}

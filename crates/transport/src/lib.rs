@@ -1,0 +1,23 @@
+//! Transport endpoints for the RIPPLE reproduction.
+//!
+//! The paper's interactive workloads are TCP (long/short transfers, web
+//! traffic) and VoIP over UDP. This crate provides both as passive state
+//! machines, mirroring the MAC layer's style:
+//!
+//! * [`tcp`] — a Reno TCP with the two behaviours the paper's results hinge
+//!   on: congestion response to loss, and **spurious fast retransmits under
+//!   packet re-ordering** (three duplicate ACKs halve the window — which is
+//!   why preExOR's/MCExOR's 26–28 % re-ordering wrecks TCP throughput and
+//!   RIPPLE's in-order mTXOPs do not);
+//! * [`udp`] — sequence- and timestamp-carrying datagrams for the VoIP and
+//!   saturated cross-traffic workloads.
+//!
+//! Segments travel through the simulator as encoded byte bodies inside
+//! network packets; the codecs live next to the endpoint logic and are
+//! round-trip property-tested.
+
+pub mod tcp;
+pub mod udp;
+
+pub use tcp::{TcpAction, TcpConfig, TcpReceiver, TcpSegment, TcpSender};
+pub use udp::{UdpDatagram, UdpSink};

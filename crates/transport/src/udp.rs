@@ -1,0 +1,171 @@
+//! UDP datagrams and the receiving sink used by the VoIP workload.
+//!
+//! Each datagram carries a sequence number and its send timestamp so the
+//! sink can measure one-way delay and loss — the two inputs of the paper's
+//! R-factor/MoS computation (Section IV-E).
+
+use wmn_sim::{SimDuration, SimTime};
+
+/// A UDP datagram body: sequence number + send timestamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpDatagram {
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Send time in nanoseconds.
+    pub sent_at_ns: u64,
+}
+
+impl UdpDatagram {
+    /// Serialises the datagram into a packet body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.sent_at_ns.to_le_bytes());
+        out
+    }
+
+    /// Parses a datagram from a packet body; `None` if malformed.
+    pub fn decode(body: &[u8]) -> Option<Self> {
+        if body.len() != 16 {
+            return None;
+        }
+        Some(UdpDatagram {
+            seq: u64::from_le_bytes(body[0..8].try_into().ok()?),
+            sent_at_ns: u64::from_le_bytes(body[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// Receiving endpoint that accumulates per-datagram delays for one flow.
+#[derive(Debug, Default)]
+pub struct UdpSink {
+    delays: Vec<SimDuration>,
+    received: u64,
+    duplicates: u64,
+    seen_max: Option<u64>,
+    bytes_received: u64,
+}
+
+impl UdpSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        UdpSink::default()
+    }
+
+    /// Records an arriving datagram of `wire_bytes` at time `now`.
+    pub fn on_datagram(&mut self, dg: UdpDatagram, wire_bytes: u32, now: SimTime) {
+        if let Some(max) = self.seen_max {
+            if dg.seq <= max {
+                // Heuristic duplicate detection is enough: UDP flows here
+                // are send-once, so an old seq can only be a MAC duplicate.
+            }
+        }
+        if Some(dg.seq) <= self.seen_max {
+            self.duplicates += 1;
+            return;
+        }
+        self.seen_max = Some(self.seen_max.map_or(dg.seq, |m| m.max(dg.seq)));
+        self.received += 1;
+        self.bytes_received += u64::from(wire_bytes);
+        self.delays.push(now.saturating_since(SimTime::from_nanos(dg.sent_at_ns)));
+    }
+
+    /// Number of distinct datagrams received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Total payload bytes received (distinct datagrams).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Duplicate arrivals discarded.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// One-way delays of all received datagrams.
+    pub fn delays(&self) -> &[SimDuration] {
+        &self.delays
+    }
+
+    /// Fraction of received datagrams with one-way delay above `budget`
+    /// (the paper treats >52 ms wireless delay as a VoIP loss).
+    pub fn late_fraction(&self, budget: SimDuration) -> f64 {
+        if self.delays.is_empty() {
+            return 0.0;
+        }
+        self.delays.iter().filter(|d| **d > budget).count() as f64 / self.delays.len() as f64
+    }
+
+    /// Mean one-way delay of datagrams within `budget` (late ones count as
+    /// losses, not delay contributors). `None` if nothing qualified.
+    pub fn mean_ontime_delay(&self, budget: SimDuration) -> Option<SimDuration> {
+        let ontime: Vec<_> = self.delays.iter().filter(|d| **d <= budget).collect();
+        if ontime.is_empty() {
+            return None;
+        }
+        let total: u64 = ontime.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / ontime.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sink_measures_delay() {
+        let mut sink = UdpSink::new();
+        let dg = UdpDatagram { seq: 0, sent_at_ns: 1_000_000 };
+        sink.on_datagram(dg, 240, SimTime::from_nanos(5_000_000));
+        assert_eq!(sink.received(), 1);
+        assert_eq!(sink.delays()[0], SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn duplicates_discarded() {
+        let mut sink = UdpSink::new();
+        let dg = UdpDatagram { seq: 3, sent_at_ns: 0 };
+        sink.on_datagram(dg, 240, SimTime::from_millis(1));
+        sink.on_datagram(dg, 240, SimTime::from_millis(2));
+        assert_eq!(sink.received(), 1);
+        assert_eq!(sink.duplicates(), 1);
+    }
+
+    #[test]
+    fn late_fraction_uses_budget() {
+        let mut sink = UdpSink::new();
+        for (seq, ms) in [(0u64, 10u64), (1, 60), (2, 20)] {
+            let dg = UdpDatagram { seq, sent_at_ns: 0 };
+            sink.on_datagram(dg, 240, SimTime::from_millis(ms));
+        }
+        let budget = SimDuration::from_millis(52);
+        assert!((sink.late_fraction(budget) - 1.0 / 3.0).abs() < 1e-9);
+        let mean = sink.mean_ontime_delay(budget).unwrap();
+        assert_eq!(mean, SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn empty_sink_is_well_behaved() {
+        let sink = UdpSink::new();
+        assert_eq!(sink.late_fraction(SimDuration::from_millis(52)), 0.0);
+        assert!(sink.mean_ontime_delay(SimDuration::from_millis(52)).is_none());
+    }
+
+    proptest! {
+        /// Datagram codec round-trips and never panics on junk.
+        #[test]
+        fn prop_codec_roundtrip(seq in any::<u64>(), ts in any::<u64>()) {
+            let dg = UdpDatagram { seq, sent_at_ns: ts };
+            prop_assert_eq!(UdpDatagram::decode(&dg.encode()), Some(dg));
+        }
+
+        #[test]
+        fn prop_decode_total(body in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = UdpDatagram::decode(&body);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! VoIP capacity: how many simultaneous calls can the Fig. 1 mesh carry
+//! before quality collapses? Reports mean opinion scores (MoS, 1–4.5) at a
+//! 6 Mbps PHY for DCF, AFR and RIPPLE.
+//!
+//! ```sh
+//! cargo run --release --example voip_call
+//! ```
+
+use wmn_experiments::table3::voip_flows;
+use wmn_metrics::mean;
+use wmn_netsim::{run, Scenario, Scheme};
+use wmn_phy::PhyParams;
+use wmn_sim::SimDuration;
+
+fn main() {
+    let topo = wmn_topology::fig1::topology();
+    println!("VoIP calls across the Fig. 1 mesh, 6 Mbps PHY, MoS (1=bad, 4.5=perfect)\n");
+    println!("{:<8} {:>8} {:>8} {:>8}", "calls", "DCF", "AFR", "RIPPLE");
+    for calls in [5usize, 10, 20, 30] {
+        let mut row = Vec::new();
+        for scheme in [
+            Scheme::Dcf { aggregation: 1 },
+            Scheme::Dcf { aggregation: 16 },
+            Scheme::Ripple { aggregation: 16 },
+        ] {
+            let scenario = Scenario {
+                name: format!("voip-{calls}"),
+                params: PhyParams::paper_6(),
+                positions: topo.positions.clone(),
+                scheme,
+                flows: voip_flows(calls),
+                duration: SimDuration::from_secs_f64(2.0),
+                seed: 5,
+                max_forwarders: 5,
+            };
+            let result = run(&scenario);
+            let moses: Vec<f64> =
+                result.flows.iter().filter_map(|f| f.voip.map(|v| v.mos)).collect();
+            row.push(mean(&moses));
+        }
+        println!("{:<8} {:>8.2} {:>8.2} {:>8.2}", calls, row[0], row[1], row[2]);
+    }
+    println!("\nMoS bands: <2 very annoying, ~3 annoying, ~4 fair, 4.5 perfect.");
+}

@@ -1,0 +1,147 @@
+//! Edge-case integration tests: degenerate paths, duplicate suppression
+//! under forced retransmission, VoIP delay-tail accounting, and stats
+//! plumbing.
+
+use wmn_netsim::{run, FlowSpec, Scenario, Scheme, Workload};
+use wmn_phy::{PhyParams, Position};
+use wmn_sim::{NodeId, SimDuration};
+use wmn_traffic::VoipModel;
+
+fn base(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>) -> Scenario {
+    Scenario {
+        name: "edge".into(),
+        params: PhyParams::paper_216(),
+        positions,
+        scheme,
+        flows,
+        duration: SimDuration::from_millis(300),
+        seed: 7,
+        max_forwarders: 5,
+    }
+}
+
+/// A one-hop "path" (no forwarders at all) must work for every scheme —
+/// the opportunistic list degenerates to [destination].
+#[test]
+fn degenerate_one_hop_paths() {
+    let positions = vec![Position::new(0.0, 0.0), Position::new(4.0, 0.0)];
+    for scheme in [
+        Scheme::Dcf { aggregation: 1 },
+        Scheme::Dcf { aggregation: 16 },
+        Scheme::PreExor,
+        Scheme::McExor,
+        Scheme::Ripple { aggregation: 1 },
+        Scheme::Ripple { aggregation: 16 },
+    ] {
+        let s = base(
+            scheme,
+            positions.clone(),
+            vec![FlowSpec {
+                path: vec![NodeId::new(0), NodeId::new(1)],
+                workload: Workload::Ftp,
+            }],
+        );
+        let r = run(&s);
+        assert!(
+            r.flows[0].delivered_bytes > 50_000,
+            "{scheme:?} must work on a single hop, got {}",
+            r.flows[0].delivered_bytes
+        );
+    }
+}
+
+/// Two flows in opposite directions over the same chain (a "cross-ping")
+/// both make progress — the bidirectional case RIPPLE's two-way
+/// aggregation is designed for.
+#[test]
+fn opposing_flows_share_the_chain() {
+    let positions: Vec<Position> =
+        (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let forward: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+    let mut backward = forward.clone();
+    backward.reverse();
+    let s = base(
+        Scheme::Ripple { aggregation: 16 },
+        positions,
+        vec![
+            FlowSpec { path: forward, workload: Workload::Ftp },
+            FlowSpec { path: backward, workload: Workload::Ftp },
+        ],
+    );
+    let r = run(&s);
+    for (i, f) in r.flows.iter().enumerate() {
+        assert!(f.delivered_bytes > 10_000, "direction {i} starved: {}", f.delivered_bytes);
+        assert_eq!(f.tcp.unwrap().reordered_arrivals, 0);
+    }
+}
+
+/// VoIP results expose the delay tail: p95 ≥ mean-ish, jitter finite, and
+/// on a quiet chain the tail stays far below the 52 ms budget.
+#[test]
+fn voip_delay_tail_is_reported() {
+    let positions: Vec<Position> =
+        (0..3).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let mut s = base(
+        Scheme::Ripple { aggregation: 16 },
+        positions,
+        vec![FlowSpec {
+            path: (0..3).map(NodeId::new).collect(),
+            workload: Workload::Voip(VoipModel::paper()),
+        }],
+    );
+    s.duration = SimDuration::from_millis(900);
+    let r = run(&s);
+    let v = r.flows[0].voip.expect("voip result");
+    assert!(v.received > 5, "need a delay sample, got {}", v.received);
+    assert!(v.p95_delay >= v.mean_delay / 2, "p95 can't sit far below the mean");
+    assert!(
+        v.p95_delay < SimDuration::from_millis(20),
+        "lone call on a quiet chain must have a tight tail: {:?}",
+        v.p95_delay
+    );
+    assert!(v.jitter < SimDuration::from_millis(10), "jitter bounded: {:?}", v.jitter);
+}
+
+/// MAC statistics surface through RunResult and are self-consistent: the
+/// stations on the path transmitted data; every delivered packet appears
+/// in some MAC's delivered count.
+#[test]
+fn mac_stats_are_plumbed_through() {
+    let positions: Vec<Position> =
+        (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let s = base(
+        Scheme::Dcf { aggregation: 16 },
+        positions,
+        vec![FlowSpec {
+            path: (0..4).map(NodeId::new).collect(),
+            workload: Workload::Ftp,
+        }],
+    );
+    let r = run(&s);
+    assert_eq!(r.mac_stats.len(), 4);
+    // The source transmitted data frames; the destination delivered.
+    assert!(r.mac_stats[0].data_frames_sent > 0);
+    assert!(r.mac_stats[3].delivered_up > 0);
+    // Forwarding stations both received and re-sent.
+    assert!(r.mac_stats[1].data_frames_sent > 0 && r.mac_stats[1].data_frames_received > 0);
+    let total_delivered: u64 = r.mac_stats.iter().map(|m| m.delivered_up).sum();
+    assert!(total_delivered as f64 >= r.flows[0].delivered_bytes as f64 / 1000.0);
+}
+
+/// Zero-length simulated durations yield empty-but-valid results.
+#[test]
+fn zero_duration_run_is_clean() {
+    let positions = vec![Position::new(0.0, 0.0), Position::new(4.0, 0.0)];
+    let mut s = base(
+        Scheme::Ripple { aggregation: 16 },
+        positions,
+        vec![FlowSpec {
+            path: vec![NodeId::new(0), NodeId::new(1)],
+            workload: Workload::Ftp,
+        }],
+    );
+    s.duration = SimDuration::ZERO;
+    let r = run(&s);
+    assert_eq!(r.flows[0].delivered_bytes, 0);
+    assert_eq!(r.flows[0].throughput_mbps, 0.0);
+}

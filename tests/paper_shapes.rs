@@ -1,0 +1,173 @@
+//! Reproduction-shape tests: the qualitative claims of the paper's
+//! evaluation, asserted against time-reduced experiment runs. Absolute
+//! numbers differ from the paper (different substrate); the *orderings and
+//! regimes* must hold.
+
+use wmn_experiments::{common, ExpConfig};
+use wmn_netsim::{run, FlowSpec, Scenario, Scheme, Workload};
+use wmn_phy::{PhyParams, Position};
+use wmn_sim::{NodeId, SimDuration};
+
+fn cfg(ms: u64) -> ExpConfig {
+    ExpConfig { duration: SimDuration::from_millis(ms), seeds: vec![1, 2] }
+}
+
+fn chain_scenario(scheme: Scheme, ms: u64) -> Scenario {
+    Scenario {
+        name: "shape".into(),
+        params: PhyParams::paper_216(),
+        positions: (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect(),
+        scheme,
+        flows: vec![FlowSpec {
+            path: (0..4).map(NodeId::new).collect(),
+            workload: Workload::Ftp,
+        }],
+        duration: SimDuration::from_millis(ms),
+        seed: 1,
+        max_forwarders: 5,
+    }
+}
+
+/// Section II: "the performance of the preExOR and MCExOR schemes is
+/// consistently worse than predetermined routing schemes" + both reorder a
+/// substantial share of packets.
+#[test]
+fn motivation_shape_holds() {
+    let table = wmn_experiments::motivation::generate(&cfg(500));
+    let v = |r: usize, c: usize| table.cell(r, c).unwrap().parse::<f64>().unwrap();
+    let (spr_tput, pre_tput, mce_tput) = (v(0, 1), v(1, 1), v(2, 1));
+    assert!(spr_tput > pre_tput, "SPR {spr_tput} vs preExOR {pre_tput}");
+    assert!(spr_tput > mce_tput, "SPR {spr_tput} vs MCExOR {mce_tput}");
+    let (spr_ro, pre_ro, mce_ro) = (v(0, 2), v(1, 2), v(2, 2));
+    assert!(spr_ro < 0.5, "SPR reorders ~nothing: {spr_ro}%");
+    assert!(pre_ro > 2.0, "preExOR reorders substantially: {pre_ro}%");
+    assert!(mce_ro > 2.0, "MCExOR reorders substantially: {mce_ro}%");
+}
+
+/// Fig. 3(a) headline: on ROUTE0 the ordering is S ≪ D < R1, A < R16 and
+/// RIPPLE's full gain over DCF is at least 2×.
+#[test]
+fn fig3_route0_ordering() {
+    let tables = wmn_experiments::fig3::generate(1e-6, &cfg(400));
+    let t = &tables[0];
+    let v = |r: usize| t.cell(r, 1).unwrap().parse::<f64>().unwrap();
+    let (s, d, r1, a, r16) = (v(0), v(1), v(2), v(3), v(4));
+    assert!(d > 5.0 * s, "direct S must be crippled: S={s} D={d}");
+    assert!(r1 > d, "pure mTXOP beats DCF: R1={r1} D={d}");
+    assert!(a > d, "pure aggregation beats DCF: A={a} D={d}");
+    assert!(r16 > a, "both mechanisms beat either alone: R16={r16} A={a}");
+    assert!(r16 > 2.0 * d, "paper reports 100-300% gains: R16={r16} D={d}");
+}
+
+/// Fig. 4: the noisy channel (BER 1e-5) lowers everyone but preserves the
+/// winner.
+#[test]
+fn fig4_noisy_channel_preserves_winner() {
+    let clear = wmn_experiments::fig3::generate(1e-6, &cfg(400));
+    let noisy = wmn_experiments::fig3::generate(1e-5, &cfg(400));
+    let v = |tables: &[wmn_metrics::Table], row: usize| {
+        tables[0].cell(row, 1).unwrap().parse::<f64>().unwrap()
+    };
+    // RIPPLE stays on top under noise.
+    let (noisy_d, noisy_r16) = (v(&noisy, 1), v(&noisy, 4));
+    assert!(noisy_r16 > noisy_d, "RIPPLE wins under BER 1e-5 too");
+    // And noise hurts RIPPLE's absolute throughput.
+    assert!(v(&noisy, 4) < v(&clear, 4) * 1.1, "noise must not help");
+}
+
+/// Section IV-A ablation: both mechanisms contribute (this is the paper's
+/// "the effectiveness of the RIPPLE scheme is due to both mTXOPs and packet
+/// aggregation").
+#[test]
+fn ablation_both_mechanisms_contribute() {
+    let dcf = run(&chain_scenario(Scheme::Dcf { aggregation: 1 }, 400));
+    let r1 = run(&chain_scenario(Scheme::Ripple { aggregation: 1 }, 400));
+    let afr = run(&chain_scenario(Scheme::Dcf { aggregation: 16 }, 400));
+    let r16 = run(&chain_scenario(Scheme::Ripple { aggregation: 16 }, 400));
+    let t = |r: &wmn_netsim::RunResult| r.flows[0].throughput_mbps;
+    assert!(t(&r1) > t(&dcf), "mTXOP alone helps: {} vs {}", t(&r1), t(&dcf));
+    assert!(t(&afr) > t(&dcf), "aggregation alone helps: {} vs {}", t(&afr), t(&dcf));
+    assert!(t(&r16) > t(&afr), "mTXOP on top of aggregation helps: {} vs {}", t(&r16), t(&afr));
+    assert!(t(&r16) > t(&r1), "aggregation on top of mTXOP helps: {} vs {}", t(&r16), t(&r1));
+}
+
+/// Fig. 7 shape: throughput decays with path length for every scheme, and
+/// RIPPLE stays best at 7 hops where the endpoints are radio-disconnected.
+#[test]
+fn fig7_decay_and_long_path_win() {
+    let tables = wmn_experiments::fig7::generate(&cfg(300));
+    let t = &tables[0]; // without cross traffic
+    let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
+    for row in 0..3 {
+        assert!(v(row, 1) > v(row, 6), "decay with hops (row {row})");
+    }
+    let (dcf7, ripple7) = (v(0, 6), v(2, 6));
+    assert!(
+        ripple7 > dcf7,
+        "RIPPLE must beat DCF at 7 hops: {ripple7} vs {dcf7}"
+    );
+}
+
+/// Table III shape: at heavy VoIP load (30 calls) RIPPLE's MoS exceeds both
+/// DCF's and AFR's.
+#[test]
+fn table3_heavy_load_mos_ordering() {
+    let tables = wmn_experiments::table3::generate(&cfg(800));
+    for t in &tables {
+        let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
+        let (dcf30, afr30, ripple30) = (v(0, 3), v(1, 3), v(2, 3));
+        assert!(
+            ripple30 >= dcf30 - 0.15 && ripple30 >= afr30 - 0.15,
+            "RIPPLE MoS at 30 calls must be at least competitive: \
+             DCF {dcf30} AFR {afr30} RIPPLE {ripple30} ({})",
+            t.title()
+        );
+    }
+}
+
+/// Fig. 10/12 headline: RIPPLE wins on most mesh flows (gains "up to
+/// 200-300%" on some).
+#[test]
+fn mesh_topologies_favour_ripple() {
+    let tables = wmn_experiments::fig10::generate(&cfg(250));
+    let t = &tables[2]; // 216 Mbps, no hidden
+    let mut ripple_wins = 0;
+    let mut total = 0;
+    for row in 0..t.row_count() {
+        let dcf: f64 = t.cell(row, 1).unwrap().parse().unwrap();
+        let ripple: f64 = t.cell(row, 3).unwrap().parse().unwrap();
+        total += 1;
+        if ripple > dcf {
+            ripple_wins += 1;
+        }
+    }
+    assert!(
+        ripple_wins * 2 > total,
+        "RIPPLE must win the majority of Wigle flows: {ripple_wins}/{total}"
+    );
+}
+
+/// Aggregated schemes adapt frame sizes to load automatically (Section
+/// III-A remark 5): a lone VoIP call (sparse packets) still gets through
+/// with low delay under RIPPLE-16.
+#[test]
+fn zero_wait_aggregation_handles_sparse_traffic() {
+    let mut s = chain_scenario(Scheme::Ripple { aggregation: 16 }, 600);
+    s.flows[0].workload = Workload::Voip(wmn_traffic::VoipModel::paper());
+    let r = run(&s);
+    let voip = r.flows[0].voip.unwrap();
+    assert!(voip.received > 0);
+    assert!(
+        voip.mean_delay < SimDuration::from_millis(10),
+        "sparse VoIP must not wait for batches: {:?}",
+        voip.mean_delay
+    );
+    assert!(voip.mos > 3.5, "lone call must score well: {}", voip.mos);
+}
+
+/// The figure scheme roster matches the paper's labels.
+#[test]
+fn scheme_roster_is_the_papers() {
+    let labels: Vec<&str> = common::figure_schemes().iter().map(|s| s.0).collect();
+    assert_eq!(labels, vec!["S", "D", "R1", "A", "R16"]);
+}
