@@ -1002,7 +1002,7 @@ mod tests {
         for _ in 0..30 {
             let acts = src.on_tx_end(now);
             let Some((delay, token)) = timers(&acts).first().copied() else { break };
-            now = now + delay;
+            now += delay;
             let acts = src.on_timer(token, now);
             drops += acts
                 .iter()
@@ -1012,7 +1012,7 @@ mod tests {
                 break;
             }
             if let Some((d2, tok2)) = timers(&acts).first().copied() {
-                now = now + d2;
+                now += d2;
                 let acts = src.on_timer(tok2, now);
                 if find_tx(&acts).is_none() {
                     break;

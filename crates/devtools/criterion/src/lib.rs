@@ -1,0 +1,156 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the subset of Criterion's API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is honest but simple: each benchmark runs a warm-up pass and
+//! `sample_size` timed samples, then reports the median, minimum and maximum
+//! per-iteration wall-clock time. There are no statistical comparisons with
+//! previous runs, no plots and no outlier analysis. When `cargo test`
+//! executes a bench target (it does, to check it works), every benchmark
+//! runs exactly one iteration so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Drives the closure under measurement, see [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one duration sample per batch of
+    /// iterations. The routine's output is passed through
+    /// [`std::hint::black_box`] so its computation is not optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run.
+        std::hint::black_box(routine());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, results: Vec::new() };
+    f(&mut bencher);
+    let mut sorted = bencher.results.clone();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        println!("bench {name}: no samples recorded");
+        return;
+    }
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "bench {name}: median {} (min {}, max {}, {} samples)",
+        format_duration(median),
+        format_duration(min),
+        format_duration(max),
+        sorted.len()
+    );
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the bench targets are run once as a smoke
+        // check; a single sample keeps that fast. `cargo bench` passes
+        // `--bench`, which selects real sampling.
+        let testing = std::env::args().any(|a| a == "--test");
+        let benching = std::env::args().any(|a| a == "--bench");
+        Criterion { sample_size: if testing || !benching { 1 } else { 20 } }
+    }
+}
+
+impl Criterion {
+    /// Mirrors Criterion's CLI handling; the shim has nothing to configure.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Measures a single named closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Keep the one-iteration fast path when running under `cargo test`;
+        // in real bench mode the caller's request wins, raising or lowering.
+        if self.sample_size > 1 {
+            self.sample_size = n;
+        }
+        self
+    }
+
+    /// Measures a closure under `group_name/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (nothing to flush in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a named group runner, as in Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the `main` for a bench target from its groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

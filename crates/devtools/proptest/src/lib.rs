@@ -1,0 +1,399 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of proptest's API its tests actually use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), [`prop_assert!`]
+//! / [`prop_assert_eq!`], range and [`any`] strategies, [`collection::vec`]
+//! and [`sample::subsequence`].
+//!
+//! Differences from the real crate, deliberately accepted for tests:
+//!
+//! * inputs are sampled from a **deterministic** per-test stream (derived
+//!   from the test's module path and case index), so runs are reproducible
+//!   and failures are replayable by case number;
+//! * there is **no shrinking** — a failing case reports its inputs' case
+//!   index instead of a minimal counterexample;
+//! * strategies are plain samplers (`Strategy::sample`), not lazy value
+//!   trees.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Error carried by `prop_assert!` failures out of a test-case closure.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failed-case error with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-case configuration, selected with `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; that is cheap for the unit-level
+        // properties in this workspace and keeps coverage meaningful.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 stream seeded from `(test name, case index)`.
+#[derive(Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the stream for one case of one property test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a-style fold over the test name (odd multiplier, not the
+        // exact FNV-64 prime — do not "correct" it: derived streams and
+        // seed-dependent expectations would all change), mixed with the
+        // case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n = 0` yields 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Modulo bias is irrelevant at test-input quality.
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A sampler of test inputs. The real crate's lazy value trees and shrinkers
+/// collapse to a single `sample` here.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "any value" strategy, see [`any`].
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/a, B/b);
+impl_tuple_strategy!(A/a, B/b, C/c);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+
+/// Strategy producing unconstrained values of `T`, see [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+/// Per-type `ANY` strategy constants (`proptest::num::u64::ANY`).
+pub mod num {
+    /// Strategies over `u64`.
+    pub mod u64 {
+        /// Any `u64`.
+        pub const ANY: crate::Any<::core::primitive::u64> =
+            crate::Any { _marker: ::core::marker::PhantomData };
+    }
+}
+
+/// An inclusive-exclusive length range for collection strategies, built
+/// from `a..b` or `a..=b`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end_exclusive, "empty size range");
+        Strategy::sample(&(self.start..self.end_exclusive), rng)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { start: r.start, end_exclusive: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { start: *r.start(), end_exclusive: *r.end() + 1 }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::subsequence`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing order-preserving subsequences of a base vector.
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: Range<usize>,
+    }
+
+    /// Order-preserving subsequences of `values` with a length in `size`
+    /// (clamped to the available element count).
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: Range<usize>) -> Subsequence<T> {
+        Subsequence { values, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let lo = self.size.start.min(self.values.len());
+            let hi = self.size.end.min(self.values.len() + 1);
+            let len = if lo + 1 >= hi { lo } else { Strategy::sample(&(lo..hi), rng) };
+            // Partial Fisher–Yates over the index space, then restore order.
+            let mut indices: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..len {
+                let j = i + rng.below((indices.len() - i) as u64) as usize;
+                indices.swap(i, j);
+            }
+            let mut chosen = indices[..len].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Items `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with the case index in the panic message) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!(a != b)` with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// expands to a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::TestRng::for_case(test_name, case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {case}/{} of `{}` failed: {err}\n\
+                             (offline proptest shim: deterministic cases, no shrinking)",
+                            config.cases, test_name
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -700,7 +700,7 @@ mod tests {
         for _ in 0..20 {
             let actions = m.on_tx_end(now);
             let Some((delay, token)) = find_timer(&actions) else { break };
-            now = now + delay;
+            now += delay;
             let actions = m.on_timer(token, now);
             drops += actions
                 .iter()
@@ -711,7 +711,7 @@ mod tests {
             }
             // Find the retransmission backoff timer and fire it.
             if let Some((d2, tok2)) = find_timer(&actions) {
-                now = now + d2;
+                now += d2;
                 let acts = m.on_timer(tok2, now);
                 if find_tx(&acts).is_none() {
                     break;

@@ -6,13 +6,13 @@
 //! keeps components statistically independent and means adding a new consumer
 //! of randomness does not perturb the draws seen by existing ones.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random stream derived from `(master_seed, label)`.
 ///
-/// Wraps a [`SmallRng`] and adds the distribution helpers the simulator
-/// needs: exponential, Pareto, and standard-normal variates.
+/// Wraps an inline xoshiro256++ generator (the algorithm behind `rand`'s
+/// `SmallRng` on 64-bit targets — implemented here because this build
+/// environment cannot fetch crates.io dependencies) and adds the
+/// distribution helpers the simulator needs: exponential, Pareto, and
+/// standard-normal variates.
 ///
 /// # Example
 ///
@@ -24,30 +24,51 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct StreamRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl StreamRng {
     /// Derives a stream from the master seed and a stable label.
     pub fn derive(master_seed: u64, label: &str) -> Self {
-        // FNV-1a over the label, mixed with the master seed via splitmix64.
+        // FNV-1a-style fold over the label (odd multiplier, not the exact
+        // FNV-64 prime — do not "correct" it: every derived stream, and so
+        // every seed-dependent result, would change), mixed with the master
+        // seed via splitmix64.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in label.as_bytes() {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        let seed = splitmix64(master_seed ^ h);
-        StreamRng { inner: SmallRng::seed_from_u64(seed) }
+        // Expand the mixed seed into four non-degenerate state words, as
+        // xoshiro's authors recommend: successive splitmix64 outputs.
+        let mut s = splitmix64(master_seed ^ h);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            s = splitmix64(s);
+            *word = s;
+        }
+        StreamRng { state }
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-rational construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n]` (inclusive). Used for 802.11 backoff
@@ -57,7 +78,9 @@ impl StreamRng {
     ///
     /// Never panics; `n = 0` always yields 0.
     pub fn uniform_slots(&mut self, n: u32) -> u32 {
-        self.inner.gen_range(0..=n)
+        // n + 1 ≤ 2^32 values; modulo bias over a u64 draw is < 2^-32 and
+        // irrelevant to backoff statistics.
+        (self.next_u64() % (u64::from(n) + 1)) as u32
     }
 
     /// Exponential variate with the given mean.

@@ -252,10 +252,7 @@ impl TcpSender {
     }
 
     fn send_limit(&self) -> u64 {
-        match self.app_limit {
-            Some(limit) => limit,
-            None => u64::MAX,
-        }
+        self.app_limit.unwrap_or(u64::MAX)
     }
 
     fn emit_data(&mut self, seq: u64, now: SimTime, retx: bool, out: &mut Vec<TcpAction>) {
@@ -513,8 +510,8 @@ mod tests {
 
     #[test]
     fn congestion_avoidance_grows_linearly() {
-        let mut cfg = TcpConfig::default();
-        cfg.initial_ssthresh = 2.0; // start in congestion avoidance
+        // Start directly in congestion avoidance.
+        let cfg = TcpConfig { initial_ssthresh: 2.0, ..TcpConfig::default() };
         let mut tx = TcpSender::new(cfg);
         tx.start_unlimited(t(0));
         tx.on_ack(1, 0, t(10));

@@ -1,0 +1,18 @@
+//! Facade crate for the RIPPLE reproduction workspace.
+//!
+//! The implementation lives in the `wmn_*` crates (and `ripple` for the
+//! scheme itself); this root package exists to own the cross-crate
+//! integration tests in `tests/` and the examples in `examples/`, and
+//! re-exports the sub-crates for convenience.
+
+pub use ripple;
+pub use wmn_experiments as experiments;
+pub use wmn_mac as mac;
+pub use wmn_metrics as metrics;
+pub use wmn_netsim as netsim;
+pub use wmn_phy as phy;
+pub use wmn_routing as routing;
+pub use wmn_sim as sim;
+pub use wmn_topology as topology;
+pub use wmn_traffic as traffic;
+pub use wmn_transport as transport;

@@ -57,12 +57,11 @@ fn data_relay_starts_one_slot_plus_sifs_after_the_overheard_frame() {
         let source_tx_end = trace
             .events
             .iter()
-            .filter(|e| {
+            .rfind(|e| {
                 e.node == NodeId::new(0)
                     && e.at <= relay.at
                     && matches!(e.kind, TraceKind::TxEnd)
             })
-            .next_back()
             .expect("the relay must follow a source transmission");
         let gap = us(relay.at) - us(source_tx_end.at);
         let expected = SIFS_US + SLOT_US; // rank 1
@@ -91,12 +90,11 @@ fn ack_relay_starts_one_sifs_after_the_destination_ack() {
         let dest_tx_end = trace
             .events
             .iter()
-            .filter(|e| {
+            .rfind(|e| {
                 e.node == NodeId::new(2)
                     && e.at <= ack_relay.at
                     && matches!(e.kind, TraceKind::TxEnd)
             })
-            .next_back()
             .expect("the ACK relay must follow the destination's ACK");
         let gap = us(ack_relay.at) - us(dest_tx_end.at);
         let expected = SIFS_US; // (rank 1 − 1)·slot + SIFS
@@ -125,12 +123,11 @@ fn destination_ack_follows_data_by_one_sifs() {
         let data_end = trace
             .events
             .iter()
-            .filter(|e| {
+            .rfind(|e| {
                 e.node != NodeId::new(2)
                     && e.at <= dest_ack.at
                     && matches!(e.kind, TraceKind::TxEnd)
             })
-            .next_back()
             .expect("an ACK must follow a data frame");
         let gap = us(dest_ack.at) - us(data_end.at);
         assert!(
