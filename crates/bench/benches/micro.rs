@@ -1,4 +1,5 @@
-//! Micro-benchmarks of the simulator's hot paths: the event queue, the
+//! Micro-benchmarks of the simulator's hot paths: the event queue
+//! (bulk and interleaved schedule/pop), the parallel grid executor, the
 //! shadowing medium, frame wire-size arithmetic, and end-to-end scheme
 //! comparisons on a canonical 3-hop flow (the ablation the DESIGN.md calls
 //! out: mTXOP alone vs aggregation alone vs both).
@@ -25,6 +26,50 @@ fn event_queue(c: &mut Criterion) {
             black_box(sum)
         });
     });
+    // The simulator's steady-state pattern: a bounded frontier where every
+    // pop schedules successors, many at the same instant (tie-break path).
+    c.bench_function("event_queue_interleaved_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..64u64 {
+                q.schedule(SimTime::from_nanos(i / 4), i);
+            }
+            let mut sum = 0u64;
+            for i in 64..10_000u64 {
+                let (t, e) = q.pop().expect("frontier never empties");
+                sum = sum.wrapping_add(e);
+                q.schedule(t + wmn_sim::SimDuration::from_nanos(i % 3), i);
+            }
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+/// The parallel grid engine on the canonical 3-hop scenario: serial vs all
+/// cores. On a multi-core host the second number tracks the wall-clock win
+/// `repro_all` gets; on a single-core host they coincide (engine overhead).
+fn executor_grid(c: &mut Criterion) {
+    use wmn_exec::{Executor, RunPlan};
+    let scenario = wmn_bench::three_hop_scenario(Scheme::Ripple { aggregation: 16 });
+    let seeds: Vec<u64> = (1..=8).collect();
+    let plan = RunPlan::grid(
+        std::slice::from_ref(&scenario),
+        &seeds,
+        wmn_sim::SimDuration::from_millis(20),
+    );
+    let mut group = c.benchmark_group("executor_grid_8_seeds");
+    group.sample_size(10);
+    group.bench_function("jobs_1", |b| {
+        b.iter(|| black_box(Executor::new(1).execute(&plan).results.len()));
+    });
+    group.bench_function("jobs_all_cores", |b| {
+        let jobs = wmn_exec::available_jobs();
+        b.iter(|| black_box(Executor::new(jobs).execute(&plan).results.len()));
+    });
+    group.finish();
 }
 
 fn medium_planning(c: &mut Criterion) {
@@ -55,5 +100,5 @@ fn scheme_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(micro, event_queue, medium_planning, scheme_ablation);
+criterion_group!(micro, event_queue, executor_grid, medium_planning, scheme_ablation);
 criterion_main!(micro);

@@ -1,0 +1,239 @@
+//! A minimal JSON document builder.
+//!
+//! The build environment has no serde, and the repro reports only need
+//! one-way emission, so this module provides just enough: an ordered
+//! [`Value`] tree with escaping-correct pretty printing. Object keys keep
+//! insertion order so emitted files are byte-stable run to run.
+
+use std::fmt;
+
+/// An ordered JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialise as `null`, as JSON has
+    /// no representation for them).
+    Num(f64),
+    /// An unsigned integer, serialised exactly (not via `f64`, which would
+    /// silently round values above 2^53 — seeds can be any `u64`).
+    Uint(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An object builder starting empty.
+    pub fn obj() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Appends a key/value pair (objects only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object — misuse is a programming error in
+    /// report-building code, not a runtime condition.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        match &mut self {
+            Value::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("Value::with called on a non-object"),
+        }
+        self
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Uint(n)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Uint(n as u64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+fn write_num(n: f64, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if !n.is_finite() {
+        return out.write_str("null");
+    }
+    // Integers print without a trailing `.0` so counts look like counts.
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        write!(out, "{}", n as i64)
+    } else {
+        write!(out, "{n}")
+    }
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => write!(out, "{b}"),
+        Value::Num(n) => write_num(*n, out),
+        Value::Uint(n) => write!(out, "{n}"),
+        Value::Str(s) => escape(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                return out.write_str("[]");
+            }
+            // Scalar-only arrays stay on one line; nested ones break.
+            let scalar = items
+                .iter()
+                .all(|i| !matches!(i, Value::Arr(_) | Value::Obj(_)));
+            if scalar {
+                out.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_str(", ")?;
+                    }
+                    write_value(item, indent, out)?;
+                }
+                out.write_str("]")
+            } else {
+                out.write_str("[\n")?;
+                for (i, item) in items.iter().enumerate() {
+                    out.write_str(&inner)?;
+                    write_value(item, indent + 1, out)?;
+                    if i + 1 < items.len() {
+                        out.write_str(",")?;
+                    }
+                    out.write_str("\n")?;
+                }
+                write!(out, "{pad}]")
+            }
+        }
+        Value::Obj(pairs) => {
+            if pairs.is_empty() {
+                return out.write_str("{}");
+            }
+            out.write_str("{\n")?;
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                out.write_str(&inner)?;
+                escape(key, out)?;
+                out.write_str(": ")?;
+                write_value(value, indent + 1, out)?;
+                if i + 1 < pairs.len() {
+                    out.write_str(",")?;
+                }
+                out.write_str("\n")?;
+            }
+            write!(out, "{pad}}}")
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Value::obj()
+            .with("name", "fig3")
+            .with("runs", 90u64)
+            .with("wall_ms", 12.5)
+            .with("seeds", vec![1u64, 2])
+            .with("ok", true)
+            .with("missing", Value::Null);
+        let s = doc.to_string();
+        assert!(s.contains("\"name\": \"fig3\""));
+        assert!(s.contains("\"runs\": 90"), "integers print bare: {s}");
+        assert!(s.contains("\"wall_ms\": 12.5"));
+        assert!(s.contains("\"seeds\": [1, 2]"));
+        assert!(s.contains("\"missing\": null"));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let s = Value::Str("a\"b\\c\nd\u{1}".into()).to_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn u64_values_serialise_exactly() {
+        // 2^53 + 1 is not representable as f64; seeds are arbitrary u64s.
+        let seed = (1u64 << 53) + 1;
+        assert_eq!(Value::from(seed).to_string(), "9007199254740993");
+        assert_eq!(Value::from(u64::MAX).to_string(), "18446744073709551615");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::Arr(vec![]).to_string(), "[]");
+        assert_eq!(Value::obj().to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn with_on_scalar_panics() {
+        let _ = Value::Null.with("k", 1u64);
+    }
+}

@@ -1,0 +1,148 @@
+//! Machine-readable repro reports.
+//!
+//! Each experiment artefact (figure/table) is written as one JSON file under
+//! the repro directory (default `target/repro/`), carrying the rendered
+//! result tables *and* the execution accounting — wall-clock, run count,
+//! summed busy time, worker count — so benchmark trajectories can be
+//! tracked across commits with `jq` instead of scraping stdout.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use wmn_metrics::Table;
+
+use crate::json::Value;
+use crate::telemetry::Snapshot;
+
+/// Environment variable overriding the report directory.
+pub const REPRO_DIR_ENV: &str = "RIPPLE_REPRO_DIR";
+
+/// The directory repro JSON is written to: [`REPRO_DIR_ENV`] if set,
+/// otherwise `target/repro` under the current working directory.
+pub fn repro_dir() -> PathBuf {
+    match std::env::var_os(REPRO_DIR_ENV) {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("target").join("repro"),
+    }
+}
+
+/// Execution accounting attached to one artefact report.
+#[derive(Clone, Copy, Debug)]
+pub struct ArtifactTiming {
+    /// Wall-clock time spent generating the artefact.
+    pub wall: Duration,
+    /// Executor counters accumulated while generating it.
+    pub exec: Snapshot,
+    /// Worker count the generating config requested.
+    pub jobs: usize,
+}
+
+fn table_value(table: &Table) -> Value {
+    Value::obj()
+        .with("title", table.title())
+        .with("headers", table.headers().to_vec())
+        .with(
+            "rows",
+            Value::Arr(table.rows().iter().map(|row| Value::from(row.clone())).collect()),
+        )
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Builds the JSON document for one artefact.
+pub fn artifact_document(
+    name: &str,
+    tables: &[Table],
+    timing: &ArtifactTiming,
+    duration_secs: f64,
+    seeds: &[u64],
+) -> Value {
+    Value::obj()
+        .with("artefact", name)
+        .with(
+            "config",
+            Value::obj()
+                .with("duration_secs", duration_secs)
+                .with("seeds", seeds.to_vec())
+                .with("jobs", timing.jobs),
+        )
+        .with(
+            "timing",
+            Value::obj()
+                .with("wall_ms", ms(timing.wall))
+                .with("busy_ms", ms(timing.exec.busy))
+                .with("runs", timing.exec.runs)
+                .with("plans", timing.exec.plans),
+        )
+        .with("tables", Value::Arr(tables.iter().map(table_value).collect()))
+}
+
+/// Writes one artefact report as `<dir>/<name>.json` and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk, …).
+pub fn write_artifact(
+    dir: &Path,
+    name: &str,
+    tables: &[Table],
+    timing: &ArtifactTiming,
+    duration_secs: f64,
+    seeds: &[u64],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let doc = artifact_document(name, tables, timing, duration_secs, seeds);
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{doc}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> ArtifactTiming {
+        ArtifactTiming {
+            wall: Duration::from_millis(250),
+            exec: Snapshot { plans: 1, runs: 6, busy: Duration::from_millis(900) },
+            jobs: 4,
+        }
+    }
+
+    #[test]
+    fn document_carries_tables_and_timing() {
+        let mut t = Table::new("Fig. X", vec!["scheme", "v"]);
+        t.add_numeric_row("RIPPLE", &[21.37]);
+        let doc = artifact_document("figx", &[t], &timing(), 1.0, &[1, 2]);
+        let s = doc.to_string();
+        assert!(s.contains("\"artefact\": \"figx\""));
+        assert!(s.contains("\"seeds\": [1, 2]"));
+        assert!(s.contains("\"runs\": 6"));
+        assert!(s.contains("\"jobs\": 4"));
+        assert!(s.contains("\"21.37\""));
+        assert!(s.contains("\"busy_ms\": 900"));
+    }
+
+    #[test]
+    fn writes_file_into_fresh_directory() {
+        let dir = std::env::temp_dir().join(format!("wmn-exec-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Table::new("T", vec!["a"]);
+        let path = write_artifact(&dir, "t", &[t], &timing(), 0.5, &[7]).expect("writable");
+        let body = std::fs::read_to_string(&path).expect("file exists");
+        assert!(body.contains("\"artefact\": \"t\""));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn default_dir_is_target_repro() {
+        // Only meaningful when the override is unset (it is, in tests).
+        if std::env::var_os(REPRO_DIR_ENV).is_none() {
+            assert_eq!(repro_dir(), PathBuf::from("target").join("repro"));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Process-wide execution counters.
+//!
+//! Every [`Executor::execute`](crate::Executor::execute) call records its
+//! [`ExecStats`] here, so a driver composed of many
+//! independent generator calls (e.g. `repro_all`, whose figure modules each
+//! run their own plans) can attribute runs and busy-time to each artefact
+//! without threading accounting through every generator signature: snapshot
+//! with [`take`] around each call and diff.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::executor::ExecStats;
+
+static PLANS: AtomicU64 = AtomicU64::new(0);
+static RUNS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative execution counters since the last [`take`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Plans executed.
+    pub plans: u64,
+    /// Individual simulation runs executed.
+    pub runs: u64,
+    /// Summed per-run execution time across all workers.
+    pub busy: Duration,
+}
+
+impl std::ops::AddAssign for Snapshot {
+    /// Totalling per-artefact snapshots back up (each [`take`] resets the
+    /// globals, so a driver summing per-phase deltas needs this).
+    fn add_assign(&mut self, other: Snapshot) {
+        self.plans += other.plans;
+        self.runs += other.runs;
+        self.busy += other.busy;
+    }
+}
+
+pub(crate) fn record(stats: &ExecStats) {
+    PLANS.fetch_add(1, Ordering::Relaxed);
+    RUNS.fetch_add(stats.runs as u64, Ordering::Relaxed);
+    BUSY_NS.fetch_add(stats.busy.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Returns the counters accumulated since the previous `take` (or process
+/// start) and resets them to zero.
+pub fn take() -> Snapshot {
+    Snapshot {
+        plans: PLANS.swap(0, Ordering::Relaxed),
+        runs: RUNS.swap(0, Ordering::Relaxed),
+        busy: Duration::from_nanos(BUSY_NS.swap(0, Ordering::Relaxed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_take_resets() {
+        // Other tests in this binary may execute plans concurrently, so only
+        // assert on the delta this test itself contributes.
+        let before = take();
+        record(&ExecStats {
+            runs: 3,
+            jobs: 2,
+            wall: Duration::from_millis(4),
+            busy: Duration::from_millis(7),
+        });
+        let snap = take();
+        assert!(snap.plans >= 1);
+        assert!(snap.runs >= 3);
+        assert!(snap.busy >= Duration::from_millis(7));
+        let _ = before;
+    }
+}

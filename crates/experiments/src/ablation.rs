@@ -15,17 +15,15 @@ use wmn_netsim::{FlowSpec, Scenario, Scheme, Workload};
 use wmn_phy::{PhyParams, Rate};
 use wmn_topology::{fig1, line};
 
-use crate::common::{run_averaged, ExpConfig};
+use crate::common::{next_named, run_grid, ExpConfig};
 
 /// Sweep of the forwarder-list cap on the 7-hop line (RIPPLE-16).
 pub fn max_forwarders(cfg: &ExpConfig) -> Table {
-    let mut table = Table::new(
-        "Ablation — forwarder cap on a 7-hop line (RIPPLE-16)",
-        vec!["max forwarders", "throughput (Mbps)"],
-    );
     let topo = line::line(7, false);
-    for cap in 1..=7usize {
-        let scenario = Scenario {
+    let caps: Vec<usize> = (1..=7).collect();
+    let scenarios: Vec<Scenario> = caps
+        .iter()
+        .map(|&cap| Scenario {
             name: format!("ablation-fwd-{cap}"),
             params: PhyParams::paper_216(),
             positions: topo.positions.clone(),
@@ -34,8 +32,13 @@ pub fn max_forwarders(cfg: &ExpConfig) -> Table {
             duration: cfg.duration,
             seed: 0,
             max_forwarders: cap,
-        };
-        let avg = run_averaged(&scenario, cfg);
+        })
+        .collect();
+    let mut table = Table::new(
+        "Ablation — forwarder cap on a 7-hop line (RIPPLE-16)",
+        vec!["max forwarders", "throughput (Mbps)"],
+    );
+    for (cap, avg) in caps.iter().zip(run_grid(&scenarios, cfg)) {
         table.add_numeric_row(cap.to_string(), &[avg.flows[0].throughput_mbps]);
     }
     table
@@ -43,15 +46,12 @@ pub fn max_forwarders(cfg: &ExpConfig) -> Table {
 
 /// Sweep of the aggregation limit on the ROUTE0 flow-1 path.
 pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
-    let mut table = Table::new(
-        "Ablation — aggregation limit on ROUTE0 flow 1",
-        vec!["packets/frame", "AFR (Mbps)", "RIPPLE (Mbps)"],
-    );
+    const AGGS: [usize; 5] = [1, 2, 4, 8, 16];
     let topo = fig1::topology();
-    for agg in [1usize, 2, 4, 8, 16] {
-        let mut row = Vec::new();
+    let mut scenarios = Vec::new();
+    for agg in AGGS {
         for scheme in [Scheme::Dcf { aggregation: agg }, Scheme::Ripple { aggregation: agg }] {
-            let scenario = Scenario {
+            scenarios.push(Scenario {
                 name: format!("ablation-agg-{agg}"),
                 params: PhyParams::paper_216(),
                 positions: topo.positions.clone(),
@@ -63,9 +63,22 @@ pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
-            };
-            row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
+            });
         }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    let mut table = Table::new(
+        "Ablation — aggregation limit on ROUTE0 flow 1",
+        vec!["packets/frame", "AFR (Mbps)", "RIPPLE (Mbps)"],
+    );
+    for agg in AGGS {
+        // Both schemes of a row share the scenario name, so this checks the
+        // row (aggregation limit) placement.
+        let row: Vec<f64> = (0..2)
+            .map(|_| {
+                next_named(&mut avgs, &format!("ablation-agg-{agg}")).flows[0].throughput_mbps
+            })
+            .collect();
         table.add_numeric_row(agg.to_string(), &row);
     }
     table
@@ -73,20 +86,16 @@ pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
 
 /// The multi-rate extension sweep (the paper's stated future work).
 pub fn phy_rates(cfg: &ExpConfig) -> Table {
-    let mut table = Table::new(
-        "Extension — PHY data rates on ROUTE0 flow 1",
-        vec!["data rate", "DCF (Mbps)", "RIPPLE (Mbps)", "gain"],
-    );
+    const RATES: [(&str, f64, f64); 3] =
+        [("6 Mbps", 6.0, 6.0), ("54 Mbps", 54.0, 24.0), ("216 Mbps", 216.0, 54.0)];
     let topo = fig1::topology();
-    for (label, data_mbps, basic_mbps) in
-        [("6 Mbps", 6.0, 6.0), ("54 Mbps", 54.0, 24.0), ("216 Mbps", 216.0, 54.0)]
-    {
+    let mut scenarios = Vec::new();
+    for (label, data_mbps, basic_mbps) in RATES {
         let mut params = PhyParams::paper_216();
         params.data_rate = Rate::mbps(data_mbps);
         params.basic_rate = Rate::mbps(basic_mbps);
-        let mut row = Vec::new();
         for scheme in [Scheme::Dcf { aggregation: 1 }, Scheme::Ripple { aggregation: 16 }] {
-            let scenario = Scenario {
+            scenarios.push(Scenario {
                 name: format!("ablation-rate-{label}"),
                 params: params.clone(),
                 positions: topo.positions.clone(),
@@ -98,9 +107,20 @@ pub fn phy_rates(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
-            };
-            row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
+            });
         }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    let mut table = Table::new(
+        "Extension — PHY data rates on ROUTE0 flow 1",
+        vec!["data rate", "DCF (Mbps)", "RIPPLE (Mbps)", "gain"],
+    );
+    for (label, _, _) in RATES {
+        let row: Vec<f64> = (0..2)
+            .map(|_| {
+                next_named(&mut avgs, &format!("ablation-rate-{label}")).flows[0].throughput_mbps
+            })
+            .collect();
         let gain = if row[0] > 0.0 { row[1] / row[0] } else { 0.0 };
         table.add_row(vec![
             label.to_string(),
@@ -118,7 +138,7 @@ mod tests {
     use wmn_sim::SimDuration;
 
     fn quick() -> ExpConfig {
-        ExpConfig { duration: SimDuration::from_millis(250), seeds: vec![1] }
+        ExpConfig::custom(SimDuration::from_millis(250), vec![1])
     }
 
     #[test]

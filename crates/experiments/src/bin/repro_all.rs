@@ -1,34 +1,136 @@
-//! Runs every experiment and prints all tables — the full reproduction in
-//! one command. Set RIPPLE_REPRO=paper for the 10 s x 5 seed settings.
+//! Runs every experiment, prints all tables, and writes one JSON report per
+//! artefact (tables + wall-clock/run accounting) under `target/repro/` — the
+//! full reproduction in one command.
+//!
+//! * `RIPPLE_REPRO` selects the setting: `quick` (default), `mid`, or
+//!   `paper` (the 10 s × 5 seed runs). Unknown values abort.
+//! * `RIPPLE_JOBS` caps the worker pool (default: all cores); results are
+//!   bit-identical for any value.
+//! * `RIPPLE_REPRO_DIR` overrides the JSON output directory.
 
+use std::path::Path;
+use std::time::Instant;
+
+use wmn_exec::report::{self, ArtifactTiming};
+use wmn_exec::telemetry;
 use wmn_experiments as exp;
 use wmn_experiments::ExpConfig;
+use wmn_metrics::Table;
+
+/// Generates one artefact, prints its tables, writes its JSON report, and
+/// appends a row to the wall-clock summary. Returns the artefact's executor
+/// counters so the caller can total them (each call drains the global
+/// telemetry, so the final summary must re-accumulate).
+fn emit(
+    name: &str,
+    generate: impl FnOnce() -> Vec<Table>,
+    cfg: &ExpConfig,
+    dir: &Path,
+    summary: &mut Table,
+) -> telemetry::Snapshot {
+    let t0 = Instant::now();
+    let tables = generate();
+    let wall = t0.elapsed();
+    let exec = telemetry::take();
+    for t in &tables {
+        println!("{t}");
+    }
+    let timing = ArtifactTiming { wall, exec, jobs: cfg.jobs };
+    match report::write_artifact(dir, name, &tables, &timing, cfg.duration.as_secs_f64(), &cfg.seeds)
+    {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {name}.json: {err}"),
+    }
+    let wall_s = wall.as_secs_f64();
+    let busy_s = exec.busy.as_secs_f64();
+    summary.add_row(vec![
+        name.to_string(),
+        exec.runs.to_string(),
+        format!("{wall_s:.2}"),
+        format!("{busy_s:.2}"),
+        format!("{:.2}x", if wall_s > 0.0 { busy_s / wall_s } else { 1.0 }),
+    ]);
+    exec
+}
 
 fn main() {
     let cfg = ExpConfig::from_env();
+    let dir = report::repro_dir();
     println!("# RIPPLE reproduction — all tables\n");
-    println!("{}", exp::fig2::generate());
-    println!("{}", exp::fig2::worked_example());
-    println!("{}", exp::motivation::generate(&cfg));
-    for t in exp::fig3::generate(1e-6, &cfg) {
-        println!("{t}");
-    }
-    for t in exp::fig3::generate(1e-5, &cfg) {
-        println!("{t}");
-    }
-    println!("{}", exp::fig6::generate_regular(&cfg));
-    println!("{}", exp::fig6::generate_hidden(&cfg));
-    for t in exp::fig7::generate(&cfg) {
-        println!("{t}");
-    }
-    println!("{}", exp::fig8::generate(&cfg));
-    for t in exp::table3::generate(&cfg) {
-        println!("{t}");
-    }
-    for t in exp::fig10::generate(&cfg) {
-        println!("{t}");
-    }
-    for t in exp::fig12::generate(&cfg) {
-        println!("{t}");
+    println!(
+        "({}s x {} seeds, {} workers; JSON -> {})\n",
+        cfg.duration.as_secs_f64(),
+        cfg.seeds.len(),
+        cfg.jobs,
+        dir.display()
+    );
+
+    let mut summary = Table::new(
+        "Run summary — wall-clock per artefact",
+        vec!["artefact", "runs", "wall (s)", "busy (s)", "speedup"],
+    );
+    let started = Instant::now();
+    let _ = telemetry::take(); // drop any counters from config resolution
+    let mut total_exec = telemetry::Snapshot::default();
+
+    total_exec += emit(
+        "fig2",
+        || vec![exp::fig2::generate(), exp::fig2::worked_example()],
+        &cfg,
+        &dir,
+        &mut summary,
+    );
+    total_exec +=
+        emit("motivation", || vec![exp::motivation::generate(&cfg)], &cfg, &dir, &mut summary);
+    total_exec += emit("fig3", || exp::fig3::generate(1e-6, &cfg), &cfg, &dir, &mut summary);
+    total_exec += emit("fig4", || exp::fig3::generate(1e-5, &cfg), &cfg, &dir, &mut summary);
+    total_exec += emit(
+        "fig6",
+        || vec![exp::fig6::generate_regular(&cfg), exp::fig6::generate_hidden(&cfg)],
+        &cfg,
+        &dir,
+        &mut summary,
+    );
+    total_exec += emit("fig7", || exp::fig7::generate(&cfg), &cfg, &dir, &mut summary);
+    total_exec += emit("fig8", || vec![exp::fig8::generate(&cfg)], &cfg, &dir, &mut summary);
+    total_exec += emit("table3", || exp::table3::generate(&cfg), &cfg, &dir, &mut summary);
+    total_exec += emit("fig10", || exp::fig10::generate(&cfg), &cfg, &dir, &mut summary);
+    total_exec += emit("fig12", || exp::fig12::generate(&cfg), &cfg, &dir, &mut summary);
+    total_exec += emit(
+        "ablation",
+        || {
+            vec![
+                exp::ablation::max_forwarders(&cfg),
+                exp::ablation::aggregation_limit(&cfg),
+                exp::ablation::phy_rates(&cfg),
+            ]
+        },
+        &cfg,
+        &dir,
+        &mut summary,
+    );
+
+    let total = started.elapsed();
+    summary.add_row(vec![
+        "TOTAL".into(),
+        total_exec.runs.to_string(),
+        format!("{:.2}", total.as_secs_f64()),
+        format!("{:.2}", total_exec.busy.as_secs_f64()),
+        String::new(),
+    ]);
+    println!("{summary}");
+    // The per-artefact emits drained the global counters; the summary
+    // reports their accumulated total.
+    let timing = ArtifactTiming { wall: total, exec: total_exec, jobs: cfg.jobs };
+    match report::write_artifact(
+        &dir,
+        "summary",
+        std::slice::from_ref(&summary),
+        &timing,
+        cfg.duration.as_secs_f64(),
+        &cfg.seeds,
+    ) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write summary.json: {err}"),
     }
 }

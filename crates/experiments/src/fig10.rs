@@ -13,7 +13,7 @@ use wmn_sim::NodeId;
 use wmn_topology::wigle;
 use wmn_traffic::CbrModel;
 
-use crate::common::{dar_schemes, run_averaged, ExpConfig};
+use crate::common::{dar_schemes, next_named, run_grid, ExpConfig};
 
 fn path_label(path: &[NodeId]) -> String {
     path.iter().map(|n| n.index().to_string()).collect::<Vec<_>>().join("-")
@@ -33,18 +33,10 @@ pub fn flow_paths() -> Vec<Vec<NodeId>> {
 pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
     let topo = wigle::topology();
     let paths = flow_paths();
-    let mut tables = Vec::new();
-    for (rate_label, params) in [("6Mbps", PhyParams::paper_6()), ("216Mbps", PhyParams::paper_216())]
-    {
+    let rates = [("6Mbps", PhyParams::paper_6()), ("216Mbps", PhyParams::paper_216())];
+    let mut scenarios = Vec::new();
+    for (rate_label, params) in &rates {
         for hidden in [false, true] {
-            let mut table = Table::new(
-                format!(
-                    "Fig. 10 — Wigle, {rate_label}{} — per-flow TCP throughput (Mbps)",
-                    if hidden { ", with hidden S->R" } else { "" }
-                ),
-                vec!["flow (path)", "DCF", "AFR", "RIPPLE"],
-            );
-            let mut columns: Vec<Vec<f64>> = Vec::new();
             for (label, scheme) in dar_schemes() {
                 let mut flows: Vec<FlowSpec> = paths
                     .iter()
@@ -56,7 +48,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                         workload: Workload::Cbr(CbrModel::heavy()),
                     });
                 }
-                let scenario = Scenario {
+                scenarios.push(Scenario {
                     name: format!("fig10-{label}-{rate_label}-{hidden}"),
                     params: params.clone(),
                     positions: topo.positions.clone(),
@@ -65,12 +57,29 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                     duration: cfg.duration,
                     seed: 0,
                     max_forwarders: 5,
-                };
-                let avg = run_averaged(&scenario, cfg);
-                columns.push(
-                    avg.flows.iter().take(paths.len()).map(|f| f.throughput_mbps).collect(),
-                );
+                });
             }
+        }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    let mut tables = Vec::new();
+    for (rate_label, _) in &rates {
+        for hidden in [false, true] {
+            let mut table = Table::new(
+                format!(
+                    "Fig. 10 — Wigle, {rate_label}{} — per-flow TCP throughput (Mbps)",
+                    if hidden { ", with hidden S->R" } else { "" }
+                ),
+                vec!["flow (path)", "DCF", "AFR", "RIPPLE"],
+            );
+            let columns: Vec<Vec<f64>> = dar_schemes()
+                .iter()
+                .map(|(label, _)| {
+                    let name = format!("fig10-{label}-{rate_label}-{hidden}");
+                    let avg = next_named(&mut avgs, &name);
+                    avg.flows.iter().take(paths.len()).map(|f| f.throughput_mbps).collect()
+                })
+                .collect();
             for (i, path) in paths.iter().enumerate() {
                 table.add_numeric_row(
                     path_label(path),
@@ -99,7 +108,7 @@ mod tests {
 
     #[test]
     fn tables_cover_rate_and_hidden_grid() {
-        let cfg = ExpConfig { duration: SimDuration::from_millis(120), seeds: vec![1] };
+        let cfg = ExpConfig::custom(SimDuration::from_millis(120), vec![1]);
         let tables = generate(&cfg);
         assert_eq!(tables.len(), 4, "2 rates x (plain, hidden)");
         assert_eq!(tables[0].row_count(), 8);

@@ -12,24 +12,18 @@ use wmn_netsim::{FlowSpec, Scenario, Workload};
 use wmn_phy::PhyParams;
 use wmn_topology::fig1::{self, RouteSet};
 
-use crate::common::{figure_schemes, run_averaged, ExpConfig};
+use crate::common::{figure_schemes, next_named, run_grid, ExpConfig};
 
 /// Generates one table per route set at the given BER.
+///
+/// The whole `(route set × scheme × activation × seed)` grid is built up
+/// front and fanned across the executor in one [`run_grid`] call.
 pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
     let topo = fig1::topology();
     let params = PhyParams::paper_216().with_ber(ber);
-    let mut tables = Vec::new();
+    let mut scenarios = Vec::new();
     for route_set in RouteSet::ALL {
-        let mut table = Table::new(
-            format!(
-                "Fig. {} ({}) — total TCP throughput (Mbps), BER {ber:.0e}",
-                if ber <= 1e-6 { 3 } else { 4 },
-                route_set.label()
-            ),
-            vec!["scheme", "flow 1", "flows 1+2", "flows 1+2+3"],
-        );
         for (label, scheme, direct) in figure_schemes() {
-            let mut row = Vec::new();
             for active in 1..=3usize {
                 let flows = (1..=active)
                     .map(|f| {
@@ -42,7 +36,7 @@ pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
                         FlowSpec { path, workload: Workload::Ftp }
                     })
                     .collect();
-                let scenario = Scenario {
+                scenarios.push(Scenario {
                     name: format!("fig3-{}-{label}-{active}", route_set.label()),
                     params: params.clone(),
                     positions: topo.positions.clone(),
@@ -51,9 +45,28 @@ pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
                     duration: cfg.duration,
                     seed: 0,
                     max_forwarders: 5,
-                };
-                row.push(run_averaged(&scenario, cfg).total_throughput_mbps);
+                });
             }
+        }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    let mut tables = Vec::new();
+    for route_set in RouteSet::ALL {
+        let mut table = Table::new(
+            format!(
+                "Fig. {} ({}) — total TCP throughput (Mbps), BER {ber:.0e}",
+                if ber <= 1e-6 { 3 } else { 4 },
+                route_set.label()
+            ),
+            vec!["scheme", "flow 1", "flows 1+2", "flows 1+2+3"],
+        );
+        for (label, _, _) in figure_schemes() {
+            let row: Vec<f64> = (1..=3)
+                .map(|active| {
+                    let name = format!("fig3-{}-{label}-{active}", route_set.label());
+                    next_named(&mut avgs, &name).total_throughput_mbps
+                })
+                .collect();
             table.add_numeric_row(label, &row);
         }
         tables.push(table);
@@ -67,7 +80,7 @@ mod tests {
 
     #[test]
     fn route0_single_flow_shape() {
-        let cfg = ExpConfig { duration: wmn_sim::SimDuration::from_millis(300), seeds: vec![1] };
+        let cfg = ExpConfig::custom(wmn_sim::SimDuration::from_millis(300), vec![1]);
         let tables = generate(1e-6, &cfg);
         assert_eq!(tables.len(), 3, "one table per route set");
         let t = &tables[0]; // ROUTE0

@@ -14,17 +14,14 @@ use wmn_phy::PhyParams;
 use wmn_topology::collision;
 use wmn_traffic::CbrModel;
 
-use crate::common::{dar_schemes, run_averaged, ExpConfig};
+use crate::common::{dar_schemes, next_named, run_grid, ExpConfig};
 
 /// Fig. 6(a): total throughput vs number of in-cell flows.
 pub fn generate_regular(cfg: &ExpConfig) -> Table {
-    let mut table = Table::new(
-        "Fig. 6(a) — single cell, total TCP throughput (Mbps) vs #flows",
-        vec!["scheme", "2 flows", "4 flows", "6 flows", "8 flows", "10 flows"],
-    );
+    const FLOW_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
+    let mut scenarios = Vec::new();
     for (label, scheme) in dar_schemes() {
-        let mut row = Vec::new();
-        for n_flows in [2usize, 4, 6, 8, 10] {
+        for n_flows in FLOW_COUNTS {
             let topo = collision::single_cell(n_flows);
             let flows = (0..n_flows)
                 .map(|i| {
@@ -32,7 +29,7 @@ pub fn generate_regular(cfg: &ExpConfig) -> Table {
                     FlowSpec { path: vec![s, d], workload: Workload::Ftp }
                 })
                 .collect();
-            let scenario = Scenario {
+            scenarios.push(Scenario {
                 name: format!("fig6a-{label}-{n_flows}"),
                 params: PhyParams::paper_216(),
                 positions: topo.positions.clone(),
@@ -41,9 +38,21 @@ pub fn generate_regular(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
-            };
-            row.push(run_averaged(&scenario, cfg).total_throughput_mbps);
+            });
         }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    let mut table = Table::new(
+        "Fig. 6(a) — single cell, total TCP throughput (Mbps) vs #flows",
+        vec!["scheme", "2 flows", "4 flows", "6 flows", "8 flows", "10 flows"],
+    );
+    for (label, _) in dar_schemes() {
+        let row: Vec<f64> = FLOW_COUNTS
+            .iter()
+            .map(|n_flows| {
+                next_named(&mut avgs, &format!("fig6a-{label}-{n_flows}")).total_throughput_mbps
+            })
+            .collect();
         table.add_numeric_row(label, &row);
     }
     table
@@ -52,13 +61,8 @@ pub fn generate_regular(cfg: &ExpConfig) -> Table {
 /// Fig. 6(b): flow-1 throughput vs number of hidden (saturated) flows.
 pub fn generate_hidden(cfg: &ExpConfig) -> Table {
     let counts = [0usize, 1, 3, 5, 7, 9];
-    let headers: Vec<String> = std::iter::once("scheme".to_string())
-        .chain(counts.iter().map(|c| format!("{c} hidden")))
-        .collect();
-    let mut table =
-        Table::new("Fig. 6(b) — flow-1 TCP throughput (Mbps) vs hidden flows", headers);
+    let mut scenarios = Vec::new();
     for (label, scheme) in dar_schemes() {
-        let mut row = Vec::new();
         for &n_hidden in &counts {
             let topo = collision::hidden_terminals(n_hidden);
             let mut flows =
@@ -70,7 +74,7 @@ pub fn generate_hidden(cfg: &ExpConfig) -> Table {
                     workload: Workload::Cbr(CbrModel::heavy()),
                 });
             }
-            let scenario = Scenario {
+            scenarios.push(Scenario {
                 name: format!("fig6b-{label}-{n_hidden}"),
                 params: PhyParams::paper_216(),
                 positions: topo.positions.clone(),
@@ -79,9 +83,23 @@ pub fn generate_hidden(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
-            };
-            row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
+            });
         }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    let headers: Vec<String> = std::iter::once("scheme".to_string())
+        .chain(counts.iter().map(|c| format!("{c} hidden")))
+        .collect();
+    let mut table =
+        Table::new("Fig. 6(b) — flow-1 TCP throughput (Mbps) vs hidden flows", headers);
+    for (label, _) in dar_schemes() {
+        let row: Vec<f64> = counts
+            .iter()
+            .map(|n_hidden| {
+                next_named(&mut avgs, &format!("fig6b-{label}-{n_hidden}")).flows[0]
+                    .throughput_mbps
+            })
+            .collect();
         table.add_numeric_row(label, &row);
     }
     table
@@ -93,7 +111,7 @@ mod tests {
     use wmn_sim::SimDuration;
 
     fn quick() -> ExpConfig {
-        ExpConfig { duration: SimDuration::from_millis(250), seeds: vec![1] }
+        ExpConfig::custom(SimDuration::from_millis(250), vec![1])
     }
 
     #[test]

@@ -12,10 +12,39 @@ use wmn_phy::PhyParams;
 use wmn_topology::line;
 use wmn_traffic::CbrModel;
 
-use crate::common::{dar_schemes, run_averaged, ExpConfig};
+use crate::common::{dar_schemes, next_named, run_grid, ExpConfig};
 
 /// Generates the (a) without-cross and (b) with-cross tables.
 pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
+    let mut scenarios = Vec::new();
+    for with_cross in [false, true] {
+        for (label, scheme) in dar_schemes() {
+            for hops in 2..=7usize {
+                let topo = line::line(hops, with_cross);
+                let mut flows =
+                    vec![FlowSpec { path: line::main_path(hops), workload: Workload::Ftp }];
+                if with_cross {
+                    flows.push(FlowSpec {
+                        path: line::cross_path(hops),
+                        workload: Workload::Cbr(CbrModel::heavy()),
+                    });
+                }
+                scenarios.push(Scenario {
+                    name: format!("fig7-{label}-{hops}-{with_cross}"),
+                    params: PhyParams::paper_216(),
+                    positions: topo.positions.clone(),
+                    scheme,
+                    flows,
+                    duration: cfg.duration,
+                    seed: 0,
+                    // Sec. IV-C: "we also consider up to 7 forwarders"
+                    // — the 6/7-hop lines need more than the default 5.
+                    max_forwarders: 7,
+                });
+            }
+        }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
     [false, true]
         .into_iter()
         .map(|with_cross| {
@@ -24,32 +53,13 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                 format!("Fig. 7{suffix} — TCP throughput (Mbps) vs hops"),
                 vec!["scheme", "2", "3", "4", "5", "6", "7"],
             );
-            for (label, scheme) in dar_schemes() {
-                let mut row = Vec::new();
-                for hops in 2..=7usize {
-                    let topo = line::line(hops, with_cross);
-                    let mut flows =
-                        vec![FlowSpec { path: line::main_path(hops), workload: Workload::Ftp }];
-                    if with_cross {
-                        flows.push(FlowSpec {
-                            path: line::cross_path(hops),
-                            workload: Workload::Cbr(CbrModel::heavy()),
-                        });
-                    }
-                    let scenario = Scenario {
-                        name: format!("fig7-{label}-{hops}-{with_cross}"),
-                        params: PhyParams::paper_216(),
-                        positions: topo.positions.clone(),
-                        scheme,
-                        flows,
-                        duration: cfg.duration,
-                        seed: 0,
-                        // Sec. IV-C: "we also consider up to 7 forwarders"
-                        // — the 6/7-hop lines need more than the default 5.
-                        max_forwarders: 7,
-                    };
-                    row.push(run_averaged(&scenario, cfg).flows[0].throughput_mbps);
-                }
+            for (label, _) in dar_schemes() {
+                let row: Vec<f64> = (2..=7)
+                    .map(|hops| {
+                        let name = format!("fig7-{label}-{hops}-{with_cross}");
+                        next_named(&mut avgs, &name).flows[0].throughput_mbps
+                    })
+                    .collect();
                 table.add_numeric_row(label, &row);
             }
             table
@@ -64,7 +74,7 @@ mod tests {
 
     #[test]
     fn throughput_decays_with_hops_and_ripple_survives_long_paths() {
-        let cfg = ExpConfig { duration: SimDuration::from_millis(300), seeds: vec![1] };
+        let cfg = ExpConfig::custom(SimDuration::from_millis(300), vec![1]);
         let tables = generate(&cfg);
         let t = &tables[0];
         let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();

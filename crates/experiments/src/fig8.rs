@@ -12,7 +12,7 @@ use wmn_phy::PhyParams;
 use wmn_topology::fig1::RouteSet;
 use wmn_traffic::WebModel;
 
-use crate::common::{dar_schemes, run_averaged, ExpConfig};
+use crate::common::{dar_schemes, run_grid, ExpConfig};
 
 /// Number of web users per station pair (paper: 10).
 pub const USERS_PER_PAIR: usize = 10;
@@ -37,12 +37,9 @@ pub fn generate(cfg: &ExpConfig) -> Table {
 /// Same with a configurable user count (benches use fewer).
 pub fn generate_with_users(cfg: &ExpConfig, users_per_pair: usize) -> Table {
     let topo = wmn_topology::fig1::topology();
-    let mut table = Table::new(
-        "Fig. 8 — web traffic, total throughput of all flows (Mbps)",
-        vec!["scheme", "total Mbps"],
-    );
-    for (label, scheme) in dar_schemes() {
-        let scenario = Scenario {
+    let scenarios: Vec<Scenario> = dar_schemes()
+        .into_iter()
+        .map(|(label, scheme)| Scenario {
             name: format!("fig8-{label}"),
             params: PhyParams::paper_216(),
             positions: topo.positions.clone(),
@@ -51,8 +48,14 @@ pub fn generate_with_users(cfg: &ExpConfig, users_per_pair: usize) -> Table {
             duration: cfg.duration,
             seed: 0,
             max_forwarders: 5,
-        };
-        let avg = run_averaged(&scenario, cfg);
+        })
+        .collect();
+    let avgs = run_grid(&scenarios, cfg);
+    let mut table = Table::new(
+        "Fig. 8 — web traffic, total throughput of all flows (Mbps)",
+        vec!["scheme", "total Mbps"],
+    );
+    for ((label, _), avg) in dar_schemes().into_iter().zip(avgs) {
         table.add_numeric_row(label, &[avg.total_throughput_mbps]);
     }
     table
@@ -70,7 +73,7 @@ mod tests {
 
     #[test]
     fn all_schemes_move_web_traffic() {
-        let cfg = ExpConfig { duration: SimDuration::from_millis(400), seeds: vec![1] };
+        let cfg = ExpConfig::custom(SimDuration::from_millis(400), vec![1]);
         let t = generate_with_users(&cfg, 2);
         for row in 0..3 {
             let v: f64 = t.cell(row, 1).unwrap().parse().unwrap();

@@ -7,6 +7,13 @@
 //! setup — EXPERIMENTS.md tracks the *shape* comparison (who wins, by
 //! roughly what factor, where crossovers fall).
 //!
+//! Every generator builds its full `(scenario × seed)` grid up front and
+//! funnels it through [`common::run_grid`], which fans the independent runs
+//! across the [`wmn_exec`] worker pool (`RIPPLE_JOBS`, default: all cores)
+//! and returns seed averages bit-identical to a serial loop. `repro_all`
+//! additionally writes per-artefact JSON (tables + timing) under
+//! `target/repro/`.
+//!
 //! | Paper artefact | Module | Binary |
 //! |---|---|---|
 //! | Fig. 2 / Sec. II timing formulas | [`fig2`] | `fig2_overhead` |

@@ -12,7 +12,7 @@ use wmn_netsim::{FlowSpec, Scenario, Scheme, Workload};
 use wmn_phy::PhyParams;
 use wmn_topology::fig1;
 
-use crate::common::{run_averaged, ExpConfig};
+use crate::common::{run_grid, ExpConfig};
 
 /// Runs the motivation comparison and returns the table.
 pub fn generate(cfg: &ExpConfig) -> Table {
@@ -24,27 +24,31 @@ pub fn generate(cfg: &ExpConfig) -> Table {
     // routing layer settles on, matching the paper's 6.7 Mbps regime.
     let path = fig1::RouteSet::Route0.flow_path(1);
 
-    let mut table = Table::new(
-        "Sec. II motivation — 1 TCP flow 0->3, BER 1e-6",
-        vec!["scheme", "throughput (Mbps)", "reordered (%)"],
-    );
     let schemes = [
         ("SPR", Scheme::Dcf { aggregation: 1 }),
         ("preExOR", Scheme::PreExor),
         ("MCExOR", Scheme::McExor),
     ];
-    for (label, scheme) in schemes {
-        let scenario = Scenario {
+    let scenarios: Vec<Scenario> = schemes
+        .iter()
+        .map(|(label, scheme)| Scenario {
             name: format!("motivation-{label}"),
             params: params.clone(),
             positions: topo.positions.clone(),
-            scheme,
+            scheme: *scheme,
             flows: vec![FlowSpec { path: path.clone(), workload: Workload::Ftp }],
             duration: cfg.duration,
             seed: 0,
             max_forwarders: 5,
-        };
-        let avg = run_averaged(&scenario, cfg);
+        })
+        .collect();
+    let avgs = run_grid(&scenarios, cfg);
+
+    let mut table = Table::new(
+        "Sec. II motivation — 1 TCP flow 0->3, BER 1e-6",
+        vec!["scheme", "throughput (Mbps)", "reordered (%)"],
+    );
+    for ((label, _), avg) in schemes.into_iter().zip(avgs) {
         table.add_numeric_row(
             label,
             &[avg.flows[0].throughput_mbps, avg.flows[0].reorder_fraction * 100.0],
@@ -59,7 +63,7 @@ mod tests {
 
     #[test]
     fn spr_wins_and_exor_reorders() {
-        let cfg = ExpConfig { duration: wmn_sim::SimDuration::from_millis(400), seeds: vec![1] };
+        let cfg = ExpConfig::custom(wmn_sim::SimDuration::from_millis(400), vec![1]);
         let t = generate(&cfg);
         let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
         let (spr, pre, mce) = (v(0, 1), v(1, 1), v(2, 1));

@@ -12,7 +12,7 @@ use wmn_phy::PhyParams;
 use wmn_topology::fig1::RouteSet;
 use wmn_traffic::VoipModel;
 
-use crate::common::{dar_schemes, run_averaged, ExpConfig};
+use crate::common::{dar_schemes, next_named, run_grid, ExpConfig};
 
 /// Builds the first `count` VoIP flows of the Table III matrix (10 per
 /// station pair, ROUTE0 paths).
@@ -32,32 +32,44 @@ pub fn voip_flows(count: usize) -> Vec<FlowSpec> {
 
 /// Generates the Table III reproduction: one table per BER.
 pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
-    [1e-5, 1e-6]
-        .into_iter()
+    const BERS: [f64; 2] = [1e-5, 1e-6];
+    const COUNTS: [usize; 3] = [10, 20, 30];
+    let topo = wmn_topology::fig1::topology();
+    let mut scenarios = Vec::new();
+    for ber in BERS {
+        let params = PhyParams::paper_6().with_ber(ber);
+        for (label, scheme) in dar_schemes() {
+            for count in COUNTS {
+                scenarios.push(Scenario {
+                    name: format!("table3-{label}-{count}-{ber:e}"),
+                    params: params.clone(),
+                    positions: topo.positions.clone(),
+                    scheme,
+                    flows: voip_flows(count),
+                    duration: cfg.duration,
+                    seed: 0,
+                    max_forwarders: 5,
+                });
+            }
+        }
+    }
+    let mut avgs = run_grid(&scenarios, cfg).into_iter();
+    BERS.into_iter()
         .map(|ber| {
-            let topo = wmn_topology::fig1::topology();
-            let params = PhyParams::paper_6().with_ber(ber);
             let mut table = Table::new(
                 format!("Table III — VoIP MoS, 6 Mbps, BER {ber:.0e}"),
                 vec!["scheme", "flows 1..10", "flows 1..20", "flows 1..30"],
             );
-            for (label, scheme) in dar_schemes() {
-                let mut row = Vec::new();
-                for count in [10usize, 20, 30] {
-                    let scenario = Scenario {
-                        name: format!("table3-{label}-{count}-{ber:e}"),
-                        params: params.clone(),
-                        positions: topo.positions.clone(),
-                        scheme,
-                        flows: voip_flows(count),
-                        duration: cfg.duration,
-                        seed: 0,
-                        max_forwarders: 5,
-                    };
-                    let avg = run_averaged(&scenario, cfg);
-                    let moses: Vec<f64> = avg.flows.iter().filter_map(|f| f.mos).collect();
-                    row.push(mean(&moses));
-                }
+            for (label, _) in dar_schemes() {
+                let row: Vec<f64> = COUNTS
+                    .iter()
+                    .map(|count| {
+                        let name = format!("table3-{label}-{count}-{ber:e}");
+                        let avg = next_named(&mut avgs, &name);
+                        let moses: Vec<f64> = avg.flows.iter().filter_map(|f| f.mos).collect();
+                        mean(&moses)
+                    })
+                    .collect();
                 table.add_numeric_row(label, &row);
             }
             table
@@ -80,7 +92,7 @@ mod tests {
 
     #[test]
     fn light_load_gives_good_mos() {
-        let cfg = ExpConfig { duration: SimDuration::from_millis(600), seeds: vec![1] };
+        let cfg = ExpConfig::custom(SimDuration::from_millis(600), vec![1]);
         let tables = generate(&cfg);
         assert_eq!(tables.len(), 2);
         // Clear channel, 10 flows, RIPPLE row: MoS should be well above 2.

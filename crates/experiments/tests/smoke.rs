@@ -15,7 +15,7 @@ use wmn_sim::SimDuration;
 
 /// The smallest configuration that still drives every code path.
 fn micro() -> ExpConfig {
-    ExpConfig { duration: SimDuration::from_millis(10), seeds: vec![1] }
+    ExpConfig::custom(SimDuration::from_millis(10), vec![1])
 }
 
 #[test]

@@ -102,7 +102,8 @@ pub enum MacAction {
 }
 
 /// Statistics every MAC keeps; used by experiments and by test assertions.
-#[derive(Clone, Copy, Default, Debug)]
+/// `PartialEq`/`Eq` support the executor's bit-identity determinism checks.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct MacStats {
     /// Data frames put on the air (including retransmissions).
     pub data_frames_sent: u64,

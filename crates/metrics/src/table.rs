@@ -53,6 +53,16 @@ impl Table {
         &self.title
     }
 
+    /// The column headers, in display order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order (used by JSON report emission).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn row_count(&self) -> usize {
         self.rows.len()

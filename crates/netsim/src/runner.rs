@@ -23,7 +23,7 @@ use crate::scenario::{FlowSpec, Scenario, Scheme, Workload};
 use crate::trace::{FrameKind, Trace, TraceEvent, TraceKind};
 
 /// TCP-specific per-flow results.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TcpFlowResult {
     /// Data segments that arrived at the receiver (incl. duplicates).
     pub segments_arrived: u64,
@@ -45,8 +45,10 @@ impl TcpFlowResult {
     }
 }
 
-/// VoIP-specific per-flow results.
-#[derive(Clone, Copy, Debug)]
+/// VoIP-specific per-flow results. `PartialEq` compares the `f64` fields
+/// exactly — that is the point: the executor's determinism tests assert
+/// bit-identical results across worker counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VoipFlowResult {
     /// Datagrams handed to the MAC at the source.
     pub sent: u64,
@@ -66,7 +68,7 @@ pub struct VoipFlowResult {
 }
 
 /// Results for one flow of a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowResult {
     /// The flow id (index into the scenario's flow list).
     pub flow: FlowId,
@@ -81,7 +83,7 @@ pub struct FlowResult {
 }
 
 /// Results of one complete run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Per-flow results, in scenario order.
     pub flows: Vec<FlowResult>,
@@ -141,6 +143,17 @@ struct World {
 
 /// Executes a scenario to completion and returns per-flow results.
 ///
+/// # Thread safety
+///
+/// `run` is a pure function of `scenario`: the entire simulation world — MAC state
+/// machines, receivers, medium, event queue, and every RNG stream — is built
+/// from the scenario's master seed via [`RngDirectory`] and dropped before
+/// returning. There are no globals, no interior mutability shared between
+/// runs, and no ambient randomness, so concurrent `run` calls on different
+/// scenarios (or different seeds of the same scenario) are independent.
+/// [`Scenario`] and [`RunResult`] are `Send` (enforced below at compile
+/// time), which is what lets `wmn_exec` move runs onto worker threads.
+///
 /// # Panics
 ///
 /// Panics on malformed scenarios (empty paths, node ids out of range,
@@ -151,6 +164,16 @@ pub fn run(scenario: &Scenario) -> RunResult {
     world.run_loop();
     world.results(scenario)
 }
+
+// Compile-time audit for the parallel executor: a scenario must be movable
+// to a worker thread and its result movable back. If a future change smuggles
+// an `Rc`/raw pointer into either type, this fails to compile instead of
+// failing at the `wmn_exec` call site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Scenario>();
+    assert_send::<RunResult>();
+};
 
 /// Like [`run`], but also returns the full event [`Trace`] of the run.
 /// Tracing costs memory proportional to the number of transmissions; use

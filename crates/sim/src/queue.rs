@@ -92,6 +92,14 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Total events ever scheduled on this queue (the next tie-break
+    /// sequence number). Monotone over the queue's lifetime — it never
+    /// resets on pops — which is what keeps FIFO order stable when
+    /// schedules and pops interleave at one instant.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -145,6 +153,71 @@ mod tests {
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
         assert!(q.is_empty());
+    }
+
+    /// The adversarial case for the tie-break: schedules and pops
+    /// interleaved *at the same instant*. Events scheduled after a pop must
+    /// still come out after the earlier survivors, not jump the queue.
+    #[test]
+    fn interleaved_schedule_pop_at_equal_timestamps_stays_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(3);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Scheduled mid-drain, same instant: must follow "b".
+        q.schedule(t, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.schedule(t, "d");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert!(q.is_empty());
+    }
+
+    /// Draining the queue completely must not reset the tie-break: a second
+    /// wave at the same instant still pops in schedule order, and the
+    /// sequence counter only ever grows.
+    #[test]
+    fn seq_survives_full_drain() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(9);
+        q.schedule(t, 0);
+        q.schedule(t, 1);
+        assert_eq!(q.scheduled_total(), 2);
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 2, "pops must not rewind the counter");
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.scheduled_total(), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 3]);
+    }
+
+    /// The simulator's actual access pattern under MAC timer storms: a
+    /// rolling window where each popped event schedules successors at the
+    /// same or a later instant. Global order must stay (time, insertion).
+    #[test]
+    fn rolling_interleave_preserves_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        let mut popped = Vec::new();
+        for wave in 0..50u64 {
+            let t = SimTime::from_micros(wave / 4); // several waves share a tick
+            q.schedule(t, (t, wave)); // wave doubles as the insertion id
+            if wave % 3 == 2 {
+                popped.push(q.pop().expect("queue non-empty"));
+            }
+        }
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped.len(), 50);
+        for pair in popped.windows(2) {
+            let ((ta, (_, ia)), (tb, (_, ib))) = (pair[0], pair[1]);
+            assert!(ta <= tb, "pop times must be non-decreasing");
+            if ta == tb {
+                assert!(ia < ib, "equal instants must preserve insertion order");
+            }
+        }
     }
 
     proptest! {

@@ -9,7 +9,7 @@ use wmn_phy::{PhyParams, Position};
 use wmn_sim::{NodeId, SimDuration};
 
 fn cfg(ms: u64) -> ExpConfig {
-    ExpConfig { duration: SimDuration::from_millis(ms), seeds: vec![1, 2] }
+    ExpConfig::custom(SimDuration::from_millis(ms), vec![1, 2])
 }
 
 fn chain_scenario(scheme: Scheme, ms: u64) -> Scenario {
