@@ -25,10 +25,7 @@ pub fn three_hop_scenario(scheme: Scheme) -> Scenario {
         params: PhyParams::paper_216(),
         positions: (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect(),
         scheme,
-        flows: vec![FlowSpec {
-            path: (0..4).map(NodeId::new).collect(),
-            workload: Workload::Ftp,
-        }],
+        flows: vec![FlowSpec { path: (0..4).map(NodeId::new).collect(), workload: Workload::Ftp }],
         duration: SimDuration::from_millis(100),
         seed: 7,
         max_forwarders: 5,

@@ -152,7 +152,7 @@ impl RippleMac {
             rq: HashMap::new(),
             rng,
             stats: MacStats::default(),
-        relays_performed: 0,
+            relays_performed: 0,
         }
     }
 
@@ -292,9 +292,10 @@ impl RippleMac {
     fn transmit_data(&mut self, out: &mut Vec<MacAction>) {
         self.backoff.clear();
         if self.inflight.is_none() {
-            let batch = self
-                .q
-                .pop_batch_matching_head(self.cfg.max_aggregation, self.cfg.max_frame_payload_bytes);
+            let batch = self.q.pop_batch_matching_head(
+                self.cfg.max_aggregation,
+                self.cfg.max_frame_payload_bytes,
+            );
             if batch.is_empty() {
                 return;
             }
@@ -397,11 +398,7 @@ impl RippleMac {
         if clean.is_empty() {
             return;
         }
-        let relay = DataFrame {
-            transmitter: self.node,
-            subframes: clean,
-            ..d.clone()
-        };
+        let relay = DataFrame { transmitter: self.node, subframes: clean, ..d.clone() };
         let wait = self.cfg.timing.data_relay_wait(my_rank);
         self.data_relayed.insert(key);
         self.schedule_relay((d.flow, d.src, d.frame_seq, false), Frame::Data(relay), wait, out);
@@ -497,9 +494,7 @@ impl RippleMac {
             self.timer_roles.remove(&token.0);
         }
         let before = inflight.subframes.len();
-        inflight
-            .subframes
-            .retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
+        inflight.subframes.retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
         let progressed = inflight.subframes.len() < before;
         self.data_state = DataState::Idle;
         self.backoff.on_success();
@@ -640,9 +635,7 @@ impl MacEntity for RippleMac {
                 let bytes: u32 = inflight
                     .subframes
                     .iter()
-                    .map(|(_, p)| {
-                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + p.header.wire_bytes
-                    })
+                    .map(|(_, p)| wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + p.header.wire_bytes)
                     .sum::<u32>()
                     + wmn_mac::frame::MAC_HEADER_BYTES;
                 (inflight.list.len(), bytes)

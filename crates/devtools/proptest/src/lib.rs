@@ -181,9 +181,9 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/a, B/b);
-impl_tuple_strategy!(A/a, B/b, C/c);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 
 /// Strategy producing unconstrained values of `T`, see [`any`].
 pub struct Any<T> {

@@ -39,9 +39,7 @@ pub fn jobs_from_env() -> Result<usize, String> {
         Err(_) => Ok(available_jobs()),
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!(
-                "{JOBS_ENV} must be a positive integer worker count, got {raw:?}"
-            )),
+            _ => Err(format!("{JOBS_ENV} must be a positive integer worker count, got {raw:?}")),
         },
     }
 }
@@ -160,8 +158,7 @@ impl Executor {
                             }
                             let t0 = Instant::now();
                             let result = run(&specs[i].scenario);
-                            busy_ns
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             local.push((i, result));
                         }
                         collected.lock().expect("no worker poisons the sink").extend(local);

@@ -1,9 +1,10 @@
-//! A minimal JSON document builder.
+//! A minimal JSON document builder and parser.
 //!
-//! The build environment has no serde, and the repro reports only need
-//! one-way emission, so this module provides just enough: an ordered
-//! [`Value`] tree with escaping-correct pretty printing. Object keys keep
-//! insertion order so emitted files are byte-stable run to run.
+//! The build environment has no serde, so this module provides just enough:
+//! an ordered [`Value`] tree with escaping-correct pretty printing, plus a
+//! strict recursive-descent [`parse`] so scenario specs and committed repro
+//! baselines can be read back. Object keys keep insertion order so emitted
+//! files are byte-stable run to run.
 
 use std::fmt;
 
@@ -46,6 +47,299 @@ impl Value {
             _ => panic!("Value::with called on a non-object"),
         }
         self
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of a [`Value::Num`] or [`Value::Uint`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Uint(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer value of a [`Value::Uint`], or of a [`Value::Num`] that
+    /// is an exact non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(n) => Some(*n),
+            // Strictly below u64::MAX-as-f64 (= 2^64): the cast is then
+            // exact for every integral double, never saturating.
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The borrowed contents of a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of a [`Value::Arr`].
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value of a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict JSON (no comments, no trailing commas); object key order is
+/// preserved, and duplicate keys are rejected so a hand-edited spec cannot
+/// silently half-apply. Non-negative integers without fraction or exponent
+/// parse as [`Value::Uint`] (exact for any `u64` seed), everything else
+/// numeric as [`Value::Num`].
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON error at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&c) = rest.first() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).copied().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not emitted by our writer; map
+                            // them to the replacement character on input.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar (the input is a &str, so the
+                    // byte sequence is valid by construction).
+                    let text = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
+                    let ch = text.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Strict JSON integer part: `0` or a non-zero digit followed by
+        // more digits — `01` and a bare `-` are rejected, as every
+        // conforming tool would.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err("leading zeros are not valid JSON"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                self.digits();
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        if integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Uint(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+            _ => Err(self.err(&format!("invalid number {text:?}"))),
+        }
     }
 }
 
@@ -133,9 +427,7 @@ fn write_value(v: &Value, indent: usize, out: &mut fmt::Formatter<'_>) -> fmt::R
                 return out.write_str("[]");
             }
             // Scalar-only arrays stay on one line; nested ones break.
-            let scalar = items
-                .iter()
-                .all(|i| !matches!(i, Value::Arr(_) | Value::Obj(_)));
+            let scalar = items.iter().all(|i| !matches!(i, Value::Arr(_) | Value::Obj(_)));
             if scalar {
                 out.write_str("[")?;
                 for (i, item) in items.iter().enumerate() {
@@ -235,5 +527,79 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn with_on_scalar_panics() {
         let _ = Value::Null.with("k", 1u64);
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        let doc = Value::obj()
+            .with("name", "sweep")
+            .with("seed", (1u64 << 53) + 1)
+            .with("rate", -2.5)
+            .with("grid", vec![1u64, 2, 3])
+            .with("nested", Value::obj().with("ok", true).with("none", Value::Null));
+        let text = doc.to_string();
+        let back = parse(&text).expect("emitted JSON must parse");
+        assert_eq!(back, doc);
+        // Re-emission is byte-stable.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(parse("7").unwrap(), Value::Uint(7));
+        assert_eq!(parse("18446744073709551615").unwrap(), Value::Uint(u64::MAX));
+        assert_eq!(parse("-3").unwrap(), Value::Num(-3.0));
+        assert_eq!(parse("2.5e2").unwrap(), Value::Num(250.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":1,}", "{\"a\":1 \"b\":2}", "tru", "1 2", "nan"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let dup = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+        assert!(dup.contains("duplicate"), "{dup}");
+    }
+
+    #[test]
+    fn parse_enforces_the_json_number_grammar() {
+        // Forms every conforming JSON tool rejects must not slip through a
+        // hand-edited spec here either.
+        for bad in ["01", "-01", "1.", "-.5", ".5", "-", "1e", "1e+", "+1"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert_eq!(parse("0").unwrap(), Value::Uint(0));
+        assert_eq!(parse("-0.5").unwrap(), Value::Num(-0.5));
+        assert_eq!(parse("10.25e-2").unwrap(), Value::Num(0.1025));
+    }
+
+    #[test]
+    fn as_u64_never_saturates() {
+        // An integral double just above u64::MAX must be rejected, not
+        // silently clamped to u64::MAX.
+        assert_eq!(Value::Num(18_500_000_000_000_000_000.0).as_u64(), None);
+        assert_eq!(Value::Num(2.0f64.powi(64)).as_u64(), None);
+        let largest_exact = (u64::MAX >> 11) << 11; // representable & < 2^64
+        assert_eq!(Value::Num(largest_exact as f64).as_u64(), Some(largest_exact));
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = parse("\"a\\\"b\\\\c\\nd\\u0041\"").unwrap();
+        assert_eq!(v, Value::Str("a\"b\\c\nd A".replace("d A", "d\u{41}")));
+    }
+
+    #[test]
+    fn accessors_read_typed_fields() {
+        let doc = parse("{\"n\": 3, \"x\": 1.5, \"s\": \"hi\", \"b\": false, \"a\": [1]}").unwrap();
+        assert_eq!(doc.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(doc.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(doc.get("x").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(doc.get("x").and_then(Value::as_u64), None);
+        assert_eq!(doc.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(doc.get("b").and_then(Value::as_bool), Some(false));
+        assert_eq!(doc.get("a").and_then(Value::as_arr).map(<[Value]>::len), Some(1));
+        assert!(doc.get("missing").is_none());
+        assert!(Value::Null.get("k").is_none());
     }
 }

@@ -98,10 +98,7 @@ mod tests {
         Scenario {
             name: name.into(),
             params: wmn_phy::PhyParams::paper_216(),
-            positions: vec![
-                wmn_phy::Position::new(0.0, 0.0),
-                wmn_phy::Position::new(5.0, 0.0),
-            ],
+            positions: vec![wmn_phy::Position::new(0.0, 0.0), wmn_phy::Position::new(5.0, 0.0)],
             scheme: Scheme::Dcf { aggregation: 1 },
             flows: vec![FlowSpec {
                 path: vec![NodeId::new(0), NodeId::new(1)],
@@ -122,10 +119,7 @@ mod tests {
         assert_eq!(seeds, vec![7, 8, 9, 7, 8, 9]);
         assert_eq!(plan.specs()[0].scenario.name, "a");
         assert_eq!(plan.specs()[3].scenario.name, "b");
-        assert!(plan
-            .specs()
-            .iter()
-            .all(|s| s.scenario.duration == SimDuration::from_millis(20)));
+        assert!(plan.specs().iter().all(|s| s.scenario.duration == SimDuration::from_millis(20)));
     }
 
     #[test]

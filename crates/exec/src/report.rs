@@ -38,14 +38,13 @@ pub struct ArtifactTiming {
     pub jobs: usize,
 }
 
-fn table_value(table: &Table) -> Value {
+/// The JSON shape of one rendered [`Table`] (`title` / `headers` / `rows`),
+/// shared by the artefact reports and the sweep documents.
+pub fn table_value(table: &Table) -> Value {
     Value::obj()
         .with("title", table.title())
         .with("headers", table.headers().to_vec())
-        .with(
-            "rows",
-            Value::Arr(table.rows().iter().map(|row| Value::from(row.clone())).collect()),
-        )
+        .with("rows", Value::Arr(table.rows().iter().map(|row| Value::from(row.clone())).collect()))
 }
 
 fn ms(d: Duration) -> f64 {

@@ -75,9 +75,7 @@ pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
         // Both schemes of a row share the scenario name, so this checks the
         // row (aggregation limit) placement.
         let row: Vec<f64> = (0..2)
-            .map(|_| {
-                next_named(&mut avgs, &format!("ablation-agg-{agg}")).flows[0].throughput_mbps
-            })
+            .map(|_| next_named(&mut avgs, &format!("ablation-agg-{agg}")).flows[0].throughput_mbps)
             .collect();
         table.add_numeric_row(agg.to_string(), &row);
     }
@@ -162,9 +160,7 @@ mod tests {
     #[test]
     fn ripple_gain_grows_with_rate() {
         let t = phy_rates(&quick());
-        let gain = |r: usize| {
-            t.cell(r, 3).unwrap().trim_end_matches('x').parse::<f64>().unwrap()
-        };
+        let gain = |r: usize| t.cell(r, 3).unwrap().trim_end_matches('x').parse::<f64>().unwrap();
         assert!(
             gain(2) > gain(0),
             "the overhead-amortisation gain must grow with PHY rate: {} vs {}",

@@ -36,8 +36,14 @@ fn emit(
         println!("{t}");
     }
     let timing = ArtifactTiming { wall, exec, jobs: cfg.jobs };
-    match report::write_artifact(dir, name, &tables, &timing, cfg.duration.as_secs_f64(), &cfg.seeds)
-    {
+    match report::write_artifact(
+        dir,
+        name,
+        &tables,
+        &timing,
+        cfg.duration.as_secs_f64(),
+        &cfg.seeds,
+    ) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write {name}.json: {err}"),
     }

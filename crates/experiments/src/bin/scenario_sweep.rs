@@ -1,0 +1,125 @@
+//! Runs a generated-scenario sweep: expands a `wmn_scengen::SweepSpec`
+//! grid, fans it across the `wmn_exec` worker pool, prints the
+//! seed-averaged table, and writes two JSON files under the repro directory
+//! (default `target/repro/`, override with `RIPPLE_REPRO_DIR`):
+//!
+//! * `sweep_<name>.json` — spec echo + run count + result tables. Contains
+//!   no timing, so it is **byte-identical for any `RIPPLE_JOBS`** (pinned
+//!   by `tests/sweep_determinism.rs` and diffed by the CI baseline gate).
+//! * `sweep_<name>_timing.json` — wall/busy/runs/jobs accounting for
+//!   perf-trajectory tracking.
+//!
+//! Usage:
+//!
+//! ```text
+//! scenario_sweep                    # the built-in ci-quick grid (32 runs)
+//! scenario_sweep --spec sweep.json  # a sweep spec from disk
+//! scenario_sweep --print-spec       # print the built-in spec as JSON and exit
+//! scenario_sweep --out DIR          # write reports somewhere else
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use wmn_exec::json::Value;
+use wmn_exec::{report, telemetry, Executor};
+use wmn_experiments::sweep::{artefact_name, run_sweep};
+use wmn_scengen::SweepSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario_sweep [--spec <file.json>] [--out <dir>] [--print-spec]\n\
+         \n\
+         Runs the built-in ci-quick sweep unless --spec points at a SweepSpec\n\
+         JSON file (see `--print-spec` for the schema by example).\n\
+         RIPPLE_JOBS caps the worker pool; results are identical for any value."
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut print_spec = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--out" => out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--print-spec" => print_spec = true,
+            _ => usage(),
+        }
+    }
+
+    let spec = match &spec_path {
+        None => SweepSpec::ci_quick(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+                eprintln!("error: cannot read {}: {err}", path.display());
+                exit(1)
+            });
+            SweepSpec::parse(&text).unwrap_or_else(|err| {
+                eprintln!("error: {}: {err}", path.display());
+                exit(1)
+            })
+        }
+    };
+    if print_spec {
+        println!("{}", spec.to_json());
+        return;
+    }
+
+    let jobs = Executor::from_env().jobs();
+    println!(
+        "# Sweep {} — {} scenarios × {} run seeds = {} runs, {} workers\n",
+        spec.name,
+        spec.scenario_count(),
+        spec.run_seeds.len(),
+        spec.run_count(),
+        jobs
+    );
+    let _ = telemetry::take();
+    let started = Instant::now();
+    let outcome = run_sweep(&spec, jobs).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        exit(1)
+    });
+    let wall = started.elapsed();
+    let exec = telemetry::take();
+    println!("{}", outcome.table);
+
+    let dir = out_dir.unwrap_or_else(report::repro_dir);
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {err}", dir.display());
+        exit(1);
+    }
+    let stem = artefact_name(&spec);
+    let report_path = dir.join(format!("{stem}.json"));
+    let timing_path = dir.join(format!("{stem}_timing.json"));
+    let timing = Value::obj().with("sweep", spec.name.as_str()).with(
+        "timing",
+        Value::obj()
+            .with("wall_ms", wall.as_secs_f64() * 1e3)
+            .with("busy_ms", exec.busy.as_secs_f64() * 1e3)
+            .with("runs", exec.runs)
+            .with("plans", exec.plans)
+            .with("jobs", jobs),
+    );
+    for (path, doc) in [(&report_path, &outcome.document), (&timing_path, &timing)] {
+        match std::fs::write(path, format!("{doc}\n")) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                exit(1)
+            }
+        }
+    }
+    let wall_s = wall.as_secs_f64();
+    let busy_s = exec.busy.as_secs_f64();
+    println!(
+        "\n{} runs in {wall_s:.2}s wall / {busy_s:.2}s busy ({:.2}x concurrency)",
+        exec.runs,
+        if wall_s > 0.0 { busy_s / wall_s } else { 1.0 }
+    );
+}

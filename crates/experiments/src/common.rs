@@ -175,9 +175,7 @@ pub fn run_grid(scenarios: &[Scenario], cfg: &ExpConfig) -> Vec<AvgResult> {
 /// Panics if the iterator is exhausted or the next result's scenario name
 /// differs from `expected`.
 pub fn next_named(avgs: &mut impl Iterator<Item = AvgResult>, expected: &str) -> AvgResult {
-    let avg = avgs
-        .next()
-        .unwrap_or_else(|| panic!("grid exhausted before scenario {expected:?}"));
+    let avg = avgs.next().unwrap_or_else(|| panic!("grid exhausted before scenario {expected:?}"));
     assert_eq!(
         avg.scenario, expected,
         "build/consume loop drift: expected scenario {expected:?}, grid has {:?}",
@@ -189,9 +187,7 @@ pub fn next_named(avgs: &mut impl Iterator<Item = AvgResult>, expected: &str) ->
 /// Runs one scenario once per seed and averages the results (a one-scenario
 /// [`run_grid`]).
 pub fn run_averaged(scenario: &Scenario, cfg: &ExpConfig) -> AvgResult {
-    run_grid(std::slice::from_ref(scenario), cfg)
-        .pop()
-        .expect("one scenario in, one average out")
+    run_grid(std::slice::from_ref(scenario), cfg).pop().expect("one scenario in, one average out")
 }
 
 /// The five schemes of Figs. 3/4 in paper order: S (direct DCF), D
@@ -254,11 +250,7 @@ mod tests {
     #[test]
     fn grid_matches_handrolled_serial_loop() {
         let scenarios = vec![two_node_scenario("g0"), two_node_scenario("g1")];
-        let cfg = ExpConfig {
-            duration: SimDuration::from_millis(40),
-            seeds: vec![5, 6],
-            jobs: 3,
-        };
+        let cfg = ExpConfig { duration: SimDuration::from_millis(40), seeds: vec![5, 6], jobs: 3 };
         let grid = run_grid(&scenarios, &cfg);
         assert_eq!(grid.len(), 2);
         // The pre-engine serial path: run per seed, average by hand.
@@ -279,10 +271,7 @@ mod tests {
         assert_eq!(ExpConfig::parse_repro(None).unwrap().seeds, vec![1, 2]);
         assert_eq!(ExpConfig::parse_repro(Some("quick")).unwrap().seeds, vec![1, 2]);
         assert_eq!(ExpConfig::parse_repro(Some("mid")).unwrap().seeds, vec![1, 2, 3]);
-        assert_eq!(
-            ExpConfig::parse_repro(Some("paper")).unwrap().seeds,
-            vec![1, 2, 3, 4, 5]
-        );
+        assert_eq!(ExpConfig::parse_repro(Some("paper")).unwrap().seeds, vec![1, 2, 3, 4, 5]);
         let err = ExpConfig::parse_repro(Some("papre")).unwrap_err();
         assert!(err.contains("papre"), "error names the bad value: {err}");
         assert!(err.contains("\"paper\""), "error lists the valid settings: {err}");

@@ -39,8 +39,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
         for hidden in [false, true] {
             for (label, path) in &flows {
                 for (_, scheme) in dar_schemes() {
-                    let mut specs =
-                        vec![FlowSpec { path: path.clone(), workload: Workload::Ftp }];
+                    let mut specs = vec![FlowSpec { path: path.clone(), workload: Workload::Ftp }];
                     if hidden {
                         if let Some((hs, hd)) =
                             roofnet::pick_hidden_pair(&topo, path[0], *path.last().unwrap(), path)

@@ -90,14 +90,12 @@ pub fn generate_hidden(cfg: &ExpConfig) -> Table {
     let headers: Vec<String> = std::iter::once("scheme".to_string())
         .chain(counts.iter().map(|c| format!("{c} hidden")))
         .collect();
-    let mut table =
-        Table::new("Fig. 6(b) — flow-1 TCP throughput (Mbps) vs hidden flows", headers);
+    let mut table = Table::new("Fig. 6(b) — flow-1 TCP throughput (Mbps) vs hidden flows", headers);
     for (label, _) in dar_schemes() {
         let row: Vec<f64> = counts
             .iter()
             .map(|n_hidden| {
-                next_named(&mut avgs, &format!("fig6b-{label}-{n_hidden}")).flows[0]
-                    .throughput_mbps
+                next_named(&mut avgs, &format!("fig6b-{label}-{n_hidden}")).flows[0].throughput_mbps
             })
             .collect();
         table.add_numeric_row(label, &row);

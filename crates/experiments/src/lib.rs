@@ -27,6 +27,11 @@
 //! | Fig. 10 (Wigle) | [`fig10`] | `fig10` |
 //! | Fig. 12 (Roofnet) | [`fig12`] | `fig12` |
 //! | Ablations (forwarder cap, aggregation, PHY rates) | [`ablation`] | `ablation` |
+//!
+//! Beyond the paper's artefacts, [`sweep`] drives `wmn_scengen`'s generated
+//! scenario grids through the same engine (`scenario_sweep` binary), and
+//! `check_baseline` diffs fresh repro/sweep JSON against the committed
+//! `ci/baseline_repro.json` (the CI perf-regression gate).
 
 pub mod ablation;
 pub mod common;
@@ -38,6 +43,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod motivation;
+pub mod sweep;
 pub mod table3;
 
 pub use common::{AvgFlow, AvgResult, ExpConfig};

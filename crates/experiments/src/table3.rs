@@ -24,7 +24,10 @@ pub fn voip_flows(count: usize) -> Vec<FlowSpec> {
             if flows.len() == count {
                 return flows;
             }
-            flows.push(FlowSpec { path: path.clone(), workload: Workload::Voip(VoipModel::paper()) });
+            flows.push(FlowSpec {
+                path: path.clone(),
+                workload: Workload::Voip(VoipModel::paper()),
+            });
         }
     }
     flows

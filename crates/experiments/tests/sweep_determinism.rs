@@ -1,0 +1,33 @@
+//! Determinism suite for the generated-scenario sweep (the acceptance
+//! contract of the scengen pipeline): the CI sweep is a ≥32-run generated
+//! grid whose deterministic report JSON is **byte-identical across worker
+//! counts** — same spec + seeds in, same bytes out, whether the engine runs
+//! serial or 8-wide.
+
+use wmn_experiments::sweep::{artefact_name, run_sweep};
+use wmn_scengen::SweepSpec;
+
+#[test]
+fn ci_sweep_json_is_byte_identical_across_1_and_8_workers() {
+    let spec = SweepSpec::ci_quick();
+    assert!(
+        spec.run_count() >= 32,
+        "the CI sweep must stay a >=32-run grid, got {}",
+        spec.run_count()
+    );
+    assert_eq!(artefact_name(&spec), "sweep_ci-quick", "baseline gate keys on this stem");
+
+    let serial = run_sweep(&spec, 1).expect("serial sweep");
+    let parallel = run_sweep(&spec, 8).expect("parallel sweep");
+    assert_eq!(
+        serial.document.to_string(),
+        parallel.document.to_string(),
+        "sweep JSON must not depend on the worker count"
+    );
+    assert_eq!(serial.table.row_count(), spec.scenario_count());
+
+    // The spec itself survives the round trip through its own report: the
+    // document embeds the spec, so a sweep report alone can re-run the sweep.
+    let embedded = serial.document.get("spec").expect("report embeds the spec");
+    assert_eq!(SweepSpec::from_json(embedded).expect("spec decodes"), spec);
+}

@@ -262,9 +262,10 @@ impl DcfMac {
     fn transmit_data(&mut self, _now: SimTime, out: &mut Vec<MacAction>) {
         self.backoff.clear();
         if self.inflight.is_none() {
-            let batch = self
-                .q
-                .pop_batch_matching_head(self.cfg.max_aggregation, self.cfg.max_frame_payload_bytes);
+            let batch = self.q.pop_batch_matching_head(
+                self.cfg.max_aggregation,
+                self.cfg.max_frame_payload_bytes,
+            );
             if batch.is_empty() {
                 return;
             }
@@ -296,8 +297,7 @@ impl DcfMac {
             let space = self.cfg.max_aggregation - inflight.subframes.len();
             if space > 0 {
                 let route = inflight.route.clone();
-                let spent: u32 =
-                    inflight.subframes.iter().map(|(_, p)| p.header.wire_bytes).sum();
+                let spent: u32 = inflight.subframes.iter().map(|(_, p)| p.header.wire_bytes).sum();
                 let byte_budget = self.cfg.max_frame_payload_bytes.saturating_sub(spent).max(1);
                 let extra = self.q.pop_matching(&route, space, byte_budget);
                 for qp in extra {
@@ -384,9 +384,7 @@ impl DcfMac {
             self.timer_roles.remove(&token.0);
         }
         let before = inflight.subframes.len();
-        inflight
-            .subframes
-            .retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
+        inflight.subframes.retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
         let progressed = inflight.subframes.len() < before;
         self.data_state = DataState::Idle;
         // An ACK means the channel worked: reset the contention window. Any
@@ -593,8 +591,7 @@ mod tests {
     fn immediate_tx_when_idle_past_difs() {
         let mut m = mac(0, 1);
         // Channel idle since time zero; enqueue at t=100us >> DIFS.
-        let actions =
-            m.on_enqueue(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(100));
+        let actions = m.on_enqueue(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(100));
         let frame = find_tx(&actions).expect("should transmit immediately");
         match frame {
             Frame::Data(d) => {
@@ -731,22 +728,19 @@ mod tests {
         }
         // First enqueue triggered an immediate tx with 1 subframe; the rest
         // queued. Complete the exchange and check the next frame carries 16.
-        let Frame::Data(first) = find_tx(&last)
-            .cloned()
-            .unwrap_or_else(|| {
-                // The first enqueue transmitted; reconstruct: inflight exists.
-                Frame::Data(DataFrame {
-                    transmitter: NodeId::new(0),
-                    link_dst: LinkDst::Unicast(NodeId::new(1)),
-                    flow: FlowId::new(0),
-                    src: NodeId::new(0),
-                    dst: NodeId::new(1),
-                    frame_seq: m.inflight.as_ref().unwrap().frame_seq,
-                    subframes: vec![],
-                    retry: 0,
-                })
+        let Frame::Data(first) = find_tx(&last).cloned().unwrap_or_else(|| {
+            // The first enqueue transmitted; reconstruct: inflight exists.
+            Frame::Data(DataFrame {
+                transmitter: NodeId::new(0),
+                link_dst: LinkDst::Unicast(NodeId::new(1)),
+                flow: FlowId::new(0),
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                frame_seq: m.inflight.as_ref().unwrap().frame_seq,
+                subframes: vec![],
+                retry: 0,
             })
-        else {
+        }) else {
             panic!()
         };
         m.on_tx_end(t(200));
@@ -827,20 +821,13 @@ mod tests {
                 frame_seq,
                 subframes: seqs
                     .into_iter()
-                    .map(|(seq, corrupted)| Subframe {
-                        seq,
-                        packet: packet(0, 0, 1),
-                        corrupted,
-                    })
+                    .map(|(seq, corrupted)| Subframe { seq, packet: packet(0, 0, 1), corrupted })
                     .collect(),
                 retry: 0,
             })
         };
         let actions = rx.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1), t(100));
-        let delivered = actions
-            .iter()
-            .filter(|a| matches!(a, MacAction::Deliver { .. }))
-            .count();
+        let delivered = actions.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 1, "seq 0 delivered, seq 2 held for seq 1");
         // Retransmission of seq 1 releases 1 and 2 in order.
         let actions = rx.on_frame_rx(mk(vec![(1, false)], 2), t(500));

@@ -317,9 +317,8 @@ mod tests {
 
     #[test]
     fn rank_of_positions() {
-        let route = RouteInfo::Opportunistic {
-            list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)],
-        };
+        let route =
+            RouteInfo::Opportunistic { list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)] };
         assert_eq!(route.rank_of(NodeId::new(3)), Some(0));
         assert_eq!(route.rank_of(NodeId::new(1)), Some(2));
         assert_eq!(route.rank_of(NodeId::new(9)), None);

@@ -58,9 +58,7 @@ impl OverheadModel {
     }
 
     fn t_bo(&self) -> SimDuration {
-        SimDuration::from_micros_f64(
-            self.mean_backoff_slots * self.params.slot.as_micros_f64(),
-        )
+        SimDuration::from_micros_f64(self.mean_backoff_slots * self.params.slot.as_micros_f64())
     }
 
     /// Complete ACK transmission time (PHY header + ACK payload at the
@@ -206,10 +204,7 @@ mod tests {
     fn ripple_beats_prr_on_multihop() {
         let m = model();
         for n in 2..=7 {
-            assert!(
-                m.ripple(n, 1) < m.prr(n),
-                "ripple(n={n}) should beat PRR"
-            );
+            assert!(m.ripple(n, 1) < m.prr(n), "ripple(n={n}) should beat PRR");
         }
     }
 

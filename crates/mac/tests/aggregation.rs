@@ -36,7 +36,11 @@ fn drain_first_frame(mac: &mut DcfMac, n_queued: usize) -> wmn_mac::DataFrame {
     // backoff to obtain one aggregated frame.
     mac.on_busy(t(0));
     for i in 0..n_queued {
-        mac.on_enqueue(packet(i as u32 % 2, 1000), RouteInfo::NextHop(NodeId::new(1)), t(1 + i as u64));
+        mac.on_enqueue(
+            packet(i as u32 % 2, 1000),
+            RouteInfo::NextHop(NodeId::new(1)),
+            t(1 + i as u64),
+        );
     }
     let actions = mac.on_idle(t(1000));
     let (delay, token) = actions

@@ -74,9 +74,7 @@ fn per_packet_cost_monotone_in_aggregation() {
 fn aggregation_benefit_shrinks_at_low_rate() {
     let hi = OverheadModel::new(PhyParams::paper_216());
     let lo = OverheadModel::new(PhyParams::paper_6());
-    let ratio = |m: &OverheadModel| {
-        m.afr(3, 1).as_micros_f64() / m.afr(3, 16).as_micros_f64()
-    };
+    let ratio = |m: &OverheadModel| m.afr(3, 1).as_micros_f64() / m.afr(3, 16).as_micros_f64();
     assert!(
         ratio(&hi) > ratio(&lo),
         "216 Mbps should benefit more from aggregation: {} vs {}",

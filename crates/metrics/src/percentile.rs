@@ -46,10 +46,7 @@ pub fn jitter(delays: &[SimDuration]) -> Option<SimDuration> {
     if delays.len() < 2 {
         return None;
     }
-    let total: u64 = delays
-        .windows(2)
-        .map(|w| w[1].as_nanos().abs_diff(w[0].as_nanos()))
-        .sum();
+    let total: u64 = delays.windows(2).map(|w| w[1].as_nanos().abs_diff(w[0].as_nanos())).sum();
     Some(SimDuration::from_nanos(total / (delays.len() as u64 - 1)))
 }
 

@@ -11,13 +11,15 @@ use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
 use wmn_mac::{DcfConfig, DcfMac, MacAction, MacEntity, RateClass, TimerToken};
 use wmn_metrics::mos::{voip_mos, VoipQualityInputs, WIRELESS_BUDGET};
 use wmn_metrics::throughput_mbps;
-use wmn_phy::{ArrivalOutcome, BerModel, Medium, Receiver};
 use wmn_phy::medium::BusyTransition;
-use wmn_routing::{forwarder_list, ExorMac, ExorMode};
+use wmn_phy::{ArrivalOutcome, BerModel, Medium, Receiver};
 use wmn_routing::exor::ExorConfig;
+use wmn_routing::{forwarder_list, ExorMac, ExorMode};
 use wmn_sim::{EventQueue, FlowId, NodeId, RngDirectory, SimDuration, SimTime, StreamRng};
 use wmn_traffic::{CbrModel, VoipModel};
-use wmn_transport::{TcpAction, TcpConfig, TcpReceiver, TcpSegment, TcpSender, UdpDatagram, UdpSink};
+use wmn_transport::{
+    TcpAction, TcpConfig, TcpReceiver, TcpSegment, TcpSender, UdpDatagram, UdpSink,
+};
 
 use crate::scenario::{FlowSpec, Scenario, Scheme, Workload};
 use crate::trace::{FrameKind, Trace, TraceEvent, TraceKind};
@@ -188,6 +190,9 @@ pub fn run_traced(scenario: &Scenario) -> (RunResult, Trace) {
 
 impl World {
     fn build(scenario: &Scenario) -> World {
+        if let Err(msg) = scenario.validate() {
+            panic!("malformed scenario: {msg}");
+        }
         let dir = RngDirectory::new(scenario.seed);
         let n = scenario.positions.len();
         let params = scenario.params.clone();
@@ -226,10 +231,7 @@ impl World {
         let mut flows = Vec::with_capacity(scenario.flows.len());
         for (i, spec) in scenario.flows.iter().enumerate() {
             let id = FlowId::new(i as u32);
-            assert!(spec.path.len() >= 2, "flow {i}: path needs at least two nodes");
-            for node in &spec.path {
-                assert!(node.index() < n, "flow {i}: node {node} outside the placement");
-            }
+            // Path shape and id range were checked by `scenario.validate()`.
             let (fwd_routes, rev_routes) = build_routes(spec, scenario);
             let (tcp_tx, tcp_rx) = match spec.workload {
                 Workload::Ftp | Workload::Web(_) => (
@@ -429,10 +431,7 @@ impl World {
                 Frame::Ack(a) => (FrameKind::Ack, a.flow, a.frame_seq, 0),
             };
             let wire_bytes = frame.wire_bytes();
-            self.record(
-                node,
-                TraceKind::TxStart { kind, flow, frame_seq, subframes, wire_bytes },
-            );
+            self.record(node, TraceKind::TxStart { kind, flow, frame_seq, subframes, wire_bytes });
         }
         let params = self.medium.params();
         let rate = match rate {
@@ -573,8 +572,11 @@ impl World {
     ) {
         let (src, dst, at_node, route) = {
             let flow = &self.flows[flow_id.index()];
-            let (src, dst) =
-                if forward { (flow.spec.src(), flow.spec.dst()) } else { (flow.spec.dst(), flow.spec.src()) };
+            let (src, dst) = if forward {
+                (flow.spec.src(), flow.spec.dst())
+            } else {
+                (flow.spec.dst(), flow.spec.src())
+            };
             let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
             let Some(route) = table.get(&src).cloned() else { return };
             (src, dst, src, route)
@@ -683,8 +685,7 @@ impl World {
                         loss_fraction: loss,
                         mean_delay,
                         p95_delay: wmn_metrics::p95(sink.delays()).unwrap_or(SimDuration::ZERO),
-                        jitter: wmn_metrics::jitter(sink.delays())
-                            .unwrap_or(SimDuration::ZERO),
+                        jitter: wmn_metrics::jitter(sink.delays()).unwrap_or(SimDuration::ZERO),
                         mos,
                     };
                     (sink.bytes_received(), None, Some(v))
@@ -716,12 +717,14 @@ fn build_routes(
     let mut reversed: Vec<NodeId> = path.clone();
     reversed.reverse();
     if scenario.scheme.is_opportunistic() {
-        fwd.insert(path[0], RouteInfo::Opportunistic {
-            list: forwarder_list(path, scenario.max_forwarders),
-        });
-        rev.insert(reversed[0], RouteInfo::Opportunistic {
-            list: forwarder_list(&reversed, scenario.max_forwarders),
-        });
+        fwd.insert(
+            path[0],
+            RouteInfo::Opportunistic { list: forwarder_list(path, scenario.max_forwarders) },
+        );
+        rev.insert(
+            reversed[0],
+            RouteInfo::Opportunistic { list: forwarder_list(&reversed, scenario.max_forwarders) },
+        );
     } else {
         for w in path.windows(2) {
             fwd.insert(w[0], RouteInfo::NextHop(w[1]));
@@ -830,8 +833,7 @@ mod tests {
 
     #[test]
     fn preexor_delivers_but_reorders() {
-        let pre =
-            run(&ftp_scenario(Scheme::PreExor, vec![0, 1, 2, 3], line_positions(4)));
+        let pre = run(&ftp_scenario(Scheme::PreExor, vec![0, 1, 2, 3], line_positions(4)));
         assert!(pre.flows[0].delivered_bytes > 50_000, "got {}", pre.flows[0].delivered_bytes);
         let tcp = pre.flows[0].tcp.unwrap();
         assert!(
@@ -848,7 +850,8 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_per_seed() {
-        let s = ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
+        let s =
+            ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
         let a = run(&s);
         let b = run(&s);
         assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
@@ -863,7 +866,8 @@ mod tests {
 
     #[test]
     fn voip_flow_reports_mos() {
-        let mut s = ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
+        let mut s =
+            ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
         s.flows[0].workload = Workload::Voip(wmn_traffic::VoipModel::paper());
         s.duration = SimDuration::from_millis(500);
         let r = run(&s);

@@ -87,6 +87,13 @@ impl FlowSpec {
 }
 
 /// A complete, reproducible simulation description.
+///
+/// # NodeId contract
+///
+/// `positions` is the single id namespace of a run: [`wmn_sim::NodeId`]s are
+/// **dense indices into it** (node `i` sits at `positions[i]`), and every id
+/// a flow path mentions must be below `positions.len()`. [`Scenario::validate`]
+/// checks the whole structure; [`crate::run`] asserts it.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Name used in results and logs.
@@ -105,6 +112,56 @@ pub struct Scenario {
     pub seed: u64,
     /// Cap on forwarders per opportunistic list (paper default: 5).
     pub max_forwarders: usize,
+}
+
+impl Scenario {
+    /// Checks the scenario's structural invariants: a non-empty placement,
+    /// at least one flow, every flow path at least two nodes long with no
+    /// immediate self-loops, and every referenced [`NodeId`] inside the
+    /// placement (ids are dense indices into `positions` — see the type-level
+    /// NodeId contract).
+    ///
+    /// Hand-written experiment definitions rely on [`crate::run`]'s panics;
+    /// generated scenarios (`wmn_scengen`) call this first so a bad spec
+    /// fails with a message naming the scenario instead of dying mid-grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.positions.len();
+        if n == 0 {
+            return Err(format!("scenario {:?}: empty placement", self.name));
+        }
+        if self.flows.is_empty() {
+            return Err(format!("scenario {:?}: no flows", self.name));
+        }
+        for (i, flow) in self.flows.iter().enumerate() {
+            if flow.path.len() < 2 {
+                return Err(format!(
+                    "scenario {:?}, flow {i}: path needs at least two nodes, got {}",
+                    self.name,
+                    flow.path.len()
+                ));
+            }
+            for node in &flow.path {
+                if node.index() >= n {
+                    return Err(format!(
+                        "scenario {:?}, flow {i}: {node} outside the {n}-station placement \
+                         (NodeIds must be dense indices into `positions`)",
+                        self.name
+                    ));
+                }
+            }
+            if flow.path.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!(
+                    "scenario {:?}, flow {i}: path repeats a node back-to-back",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +183,59 @@ mod tests {
         assert!(!Scheme::Dcf { aggregation: 16 }.is_opportunistic());
         assert!(Scheme::Ripple { aggregation: 16 }.is_opportunistic());
         assert!(Scheme::PreExor.is_opportunistic());
+    }
+
+    fn valid_scenario() -> Scenario {
+        Scenario {
+            name: "v".into(),
+            params: PhyParams::paper_216(),
+            positions: vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+            scheme: Scheme::Dcf { aggregation: 1 },
+            flows: vec![FlowSpec {
+                path: vec![NodeId::new(0), NodeId::new(1)],
+                workload: Workload::Ftp,
+            }],
+            duration: SimDuration::from_millis(1),
+            seed: 0,
+            max_forwarders: 5,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_scenarios() {
+        assert_eq!(valid_scenario().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_sparse_node_ids() {
+        // Regression: ids must be dense indices into `positions`. A path
+        // naming node 7 of a 2-station placement used to die only when
+        // `Topology::distance` indexed out of bounds; now it is reported
+        // with the offending flow and id.
+        let mut s = valid_scenario();
+        s.flows[0].path = vec![NodeId::new(0), NodeId::new(7)];
+        let msg = s.validate().unwrap_err();
+        assert!(msg.contains("n7") && msg.contains("flow 0"), "{msg}");
+        assert!(msg.contains("dense indices"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_structural_defects() {
+        let mut empty = valid_scenario();
+        empty.positions.clear();
+        assert!(empty.validate().unwrap_err().contains("empty placement"));
+
+        let mut no_flows = valid_scenario();
+        no_flows.flows.clear();
+        assert!(no_flows.validate().unwrap_err().contains("no flows"));
+
+        let mut short = valid_scenario();
+        short.flows[0].path.truncate(1);
+        assert!(short.validate().unwrap_err().contains("at least two nodes"));
+
+        let mut looped = valid_scenario();
+        looped.flows[0].path = vec![NodeId::new(0), NodeId::new(0)];
+        assert!(looped.validate().unwrap_err().contains("back-to-back"));
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl Trace {
         self.events
             .iter()
             .filter(|e| {
-                e.node == node
-                    && matches!(e.kind, TraceKind::TxStart { kind: FrameKind::Data, .. })
+                e.node == node && matches!(e.kind, TraceKind::TxStart { kind: FrameKind::Data, .. })
             })
             .collect()
     }
@@ -105,9 +104,7 @@ impl Trace {
     pub fn delivered_count(&self, flow: FlowId) -> usize {
         self.events
             .iter()
-            .filter(
-                |e| matches!(e.kind, TraceKind::Delivered { flow: f } if f == flow),
-            )
+            .filter(|e| matches!(e.kind, TraceKind::Delivered { flow: f } if f == flow))
             .count()
     }
 

@@ -224,7 +224,11 @@ impl Receiver {
     /// # Panics
     ///
     /// Panics if `id` was never started (a simulation-runner bug).
-    pub fn on_arrival_end(&mut self, id: u64, now: SimTime) -> (ArrivalOutcome, Option<BusyTransition>) {
+    pub fn on_arrival_end(
+        &mut self,
+        id: u64,
+        now: SimTime,
+    ) -> (ArrivalOutcome, Option<BusyTransition>) {
         let idx = self
             .arrivals
             .iter()
@@ -433,16 +437,12 @@ mod tests {
         use crate::params::PhyParams;
         let params = PhyParams::paper_216();
         let analytic = params.link_delivery_probability(10.0);
-        let medium =
-            Medium::new(params, vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0)]);
+        let medium = Medium::new(params, vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0)]);
         let mut rng = StreamRng::derive(9, "frac");
         let n = 20_000;
         let decodable = (0..n)
             .filter(|_| {
-                medium
-                    .plan_transmission(NodeId::new(0), &mut rng)
-                    .iter()
-                    .any(|p| p.decodable)
+                medium.plan_transmission(NodeId::new(0), &mut rng).iter().any(|p| p.decodable)
             })
             .count() as f64
             / n as f64;

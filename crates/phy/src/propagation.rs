@@ -108,10 +108,7 @@ mod tests {
         let hits =
             (0..n).filter(|_| s.sample_rx_dbm(TX, d, &mut rng) >= thresh).count() as f64 / n as f64;
         let analytic = s.success_probability(TX, d, thresh);
-        assert!(
-            (hits - analytic).abs() < 0.01,
-            "empirical {hits} vs analytic {analytic}"
-        );
+        assert!((hits - analytic).abs() < 0.01, "empirical {hits} vs analytic {analytic}");
     }
 
     proptest! {

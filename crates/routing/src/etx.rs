@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn no_path_returns_none() {
-        let g = LinkGraph::from_matrix(vec![
-            vec![0.0, 0.0],
-            vec![0.0, 0.0],
-        ]);
+        let g = LinkGraph::from_matrix(vec![vec![0.0, 0.0], vec![0.0, 0.0]]);
         assert!(g.shortest_path(NodeId::new(0), NodeId::new(1)).is_none());
     }
 

@@ -122,9 +122,13 @@ enum Role {
     BackoffDone,
     AckTimeout,
     /// Fire the ACK for a pending reception; `key` indexes `pending`.
-    SendAck { key: (NodeId, u64) },
+    SendAck {
+        key: (NodeId, u64),
+    },
     /// preExOR end-of-window relay decision.
-    RelayDecision { key: (NodeId, u64) },
+    RelayDecision {
+        key: (NodeId, u64),
+    },
 }
 
 /// The preExOR / MCExOR MAC state machine for one station.
@@ -223,9 +227,7 @@ impl ExorMac {
     /// The ACK wait of list rank `i` after the data frame ends.
     fn ack_offset(&self, rank: usize) -> SimDuration {
         match self.mode {
-            ExorMode::PreExor => {
-                self.cfg.sifs + (self.cfg.t_ack + self.cfg.sifs) * rank as u64
-            }
+            ExorMode::PreExor => self.cfg.sifs + (self.cfg.t_ack + self.cfg.sifs) * rank as u64,
             ExorMode::McExor => self.cfg.sifs * (rank as u64 + 1),
         }
     }
@@ -580,9 +582,7 @@ mod tests {
 
     fn route_0_to_3() -> RouteInfo {
         // Destination 3 first, then forwarders 2 (rank 1) and 1 (rank 2).
-        RouteInfo::Opportunistic {
-            list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)],
-        }
+        RouteInfo::Opportunistic { list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)] }
     }
 
     fn find_tx(actions: &[MacAction]) -> Option<&Frame> {

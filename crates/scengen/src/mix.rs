@@ -1,0 +1,308 @@
+//! Traffic-mix composition: layering workload models onto generated
+//! topologies.
+//!
+//! A [`TrafficMix`] says how many flows of each workload family to run and
+//! how to pick their endpoints; [`TrafficMix::compose`] turns that into
+//! concrete [`FlowSpec`]s against a placement, routing each flow over the
+//! minimum-ETX path (the same metric the paper's experiments use). All
+//! endpoint draws come from [`StreamRng`] streams derived from the scenario
+//! seed, so composition is deterministic per `(mix, topology, seed)`.
+
+use wmn_netsim::{FlowSpec, Workload};
+use wmn_phy::PhyParams;
+use wmn_routing::LinkGraph;
+use wmn_sim::{NodeId, StreamRng};
+use wmn_topology::Topology;
+use wmn_traffic::{CbrModel, VoipModel, WebModel};
+
+use crate::json::Value;
+
+/// Attempts per flow to find a routable endpoint pair before erroring out.
+const PAIR_ATTEMPTS: usize = 64;
+
+/// How flow endpoints are selected on a generated topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairPolicy {
+    /// Source and destination uniform over distinct, mutually reachable
+    /// stations.
+    Random,
+    /// Every flow terminates at node 0 (a mesh-gateway traffic pattern);
+    /// sources are uniform over the remaining stations.
+    Gateway,
+    /// For each flow, eight random candidate pairs are drawn and the one
+    /// whose minimum-ETX route has the most hops wins — stresses multi-hop
+    /// forwarding the way the paper's line/Roofnet scenarios do.
+    FarPairs,
+}
+
+impl PairPolicy {
+    /// The JSON / slug name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PairPolicy::Random => "random",
+            PairPolicy::Gateway => "gateway",
+            PairPolicy::FarPairs => "far-pairs",
+        }
+    }
+
+    /// Parses [`PairPolicy::name`] back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "random" => Ok(PairPolicy::Random),
+            "gateway" => Ok(PairPolicy::Gateway),
+            "far-pairs" => Ok(PairPolicy::FarPairs),
+            other => Err(format!(
+                "pairing must be one of \"random\", \"gateway\", \"far-pairs\", got {other:?}"
+            )),
+        }
+    }
+}
+
+/// Flow counts per workload family plus the endpoint-selection policy.
+///
+/// Flows are composed in a fixed order — FTP, then web, then VoIP, then CBR
+/// — so flow indices (and their RNG streams) are stable for a given mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrafficMix {
+    /// Long-lived TCP transfers ([`Workload::Ftp`]).
+    pub ftp: usize,
+    /// Pareto/think-time web flows ([`WebModel::paper`]).
+    pub web: usize,
+    /// On-off VoIP calls ([`VoipModel::paper`]).
+    pub voip: usize,
+    /// Heavy CBR cross traffic ([`CbrModel::heavy`]).
+    pub cbr: usize,
+    /// Endpoint selection policy.
+    pub pairing: PairPolicy,
+}
+
+impl TrafficMix {
+    /// Total flows the mix will lay down.
+    pub fn flow_count(&self) -> usize {
+        self.ftp + self.web + self.voip + self.cbr
+    }
+
+    /// An id-friendly slug, e.g. `f2w1v1c0-random`.
+    pub fn slug(&self) -> String {
+        format!("f{}w{}v{}c{}-{}", self.ftp, self.web, self.voip, self.cbr, self.pairing.name())
+    }
+
+    /// Lays the mix onto `topo`: one [`FlowSpec`] per flow, endpoints chosen
+    /// by the pairing policy, each routed over its minimum-ETX path (whose
+    /// interior nodes double as the forwarder candidates for opportunistic
+    /// schemes). Deterministic per `(self, topo, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mix is empty, the topology has too few stations for the
+    /// policy, or no routable pair can be found within the attempt budget
+    /// (e.g. a station cut off from the rest).
+    pub fn compose(
+        &self,
+        topo: &Topology,
+        params: &PhyParams,
+        seed: u64,
+    ) -> Result<Vec<FlowSpec>, String> {
+        if self.flow_count() == 0 {
+            return Err("traffic mix has no flows".into());
+        }
+        let n = topo.node_count();
+        if n < 2 {
+            return Err(format!("topology {:?} has {n} stations; flows need two", topo.name));
+        }
+        let graph = LinkGraph::from_placement(params, &topo.positions);
+        let mut flows = Vec::with_capacity(self.flow_count());
+        for index in 0..self.flow_count() {
+            let mut rng = StreamRng::derive(seed, &format!("scengen/mix/flow{index}"));
+            let path = self.pick_path(&graph, n, &mut rng).map_err(|e| {
+                format!("flow {index} on {:?} ({} policy): {e}", topo.name, self.pairing.name())
+            })?;
+            flows.push(FlowSpec { path, workload: self.workload(index) });
+        }
+        Ok(flows)
+    }
+
+    /// The workload of flow `index` under the fixed FTP→web→VoIP→CBR order.
+    fn workload(&self, index: usize) -> Workload {
+        if index < self.ftp {
+            Workload::Ftp
+        } else if index < self.ftp + self.web {
+            Workload::Web(WebModel::paper())
+        } else if index < self.ftp + self.web + self.voip {
+            Workload::Voip(VoipModel::paper())
+        } else {
+            Workload::Cbr(CbrModel::heavy())
+        }
+    }
+
+    fn pick_path(
+        &self,
+        graph: &LinkGraph,
+        n: usize,
+        rng: &mut StreamRng,
+    ) -> Result<Vec<NodeId>, String> {
+        let draw = |rng: &mut StreamRng| NodeId::new(rng.uniform_slots(n as u32 - 1));
+        match self.pairing {
+            PairPolicy::Random => {
+                for _ in 0..PAIR_ATTEMPTS {
+                    let (src, dst) = (draw(rng), draw(rng));
+                    if src == dst {
+                        continue;
+                    }
+                    if let Some(path) = graph.shortest_path(src, dst) {
+                        return Ok(path);
+                    }
+                }
+                Err(format!("no routable random pair in {PAIR_ATTEMPTS} attempts"))
+            }
+            PairPolicy::Gateway => {
+                let gateway = NodeId::new(0);
+                for _ in 0..PAIR_ATTEMPTS {
+                    let src = draw(rng);
+                    if src == gateway {
+                        continue;
+                    }
+                    if let Some(path) = graph.shortest_path(src, gateway) {
+                        return Ok(path);
+                    }
+                }
+                Err(format!("no station reaches the gateway in {PAIR_ATTEMPTS} attempts"))
+            }
+            PairPolicy::FarPairs => {
+                let mut best: Option<Vec<NodeId>> = None;
+                let mut sampled = 0;
+                for _ in 0..PAIR_ATTEMPTS {
+                    if sampled == 8 {
+                        break;
+                    }
+                    let (src, dst) = (draw(rng), draw(rng));
+                    if src == dst {
+                        continue;
+                    }
+                    let Some(path) = graph.shortest_path(src, dst) else { continue };
+                    sampled += 1;
+                    if best.as_ref().map_or(true, |b| path.len() > b.len()) {
+                        best = Some(path);
+                    }
+                }
+                best.ok_or_else(|| format!("no routable pair in {PAIR_ATTEMPTS} attempts"))
+            }
+        }
+    }
+
+    /// Serialises the mix as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj()
+            .with("ftp", self.ftp)
+            .with("web", self.web)
+            .with("voip", self.voip)
+            .with("cbr", self.cbr)
+            .with("pairing", self.pairing.name())
+    }
+
+    /// Decodes a mix from the [`TrafficMix::to_json`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/invalid field, or rejecting an
+    /// empty mix.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let mix = TrafficMix {
+            ftp: crate::spec::req_usize(value, "ftp", "mix")?,
+            web: crate::spec::req_usize(value, "web", "mix")?,
+            voip: crate::spec::req_usize(value, "voip", "mix")?,
+            cbr: crate::spec::req_usize(value, "cbr", "mix")?,
+            pairing: PairPolicy::from_name(crate::spec::req_str(value, "pairing", "mix")?)?,
+        };
+        if mix.flow_count() == 0 {
+            return Err("traffic mix has no flows".into());
+        }
+        Ok(mix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::TopologySpec;
+
+    fn mix() -> TrafficMix {
+        TrafficMix { ftp: 2, web: 1, voip: 1, cbr: 1, pairing: PairPolicy::Random }
+    }
+
+    fn grid() -> Topology {
+        TopologySpec::Grid { cols: 4, rows: 3, spacing_m: 5.0 }.generate(1)
+    }
+
+    #[test]
+    fn compose_honours_flow_counts_and_order() {
+        let flows = mix().compose(&grid(), &PhyParams::paper_216(), 3).unwrap();
+        assert_eq!(flows.len(), 5);
+        assert!(matches!(flows[0].workload, Workload::Ftp));
+        assert!(matches!(flows[1].workload, Workload::Ftp));
+        assert!(matches!(flows[2].workload, Workload::Web(_)));
+        assert!(matches!(flows[3].workload, Workload::Voip(_)));
+        assert!(matches!(flows[4].workload, Workload::Cbr(_)));
+        for f in &flows {
+            assert!(f.path.len() >= 2);
+            assert!(f.path.iter().all(|n| n.index() < 12), "dense NodeId contract");
+        }
+    }
+
+    #[test]
+    fn compose_is_deterministic_per_seed() {
+        let topo = grid();
+        let params = PhyParams::paper_216();
+        let a = mix().compose(&topo, &params, 9).unwrap();
+        let b = mix().compose(&topo, &params, 9).unwrap();
+        let paths = |fs: &[FlowSpec]| fs.iter().map(|f| f.path.clone()).collect::<Vec<_>>();
+        assert_eq!(paths(&a), paths(&b));
+        let c = mix().compose(&topo, &params, 10).unwrap();
+        assert_ne!(paths(&a), paths(&c), "different seeds should draw different pairs");
+    }
+
+    #[test]
+    fn gateway_policy_sinks_everything_at_node_zero() {
+        let mix = TrafficMix { pairing: PairPolicy::Gateway, ..mix() };
+        let flows = mix.compose(&grid(), &PhyParams::paper_216(), 5).unwrap();
+        for f in &flows {
+            assert_eq!(*f.path.last().unwrap(), NodeId::new(0));
+            assert_ne!(f.path[0], NodeId::new(0));
+        }
+    }
+
+    #[test]
+    fn far_pairs_prefers_multi_hop_routes() {
+        let line =
+            TopologySpec::PerturbedLine { nodes: 6, spacing_m: 5.0, jitter_m: 0.2 }.generate(2);
+        let mix = TrafficMix { ftp: 3, web: 0, voip: 0, cbr: 0, pairing: PairPolicy::FarPairs };
+        let flows = mix.compose(&line, &PhyParams::paper_216(), 1).unwrap();
+        assert!(
+            flows.iter().any(|f| f.path.len() >= 4),
+            "far-pairs on a 6-node line should find a 3+-hop route"
+        );
+    }
+
+    #[test]
+    fn empty_mix_and_tiny_topologies_are_rejected() {
+        let empty = TrafficMix { ftp: 0, web: 0, voip: 0, cbr: 0, pairing: PairPolicy::Random };
+        assert!(empty.compose(&grid(), &PhyParams::paper_216(), 1).is_err());
+        let lonely = Topology::new("one", vec![wmn_phy::Position::new(0.0, 0.0)]);
+        assert!(mix().compose(&lonely, &PhyParams::paper_216(), 1).is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for pairing in [PairPolicy::Random, PairPolicy::Gateway, PairPolicy::FarPairs] {
+            let m = TrafficMix { pairing, ..mix() };
+            let text = m.to_json().to_string();
+            let back = TrafficMix::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, m);
+        }
+        assert!(PairPolicy::from_name("nearest").is_err());
+    }
+}

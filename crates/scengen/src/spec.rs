@@ -1,0 +1,317 @@
+//! [`ScenarioSpec`]: a plain-struct, JSON-round-trippable description of one
+//! complete run.
+//!
+//! A spec carries everything [`materialise`](ScenarioSpec::materialise)
+//! needs to build a [`wmn_netsim::Scenario`]: the topology family and seed,
+//! the traffic mix, the forwarding scheme, the PHY preset, and the run
+//! length. Specs are *data* — they can be written to disk, committed as CI
+//! fixtures, and expanded into grids by [`crate::SweepSpec`] — and
+//! materialisation is deterministic, so a spec file pins a run exactly.
+
+use wmn_netsim::{Scenario, Scheme};
+use wmn_phy::PhyParams;
+use wmn_sim::SimDuration;
+
+use crate::json::Value;
+use crate::mix::TrafficMix;
+use crate::topo::TopologySpec;
+
+/// The PHY parameter preset a spec runs under (Table I of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhyPreset {
+    /// 216 Mbps MIMO preset ([`PhyParams::paper_216`]).
+    Mbps216,
+    /// 6 Mbps legacy preset ([`PhyParams::paper_6`]).
+    Mbps6,
+}
+
+impl PhyPreset {
+    /// The JSON name: `"216mbps"` / `"6mbps"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhyPreset::Mbps216 => "216mbps",
+            PhyPreset::Mbps6 => "6mbps",
+        }
+    }
+
+    /// Parses [`PhyPreset::name`] back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "216mbps" => Ok(PhyPreset::Mbps216),
+            "6mbps" => Ok(PhyPreset::Mbps6),
+            other => Err(format!("phy must be \"216mbps\" or \"6mbps\", got {other:?}")),
+        }
+    }
+
+    /// The parameter set, with `ber` overriding the preset's bit-error rate
+    /// when given.
+    pub fn params(self, ber: Option<f64>) -> PhyParams {
+        let params = match self {
+            PhyPreset::Mbps216 => PhyParams::paper_216(),
+            PhyPreset::Mbps6 => PhyParams::paper_6(),
+        };
+        match ber {
+            Some(ber) => params.with_ber(ber),
+            None => params,
+        }
+    }
+}
+
+/// Serialises a scheme as its figure label (`"DCF"`, `"AFR"`, `"RIPPLE-1"`,
+/// `"RIPPLE-16"`, `"preExOR"`, `"MCExOR"`).
+pub fn scheme_name(scheme: Scheme) -> &'static str {
+    scheme.label()
+}
+
+/// Parses a [`scheme_name`] back into a [`Scheme`].
+///
+/// # Errors
+///
+/// Returns a message listing the valid labels.
+pub fn scheme_from_name(name: &str) -> Result<Scheme, String> {
+    match name {
+        "DCF" => Ok(Scheme::Dcf { aggregation: 1 }),
+        "AFR" => Ok(Scheme::Dcf { aggregation: 16 }),
+        "RIPPLE-1" => Ok(Scheme::Ripple { aggregation: 1 }),
+        "RIPPLE-16" => Ok(Scheme::Ripple { aggregation: 16 }),
+        "preExOR" => Ok(Scheme::PreExor),
+        "MCExOR" => Ok(Scheme::McExor),
+        other => Err(format!(
+            "scheme must be one of \"DCF\", \"AFR\", \"RIPPLE-1\", \"RIPPLE-16\", \"preExOR\", \
+             \"MCExOR\", got {other:?}"
+        )),
+    }
+}
+
+/// A fully-described, reproducible run: topology recipe + traffic mix +
+/// scheme + PHY + duration + seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Name used for the materialised scenario (results, logs, reports).
+    pub name: String,
+    /// The procedural topology recipe.
+    pub topology: TopologySpec,
+    /// The traffic mix to lay onto it.
+    pub mix: TrafficMix,
+    /// The forwarding scheme under test.
+    pub scheme: Scheme,
+    /// PHY preset.
+    pub phy: PhyPreset,
+    /// Optional bit-error-rate override on the preset.
+    pub ber: Option<f64>,
+    /// Simulated duration, milliseconds.
+    pub duration_ms: u64,
+    /// Master seed: drives topology generation, endpoint draws, and every
+    /// in-run RNG stream.
+    pub seed: u64,
+    /// Cap on forwarders per opportunistic list (paper default: 5).
+    pub max_forwarders: usize,
+}
+
+impl ScenarioSpec {
+    /// Expands the spec into a runnable, validated [`Scenario`]:
+    /// generates the placement, composes and routes the flows, and applies
+    /// the PHY preset. Deterministic — same spec, same scenario, bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns composition failures (unroutable endpoints, empty mix) and
+    /// anything [`Scenario::validate`] rejects, prefixed with the spec name.
+    pub fn materialise(&self) -> Result<Scenario, String> {
+        let err = |msg: String| format!("spec {:?}: {msg}", self.name);
+        let topo = self.topology.generate(self.seed);
+        let params = self.phy.params(self.ber);
+        let flows = self.mix.compose(&topo, &params, self.seed).map_err(err)?;
+        let scenario = Scenario {
+            name: self.name.clone(),
+            params,
+            positions: topo.positions,
+            scheme: self.scheme,
+            flows,
+            duration: SimDuration::from_millis(self.duration_ms),
+            seed: self.seed,
+            max_forwarders: self.max_forwarders,
+        };
+        scenario.validate().map_err(err)?;
+        Ok(scenario)
+    }
+
+    /// Serialises the spec as a JSON object (the schema in the README's
+    /// "Generating your own scenarios" section).
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::obj()
+            .with("name", self.name.as_str())
+            .with("topology", self.topology.to_json())
+            .with("mix", self.mix.to_json())
+            .with("scheme", scheme_name(self.scheme))
+            .with("phy", self.phy.name());
+        if let Some(ber) = self.ber {
+            doc = doc.with("ber", ber);
+        }
+        doc.with("duration_ms", self.duration_ms)
+            .with("seed", self.seed)
+            .with("max_forwarders", self.max_forwarders)
+    }
+
+    /// Decodes a spec from the [`ScenarioSpec::to_json`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or invalid field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(ScenarioSpec {
+            name: req_str(value, "name", "scenario")?.to_string(),
+            topology: TopologySpec::from_json(
+                value.get("topology").ok_or("scenario: missing \"topology\"")?,
+            )?,
+            mix: TrafficMix::from_json(value.get("mix").ok_or("scenario: missing \"mix\"")?)?,
+            scheme: scheme_from_name(req_str(value, "scheme", "scenario")?)?,
+            phy: PhyPreset::from_name(req_str(value, "phy", "scenario")?)?,
+            ber: match value.get("ber") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("scenario: \"ber\" must be a number")?),
+            },
+            duration_ms: req_u64(value, "duration_ms", "scenario")?,
+            seed: req_u64(value, "seed", "scenario")?,
+            max_forwarders: req_usize(value, "max_forwarders", "scenario")?,
+        })
+    }
+
+    /// Parses a spec from JSON text ([`crate::json::parse`] +
+    /// [`ScenarioSpec::from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns either the JSON syntax error or the first schema violation.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        ScenarioSpec::from_json(&crate::json::parse(text)?)
+    }
+}
+
+// Field-decoding helpers shared by every spec module (`context` names the
+// enclosing object in error messages).
+
+pub(crate) fn req_str<'v>(value: &'v Value, key: &str, context: &str) -> Result<&'v str, String> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{context}: missing or non-string \"{key}\""))
+}
+
+pub(crate) fn req_u64(value: &Value, key: &str, context: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{context}: missing or non-integer \"{key}\""))
+}
+
+pub(crate) fn req_usize(value: &Value, key: &str, context: &str) -> Result<usize, String> {
+    usize::try_from(req_u64(value, key, context)?)
+        .map_err(|_| format!("{context}: \"{key}\" does not fit a usize"))
+}
+
+pub(crate) fn req_f64(value: &Value, key: &str, context: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{context}: missing or non-numeric \"{key}\""))
+}
+
+pub(crate) fn req_u64_list(value: &Value, key: &str, context: &str) -> Result<Vec<u64>, String> {
+    let items = value
+        .get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{context}: missing or non-array \"{key}\""))?;
+    items
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| format!("{context}: \"{key}\" entries must be integers")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::PairPolicy;
+    use wmn_netsim::run;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "demo".into(),
+            topology: TopologySpec::Grid { cols: 3, rows: 2, spacing_m: 5.0 },
+            mix: TrafficMix { ftp: 1, web: 0, voip: 1, cbr: 0, pairing: PairPolicy::Random },
+            scheme: Scheme::Ripple { aggregation: 16 },
+            phy: PhyPreset::Mbps216,
+            ber: None,
+            duration_ms: 40,
+            seed: 3,
+            max_forwarders: 5,
+        }
+    }
+
+    #[test]
+    fn materialise_builds_a_runnable_scenario() {
+        let scenario = spec().materialise().unwrap();
+        assert_eq!(scenario.name, "demo");
+        assert_eq!(scenario.positions.len(), 6);
+        assert_eq!(scenario.flows.len(), 2);
+        assert_eq!(scenario.validate(), Ok(()));
+        // It actually runs end to end.
+        let result = run(&scenario);
+        assert_eq!(result.flows.len(), 2);
+    }
+
+    #[test]
+    fn materialise_is_deterministic() {
+        let a = spec().materialise().unwrap();
+        let b = spec().materialise().unwrap();
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(
+            a.flows.iter().map(|f| f.path.clone()).collect::<Vec<_>>(),
+            b.flows.iter().map(|f| f.path.clone()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn json_round_trip_with_and_without_ber() {
+        let plain = spec();
+        assert_eq!(ScenarioSpec::parse(&plain.to_json().to_string()).unwrap(), plain);
+        let with_ber = ScenarioSpec { ber: Some(1e-5), phy: PhyPreset::Mbps6, ..spec() };
+        assert_eq!(ScenarioSpec::parse(&with_ber.to_json().to_string()).unwrap(), with_ber);
+    }
+
+    #[test]
+    fn ber_override_reaches_the_params() {
+        let s = ScenarioSpec { ber: Some(1e-5), ..spec() };
+        let scenario = s.materialise().unwrap();
+        assert_eq!(scenario.params.ber, 1e-5);
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let missing = ScenarioSpec::parse("{\"name\": \"x\"}").unwrap_err();
+        assert!(missing.contains("topology"), "{missing}");
+        let text = spec().to_json().to_string().replace("RIPPLE-16", "RIPPLE-32");
+        let bad_scheme = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(bad_scheme.contains("RIPPLE-32"), "{bad_scheme}");
+        assert!(ScenarioSpec::parse("not json").is_err());
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for scheme in [
+            Scheme::Dcf { aggregation: 1 },
+            Scheme::Dcf { aggregation: 16 },
+            Scheme::Ripple { aggregation: 1 },
+            Scheme::Ripple { aggregation: 16 },
+            Scheme::PreExor,
+            Scheme::McExor,
+        ] {
+            assert_eq!(scheme_from_name(scheme_name(scheme)).unwrap(), scheme);
+        }
+    }
+}

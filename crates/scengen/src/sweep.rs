@@ -1,0 +1,263 @@
+//! [`SweepSpec`]: a cartesian grid of [`ScenarioSpec`]s plus the run-seed
+//! axis, expanded for the `wmn_exec` engine.
+//!
+//! A sweep is the generated-scenario analogue of the figure modules'
+//! hand-written grids: every combination of topology recipe × traffic mix ×
+//! scheme × topology seed becomes one scenario, each run once per *run
+//! seed* and seed-averaged downstream. Expansion order is fixed
+//! (topology-major, then mix, scheme, topology seed) so plan order — and
+//! therefore every report built from it — is deterministic.
+
+use wmn_netsim::{Scenario, Scheme};
+
+use crate::json::Value;
+use crate::mix::{PairPolicy, TrafficMix};
+use crate::spec::{
+    req_str, req_u64, req_u64_list, req_usize, scheme_from_name, scheme_name, PhyPreset,
+    ScenarioSpec,
+};
+use crate::topo::TopologySpec;
+
+/// A grid of scenario axes plus shared run settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (report file stem and scenario-name prefix).
+    pub name: String,
+    /// Topology recipes to sweep over.
+    pub topologies: Vec<TopologySpec>,
+    /// Traffic mixes to sweep over.
+    pub mixes: Vec<TrafficMix>,
+    /// Forwarding schemes to sweep over.
+    pub schemes: Vec<Scheme>,
+    /// Seeds for topology generation / endpoint draws: each adds one
+    /// placement variant per (topology, mix, scheme) cell.
+    pub topo_seeds: Vec<u64>,
+    /// Seeds each scenario is run under (and averaged over) by the engine.
+    pub run_seeds: Vec<u64>,
+    /// PHY preset shared by the whole sweep.
+    pub phy: PhyPreset,
+    /// Optional bit-error-rate override.
+    pub ber: Option<f64>,
+    /// Simulated duration per run, milliseconds.
+    pub duration_ms: u64,
+    /// Cap on forwarders per opportunistic list.
+    pub max_forwarders: usize,
+}
+
+impl SweepSpec {
+    /// The fixed small sweep CI runs on every push (and the determinism
+    /// suite replays at two worker counts): 2 topology recipes × 2 mixes ×
+    /// 2 schemes × 2 topology seeds × 2 run seeds = 32 runs of 200 ms each.
+    pub fn ci_quick() -> Self {
+        SweepSpec {
+            name: "ci-quick".into(),
+            topologies: vec![
+                TopologySpec::RandomGeometric { nodes: 12, side_m: 30.0 },
+                TopologySpec::Grid { cols: 4, rows: 3, spacing_m: 5.0 },
+            ],
+            mixes: vec![
+                TrafficMix { ftp: 2, web: 1, voip: 1, cbr: 0, pairing: PairPolicy::Random },
+                TrafficMix { ftp: 1, web: 0, voip: 2, cbr: 1, pairing: PairPolicy::Gateway },
+            ],
+            schemes: vec![Scheme::Dcf { aggregation: 1 }, Scheme::Ripple { aggregation: 16 }],
+            topo_seeds: vec![1, 2],
+            run_seeds: vec![1, 2],
+            phy: PhyPreset::Mbps216,
+            ber: None,
+            duration_ms: 200,
+            max_forwarders: 5,
+        }
+    }
+
+    /// Scenarios in the grid (before the run-seed axis).
+    pub fn scenario_count(&self) -> usize {
+        self.topologies.len() * self.mixes.len() * self.schemes.len() * self.topo_seeds.len()
+    }
+
+    /// Total runs the engine will execute: scenarios × run seeds.
+    pub fn run_count(&self) -> usize {
+        self.scenario_count() * self.run_seeds.len()
+    }
+
+    /// Expands the grid into one [`ScenarioSpec`] per cell, in the fixed
+    /// topology-major order. Names are
+    /// `<sweep>-<topology>-<mix>-<scheme>-t<topo_seed>` and unique.
+    pub fn scenario_specs(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(self.scenario_count());
+        for topology in &self.topologies {
+            for mix in &self.mixes {
+                for &scheme in &self.schemes {
+                    for &topo_seed in &self.topo_seeds {
+                        specs.push(ScenarioSpec {
+                            name: format!(
+                                "{}-{}-{}-{}-t{topo_seed}",
+                                self.name,
+                                topology.slug(),
+                                mix.slug(),
+                                scheme_name(scheme),
+                            ),
+                            topology: topology.clone(),
+                            mix: *mix,
+                            scheme,
+                            phy: self.phy,
+                            ber: self.ber,
+                            duration_ms: self.duration_ms,
+                            seed: topo_seed,
+                            max_forwarders: self.max_forwarders,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Materialises every cell into a validated [`Scenario`], ready for
+    /// `wmn_exec::RunPlan::grid` / `wmn_experiments::common::run_grid` with
+    /// [`SweepSpec::run_seeds`] as the seed axis.
+    ///
+    /// # Errors
+    ///
+    /// Fails on structurally empty sweeps (any empty axis) or on the first
+    /// cell whose materialisation fails, with the cell named.
+    pub fn expand(&self) -> Result<Vec<Scenario>, String> {
+        if self.scenario_count() == 0 || self.run_seeds.is_empty() {
+            return Err(format!(
+                "sweep {:?} is empty: every axis (topologies, mixes, schemes, topo_seeds, \
+                 run_seeds) needs at least one entry",
+                self.name
+            ));
+        }
+        self.scenario_specs().iter().map(ScenarioSpec::materialise).collect()
+    }
+
+    /// Serialises the sweep as a JSON object (the on-disk format
+    /// `scenario_sweep --spec` reads).
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::obj()
+            .with("name", self.name.as_str())
+            .with(
+                "topologies",
+                Value::Arr(self.topologies.iter().map(TopologySpec::to_json).collect()),
+            )
+            .with("mixes", Value::Arr(self.mixes.iter().map(TrafficMix::to_json).collect()))
+            .with(
+                "schemes",
+                Value::Arr(self.schemes.iter().map(|&s| Value::from(scheme_name(s))).collect()),
+            )
+            .with("topo_seeds", self.topo_seeds.clone())
+            .with("run_seeds", self.run_seeds.clone())
+            .with("phy", self.phy.name());
+        if let Some(ber) = self.ber {
+            doc = doc.with("ber", ber);
+        }
+        doc.with("duration_ms", self.duration_ms).with("max_forwarders", self.max_forwarders)
+    }
+
+    /// Decodes a sweep from the [`SweepSpec::to_json`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or invalid field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let arr = |key: &str| -> Result<&[Value], String> {
+            value
+                .get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("sweep: missing or non-array \"{key}\""))
+        };
+        Ok(SweepSpec {
+            name: req_str(value, "name", "sweep")?.to_string(),
+            topologies: arr("topologies")?
+                .iter()
+                .map(TopologySpec::from_json)
+                .collect::<Result<_, _>>()?,
+            mixes: arr("mixes")?.iter().map(TrafficMix::from_json).collect::<Result<_, _>>()?,
+            schemes: arr("schemes")?
+                .iter()
+                .map(|v| {
+                    scheme_from_name(
+                        v.as_str().ok_or("sweep: \"schemes\" entries must be strings")?,
+                    )
+                })
+                .collect::<Result<_, _>>()?,
+            topo_seeds: req_u64_list(value, "topo_seeds", "sweep")?,
+            run_seeds: req_u64_list(value, "run_seeds", "sweep")?,
+            phy: PhyPreset::from_name(req_str(value, "phy", "sweep")?)?,
+            ber: match value.get("ber") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("sweep: \"ber\" must be a number")?),
+            },
+            duration_ms: req_u64(value, "duration_ms", "sweep")?,
+            max_forwarders: req_usize(value, "max_forwarders", "sweep")?,
+        })
+    }
+
+    /// Parses a sweep from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns either the JSON syntax error or the first schema violation.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        SweepSpec::from_json(&crate::json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ci_quick_is_a_32_run_grid() {
+        let sweep = SweepSpec::ci_quick();
+        assert_eq!(sweep.scenario_count(), 16);
+        assert_eq!(sweep.run_count(), 32);
+    }
+
+    #[test]
+    fn scenario_names_are_unique_and_prefixed() {
+        let sweep = SweepSpec::ci_quick();
+        let specs = sweep.scenario_specs();
+        assert_eq!(specs.len(), 16);
+        let names: HashSet<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), specs.len(), "names must be unique");
+        assert!(names.iter().all(|n| n.starts_with("ci-quick-")));
+    }
+
+    #[test]
+    fn expand_materialises_every_cell() {
+        let mut sweep = SweepSpec::ci_quick();
+        // Keep the test light: one mix, one scheme, one seed each.
+        sweep.mixes.truncate(1);
+        sweep.schemes.truncate(1);
+        sweep.topo_seeds.truncate(1);
+        let scenarios = sweep.expand().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        for s in &scenarios {
+            assert_eq!(s.validate(), Ok(()));
+            assert_eq!(s.flows.len(), 4);
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let mut sweep = SweepSpec::ci_quick();
+        sweep.schemes.clear();
+        let msg = sweep.expand().unwrap_err();
+        assert!(msg.contains("empty"), "{msg}");
+        let mut no_runs = SweepSpec::ci_quick();
+        no_runs.run_seeds.clear();
+        assert!(no_runs.expand().is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let sweep = SweepSpec::ci_quick();
+        let text = sweep.to_json().to_string();
+        assert_eq!(SweepSpec::parse(&text).unwrap(), sweep);
+        let with_ber = SweepSpec { ber: Some(1e-6), ..SweepSpec::ci_quick() };
+        assert_eq!(SweepSpec::parse(&with_ber.to_json().to_string()).unwrap(), with_ber);
+        assert!(SweepSpec::parse("{}").is_err());
+    }
+}

@@ -207,10 +207,7 @@ mod tests {
         let sum: f64 = (0..n).map(|_| rng.pareto_with_mean(1.5, 80_000.0)).sum();
         let mean = sum / n as f64;
         // Heavy-tailed: allow a generous tolerance.
-        assert!(
-            (mean - 80_000.0).abs() / 80_000.0 < 0.25,
-            "sample mean {mean} too far from 80000"
-        );
+        assert!((mean - 80_000.0).abs() / 80_000.0 < 0.25, "sample mean {mean} too far from 80000");
     }
 
     #[test]

@@ -316,8 +316,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&us| SimDuration::from_micros(us)).sum();
+        let total: SimDuration = [1u64, 2, 3].iter().map(|&us| SimDuration::from_micros(us)).sum();
         assert_eq!(total, SimDuration::from_micros(6));
     }
 }

@@ -83,8 +83,9 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let q = p
-                    .link_delivery_probability(t.distance(NodeId::new(a as u32), NodeId::new(b as u32)));
+                let q = p.link_delivery_probability(
+                    t.distance(NodeId::new(a as u32), NodeId::new(b as u32)),
+                );
                 assert!(q > 0.85, "cell stations must all hear each other: {a}-{b} {q}");
             }
         }

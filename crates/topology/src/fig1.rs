@@ -21,14 +21,14 @@ pub fn topology() -> Topology {
     Topology::new(
         "fig1",
         vec![
-            Position::new(0.0, 0.0),   // 0: source of flows 1 and 2
-            Position::new(5.0, 0.0),   // 1
-            Position::new(8.0, 2.5),   // 2
-            Position::new(12.4, 1.6),  // 3: destination of flow 1
-            Position::new(10.8, 5.2),  // 4: destination of flow 2
-            Position::new(0.2, 7.2),   // 5: source of flow 3
-            Position::new(3.2, 4.5),   // 6
-            Position::new(9.0, 1.5),   // 7: destination of flow 3
+            Position::new(0.0, 0.0),  // 0: source of flows 1 and 2
+            Position::new(5.0, 0.0),  // 1
+            Position::new(8.0, 2.5),  // 2
+            Position::new(12.4, 1.6), // 3: destination of flow 1
+            Position::new(10.8, 5.2), // 4: destination of flow 2
+            Position::new(0.2, 7.2),  // 5: source of flow 3
+            Position::new(3.2, 4.5),  // 6
+            Position::new(9.0, 1.5),  // 7: destination of flow 3
         ],
     )
 }

@@ -31,6 +31,15 @@ use wmn_phy::Position;
 use wmn_sim::NodeId;
 
 /// A named topology: positions plus the flows an experiment will run on it.
+///
+/// # NodeId contract
+///
+/// `positions` defines the run's whole id namespace: [`NodeId`]s are **dense
+/// indices starting at 0**, so node `i` lives at `positions[i]` and every id
+/// handed to [`Topology::distance`] (or placed in a flow path) must be below
+/// [`Topology::node_count`]. The hand-placed topologies in this crate and the
+/// generators in `wmn_scengen` all emit dense placements; anything assembling
+/// ids by hand (see [`path`]) owns keeping them in range.
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// Human-readable name (used in experiment output).
@@ -50,17 +59,38 @@ impl Topology {
         self.positions.len()
     }
 
+    /// Whether `id` refers to a station of this topology (ids are dense
+    /// indices into the placement — see the NodeId contract above).
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.positions.len()
+    }
+
     /// Distance in metres between two stations.
     ///
     /// # Panics
     ///
-    /// Panics if either id is out of range.
+    /// Panics if either id violates the NodeId contract (out of range for
+    /// this placement). Debug builds name the offending id and the topology;
+    /// release builds hit the slice bounds check.
     pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        debug_assert!(
+            self.contains(a) && self.contains(b),
+            "Topology::distance({a}, {b}): id outside the {}-station topology {:?} \
+             (NodeIds must be dense indices into `positions`)",
+            self.node_count(),
+            self.name,
+        );
         self.positions[a.index()].distance_to(self.positions[b.index()])
     }
 }
 
 /// Convenience conversion from raw u32 ids to a path of [`NodeId`]s.
+///
+/// The ids are taken verbatim: they must obey the target topology's NodeId
+/// contract (dense indices below its node count) — this helper cannot check
+/// that because it does not know the topology. Pair it with
+/// [`Topology::contains`] or `wmn_netsim::Scenario::validate` when the ids
+/// are not literals.
 pub fn path(ids: &[u32]) -> Vec<NodeId> {
     ids.iter().map(|&i| NodeId::new(i)).collect()
 }
@@ -79,5 +109,22 @@ mod tests {
     #[test]
     fn path_converts_ids() {
         assert_eq!(path(&[0, 2]), vec![NodeId::new(0), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn contains_matches_the_dense_contract() {
+        let t = Topology::new("t", vec![Position::new(0.0, 0.0), Position::new(3.0, 4.0)]);
+        assert!(t.contains(NodeId::new(0)) && t.contains(NodeId::new(1)));
+        assert!(!t.contains(NodeId::new(2)), "ids are dense: 2 stations end at n1");
+    }
+
+    /// Regression for the NodeId contract: a sparse id must fail loudly in
+    /// `distance`, not silently read a neighbouring station's position.
+    #[test]
+    #[should_panic(expected = "NodeIds must be dense")]
+    #[cfg(debug_assertions)]
+    fn distance_rejects_out_of_range_ids() {
+        let t = Topology::new("t", vec![Position::new(0.0, 0.0)]);
+        let _ = t.distance(NodeId::new(0), NodeId::new(5));
     }
 }

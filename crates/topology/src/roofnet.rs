@@ -92,15 +92,9 @@ pub fn pick_hidden_pair(
             topo.distance(a, dst).partial_cmp(&topo.distance(b, dst)).expect("no NaN")
         })?;
     // Its sink: the nearest remaining station.
-    let hidden_dst = candidates
-        .iter()
-        .copied()
-        .filter(|&x| x != hidden_src)
-        .min_by(|&a, &b| {
-            topo.distance(a, hidden_src)
-                .partial_cmp(&topo.distance(b, hidden_src))
-                .expect("no NaN")
-        })?;
+    let hidden_dst = candidates.iter().copied().filter(|&x| x != hidden_src).min_by(|&a, &b| {
+        topo.distance(a, hidden_src).partial_cmp(&topo.distance(b, hidden_src)).expect("no NaN")
+    })?;
     Some((hidden_src, hidden_dst))
 }
 

@@ -110,9 +110,7 @@ impl TcpSegment {
         let a = u64::from_le_bytes(body[1..9].try_into().ok()?);
         let b = u64::from_le_bytes(body[9..17].try_into().ok()?);
         match (body[0], body[17]) {
-            (Self::TAG_DATA, f @ (0 | 1)) => {
-                Some(TcpSegment::Data { seq: a, ts: b, retx: f == 1 })
-            }
+            (Self::TAG_DATA, f @ (0 | 1)) => Some(TcpSegment::Data { seq: a, ts: b, retx: f == 1 }),
             (Self::TAG_ACK, 0) => Some(TcpSegment::Ack { cum_ack: a, ts_echo: b }),
             _ => None,
         }
@@ -324,8 +322,7 @@ impl TcpSender {
                 } else {
                     // NewReno partial ACK: retransmit the next hole.
                     self.stats.retransmits += 1;
-                    self.highest_retx =
-                        Some(self.highest_retx.map_or(cum_ack, |h| h.max(cum_ack)));
+                    self.highest_retx = Some(self.highest_retx.map_or(cum_ack, |h| h.max(cum_ack)));
                     self.emit_data(cum_ack, now, true, &mut out);
                 }
             } else if self.cwnd < self.ssthresh {

@@ -13,8 +13,7 @@ fn main() {
     // Four stations in a line, 5 m apart: adjacent links are strong, the
     // end-to-end link is hopeless — the regime opportunistic routing is
     // designed for.
-    let positions: Vec<Position> =
-        (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let positions: Vec<Position> = (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
     let path: Vec<NodeId> = (0..4).map(NodeId::new).collect();
 
     println!("one long-lived TCP flow, 0 -> 1 -> 2 -> 3, 216 Mbps PHY, 2 s\n");

@@ -31,12 +31,8 @@ fn main() {
             max_forwarders: 5,
         };
         let result = run(&scenario);
-        let best =
-            result.flows.iter().map(|f| f.throughput_mbps).fold(0.0f64, f64::max);
-        println!(
-            "{:<22} {:>14.2} {:>16.2}",
-            label, result.total_throughput_mbps, best
-        );
+        let best = result.flows.iter().map(|f| f.throughput_mbps).fold(0.0f64, f64::max);
+        println!("{:<22} {:>14.2} {:>16.2}", label, result.total_throughput_mbps, best);
     }
     println!("\nshort transfers benefit from RIPPLE immediately — no batching");
     println!("delay, unlike ExOR/MORE-style batch opportunistic routing.");

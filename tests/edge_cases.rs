@@ -36,10 +36,7 @@ fn degenerate_one_hop_paths() {
         let s = base(
             scheme,
             positions.clone(),
-            vec![FlowSpec {
-                path: vec![NodeId::new(0), NodeId::new(1)],
-                workload: Workload::Ftp,
-            }],
+            vec![FlowSpec { path: vec![NodeId::new(0), NodeId::new(1)], workload: Workload::Ftp }],
         );
         let r = run(&s);
         assert!(
@@ -55,8 +52,7 @@ fn degenerate_one_hop_paths() {
 /// aggregation is designed for.
 #[test]
 fn opposing_flows_share_the_chain() {
-    let positions: Vec<Position> =
-        (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let positions: Vec<Position> = (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
     let forward: Vec<NodeId> = (0..4).map(NodeId::new).collect();
     let mut backward = forward.clone();
     backward.reverse();
@@ -79,8 +75,7 @@ fn opposing_flows_share_the_chain() {
 /// on a quiet chain the tail stays far below the 52 ms budget.
 #[test]
 fn voip_delay_tail_is_reported() {
-    let positions: Vec<Position> =
-        (0..3).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let positions: Vec<Position> = (0..3).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
     let mut s = base(
         Scheme::Ripple { aggregation: 16 },
         positions,
@@ -107,15 +102,11 @@ fn voip_delay_tail_is_reported() {
 /// in some MAC's delivered count.
 #[test]
 fn mac_stats_are_plumbed_through() {
-    let positions: Vec<Position> =
-        (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
+    let positions: Vec<Position> = (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect();
     let s = base(
         Scheme::Dcf { aggregation: 16 },
         positions,
-        vec![FlowSpec {
-            path: (0..4).map(NodeId::new).collect(),
-            workload: Workload::Ftp,
-        }],
+        vec![FlowSpec { path: (0..4).map(NodeId::new).collect(), workload: Workload::Ftp }],
     );
     let r = run(&s);
     assert_eq!(r.mac_stats.len(), 4);
@@ -135,10 +126,7 @@ fn zero_duration_run_is_clean() {
     let mut s = base(
         Scheme::Ripple { aggregation: 16 },
         positions,
-        vec![FlowSpec {
-            path: vec![NodeId::new(0), NodeId::new(1)],
-            workload: Workload::Ftp,
-        }],
+        vec![FlowSpec { path: vec![NodeId::new(0), NodeId::new(1)], workload: Workload::Ftp }],
     );
     s.duration = SimDuration::ZERO;
     let r = run(&s);

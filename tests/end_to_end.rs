@@ -8,12 +8,7 @@ use wmn_sim::{NodeId, SimDuration};
 use wmn_topology::{collision, fig1, line, roofnet, wigle};
 use wmn_traffic::{CbrModel, VoipModel, WebModel};
 
-fn scenario(
-    scheme: Scheme,
-    positions: Vec<Position>,
-    flows: Vec<FlowSpec>,
-    ms: u64,
-) -> Scenario {
+fn scenario(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>, ms: u64) -> Scenario {
     Scenario {
         name: "e2e".into(),
         params: PhyParams::paper_216(),
@@ -62,21 +57,13 @@ fn every_scheme_completes_a_transfer() {
 fn all_fig1_flows_work_concurrently_under_ripple() {
     let topo = fig1::topology();
     let flows = (1..=3)
-        .map(|f| FlowSpec {
-            path: fig1::RouteSet::Route0.flow_path(f),
-            workload: Workload::Ftp,
-        })
+        .map(|f| FlowSpec { path: fig1::RouteSet::Route0.flow_path(f), workload: Workload::Ftp })
         .collect();
     let s = scenario(Scheme::Ripple { aggregation: 16 }, topo.positions, flows, 300);
     let r = run(&s);
     for (i, f) in r.flows.iter().enumerate() {
         assert!(f.delivered_bytes > 0, "flow {} starved", i + 1);
-        assert_eq!(
-            f.tcp.unwrap().reordered_arrivals,
-            0,
-            "RIPPLE must not reorder flow {}",
-            i + 1
-        );
+        assert_eq!(f.tcp.unwrap().reordered_arrivals, 0, "RIPPLE must not reorder flow {}", i + 1);
     }
 }
 
@@ -115,8 +102,7 @@ fn web_users_share_the_mesh() {
 #[test]
 fn hidden_terminals_throttle_but_do_not_wedge() {
     let topo = collision::hidden_terminals(5);
-    let mut flows =
-        vec![FlowSpec { path: collision::hidden_main_path(), workload: Workload::Ftp }];
+    let mut flows = vec![FlowSpec { path: collision::hidden_main_path(), workload: Workload::Ftp }];
     for k in 0..5 {
         let (s, d) = collision::hidden_flow_endpoints(k);
         flows.push(FlowSpec { path: vec![s, d], workload: Workload::Cbr(CbrModel::saturating()) });

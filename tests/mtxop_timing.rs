@@ -4,8 +4,8 @@
 //! the transmission it overheard ended, and its ACK relay exactly
 //! `(rank−1)·T_slot + T_SIFS` after the destination's ACK.
 
-use wmn_netsim::{run_traced, FlowSpec, Scenario, Scheme, TraceKind, Workload};
 use wmn_netsim::trace::FrameKind;
+use wmn_netsim::{run_traced, FlowSpec, Scenario, Scheme, TraceKind, Workload};
 use wmn_phy::{PhyParams, Position};
 use wmn_sim::{NodeId, SimDuration, SimTime};
 use wmn_traffic::CbrModel;
@@ -19,19 +19,12 @@ fn one_packet_scenario(seed: u64) -> Scenario {
     Scenario {
         name: "mtxop-timing".into(),
         params: PhyParams::paper_216(),
-        positions: vec![
-            Position::new(0.0, 0.0),
-            Position::new(5.0, 0.0),
-            Position::new(10.0, 0.0),
-        ],
+        positions: vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0), Position::new(10.0, 0.0)],
         scheme: Scheme::Ripple { aggregation: 1 },
         flows: vec![FlowSpec {
             path: vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
             // One packet only: the CBR interval exceeds the duration.
-            workload: Workload::Cbr(CbrModel::new(
-                1000,
-                SimDuration::from_secs_f64(10.0),
-            )),
+            workload: Workload::Cbr(CbrModel::new(1000, SimDuration::from_secs_f64(10.0))),
         }],
         duration: SimDuration::from_millis(5),
         seed,
@@ -58,9 +51,7 @@ fn data_relay_starts_one_slot_plus_sifs_after_the_overheard_frame() {
             .events
             .iter()
             .rfind(|e| {
-                e.node == NodeId::new(0)
-                    && e.at <= relay.at
-                    && matches!(e.kind, TraceKind::TxEnd)
+                e.node == NodeId::new(0) && e.at <= relay.at && matches!(e.kind, TraceKind::TxEnd)
             })
             .expect("the relay must follow a source transmission");
         let gap = us(relay.at) - us(source_tx_end.at);

@@ -18,10 +18,7 @@ fn chain_scenario(scheme: Scheme, ms: u64) -> Scenario {
         params: PhyParams::paper_216(),
         positions: (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect(),
         scheme,
-        flows: vec![FlowSpec {
-            path: (0..4).map(NodeId::new).collect(),
-            workload: Workload::Ftp,
-        }],
+        flows: vec![FlowSpec { path: (0..4).map(NodeId::new).collect(), workload: Workload::Ftp }],
         duration: SimDuration::from_millis(ms),
         seed: 1,
         max_forwarders: 5,
@@ -102,10 +99,7 @@ fn fig7_decay_and_long_path_win() {
         assert!(v(row, 1) > v(row, 6), "decay with hops (row {row})");
     }
     let (dcf7, ripple7) = (v(0, 6), v(2, 6));
-    assert!(
-        ripple7 > dcf7,
-        "RIPPLE must beat DCF at 7 hops: {ripple7} vs {dcf7}"
-    );
+    assert!(ripple7 > dcf7, "RIPPLE must beat DCF at 7 hops: {ripple7} vs {dcf7}");
 }
 
 /// Table III shape: at heavy VoIP load (30 calls) RIPPLE's MoS exceeds both

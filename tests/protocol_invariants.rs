@@ -12,10 +12,7 @@ fn base(scheme: Scheme, ber: f64, seed: u64) -> Scenario {
         params: PhyParams::paper_216().with_ber(ber),
         positions: (0..4).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect(),
         scheme,
-        flows: vec![FlowSpec {
-            path: (0..4).map(NodeId::new).collect(),
-            workload: Workload::Ftp,
-        }],
+        flows: vec![FlowSpec { path: (0..4).map(NodeId::new).collect(), workload: Workload::Ftp }],
         duration: SimDuration::from_millis(250),
         seed,
         max_forwarders: 5,
@@ -142,10 +139,7 @@ fn long_path_with_forwarder_cap() {
         params: PhyParams::paper_216(),
         positions: (0..8).map(|i| Position::new(f64::from(i) * 5.0, 0.0)).collect(),
         scheme: Scheme::Ripple { aggregation: 16 },
-        flows: vec![FlowSpec {
-            path: (0..8).map(NodeId::new).collect(),
-            workload: Workload::Ftp,
-        }],
+        flows: vec![FlowSpec { path: (0..8).map(NodeId::new).collect(), workload: Workload::Ftp }],
         duration: SimDuration::from_millis(400),
         seed: 2,
         max_forwarders: 5,
