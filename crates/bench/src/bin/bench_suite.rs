@@ -1,0 +1,310 @@
+//! `bench_suite` — the repo's measured performance trajectory.
+//!
+//! Times the transmission planner (cached link-state matrix vs the
+//! pre-refactor naive computation, on a dense and a sparse grid), event
+//! queue churn under the simulator's interleaved access pattern, and one
+//! fig-6(b)-class end-to-end run, then writes the numbers as
+//! `BENCH_<name>.json` in the current directory — the same hand-rolled
+//! JSON style as the `target/repro` reports, so trajectories can be tracked
+//! across commits with `jq`.
+//!
+//! ```text
+//! bench_suite [--quick] [--name suite] [--out PATH]   # measure and write
+//! bench_suite --validate PATH                         # schema-check a report
+//! ```
+//!
+//! `--quick` is the CI smoke profile: same workloads, fewer repetitions.
+//! Absolute numbers vary with the host; the cached-vs-naive *ratio* is the
+//! tracked signal. CI runs `--quick` and then `--validate` so a malformed
+//! report fails the job (timing thresholds are deliberately not gated —
+//! container speed varies).
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wmn_bench::{fig6_class_scenario, grid_positions, naive_plan_reference};
+use wmn_exec::json::{parse, Value};
+use wmn_netsim::run;
+use wmn_phy::{Medium, PhyParams};
+use wmn_sim::{EventQueue, NodeId, SimDuration, SimTime, StreamRng};
+
+struct Profile {
+    label: &'static str,
+    /// Planner calls on the dense 6×6 grid.
+    dense_reps: u64,
+    /// Planner calls on the sparse 16×16 grid.
+    sparse_reps: u64,
+    /// Event-queue schedule/pop operations.
+    queue_ops: u64,
+    /// Simulated duration of the end-to-end run.
+    e2e_duration: SimDuration,
+}
+
+const QUICK: Profile = Profile {
+    label: "quick",
+    dense_reps: 20_000,
+    sparse_reps: 2_000,
+    queue_ops: 200_000,
+    e2e_duration: SimDuration::from_millis(300),
+};
+
+const FULL: Profile = Profile {
+    label: "full",
+    dense_reps: 200_000,
+    sparse_reps: 20_000,
+    queue_ops: 2_000_000,
+    e2e_duration: SimDuration::from_millis(2_000),
+};
+
+/// One measured benchmark, as it appears in the report's `benches` array.
+struct Bench {
+    name: String,
+    reps: u64,
+    ns_per_op: f64,
+    /// Extra observed quantities (plan counts, delivered bytes, …) that make
+    /// the number auditable.
+    extras: Vec<(&'static str, Value)>,
+}
+
+impl Bench {
+    fn to_value(&self) -> Value {
+        let mut v = Value::obj()
+            .with("name", self.name.as_str())
+            .with("reps", self.reps)
+            .with("ns_per_op", self.ns_per_op);
+        for (k, extra) in &self.extras {
+            v = v.with(k, extra.clone());
+        }
+        v
+    }
+}
+
+/// Times `reps` planner calls, rotating the transmitter across the grid.
+/// Returns (ns/op, total planned receptions) — the latter doubles as the
+/// cross-check that both planner implementations did identical work.
+fn time_planner(medium: &Medium, reps: u64, cached: bool) -> (f64, u64) {
+    let n = medium.node_count() as u64;
+    let mut rng = StreamRng::derive(99, "bench/planner");
+    let mut scratch = Vec::new();
+    let mut plans_total = 0u64;
+    let start = Instant::now();
+    for i in 0..reps {
+        let from = NodeId::new((i % n) as u32);
+        if cached {
+            medium.plan_transmission_into(from, &mut rng, &mut scratch);
+            plans_total += scratch.len() as u64;
+            black_box(&scratch);
+        } else {
+            let plans = naive_plan_reference(medium, from, &mut rng);
+            plans_total += plans.len() as u64;
+            black_box(&plans);
+        }
+    }
+    (start.elapsed().as_nanos() as f64 / reps as f64, plans_total)
+}
+
+/// Planner pair (cached + naive) on one grid, with the work cross-check.
+fn planner_pair(side: usize, spacing: f64, reps: u64, benches: &mut Vec<Bench>) -> f64 {
+    let medium = Medium::new(PhyParams::paper_216(), grid_positions(side, spacing));
+    let nodes = side * side;
+    let (cached_ns, cached_plans) = time_planner(&medium, reps, true);
+    let (naive_ns, naive_plans) = time_planner(&medium, reps, false);
+    assert_eq!(
+        cached_plans, naive_plans,
+        "cached and naive planners disagree on grid {side}x{side} — benchmark invalid"
+    );
+    for (kind, ns, plans) in [("cached", cached_ns, cached_plans), ("naive", naive_ns, naive_plans)]
+    {
+        benches.push(Bench {
+            name: format!("plan_transmission_{kind}_grid{nodes}"),
+            reps,
+            ns_per_op: ns,
+            extras: vec![("plans_total", Value::Uint(plans))],
+        });
+    }
+    naive_ns / cached_ns
+}
+
+/// Event-queue churn under the simulator's steady-state pattern: a bounded
+/// frontier where every pop schedules a successor at or near "now".
+fn time_event_queue(ops: u64) -> f64 {
+    let mut q = EventQueue::with_capacity(64);
+    for i in 0..64u64 {
+        q.schedule(SimTime::from_nanos(i / 4), i);
+    }
+    let mut sum = 0u64;
+    let start = Instant::now();
+    for i in 64..ops {
+        let (_, e) = q.pop().expect("frontier never empties");
+        sum = sum.wrapping_add(e);
+        q.schedule_in(SimDuration::from_nanos(i % 3), i);
+    }
+    while let Some((_, e)) = q.pop() {
+        sum = sum.wrapping_add(e);
+    }
+    black_box(sum);
+    start.elapsed().as_nanos() as f64 / ops as f64
+}
+
+fn run_suite(profile: &Profile) -> Value {
+    let mut benches = Vec::new();
+
+    // 1. Planner, dense grid: every pair is draw-dependent, so the win is
+    //    the precomputed geometry/path loss and the scratch buffer.
+    let dense_speedup = planner_pair(6, 5.0, profile.dense_reps, &mut benches);
+    // 2. Planner, campus-scale grid: pairs beyond ~417 m are never-sensed,
+    //    so the cached planner additionally skips the Box–Muller
+    //    transcendentals for them.
+    let sparse_speedup = planner_pair(16, 40.0, profile.sparse_reps, &mut benches);
+
+    // 3. Event-queue churn.
+    benches.push(Bench {
+        name: "event_queue_interleaved".into(),
+        reps: profile.queue_ops,
+        ns_per_op: time_event_queue(profile.queue_ops),
+        extras: vec![],
+    });
+
+    // 4. End-to-end fig-6(b)-class run (RIPPLE-16 + 5 hidden CBR senders).
+    let scenario = fig6_class_scenario(5, profile.e2e_duration);
+    let start = Instant::now();
+    let result = run(&scenario);
+    let wall = start.elapsed();
+    assert!(result.flows[0].delivered_bytes > 0, "end-to-end run made no progress");
+    benches.push(Bench {
+        name: "fig6_class_end_to_end".into(),
+        reps: 1,
+        ns_per_op: wall.as_nanos() as f64,
+        extras: vec![
+            ("sim_millis", Value::Uint(profile.e2e_duration.as_nanos() / 1_000_000)),
+            ("delivered_bytes", Value::Uint(result.flows[0].delivered_bytes)),
+        ],
+    });
+
+    Value::obj()
+        .with("artefact", "bench_suite")
+        .with("profile", profile.label)
+        .with("benches", Value::Arr(benches.iter().map(Bench::to_value).collect()))
+        .with(
+            "speedup",
+            Value::obj()
+                .with("plan_transmission_grid36", dense_speedup)
+                .with("plan_transmission_grid256", sparse_speedup),
+        )
+}
+
+/// Schema check for a written report. This is the CI gate against malformed
+/// output; it deliberately does not gate on timing values beyond "positive
+/// and finite" (container speed varies).
+fn validate(doc: &Value) -> Result<(), String> {
+    if doc.get("artefact").and_then(Value::as_str) != Some("bench_suite") {
+        return Err("artefact must be \"bench_suite\"".into());
+    }
+    match doc.get("profile").and_then(Value::as_str) {
+        Some("quick" | "full") => {}
+        other => return Err(format!("profile must be \"quick\" or \"full\", got {other:?}")),
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "benches must be an array".to_string())?;
+    if benches.is_empty() {
+        return Err("benches must be non-empty".into());
+    }
+    for bench in benches {
+        let name = bench
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "every bench needs a string name".to_string())?;
+        if bench.get("reps").and_then(Value::as_u64).unwrap_or(0) == 0 {
+            return Err(format!("bench {name:?}: reps must be a positive integer"));
+        }
+        let ns = bench
+            .get("ns_per_op")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench {name:?}: ns_per_op must be numeric"))?;
+        if !ns.is_finite() || ns <= 0.0 {
+            return Err(format!("bench {name:?}: ns_per_op must be finite and positive"));
+        }
+    }
+    let speedup = doc.get("speedup").ok_or_else(|| "speedup object missing".to_string())?;
+    let Value::Obj(pairs) = speedup else { return Err("speedup must be an object".into()) };
+    if pairs.is_empty() {
+        return Err("speedup must be non-empty".into());
+    }
+    for (key, v) in pairs {
+        let x = v.as_f64().ok_or_else(|| format!("speedup {key:?} must be numeric"))?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(format!("speedup {key:?} must be finite and positive, got {x}"));
+        }
+    }
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_suite [--quick] [--name NAME] [--out PATH]\n\
+         \x20      bench_suite --validate PATH"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut name = String::from("suite");
+    let mut out: Option<String> = None;
+    let mut validate_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--name" => name = args.next().unwrap_or_else(|| usage()),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--validate" => validate_path = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench_suite: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let verdict = parse(&text).and_then(|doc| validate(&doc));
+        return match verdict {
+            Ok(()) => {
+                println!("bench_suite: {path} is well-formed");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("bench_suite: {path} is malformed: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let profile = if quick { &QUICK } else { &FULL };
+    let doc = run_suite(profile);
+    validate(&doc).expect("freshly measured report must be well-formed");
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{doc}\n")).expect("report path must be writable");
+
+    // Human summary: the tracked ratios plus each raw number.
+    if let Some(Value::Obj(pairs)) = doc.get("speedup") {
+        for (key, v) in pairs {
+            println!("{key}: {:.2}x cached-vs-naive", v.as_f64().unwrap_or(f64::NAN));
+        }
+    }
+    for bench in doc.get("benches").and_then(Value::as_arr).unwrap_or(&[]) {
+        let name = bench.get("name").and_then(Value::as_str).unwrap_or("?");
+        let ns = bench.get("ns_per_op").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        println!("{name}: {ns:.0} ns/op");
+    }
+    println!("wrote {path} ({} profile)", profile.label);
+    ExitCode::SUCCESS
+}

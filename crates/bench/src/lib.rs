@@ -1,5 +1,7 @@
 //! Benchmark harness support: scaled-down experiment configurations for
-//! Criterion runs, plus the scenario builders the micro-benches share.
+//! Criterion runs, the scenario builders the micro-benches share, and the
+//! measured workloads behind the `bench_suite` binary (the repo's tracked
+//! perf trajectory, written as `BENCH_*.json`).
 //!
 //! Each Criterion bench in `benches/figures.rs` regenerates (a reduced
 //! version of) one table or figure of the paper — the point is not the
@@ -10,8 +12,10 @@
 
 use wmn_experiments::ExpConfig;
 use wmn_netsim::{run, FlowSpec, RunResult, Scenario, Scheme, Workload};
-use wmn_phy::{PhyParams, Position};
-use wmn_sim::{NodeId, SimDuration};
+use wmn_phy::{Medium, PhyParams, Position, RxPlan};
+use wmn_sim::{NodeId, SimDuration, StreamRng};
+use wmn_topology::collision;
+use wmn_traffic::CbrModel;
 
 /// The configuration benches run experiments with (150 ms, one seed).
 pub fn bench_config() -> ExpConfig {
@@ -37,6 +41,76 @@ pub fn run_three_hop(scheme: Scheme) -> RunResult {
     run(&three_hop_scenario(scheme))
 }
 
+/// Station placement on a `side`×`side` grid with `spacing_m` metre pitch.
+///
+/// The planner benchmarks use two instances: a dense 6×6 @ 5 m grid where
+/// every pair is within possible carrier sense (every draw is taken), and a
+/// campus-scale 16×16 @ 40 m grid (600 m side) where pairs beyond ~417 m —
+/// the distance at which even a maximal shadowing excursion stays below
+/// carrier sense — are classified never-sensed at build time (the cached
+/// planner's fast path).
+pub fn grid_positions(side: usize, spacing_m: f64) -> Vec<Position> {
+    let mut positions = Vec::with_capacity(side * side);
+    for row in 0..side {
+        for col in 0..side {
+            positions.push(Position::new(col as f64 * spacing_m, row as f64 * spacing_m));
+        }
+    }
+    positions
+}
+
+/// The pre-refactor `plan_transmission`: re-derives distance, mean path
+/// loss, and thresholds for every pair on every call, through the public
+/// propagation API. This is the baseline side of the cached-vs-naive
+/// benchmark; it is pinned bit-identical to the cached planner both here
+/// (unit test) and in `wmn_phy`'s property suite, so the two sides of the
+/// timing comparison provably do the same work.
+pub fn naive_plan_reference(medium: &Medium, from: NodeId, rng: &mut StreamRng) -> Vec<RxPlan> {
+    let p = medium.params();
+    let mut plans = Vec::new();
+    for idx in 0..medium.node_count() {
+        if idx == from.index() {
+            continue;
+        }
+        let to = NodeId::new(idx as u32);
+        let d = medium.position(from).distance_to(medium.position(to));
+        let power = p.shadowing.sample_rx_dbm(p.tx_power_dbm, d, rng);
+        if power < p.cs_thresh_dbm {
+            continue;
+        }
+        plans.push(RxPlan {
+            to,
+            delay: p.propagation_delay(d),
+            power_dbm: power,
+            decodable: power >= p.rx_thresh_dbm,
+        });
+    }
+    plans
+}
+
+/// A fig-6(b)-class end-to-end scenario: a 3-hop RIPPLE-16 FTP flow whose
+/// relays are exposed to `n_hidden` saturated hidden CBR senders — the
+/// heaviest per-transmission fan-out workload in the paper's experiment
+/// set, used as the suite's end-to-end timing probe.
+pub fn fig6_class_scenario(n_hidden: usize, duration: SimDuration) -> Scenario {
+    let topo = collision::hidden_terminals(n_hidden);
+    let mut flows = vec![FlowSpec { path: collision::hidden_main_path(), workload: Workload::Ftp }];
+    for k in 0..n_hidden {
+        let (s, d) = collision::hidden_flow_endpoints(k);
+        flows.push(FlowSpec { path: vec![s, d], workload: Workload::Cbr(CbrModel::heavy()) });
+    }
+    Scenario {
+        name: format!("bench-fig6b-{n_hidden}"),
+        params: PhyParams::paper_216(),
+        positions: topo.positions,
+        scheme: Scheme::Ripple { aggregation: 16 },
+        flows,
+        duration,
+        seed: 0,
+        max_forwarders: 5,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +119,65 @@ mod tests {
     fn bench_scenario_is_runnable() {
         let result = run_three_hop(Scheme::Ripple { aggregation: 16 });
         assert!(result.flows[0].delivered_bytes > 0);
+    }
+
+    #[test]
+    fn grid_positions_shape() {
+        let g = grid_positions(4, 5.0);
+        assert_eq!(g.len(), 16);
+        assert!((g[0].distance_to(g[1]) - 5.0).abs() < 1e-12);
+        assert!((g[0].distance_to(g[4]) - 5.0).abs() < 1e-12);
+    }
+
+    /// The benchmark's naive reference must stay bit-identical to the cached
+    /// planner — otherwise the timed comparison would not be apples to
+    /// apples. (The `wmn_phy` property suite pins the same equivalence
+    /// against the in-crate naive oracle.)
+    #[test]
+    fn naive_reference_matches_cached_planner() {
+        for (side, spacing) in [(6usize, 5.0f64), (16, 40.0)] {
+            let medium = Medium::new(PhyParams::paper_216(), grid_positions(side, spacing));
+            let mut rng_c = StreamRng::derive(11, "bench/pin");
+            let mut rng_n = StreamRng::derive(11, "bench/pin");
+            let n = (side * side) as u64;
+            for i in 0..200u64 {
+                let from = NodeId::new((i % n) as u32);
+                let cached = medium.plan_transmission(from, &mut rng_c);
+                let naive = naive_plan_reference(&medium, from, &mut rng_n);
+                assert_eq!(cached, naive, "grid {side}x{side} call {i}");
+            }
+            assert_eq!(rng_c.next_u64(), rng_n.next_u64(), "stream positions diverged");
+        }
+    }
+
+    #[test]
+    fn sparse_grid_has_never_sensed_pairs_dense_has_none() {
+        use wmn_phy::LinkClass;
+        let dense = Medium::new(PhyParams::paper_216(), grid_positions(6, 5.0));
+        let sparse = Medium::new(PhyParams::paper_216(), grid_positions(16, 40.0));
+        let count_never = |m: &Medium| {
+            let n = m.node_count() as u32;
+            let mut never = 0usize;
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b
+                        && m.link_class(NodeId::new(a), NodeId::new(b)) == LinkClass::NeverSensed
+                    {
+                        never += 1;
+                    }
+                }
+            }
+            never
+        };
+        assert_eq!(count_never(&dense), 0, "6x6 @ 5 m: every pair draw-dependent");
+        assert!(count_never(&sparse) > 0, "16x16 @ 40 m: far corners never sense each other");
+    }
+
+    #[test]
+    fn fig6_class_scenario_is_valid_and_runs() {
+        let s = fig6_class_scenario(3, SimDuration::from_millis(50));
+        assert_eq!(s.validate(), Ok(()));
+        let r = run(&s);
+        assert!(r.flows[0].delivered_bytes > 0, "main flow must make progress");
     }
 }

@@ -4,7 +4,7 @@
 //! against the event queue, applies the channel (shadowing + collisions +
 //! BER) to every transmission, and accumulates per-flow results.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use ripple::{RippleConfig, RippleMac};
 use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
@@ -12,7 +12,7 @@ use wmn_mac::{DcfConfig, DcfMac, MacAction, MacEntity, RateClass, TimerToken};
 use wmn_metrics::mos::{voip_mos, VoipQualityInputs, WIRELESS_BUDGET};
 use wmn_metrics::throughput_mbps;
 use wmn_phy::medium::BusyTransition;
-use wmn_phy::{ArrivalOutcome, BerModel, Medium, Receiver};
+use wmn_phy::{ArrivalOutcome, BerModel, Medium, Receiver, RxPlan};
 use wmn_routing::exor::ExorConfig;
 use wmn_routing::{forwarder_list, ExorMac, ExorMode};
 use wmn_sim::{EventQueue, FlowId, NodeId, RngDirectory, SimDuration, SimTime, StreamRng};
@@ -109,10 +109,18 @@ enum Event {
 
 struct ArrivalState {
     node: NodeId,
-    frame: Frame,
+    /// Shared handle to the transmitted frame: a broadcast to k receivers
+    /// costs one allocation, not k deep clones. A mutable copy is made only
+    /// when an arrival actually decodes cleanly (see `apply_bit_errors`).
+    frame: Arc<Frame>,
     decodable: bool,
     power_dbm: f64,
 }
+
+/// Per-node routing decisions of one flow direction, indexed by `NodeId`
+/// (ids are dense indices per [`Scenario::validate`]): `table[node]` is the
+/// decision at `node`, `None` where the flow never routes through.
+type RouteTable = Vec<Option<RouteInfo>>;
 
 struct FlowRt {
     spec: FlowSpec,
@@ -122,22 +130,27 @@ struct FlowRt {
     udp_sink: UdpSink,
     udp_seq: u64,
     udp_sent: u64,
-    fwd_routes: HashMap<NodeId, RouteInfo>,
-    rev_routes: HashMap<NodeId, RouteInfo>,
+    fwd_routes: RouteTable,
+    rev_routes: RouteTable,
     web_rng: Option<StreamRng>,
 }
 
 struct World {
     end: SimTime,
-    now: SimTime,
     medium: Medium,
     ber: BerModel,
     receivers: Vec<Receiver>,
     macs: Vec<Box<dyn MacEntity>>,
     flows: Vec<FlowRt>,
     queue: EventQueue<Event>,
-    arrivals: HashMap<u64, ArrivalState>,
-    next_arrival: u64,
+    /// Slab of in-flight arrivals: event ids are slot indices, freed slots
+    /// are recycled LIFO, so memory stays bounded by the peak number of
+    /// concurrent arrivals instead of growing with the run length.
+    arrivals: Vec<Option<ArrivalState>>,
+    free_arrivals: Vec<u64>,
+    /// Reusable buffer for `Medium::plan_transmission_into` — zero planner
+    /// allocations per transmission at steady state.
+    plan_scratch: Vec<RxPlan>,
     medium_rng: StreamRng,
     ber_rng: StreamRng,
     trace: Option<Trace>,
@@ -258,47 +271,69 @@ impl World {
             });
         }
 
-        let mut queue = EventQueue::new();
+        // Pre-compute the VoIP departure schedules so the queue can be sized
+        // to the full initial event load in one allocation.
+        let voip_departures: Vec<Option<Vec<SimDuration>>> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, flow)| match &flow.spec.workload {
+                Workload::Voip(model) => {
+                    let mut rng = dir.stream(&format!("voip/{i}"));
+                    Some(model.departure_schedule(scenario.duration, &mut rng))
+                }
+                _ => None,
+            })
+            .collect();
+        let initial_events: usize =
+            voip_departures.iter().map(|deps| deps.as_ref().map_or(1, Vec::len)).sum();
+        let mut queue = EventQueue::with_capacity(initial_events);
         let end = SimTime::ZERO + scenario.duration;
-        for (i, flow) in flows.iter().enumerate() {
+        for ((i, flow), departures) in flows.iter().enumerate().zip(voip_departures) {
             // Small deterministic stagger breaks pathological phase locks.
             let stagger = SimDuration::from_micros(17 * i as u64);
             match &flow.spec.workload {
                 Workload::Ftp | Workload::Web(_) => {
-                    queue.schedule(SimTime::ZERO + stagger, Event::FlowStart { flow: flow.id });
+                    queue.schedule_in(stagger, Event::FlowStart { flow: flow.id });
                 }
-                Workload::Voip(model) => {
-                    let mut rng = dir.stream(&format!("voip/{i}"));
-                    for dep in model.departure_schedule(scenario.duration, &mut rng) {
-                        queue.schedule(SimTime::ZERO + dep, Event::UdpSend { flow: flow.id });
+                Workload::Voip(_) => {
+                    for dep in departures.expect("departure schedule precomputed above") {
+                        queue.schedule_in(dep, Event::UdpSend { flow: flow.id });
                     }
                 }
                 Workload::Cbr(_) => {
-                    queue.schedule(SimTime::ZERO + stagger, Event::UdpSend { flow: flow.id });
+                    queue.schedule_in(stagger, Event::UdpSend { flow: flow.id });
                 }
             }
         }
 
         World {
             end,
-            now: SimTime::ZERO,
             medium,
             ber,
             receivers: (0..n).map(|_| Receiver::new()).collect(),
             macs,
             flows,
             queue,
-            arrivals: HashMap::new(),
-            next_arrival: 0,
+            arrivals: Vec::new(),
+            free_arrivals: Vec::new(),
+            plan_scratch: Vec::new(),
             medium_rng: dir.stream("medium"),
             ber_rng: dir.stream("ber"),
             trace: None,
         }
     }
 
+    /// The simulation clock. There is exactly one: the event queue's notion
+    /// of "now" (the instant of the most recently popped event), so handlers
+    /// and `schedule_in` can never drift apart.
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
     fn record(&mut self, node: NodeId, kind: TraceKind) {
+        let at = self.now();
         if let Some(trace) = self.trace.as_mut() {
-            trace.events.push(TraceEvent { at: self.now, node, kind });
+            trace.events.push(TraceEvent { at, node, kind });
         }
     }
 
@@ -307,46 +342,52 @@ impl World {
             if t > self.end {
                 break;
             }
-            self.now = t;
             self.dispatch(event);
         }
     }
 
     fn dispatch(&mut self, event: Event) {
+        let now = self.now();
         match event {
             Event::TxEnd { node } => {
                 self.record(node, TraceKind::TxEnd);
-                let actions = self.macs[node.index()].on_tx_end(self.now);
+                let actions = self.macs[node.index()].on_tx_end(now);
                 self.apply_mac_actions(node, actions);
                 if let Some(BusyTransition::BecameIdle) =
-                    self.receivers[node.index()].on_tx_end(self.now)
+                    self.receivers[node.index()].on_tx_end(now)
                 {
-                    let actions = self.macs[node.index()].on_idle(self.now);
+                    let actions = self.macs[node.index()].on_idle(now);
                     self.apply_mac_actions(node, actions);
                 }
             }
             Event::RxStart { arrival } => {
-                let Some(a) = self.arrivals.get(&arrival) else { return };
+                let Some(a) = self.arrivals.get(arrival as usize).and_then(Option::as_ref) else {
+                    return;
+                };
                 let (node, decodable, power) = (a.node, a.decodable, a.power_dbm);
-                if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()]
-                    .on_arrival_start(arrival, decodable, power, self.now)
+                if let Some(BusyTransition::BecameBusy) =
+                    self.receivers[node.index()].on_arrival_start(arrival, decodable, power, now)
                 {
-                    let actions = self.macs[node.index()].on_busy(self.now);
+                    let actions = self.macs[node.index()].on_busy(now);
                     self.apply_mac_actions(node, actions);
                 }
             }
             Event::RxEnd { arrival } => {
-                let Some(state) = self.arrivals.remove(&arrival) else { return };
+                let Some(state) = self.arrivals.get_mut(arrival as usize).and_then(Option::take)
+                else {
+                    return;
+                };
+                self.free_arrivals.push(arrival);
                 let node = state.node;
                 let (outcome, transition) =
-                    self.receivers[node.index()].on_arrival_end(arrival, self.now);
+                    self.receivers[node.index()].on_arrival_end(arrival, now);
                 // Idle first so relay waits measure from the channel edge.
                 if let Some(BusyTransition::BecameIdle) = transition {
-                    let actions = self.macs[node.index()].on_idle(self.now);
+                    let actions = self.macs[node.index()].on_idle(now);
                     self.apply_mac_actions(node, actions);
                 }
                 if outcome == ArrivalOutcome::Clean && state.decodable {
-                    if let Some(frame) = self.apply_bit_errors(state.frame) {
+                    if let Some(frame) = self.apply_bit_errors(&state.frame) {
                         if self.trace.is_some() {
                             let (kind, flow, frame_seq) = match &frame {
                                 Frame::Data(d) => (FrameKind::Data, d.flow, d.frame_seq),
@@ -362,17 +403,16 @@ impl World {
                                 },
                             );
                         }
-                        let actions = self.macs[node.index()].on_frame_rx(frame, self.now);
+                        let actions = self.macs[node.index()].on_frame_rx(frame, now);
                         self.apply_mac_actions(node, actions);
                     }
                 }
             }
             Event::MacTimer { node, token } => {
-                let actions = self.macs[node.index()].on_timer(token, self.now);
+                let actions = self.macs[node.index()].on_timer(token, now);
                 self.apply_mac_actions(node, actions);
             }
             Event::TcpRto { flow, generation } => {
-                let now = self.now;
                 let actions = self.flows[flow.index()]
                     .tcp_tx
                     .as_mut()
@@ -389,13 +429,18 @@ impl World {
     /// Applies the i.i.d. BER model to one received frame copy: the header
     /// must survive for anything to be decoded; each subframe's CRC fails
     /// independently.
-    fn apply_bit_errors(&mut self, frame: Frame) -> Option<Frame> {
+    ///
+    /// Takes the shared broadcast frame by reference and clones only when
+    /// something actually reaches the MAC — the per-receiver deep copy the
+    /// fan-out used to pay is gone.
+    fn apply_bit_errors(&mut self, frame: &Frame) -> Option<Frame> {
         if !self.ber.unit_survives(frame.header_bytes(), &mut self.ber_rng) {
             return None;
         }
         match frame {
-            Frame::Ack(a) => Some(Frame::Ack(a)),
-            Frame::Data(mut d) => {
+            Frame::Ack(a) => Some(Frame::Ack(a.clone())),
+            Frame::Data(d) => {
+                let mut d = d.clone();
                 for sf in &mut d.subframes {
                     let bytes =
                         wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
@@ -413,7 +458,7 @@ impl World {
             match action {
                 MacAction::StartTx { frame, rate } => self.start_transmission(node, frame, rate),
                 MacAction::SetTimer { delay, token } => {
-                    self.queue.schedule(self.now + delay, Event::MacTimer { node, token });
+                    self.queue.schedule_in(delay, Event::MacTimer { node, token });
                 }
                 MacAction::Deliver { packet } => self.handle_delivery(node, packet),
                 MacAction::Drop { .. } => {
@@ -439,27 +484,43 @@ impl World {
             RateClass::Basic => params.basic_rate,
         };
         let airtime = params.airtime(rate, frame.wire_bytes());
-        if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()].on_tx_start(self.now)
-        {
-            let actions = self.macs[node.index()].on_busy(self.now);
+        let now = self.now();
+        if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()].on_tx_start(now) {
+            let actions = self.macs[node.index()].on_busy(now);
             self.apply_mac_actions(node, actions);
         }
-        self.queue.schedule(self.now + airtime, Event::TxEnd { node });
-        let plans = self.medium.plan_transmission(node, &mut self.medium_rng);
-        for plan in plans {
-            let id = self.next_arrival;
-            self.next_arrival += 1;
-            self.arrivals.insert(
-                id,
-                ArrivalState {
-                    node: plan.to,
-                    frame: frame.clone(),
-                    decodable: plan.decodable,
-                    power_dbm: plan.power_dbm,
-                },
-            );
-            self.queue.schedule(self.now + plan.delay, Event::RxStart { arrival: id });
-            self.queue.schedule(self.now + plan.delay + airtime, Event::RxEnd { arrival: id });
+        self.queue.schedule_in(airtime, Event::TxEnd { node });
+        // Plan into the reusable scratch buffer (taken out to satisfy the
+        // borrow checker while scheduling), then share one frame allocation
+        // across every receiver.
+        let mut plans = std::mem::take(&mut self.plan_scratch);
+        self.medium.plan_transmission_into(node, &mut self.medium_rng, &mut plans);
+        let frame = Arc::new(frame);
+        for plan in &plans {
+            let slot = self.alloc_arrival(ArrivalState {
+                node: plan.to,
+                frame: Arc::clone(&frame),
+                decodable: plan.decodable,
+                power_dbm: plan.power_dbm,
+            });
+            self.queue.schedule_in(plan.delay, Event::RxStart { arrival: slot });
+            self.queue.schedule_in(plan.delay + airtime, Event::RxEnd { arrival: slot });
+        }
+        self.plan_scratch = plans;
+    }
+
+    /// Places an in-flight arrival into the slab, recycling a freed slot if
+    /// one is available, and returns its slot index (the event id).
+    fn alloc_arrival(&mut self, state: ArrivalState) -> u64 {
+        match self.free_arrivals.pop() {
+            Some(slot) => {
+                self.arrivals[slot as usize] = Some(state);
+                slot
+            }
+            None => {
+                self.arrivals.push(Some(state));
+                (self.arrivals.len() - 1) as u64
+            }
         }
     }
 
@@ -483,17 +544,17 @@ impl World {
         let route = {
             let flow = &self.flows[flow_id.index()];
             let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
-            table.get(&node).cloned()
+            table[node.index()].clone()
         };
         if let Some(route) = route {
-            let now = self.now;
+            let now = self.now();
             let actions = self.macs[node.index()].on_enqueue(packet, route, now);
             self.apply_mac_actions(node, actions);
         }
     }
 
     fn deliver_at_destination(&mut self, flow_id: FlowId, packet: Packet) {
-        let now = self.now;
+        let now = self.now();
         match packet.header.proto {
             Proto::Tcp => {
                 let actions = {
@@ -516,7 +577,7 @@ impl World {
     }
 
     fn deliver_at_source(&mut self, flow_id: FlowId, packet: Packet) {
-        let now = self.now;
+        let now = self.now();
         let actions = {
             let flow = &mut self.flows[flow_id.index()];
             let Some(tx) = flow.tcp_tx.as_mut() else { return };
@@ -535,8 +596,7 @@ impl World {
                     self.enqueue_transport_packet(flow_id, segment, wire_bytes, true);
                 }
                 TcpAction::SetRtoTimer { delay, generation } => {
-                    self.queue
-                        .schedule(self.now + delay, Event::TcpRto { flow: flow_id, generation });
+                    self.queue.schedule_in(delay, Event::TcpRto { flow: flow_id, generation });
                 }
                 TcpAction::SendComplete => {
                     // Web workload: think, then start the next transfer.
@@ -548,7 +608,7 @@ impl World {
                         }
                     };
                     if let Some(off) = off {
-                        self.queue.schedule(self.now + off, Event::WebStart { flow: flow_id });
+                        self.queue.schedule_in(off, Event::WebStart { flow: flow_id });
                     }
                 }
             }
@@ -578,20 +638,20 @@ impl World {
                 (flow.spec.dst(), flow.spec.src())
             };
             let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
-            let Some(route) = table.get(&src).cloned() else { return };
+            let Some(route) = table[src.index()].clone() else { return };
             (src, dst, src, route)
         };
         let packet = Packet::new(
             NetHeader { flow: flow_id, src, dst, proto: Proto::Tcp, wire_bytes },
             segment.encode(),
         );
-        let now = self.now;
+        let now = self.now();
         let actions = self.macs[at_node.index()].on_enqueue(packet, route, now);
         self.apply_mac_actions(at_node, actions);
     }
 
     fn start_flow(&mut self, flow_id: FlowId) {
-        let now = self.now;
+        let now = self.now();
         match self.flows[flow_id.index()].spec.workload.clone() {
             Workload::Ftp => {
                 let actions = self.flows[flow_id.index()]
@@ -607,7 +667,7 @@ impl World {
     }
 
     fn web_next_transfer(&mut self, flow_id: FlowId) {
-        let now = self.now;
+        let now = self.now();
         let actions = {
             let flow = &mut self.flows[flow_id.index()];
             let Workload::Web(model) = flow.spec.workload else { return };
@@ -619,7 +679,7 @@ impl World {
     }
 
     fn udp_send(&mut self, flow_id: FlowId) {
-        let now = self.now;
+        let now = self.now();
         let (packet, route, src, next) = {
             let flow = &mut self.flows[flow_id.index()];
             let (bytes, next) = match flow.spec.workload {
@@ -631,7 +691,7 @@ impl World {
             };
             let src = flow.spec.src();
             let dst = flow.spec.dst();
-            let Some(route) = flow.fwd_routes.get(&src).cloned() else { return };
+            let Some(route) = flow.fwd_routes[src.index()].clone() else { return };
             let dg = UdpDatagram { seq: flow.udp_seq, sent_at_ns: now.as_nanos() };
             flow.udp_seq += 1;
             flow.udp_sent += 1;
@@ -644,8 +704,8 @@ impl World {
         let actions = self.macs[src.index()].on_enqueue(packet, route, now);
         self.apply_mac_actions(src, actions);
         if let Some(interval) = next {
-            if self.now + interval <= self.end {
-                self.queue.schedule(self.now + interval, Event::UdpSend { flow: flow_id });
+            if now + interval <= self.end {
+                self.queue.schedule_in(interval, Event::UdpSend { flow: flow_id });
             }
         }
     }
@@ -706,31 +766,30 @@ impl World {
     }
 }
 
-/// Builds per-node routing decisions for both directions of a flow.
-fn build_routes(
-    spec: &FlowSpec,
-    scenario: &Scenario,
-) -> (HashMap<NodeId, RouteInfo>, HashMap<NodeId, RouteInfo>) {
-    let mut fwd = HashMap::new();
-    let mut rev = HashMap::new();
+/// Builds per-node routing decisions for both directions of a flow, as
+/// dense `NodeId`-indexed tables pre-sized to the placement. The path is
+/// borrowed throughout; the only reversal is materialised for the
+/// opportunistic forwarder list, which genuinely needs a reversed slice.
+fn build_routes(spec: &FlowSpec, scenario: &Scenario) -> (RouteTable, RouteTable) {
+    let n = scenario.positions.len();
+    let mut fwd: RouteTable = vec![None; n];
+    let mut rev: RouteTable = vec![None; n];
     let path = &spec.path;
-    let mut reversed: Vec<NodeId> = path.clone();
-    reversed.reverse();
     if scenario.scheme.is_opportunistic() {
-        fwd.insert(
-            path[0],
-            RouteInfo::Opportunistic { list: forwarder_list(path, scenario.max_forwarders) },
-        );
-        rev.insert(
-            reversed[0],
-            RouteInfo::Opportunistic { list: forwarder_list(&reversed, scenario.max_forwarders) },
-        );
+        let reversed: Vec<NodeId> = path.iter().rev().copied().collect();
+        fwd[path[0].index()] =
+            Some(RouteInfo::Opportunistic { list: forwarder_list(path, scenario.max_forwarders) });
+        rev[reversed[0].index()] = Some(RouteInfo::Opportunistic {
+            list: forwarder_list(&reversed, scenario.max_forwarders),
+        });
     } else {
         for w in path.windows(2) {
-            fwd.insert(w[0], RouteInfo::NextHop(w[1]));
+            fwd[w[0].index()] = Some(RouteInfo::NextHop(w[1]));
         }
-        for w in reversed.windows(2) {
-            rev.insert(w[0], RouteInfo::NextHop(w[1]));
+        // Walk the forward windows back to front — the same overwrite order
+        // the reversed-path construction had, should a path revisit a node.
+        for w in path.windows(2).rev() {
+            rev[w[1].index()] = Some(RouteInfo::NextHop(w[0]));
         }
     }
     (fwd, rev)
@@ -855,7 +914,7 @@ mod tests {
         let a = run(&s);
         let b = run(&s);
         assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
-        let mut s2 = s.clone();
+        let mut s2 = s;
         s2.seed = 43;
         let c = run(&s2);
         assert_ne!(

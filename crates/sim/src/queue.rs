@@ -7,7 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// A deterministic discrete-event queue.
 ///
@@ -32,6 +32,7 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    now: SimTime,
 }
 
 #[derive(Debug)]
@@ -66,7 +67,15 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events before
+    /// the backing heap reallocates. Simulation runners that know their
+    /// initial schedule size (pre-computed departure times, per-flow start
+    /// events) use this to avoid growth reallocations in the hot loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0, now: SimTime::ZERO }
     }
 
     /// Schedules `event` to fire at the absolute instant `at`.
@@ -76,10 +85,28 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { at, seq, event });
     }
 
+    /// Schedules `event` to fire `delay` after [`EventQueue::now`] — the
+    /// instant of the most recently popped event. This is the natural form
+    /// for discrete-event handlers ("this timer expires 34 µs from now")
+    /// and saves every caller from adding `SimTime`s by hand.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// The queue's clock: the instant of the most recently popped event
+    /// ([`SimTime::ZERO`] before the first pop). Offsets passed to
+    /// [`EventQueue::schedule_in`] are measured from here.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// Removes and returns the earliest event, or `None` if the queue is
-    /// empty.
+    /// empty. Advances [`EventQueue::now`] to the popped event's instant.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.heap.pop().map(|e| {
+            self.now = e.at;
+            (e.at, e.event)
+        })
     }
 
     /// Returns the time of the earliest pending event without removing it.
@@ -145,6 +172,31 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn schedule_in_measures_from_last_pop() {
+        let mut q = EventQueue::with_capacity(8);
+        assert_eq!(q.now(), SimTime::ZERO);
+        // Before any pop, delays are measured from time zero.
+        q.schedule_in(crate::SimDuration::from_micros(10), "a");
+        let (t, e) = q.pop().expect("scheduled");
+        assert_eq!((t, e), (SimTime::from_micros(10), "a"));
+        assert_eq!(q.now(), SimTime::from_micros(10));
+        // After a pop, from the popped instant.
+        q.schedule_in(crate::SimDuration::from_micros(5), "b");
+        assert_eq!(q.pop().expect("scheduled").0, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn schedule_in_zero_delay_is_fifo_with_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(3), "popped");
+        q.pop();
+        q.schedule(SimTime::from_micros(3), "abs");
+        q.schedule_in(crate::SimDuration::ZERO, "rel");
+        assert_eq!(q.pop().unwrap().1, "abs");
+        assert_eq!(q.pop().unwrap().1, "rel");
     }
 
     #[test]

@@ -114,11 +114,31 @@ impl StreamRng {
     }
 
     /// Standard normal variate (Box–Muller), for log-normal shadowing draws.
+    ///
+    /// Consumes exactly two raw words per call (see
+    /// [`StreamRng::skip_standard_normal`]), and — because `u1` is at least
+    /// 2⁻⁵³ — the variate is hard-bounded by
+    /// `±sqrt(-2·ln(2⁻⁵³)) ≈ ±8.5716`. Callers that can prove a sample
+    /// irrelevant from that bound may skip the transcendental math without
+    /// perturbing the stream.
     pub fn standard_normal(&mut self) -> f64 {
         // Box–Muller transform; one variate per call keeps the stream simple.
         let u1: f64 = 1.0 - self.uniform(); // in (0,1], avoids ln(0)
         let u2: f64 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Advances the stream past exactly the raw draws one
+    /// [`StreamRng::standard_normal`] call consumes, without the
+    /// transcendental math.
+    ///
+    /// Hot paths use this when the sample provably cannot matter (e.g. a
+    /// link whose maximum possible shadowing excursion still leaves it below
+    /// carrier sense) while staying bit-compatible with code that samples:
+    /// every later draw sees the identical stream position.
+    pub fn skip_standard_normal(&mut self) {
+        self.next_u64();
+        self.next_u64();
     }
 
     /// Bernoulli trial that succeeds with probability `p` (clamped to `[0, 1]`).
@@ -219,6 +239,31 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn skip_standard_normal_matches_consumption() {
+        // The skip must advance the stream exactly as far as a real sample:
+        // the shadowing fast path depends on this equivalence.
+        let mut sampled = StreamRng::derive(21, "skip");
+        let mut skipped = StreamRng::derive(21, "skip");
+        for _ in 0..64 {
+            let _ = sampled.standard_normal();
+            skipped.skip_standard_normal();
+            assert_eq!(sampled.next_u64(), skipped.next_u64());
+        }
+    }
+
+    #[test]
+    fn standard_normal_is_hard_bounded() {
+        // Box–Muller over a 53-bit uniform: |z| ≤ sqrt(-2·ln(2⁻⁵³)). The
+        // medium's build-time link classification relies on this bound.
+        let bound = (-2.0 * (1.0 / (1u64 << 53) as f64).ln()).sqrt();
+        assert!(bound < 8.572, "analytic bound {bound}");
+        let mut rng = StreamRng::derive(23, "bound");
+        for _ in 0..100_000 {
+            assert!(rng.standard_normal().abs() <= bound);
+        }
     }
 
     #[test]
