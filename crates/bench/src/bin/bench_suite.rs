@@ -1,12 +1,15 @@
 //! `bench_suite` — the repo's measured performance trajectory.
 //!
 //! Times the transmission planner (cached link-state matrix vs the
-//! pre-refactor naive computation, on a dense and a sparse grid), event
-//! queue churn under the simulator's interleaved access pattern, and one
-//! fig-6(b)-class end-to-end run, then writes the numbers as
-//! `BENCH_<name>.json` in the current directory — the same hand-rolled
-//! JSON style as the `target/repro` reports, so trajectories can be tracked
-//! across commits with `jq`.
+//! pre-refactor naive computation, on a dense and a sparse grid), the
+//! mobility link-state refresh (incremental row/column update vs a full
+//! matrix rebuild — the incremental path must win, and the suite asserts
+//! it), event queue churn under the simulator's interleaved access
+//! pattern, and a fig-6(b)-class end-to-end run in both its static and
+//! moving-relay variants, then writes the numbers as `BENCH_<name>.json`
+//! in the current directory — the same hand-rolled JSON style as the
+//! `target/repro` reports, so trajectories can be tracked across commits
+//! with `jq`.
 //!
 //! ```text
 //! bench_suite [--quick] [--name suite] [--out PATH]   # measure and write
@@ -23,10 +26,12 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use wmn_bench::{fig6_class_scenario, grid_positions, naive_plan_reference};
+use wmn_bench::{
+    fig6_class_mobile_scenario, fig6_class_scenario, grid_positions, naive_plan_reference,
+};
 use wmn_exec::json::{parse, Value};
 use wmn_netsim::run;
-use wmn_phy::{Medium, PhyParams};
+use wmn_phy::{Medium, PhyParams, Position};
 use wmn_sim::{EventQueue, NodeId, SimDuration, SimTime, StreamRng};
 
 struct Profile {
@@ -35,9 +40,12 @@ struct Profile {
     dense_reps: u64,
     /// Planner calls on the sparse 16×16 grid.
     sparse_reps: u64,
+    /// Node moves for the link-state refresh pair (incremental vs full
+    /// rebuild) on the 16×16 grid.
+    refresh_reps: u64,
     /// Event-queue schedule/pop operations.
     queue_ops: u64,
-    /// Simulated duration of the end-to-end run.
+    /// Simulated duration of the end-to-end runs (static and mobile).
     e2e_duration: SimDuration,
 }
 
@@ -45,6 +53,7 @@ const QUICK: Profile = Profile {
     label: "quick",
     dense_reps: 20_000,
     sparse_reps: 2_000,
+    refresh_reps: 200,
     queue_ops: 200_000,
     e2e_duration: SimDuration::from_millis(300),
 };
@@ -53,6 +62,7 @@ const FULL: Profile = Profile {
     label: "full",
     dense_reps: 200_000,
     sparse_reps: 20_000,
+    refresh_reps: 2_000,
     queue_ops: 2_000_000,
     e2e_duration: SimDuration::from_millis(2_000),
 };
@@ -126,6 +136,35 @@ fn planner_pair(side: usize, spacing: f64, reps: u64, benches: &mut Vec<Bench>) 
     naive_ns / cached_ns
 }
 
+/// One node pacing across the campus-scale grid, applied either through
+/// `Medium::update_node_position` (the mobile runner's O(n) row/column
+/// refresh) or by rebuilding the whole n² matrix — the cost a mobility tick
+/// would pay without the incremental path. Both sides visit the identical
+/// position sequence; the refreshed matrix is pinned bit-identical to the
+/// rebuilt one by `wmn_phy`'s test suite.
+fn time_link_refresh(side: usize, spacing: f64, reps: u64, incremental: bool) -> f64 {
+    let params = PhyParams::paper_216();
+    let positions = grid_positions(side, spacing);
+    let mover = NodeId::new(0);
+    let mut medium = Medium::new(params.clone(), positions.clone());
+    let start = Instant::now();
+    for i in 0..reps {
+        // A deterministic diagonal walk, wrapping inside the deployment.
+        let step = (i % 128) as f64;
+        let pos = Position::new(step * 3.0, step * 1.5);
+        if incremental {
+            medium.update_node_position(mover, pos);
+            black_box(&medium);
+        } else {
+            let mut moved = positions.clone();
+            moved[mover.index()] = pos;
+            let rebuilt = Medium::new(params.clone(), moved);
+            black_box(&rebuilt);
+        }
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
 /// Event-queue churn under the simulator's steady-state pattern: a bounded
 /// frontier where every pop schedules a successor at or near "now".
 fn time_event_queue(ops: u64) -> f64 {
@@ -158,7 +197,29 @@ fn run_suite(profile: &Profile) -> Value {
     //    transcendentals for them.
     let sparse_speedup = planner_pair(16, 40.0, profile.sparse_reps, &mut benches);
 
-    // 3. Event-queue churn.
+    // 3. Link-state refresh for one moved node: the mobile runner's
+    //    incremental row/column path vs a full matrix rebuild. This is the
+    //    perf claim behind per-tick mobility on large placements, so the
+    //    suite *asserts* the incremental path wins (O(n) vs O(n²) — a
+    //    regression here means the fast path broke, not a noisy host).
+    let incremental_ns = time_link_refresh(16, 40.0, profile.refresh_reps, true);
+    let full_ns = time_link_refresh(16, 40.0, profile.refresh_reps, false);
+    let refresh_speedup = full_ns / incremental_ns;
+    assert!(
+        refresh_speedup > 1.0,
+        "incremental link refresh ({incremental_ns:.0} ns) must beat a full rebuild \
+         ({full_ns:.0} ns)"
+    );
+    for (kind, ns) in [("incremental", incremental_ns), ("full", full_ns)] {
+        benches.push(Bench {
+            name: format!("link_refresh_{kind}_grid256"),
+            reps: profile.refresh_reps,
+            ns_per_op: ns,
+            extras: vec![],
+        });
+    }
+
+    // 4. Event-queue churn.
     benches.push(Bench {
         name: "event_queue_interleaved".into(),
         reps: profile.queue_ops,
@@ -166,21 +227,28 @@ fn run_suite(profile: &Profile) -> Value {
         extras: vec![],
     });
 
-    // 4. End-to-end fig-6(b)-class run (RIPPLE-16 + 5 hidden CBR senders).
-    let scenario = fig6_class_scenario(5, profile.e2e_duration);
-    let start = Instant::now();
-    let result = run(&scenario);
-    let wall = start.elapsed();
-    assert!(result.flows[0].delivered_bytes > 0, "end-to-end run made no progress");
-    benches.push(Bench {
-        name: "fig6_class_end_to_end".into(),
-        reps: 1,
-        ns_per_op: wall.as_nanos() as f64,
-        extras: vec![
-            ("sim_millis", Value::Uint(profile.e2e_duration.as_nanos() / 1_000_000)),
-            ("delivered_bytes", Value::Uint(result.flows[0].delivered_bytes)),
-        ],
-    });
+    // 5. End-to-end fig-6(b)-class runs (RIPPLE-16 + 5 hidden CBR senders):
+    //    the static original and the mobile variant whose relays pace
+    //    laterally on a 10 ms tick, exercising the incremental refresh
+    //    inside the heaviest fan-out workload.
+    for (name, scenario) in [
+        ("fig6_class_end_to_end", fig6_class_scenario(5, profile.e2e_duration)),
+        ("fig6_class_mobile_end_to_end", fig6_class_mobile_scenario(5, profile.e2e_duration)),
+    ] {
+        let start = Instant::now();
+        let result = run(&scenario);
+        let wall = start.elapsed();
+        assert!(result.flows[0].delivered_bytes > 0, "{name}: run made no progress");
+        benches.push(Bench {
+            name: name.into(),
+            reps: 1,
+            ns_per_op: wall.as_nanos() as f64,
+            extras: vec![
+                ("sim_millis", Value::Uint(profile.e2e_duration.as_nanos() / 1_000_000)),
+                ("delivered_bytes", Value::Uint(result.flows[0].delivered_bytes)),
+            ],
+        });
+    }
 
     Value::obj()
         .with("artefact", "bench_suite")
@@ -190,7 +258,8 @@ fn run_suite(profile: &Profile) -> Value {
             "speedup",
             Value::obj()
                 .with("plan_transmission_grid36", dense_speedup)
-                .with("plan_transmission_grid256", sparse_speedup),
+                .with("plan_transmission_grid256", sparse_speedup)
+                .with("link_refresh_grid256", refresh_speedup),
         )
 }
 

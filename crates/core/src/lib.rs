@@ -42,7 +42,7 @@ pub mod mac;
 pub mod timing;
 
 pub use config::RippleConfig;
-pub use mac::RippleMac;
+pub use mac::{RippleMac, RippleScheme};
 pub use timing::MtxopTiming;
 
 /// The paper's aggregation limit: "we select 16 as the maximum number of

@@ -27,6 +27,7 @@ use wmn_mac::{
     Backoff, DropReason, IfQueue, MacAction, MacEntity, MacStats, RateClass, ReorderBuffer,
     TimerToken,
 };
+use wmn_phy::PhyParams;
 use wmn_sim::{FlowId, NodeId, SimTime, StreamRng};
 
 use crate::config::RippleConfig;
@@ -684,6 +685,32 @@ impl MacEntity for RippleMac {
 
     fn stats(&self) -> MacStats {
         self.stats
+    }
+}
+
+/// The RIPPLE forwarding scheme, as a [`MacScheme`](wmn_mac::MacScheme)
+/// factory: `aggregation = 1` is "R1", 16 the full scheme "R16".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RippleScheme {
+    /// Packets per frame (1 or 16 in the paper).
+    pub aggregation: usize,
+}
+
+impl wmn_mac::MacScheme for RippleScheme {
+    fn label(&self) -> &'static str {
+        if self.aggregation == 1 {
+            "RIPPLE-1"
+        } else {
+            "RIPPLE-16"
+        }
+    }
+
+    fn is_opportunistic(&self) -> bool {
+        true
+    }
+
+    fn build_mac(&self, params: &PhyParams, node: NodeId, rng: StreamRng) -> Box<dyn MacEntity> {
+        Box::new(RippleMac::new(RippleConfig::from_phy(params, self.aggregation), node, rng))
     }
 }
 

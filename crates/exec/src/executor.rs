@@ -204,6 +204,7 @@ mod tests {
                 duration: SimDuration::from_millis(5),
                 seed: i as u64,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             })
             .collect()
     }

@@ -134,7 +134,13 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, what: &str) -> String {
-        format!("JSON error at byte {}: {what}", self.pos)
+        self.err_at(self.pos, what)
+    }
+
+    /// An error anchored at an explicit byte offset — used when the problem
+    /// is detected after the cursor has moved past it (duplicate keys).
+    fn err_at(&self, pos: usize, what: &str) -> String {
+        format!("JSON error at byte {pos}: {what}")
     }
 
     fn peek(&self) -> Option<u8> {
@@ -211,9 +217,13 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_start = self.pos;
             let key = self.string()?;
             if pairs.iter().any(|(k, _)| *k == key) {
-                return Err(self.err(&format!("duplicate object key {key:?}")));
+                // Point at the duplicate's opening quote, not wherever the
+                // cursor drifted to after reading it — a hand-edited spec
+                // should be fixable straight from the offset.
+                return Err(self.err_at(key_start, &format!("duplicate object key {key:?}")));
             }
             self.skip_ws();
             self.expect(b':')?;
@@ -559,6 +569,38 @@ mod tests {
         }
         let dup = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
         assert!(dup.contains("duplicate"), "{dup}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_at_their_own_offset() {
+        // A spec file must not silently half-apply: the second "seed" is a
+        // hard error, anchored at the duplicate key's opening quote so the
+        // author can jump straight to it.
+        let text = "{\"seed\": 1, \"seed\": 2}";
+        let err = parse(text).unwrap_err();
+        assert_eq!(err, "JSON error at byte 12: duplicate object key \"seed\"");
+        assert_eq!(&text[12..13], "\"", "offset 12 is the duplicate's opening quote");
+        // Nested objects keep their own key namespaces…
+        assert!(parse("{\"a\": {\"k\": 1}, \"b\": {\"k\": 2}}").is_ok());
+        // …but duplicates inside a nested object are still caught, at the
+        // nested offset.
+        let nested = parse("{\"outer\": {\"k\": 1, \"k\": 2}}").unwrap_err();
+        assert_eq!(nested, "JSON error at byte 19: duplicate object key \"k\"");
+    }
+
+    #[test]
+    fn parse_errors_pin_exact_byte_offsets() {
+        for (text, want) in [
+            ("[1,]", "JSON error at byte 3: expected a JSON value"),
+            ("{\"a\":1,}", "JSON error at byte 7: expected '\"'"),
+            ("{\"a\":1 \"b\":2}", "JSON error at byte 7: expected ',' or '}' in object"),
+            ("[1 2]", "JSON error at byte 3: expected ',' or ']' in array"),
+            ("\"unterminated", "JSON error at byte 13: unterminated string"),
+            ("01", "JSON error at byte 1: leading zeros are not valid JSON"),
+            ("[1] x", "JSON error at byte 4: trailing characters after the document"),
+        ] {
+            assert_eq!(parse(text).unwrap_err(), want, "offset drifted for {text:?}");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //!     duration: SimDuration::from_millis(5),
 //!     seed: 0,
 //!     max_forwarders: 5,
+//!     motion: wmn_netsim::MotionPlan::default(),
 //! };
 //! let plan = RunPlan::grid(
 //!     std::slice::from_ref(&scenario),

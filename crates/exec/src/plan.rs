@@ -107,6 +107,7 @@ mod tests {
             duration: SimDuration::from_millis(1),
             seed: 0,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         }
     }
 

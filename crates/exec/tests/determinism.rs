@@ -43,6 +43,7 @@ fn scenario(n_nodes: usize, scheme_pick: usize, workload_pick: usize, ms: u64) -
         duration: SimDuration::from_millis(ms),
         seed: 0,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     }
 }
 

@@ -32,6 +32,7 @@ pub fn max_forwarders(cfg: &ExpConfig) -> Table {
             duration: cfg.duration,
             seed: 0,
             max_forwarders: cap,
+            motion: wmn_netsim::MotionPlan::default(),
         })
         .collect();
     let mut table = Table::new(
@@ -63,6 +64,7 @@ pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             });
         }
     }
@@ -105,6 +107,7 @@ pub fn phy_rates(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             });
         }
     }

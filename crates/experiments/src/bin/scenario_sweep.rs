@@ -12,10 +12,11 @@
 //! Usage:
 //!
 //! ```text
-//! scenario_sweep                    # the built-in ci-quick grid (32 runs)
-//! scenario_sweep --spec sweep.json  # a sweep spec from disk
-//! scenario_sweep --print-spec       # print the built-in spec as JSON and exit
-//! scenario_sweep --out DIR          # write reports somewhere else
+//! scenario_sweep                        # the built-in ci-quick grid (32 runs)
+//! scenario_sweep --builtin ci-mobility  # the mobility companion grid (12 runs)
+//! scenario_sweep --spec sweep.json      # a sweep spec from disk
+//! scenario_sweep --print-spec           # print the selected spec as JSON and exit
+//! scenario_sweep --out DIR              # write reports somewhere else
 //! ```
 
 use std::path::PathBuf;
@@ -29,9 +30,11 @@ use wmn_scengen::SweepSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario_sweep [--spec <file.json>] [--out <dir>] [--print-spec]\n\
+        "usage: scenario_sweep [--builtin <name>] [--spec <file.json>] [--out <dir>] \
+         [--print-spec]\n\
          \n\
-         Runs the built-in ci-quick sweep unless --spec points at a SweepSpec\n\
+         Runs the built-in ci-quick sweep unless --builtin selects another\n\
+         preset (ci-quick, ci-mobility) or --spec points at a SweepSpec\n\
          JSON file (see `--print-spec` for the schema by example).\n\
          RIPPLE_JOBS caps the worker pool; results are identical for any value."
     );
@@ -40,20 +43,35 @@ fn usage() -> ! {
 
 fn main() {
     let mut spec_path: Option<PathBuf> = None;
+    let mut builtin: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut print_spec = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--spec" => spec_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--builtin" => builtin = Some(args.next().unwrap_or_else(|| usage())),
             "--out" => out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--print-spec" => print_spec = true,
             _ => usage(),
         }
     }
+    if builtin.is_some() && spec_path.is_some() {
+        eprintln!("error: --builtin and --spec are mutually exclusive");
+        exit(2);
+    }
 
     let spec = match &spec_path {
-        None => SweepSpec::ci_quick(),
+        None => match builtin.as_deref() {
+            None | Some("ci-quick") => SweepSpec::ci_quick(),
+            Some("ci-mobility") => SweepSpec::ci_mobility(),
+            Some(other) => {
+                eprintln!(
+                    "error: unknown builtin sweep {other:?} (have \"ci-quick\", \"ci-mobility\")"
+                );
+                exit(2)
+            }
+        },
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
                 eprintln!("error: cannot read {}: {err}", path.display());

@@ -234,6 +234,7 @@ mod tests {
             duration: SimDuration::from_millis(100),
             seed: 0,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         }
     }
 

@@ -57,6 +57,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                     duration: cfg.duration,
                     seed: 0,
                     max_forwarders: 5,
+                    motion: wmn_netsim::MotionPlan::default(),
                 });
             }
         }

@@ -45,6 +45,7 @@ pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
                     duration: cfg.duration,
                     seed: 0,
                     max_forwarders: 5,
+                    motion: wmn_netsim::MotionPlan::default(),
                 });
             }
         }

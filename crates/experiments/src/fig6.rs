@@ -38,6 +38,7 @@ pub fn generate_regular(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             });
         }
     }
@@ -83,6 +84,7 @@ pub fn generate_hidden(cfg: &ExpConfig) -> Table {
                 duration: cfg.duration,
                 seed: 0,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             });
         }
     }

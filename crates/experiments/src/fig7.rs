@@ -40,6 +40,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                     // Sec. IV-C: "we also consider up to 7 forwarders"
                     // — the 6/7-hop lines need more than the default 5.
                     max_forwarders: 7,
+                    motion: wmn_netsim::MotionPlan::default(),
                 });
             }
         }

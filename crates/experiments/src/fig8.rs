@@ -48,6 +48,7 @@ pub fn generate_with_users(cfg: &ExpConfig, users_per_pair: usize) -> Table {
             duration: cfg.duration,
             seed: 0,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         })
         .collect();
     let avgs = run_grid(&scenarios, cfg);

@@ -40,6 +40,7 @@ pub fn generate(cfg: &ExpConfig) -> Table {
             duration: cfg.duration,
             seed: 0,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         })
         .collect();
     let avgs = run_grid(&scenarios, cfg);

@@ -31,3 +31,23 @@ fn ci_sweep_json_is_byte_identical_across_1_and_8_workers() {
     let embedded = serial.document.get("spec").expect("report embeds the spec");
     assert_eq!(SweepSpec::from_json(embedded).expect("spec decodes"), spec);
 }
+
+#[test]
+fn mobility_sweep_json_is_byte_identical_across_1_and_8_workers() {
+    // Moving nodes must not weaken the determinism contract: the mobility
+    // companion grid (static + drift + waypoint cells) produces the same
+    // report bytes at any worker count.
+    let spec = SweepSpec::ci_mobility();
+    assert_eq!(artefact_name(&spec), "sweep_ci-mobility");
+
+    let serial = run_sweep(&spec, 1).expect("serial sweep");
+    let parallel = run_sweep(&spec, 8).expect("parallel sweep");
+    assert_eq!(
+        serial.document.to_string(),
+        parallel.document.to_string(),
+        "mobile sweep JSON must not depend on the worker count"
+    );
+    assert_eq!(serial.table.row_count(), spec.scenario_count());
+    let embedded = serial.document.get("spec").expect("report embeds the spec");
+    assert_eq!(SweepSpec::from_json(embedded).expect("spec decodes"), spec);
+}

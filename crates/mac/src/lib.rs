@@ -21,7 +21,10 @@
 //!   (802.11n-like aggregation with partial retransmission), the paper's
 //!   strongest conventional baseline;
 //! * [`overhead`] — Section II's closed-form per-packet delivery-time model
-//!   (the Fig. 2 timeline), with the paper's worked 3-hop example as tests.
+//!   (the Fig. 2 timeline), with the paper's worked 3-hop example as tests;
+//! * [`scheme`] — the [`MacScheme`] factory trait the simulation runner
+//!   builds node stacks through (implemented here for DCF/AFR, in
+//!   `wmn_routing` for the ExOR variants, and in `ripple` for RIPPLE).
 
 pub mod backoff;
 pub mod dcf;
@@ -29,15 +32,17 @@ pub mod frame;
 pub mod overhead;
 pub mod queue;
 pub mod reorder;
+pub mod scheme;
 
 pub use backoff::Backoff;
-pub use dcf::{DcfConfig, DcfMac};
+pub use dcf::{DcfConfig, DcfMac, DcfScheme};
 pub use frame::{
     AckFrame, DataFrame, Frame, LinkDst, NetHeader, Packet, Proto, RouteInfo, Subframe,
 };
 pub use overhead::OverheadModel;
 pub use queue::IfQueue;
 pub use reorder::ReorderBuffer;
+pub use scheme::MacScheme;
 
 use wmn_sim::{SimDuration, SimTime};
 

@@ -1,0 +1,52 @@
+//! [`MacScheme`]: the factory interface a forwarding scheme exposes to the
+//! simulation runner.
+//!
+//! A *scheme* is what a scenario selects (DCF, AFR, preExOR, MCExOR,
+//! RIPPLE, …); a [`MacEntity`] is the per-node state
+//! machine a scheme instantiates. Before this trait the runner hardwired a
+//! `match` over every known scheme; now it builds the whole node stack
+//! through this interface, so adding a MAC means implementing the trait in
+//! the crate that owns the state machine (`wmn_mac` for DCF/AFR,
+//! `wmn_routing` for the ExOR variants, `ripple` for RIPPLE itself) — no
+//! runner change required. Scenario-level scheme enums stay copyable and
+//! allocation-free by *enum-dispatching* to these implementations.
+
+use wmn_phy::PhyParams;
+use wmn_sim::{NodeId, StreamRng};
+
+use crate::MacEntity;
+
+/// A forwarding scheme: per-node MAC factory plus the routing-shape
+/// metadata the scenario layer needs before any node exists.
+pub trait MacScheme {
+    /// The label the paper's figures use for this scheme.
+    fn label(&self) -> &'static str;
+
+    /// Whether routes must be expressed as opportunistic priority lists
+    /// (forwarder candidates) rather than per-hop next-hop tables.
+    fn is_opportunistic(&self) -> bool;
+
+    /// Builds the MAC state machine for one station. `rng` is the node's
+    /// private stream (derived as `mac/<index>` by the runner); `params`
+    /// carries the PHY timing the MAC derives its protocol constants from.
+    fn build_mac(&self, params: &PhyParams, node: NodeId, rng: StreamRng) -> Box<dyn MacEntity>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcf::DcfScheme;
+
+    #[test]
+    fn dcf_scheme_builds_entities_and_reports_metadata() {
+        let plain = DcfScheme { aggregation: 1 };
+        assert_eq!(plain.label(), "DCF");
+        assert!(!plain.is_opportunistic());
+        assert_eq!(DcfScheme { aggregation: 16 }.label(), "AFR");
+        let params = PhyParams::paper_216();
+        let mut mac = plain.build_mac(&params, NodeId::new(0), StreamRng::derive(1, "mac/test"));
+        assert_eq!(mac.stats(), crate::MacStats::default());
+        // The built entity is live: an idle notification is accepted.
+        let _ = mac.on_idle(wmn_sim::SimTime::ZERO);
+    }
+}

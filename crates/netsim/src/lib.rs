@@ -1,15 +1,19 @@
-//! Scenario composition and the simulation runner.
+//! Scenario composition and the layered simulation stack.
 //!
 //! This crate is the only place where the passive state machines of the
-//! lower crates meet the event queue: it owns the [`wmn_phy::Medium`], one
-//! [`wmn_phy::Receiver`] and one MAC per station, the transport endpoints
-//! and workload generators per flow, and interprets every
-//! [`wmn_mac::MacAction`] / [`wmn_transport::TcpAction`] against simulated
-//! time.
+//! lower crates meet the event queue. The simulation is organised as a
+//! [`stack`] of four layers with typed seams — [`stack::phy_io`] (medium,
+//! receivers, arrivals, mobility), [`stack::mac_engine`] (one MAC per
+//! station behind the [`wmn_mac::MacScheme`] factory trait),
+//! [`stack::net_layer`] (per-flow route tables) and [`stack::flow_layer`]
+//! (transport endpoints and workloads) — orchestrated by a thin runner
+//! that interprets every [`wmn_mac::MacAction`] /
+//! [`wmn_transport::TcpAction`] against simulated time.
 //!
 //! A [`Scenario`] fully describes one run (placement, forwarding scheme,
-//! flows, duration, seed); [`run`] executes it and returns per-flow
-//! [`FlowResult`]s. Runs are deterministic per seed.
+//! flows, duration, seed, and optionally a [`MotionPlan`] of per-node
+//! trajectories); [`run`] executes it and returns per-flow
+//! [`FlowResult`]s. Runs are deterministic per seed, mobile or not.
 //!
 //! # Example
 //!
@@ -30,15 +34,19 @@
 //!     duration: SimDuration::from_millis(50),
 //!     seed: 1,
 //!     max_forwarders: 5,
+//!     motion: wmn_netsim::MotionPlan::default(),
 //! };
 //! let result = run(&scenario);
 //! assert!(result.flows[0].delivered_bytes > 0);
 //! ```
 
-pub mod runner;
 pub mod scenario;
+pub mod stack;
 pub mod trace;
 
-pub use runner::{run, run_traced, FlowResult, RunResult};
 pub use scenario::{FlowSpec, Scenario, Scheme, Workload};
+pub use stack::{run, run_traced, FlowResult, RunResult, TcpFlowResult, VoipFlowResult};
 pub use trace::{Trace, TraceEvent, TraceKind};
+// Re-exported so scenario authors can describe mobility without naming the
+// topology crate.
+pub use wmn_topology::{MotionPlan, NodePath, Waypoint};

@@ -1,7 +1,10 @@
 //! Scenario description types.
 
+use wmn_mac::{DcfScheme, MacEntity, MacScheme};
 use wmn_phy::{PhyParams, Position};
-use wmn_sim::{NodeId, SimDuration};
+use wmn_routing::{ExorMode, ExorScheme};
+use wmn_sim::{NodeId, SimDuration, StreamRng};
+use wmn_topology::MotionPlan;
 use wmn_traffic::{CbrModel, VoipModel, WebModel};
 
 /// Which forwarding scheme every station in the scenario runs.
@@ -41,6 +44,32 @@ impl Scheme {
     /// Whether routes must be expressed as opportunistic priority lists.
     pub fn is_opportunistic(self) -> bool {
         !matches!(self, Scheme::Dcf { .. })
+    }
+}
+
+/// Enum dispatch to the concrete scheme factories: the `Scheme` enum stays
+/// a copyable scenario field (no allocation, derivable `PartialEq`), while
+/// the runner builds node stacks purely through the [`MacScheme`] trait —
+/// it never names DCF, ExOR or RIPPLE again. Adding a MAC means adding a
+/// variant here and a factory in the crate that owns the state machine.
+impl MacScheme for Scheme {
+    fn label(&self) -> &'static str {
+        Scheme::label(*self)
+    }
+
+    fn is_opportunistic(&self) -> bool {
+        Scheme::is_opportunistic(*self)
+    }
+
+    fn build_mac(&self, params: &PhyParams, node: NodeId, rng: StreamRng) -> Box<dyn MacEntity> {
+        match *self {
+            Scheme::Dcf { aggregation } => DcfScheme { aggregation }.build_mac(params, node, rng),
+            Scheme::PreExor => ExorScheme { mode: ExorMode::PreExor }.build_mac(params, node, rng),
+            Scheme::McExor => ExorScheme { mode: ExorMode::McExor }.build_mac(params, node, rng),
+            Scheme::Ripple { aggregation } => {
+                ripple::RippleScheme { aggregation }.build_mac(params, node, rng)
+            }
+        }
     }
 }
 
@@ -112,14 +141,19 @@ pub struct Scenario {
     pub seed: u64,
     /// Cap on forwarders per opportunistic list (paper default: 5).
     pub max_forwarders: usize,
+    /// Per-node trajectories over `positions` (which pin `t = 0`). The
+    /// default plan is empty — fully static — and is byte-for-byte
+    /// equivalent to the pre-mobility simulator.
+    pub motion: MotionPlan,
 }
 
 impl Scenario {
     /// Checks the scenario's structural invariants: a non-empty placement,
     /// at least one flow, every flow path at least two nodes long with no
-    /// immediate self-loops, and every referenced [`NodeId`] inside the
+    /// immediate self-loops, every referenced [`NodeId`] inside the
     /// placement (ids are dense indices into `positions` — see the type-level
-    /// NodeId contract).
+    /// NodeId contract), and a well-formed motion plan
+    /// ([`MotionPlan::check`]).
     ///
     /// Hand-written experiment definitions rely on [`crate::run`]'s panics;
     /// generated scenarios (`wmn_scengen`) call this first so a bad spec
@@ -160,6 +194,7 @@ impl Scenario {
                 ));
             }
         }
+        self.motion.check(n).map_err(|msg| format!("scenario {:?}, motion: {msg}", self.name))?;
         Ok(())
     }
 }
@@ -198,6 +233,7 @@ mod tests {
             duration: SimDuration::from_millis(1),
             seed: 0,
             max_forwarders: 5,
+            motion: MotionPlan::default(),
         }
     }
 
@@ -236,6 +272,36 @@ mod tests {
         let mut looped = valid_scenario();
         looped.flows[0].path = vec![NodeId::new(0), NodeId::new(0)];
         assert!(looped.validate().unwrap_err().contains("back-to-back"));
+
+        let mut bad_motion = valid_scenario();
+        bad_motion.motion.paths = vec![wmn_topology::NodePath::Static; 3];
+        let msg = bad_motion.validate().unwrap_err();
+        assert!(msg.contains("motion") && msg.contains("3 paths"), "{msg}");
+    }
+
+    #[test]
+    fn scheme_enum_dispatches_the_mac_scheme_trait() {
+        // The trait view must agree with the inherent metadata for every
+        // variant — the runner only ever sees the trait.
+        for scheme in [
+            Scheme::Dcf { aggregation: 1 },
+            Scheme::Dcf { aggregation: 16 },
+            Scheme::Ripple { aggregation: 1 },
+            Scheme::Ripple { aggregation: 16 },
+            Scheme::PreExor,
+            Scheme::McExor,
+        ] {
+            let dynamic: &dyn MacScheme = &scheme;
+            assert_eq!(dynamic.label(), scheme.label());
+            assert_eq!(dynamic.is_opportunistic(), scheme.is_opportunistic());
+            let mut mac = dynamic.build_mac(
+                &PhyParams::paper_216(),
+                NodeId::new(0),
+                StreamRng::derive(1, "mac/0"),
+            );
+            assert_eq!(mac.stats(), wmn_mac::MacStats::default());
+            let _ = mac.on_idle(wmn_sim::SimTime::ZERO);
+        }
     }
 
     #[test]

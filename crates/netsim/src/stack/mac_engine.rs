@@ -1,0 +1,47 @@
+//! The MAC layer of the node stack: one [`MacEntity`] state machine per
+//! station, built through the [`MacScheme`] factory trait.
+//!
+//! The engine is deliberately scheme-agnostic: it never names DCF, ExOR or
+//! RIPPLE. A scenario's [`Scheme`](crate::Scheme) enum (or any other
+//! [`MacScheme`] implementation) decides what gets built; the engine only
+//! owns the per-node entities and hands them to the runner for event
+//! dispatch. Adding a MAC scheme therefore touches the crate that owns its
+//! state machine and the scenario enum — never this engine or the runner.
+
+use wmn_mac::{MacEntity, MacScheme, MacStats};
+use wmn_phy::PhyParams;
+use wmn_sim::{NodeId, RngDirectory};
+
+/// The MAC layer: per-station protocol state machines.
+pub(crate) struct MacEngine {
+    macs: Vec<Box<dyn MacEntity>>,
+}
+
+impl MacEngine {
+    /// Builds one MAC per station via the scheme factory. Each node's
+    /// private RNG stream keeps the pre-trait label (`mac/<index>`), so the
+    /// trait dispatch is bit-identical to the old hardwired construction.
+    pub(crate) fn build(
+        scheme: &dyn MacScheme,
+        params: &PhyParams,
+        node_count: usize,
+        dir: &RngDirectory,
+    ) -> Self {
+        let macs = (0..node_count)
+            .map(|i| {
+                scheme.build_mac(params, NodeId::new(i as u32), dir.stream(&format!("mac/{i}")))
+            })
+            .collect();
+        MacEngine { macs }
+    }
+
+    /// The state machine of one station.
+    pub(crate) fn node(&mut self, node: NodeId) -> &mut dyn MacEntity {
+        self.macs[node.index()].as_mut()
+    }
+
+    /// Per-station running statistics, in node order.
+    pub(crate) fn stats(&self) -> Vec<MacStats> {
+        self.macs.iter().map(|m| m.stats()).collect()
+    }
+}

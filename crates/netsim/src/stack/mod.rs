@@ -1,28 +1,52 @@
-//! The discrete-event simulation runner.
+//! The layered node stack and its thin orchestrating `Runner`.
 //!
-//! Owns all per-node and per-flow state, interprets MAC/transport actions
-//! against the event queue, applies the channel (shadowing + collisions +
-//! BER) to every transmission, and accumulates per-flow results.
+//! Where a single 950-line monolith used to own every piece of per-node and
+//! per-flow state, the stack is now four layers with typed seams, mirroring
+//! the protocol stack the paper describes:
+//!
+//! * [`phy_io`] — the shared medium, per-station receivers, the in-flight
+//!   arrival slab, bit errors, and station mobility;
+//! * [`mac_engine`] — one [`wmn_mac::MacEntity`] per station, built through
+//!   the [`wmn_mac::MacScheme`] factory trait (enum-dispatched by
+//!   [`Scheme`](crate::Scheme), so the runner never names a concrete MAC);
+//! * [`net_layer`] — per-flow forward/reverse routing tables;
+//! * [`flow_layer`] — transport endpoints and workload generators per flow.
+//!
+//! The `Runner` owns the event queue and the clock and interprets each
+//! layer's outputs against the others: MAC actions become transmissions,
+//! timers and deliveries; transport actions become enqueues and RTO timers;
+//! mobility ticks re-sample trajectories into the medium's incremental
+//! link-state refresh. Layer state is only ever touched through the layer's
+//! own interface, which is what makes per-layer change (a new MAC scheme, a
+//! new mobility model, per-node parallelism some day) local.
+//!
+//! # Determinism
+//!
+//! The decomposition is behaviour-preserving by construction: every RNG
+//! stream keeps its label and consumption order, every event is scheduled
+//! in the same sequence, and a static [`MotionPlan`](wmn_topology::MotionPlan)
+//! schedules no mobility ticks at all — so static-mobility runs are
+//! byte-identical to the pre-stack runner (pinned by the golden snapshots,
+//! the sweep determinism suite, and the committed CI baseline).
 
-use std::sync::Arc;
+pub mod flow_layer;
+pub mod mac_engine;
+pub mod net_layer;
+pub mod phy_io;
 
-use ripple::{RippleConfig, RippleMac};
-use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
-use wmn_mac::{DcfConfig, DcfMac, MacAction, MacEntity, RateClass, TimerToken};
-use wmn_metrics::mos::{voip_mos, VoipQualityInputs, WIRELESS_BUDGET};
-use wmn_metrics::throughput_mbps;
+use wmn_mac::frame::{Frame, NetHeader, Packet, Proto};
+use wmn_mac::{MacAction, RateClass, TimerToken};
 use wmn_phy::medium::BusyTransition;
-use wmn_phy::{ArrivalOutcome, BerModel, Medium, Receiver, RxPlan};
-use wmn_routing::exor::ExorConfig;
-use wmn_routing::{forwarder_list, ExorMac, ExorMode};
-use wmn_sim::{EventQueue, FlowId, NodeId, RngDirectory, SimDuration, SimTime, StreamRng};
-use wmn_traffic::{CbrModel, VoipModel};
-use wmn_transport::{
-    TcpAction, TcpConfig, TcpReceiver, TcpSegment, TcpSender, UdpDatagram, UdpSink,
-};
+use wmn_phy::ArrivalOutcome;
+use wmn_sim::{EventQueue, FlowId, NodeId, RngDirectory, SimDuration, SimTime};
+use wmn_transport::{TcpAction, TcpSegment, UdpDatagram};
 
-use crate::scenario::{FlowSpec, Scenario, Scheme, Workload};
+use crate::scenario::{Scenario, Workload};
 use crate::trace::{FrameKind, Trace, TraceEvent, TraceKind};
+use flow_layer::FlowLayer;
+use mac_engine::MacEngine;
+use net_layer::NetLayer;
+use phy_io::PhyIo;
 
 /// TCP-specific per-flow results.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,65 +119,38 @@ pub struct RunResult {
     pub mac_stats: Vec<wmn_mac::MacStats>,
 }
 
+/// The simulation's event vocabulary, dispatched by the [`Runner`].
 #[derive(Debug)]
-enum Event {
-    TxEnd { node: NodeId },
-    RxStart { arrival: u64 },
-    RxEnd { arrival: u64 },
-    MacTimer { node: NodeId, token: TimerToken },
-    TcpRto { flow: FlowId, generation: u64 },
-    FlowStart { flow: FlowId },
-    UdpSend { flow: FlowId },
-    WebStart { flow: FlowId },
-}
-
-struct ArrivalState {
-    node: NodeId,
-    /// Shared handle to the transmitted frame: a broadcast to k receivers
-    /// costs one allocation, not k deep clones. A mutable copy is made only
-    /// when an arrival actually decodes cleanly (see `apply_bit_errors`).
-    frame: Arc<Frame>,
-    decodable: bool,
-    power_dbm: f64,
-}
-
-/// Per-node routing decisions of one flow direction, indexed by `NodeId`
-/// (ids are dense indices per [`Scenario::validate`]): `table[node]` is the
-/// decision at `node`, `None` where the flow never routes through.
-type RouteTable = Vec<Option<RouteInfo>>;
-
-struct FlowRt {
-    spec: FlowSpec,
-    id: FlowId,
-    tcp_tx: Option<TcpSender>,
-    tcp_rx: Option<TcpReceiver>,
-    udp_sink: UdpSink,
-    udp_seq: u64,
-    udp_sent: u64,
-    fwd_routes: RouteTable,
-    rev_routes: RouteTable,
-    web_rng: Option<StreamRng>,
-}
-
-struct World {
-    end: SimTime,
-    medium: Medium,
-    ber: BerModel,
-    receivers: Vec<Receiver>,
-    macs: Vec<Box<dyn MacEntity>>,
-    flows: Vec<FlowRt>,
-    queue: EventQueue<Event>,
-    /// Slab of in-flight arrivals: event ids are slot indices, freed slots
-    /// are recycled LIFO, so memory stays bounded by the peak number of
-    /// concurrent arrivals instead of growing with the run length.
-    arrivals: Vec<Option<ArrivalState>>,
-    free_arrivals: Vec<u64>,
-    /// Reusable buffer for `Medium::plan_transmission_into` — zero planner
-    /// allocations per transmission at steady state.
-    plan_scratch: Vec<RxPlan>,
-    medium_rng: StreamRng,
-    ber_rng: StreamRng,
-    trace: Option<Trace>,
+pub(crate) enum Event {
+    TxEnd {
+        node: NodeId,
+    },
+    RxStart {
+        arrival: u64,
+    },
+    RxEnd {
+        arrival: u64,
+    },
+    MacTimer {
+        node: NodeId,
+        token: TimerToken,
+    },
+    TcpRto {
+        flow: FlowId,
+        generation: u64,
+    },
+    FlowStart {
+        flow: FlowId,
+    },
+    UdpSend {
+        flow: FlowId,
+    },
+    WebStart {
+        flow: FlowId,
+    },
+    /// Re-sample every moving node's trajectory and refresh the medium.
+    /// Never scheduled for static motion plans.
+    MobilityTick,
 }
 
 /// Executes a scenario to completion and returns per-flow results.
@@ -175,9 +172,9 @@ struct World {
 /// opportunistic schemes with single-node paths, …) — these are programming
 /// errors in experiment definitions, not runtime conditions.
 pub fn run(scenario: &Scenario) -> RunResult {
-    let mut world = World::build(scenario);
-    world.run_loop();
-    world.results(scenario)
+    let mut runner = Runner::build(scenario);
+    runner.run_loop();
+    runner.results(scenario)
 }
 
 // Compile-time audit for the parallel executor: a scenario must be movable
@@ -194,133 +191,42 @@ const _: () = {
 /// Tracing costs memory proportional to the number of transmissions; use
 /// short durations.
 pub fn run_traced(scenario: &Scenario) -> (RunResult, Trace) {
-    let mut world = World::build(scenario);
-    world.trace = Some(Trace::default());
-    world.run_loop();
-    let trace = world.trace.take().expect("installed above");
-    (world.results(scenario), trace)
+    let mut runner = Runner::build(scenario);
+    runner.trace = Some(Trace::default());
+    runner.run_loop();
+    let trace = runner.trace.take().expect("installed above");
+    (runner.results(scenario), trace)
 }
 
-impl World {
-    fn build(scenario: &Scenario) -> World {
+/// The thin orchestrator: owns the queue, the clock, and the four layers,
+/// and interprets each layer's actions against the others.
+struct Runner {
+    end: SimTime,
+    phy: PhyIo,
+    macs: MacEngine,
+    net: NetLayer,
+    flows: FlowLayer,
+    queue: EventQueue<Event>,
+    trace: Option<Trace>,
+}
+
+impl Runner {
+    fn build(scenario: &Scenario) -> Runner {
         if let Err(msg) = scenario.validate() {
             panic!("malformed scenario: {msg}");
         }
         let dir = RngDirectory::new(scenario.seed);
-        let n = scenario.positions.len();
-        let params = scenario.params.clone();
-        let medium = Medium::new(params.clone(), scenario.positions.clone());
-        let ber = BerModel::new(params.ber);
-
-        let macs: Vec<Box<dyn MacEntity>> = (0..n)
-            .map(|i| -> Box<dyn MacEntity> {
-                let node = NodeId::new(i as u32);
-                let rng = dir.stream(&format!("mac/{i}"));
-                match scenario.scheme {
-                    Scheme::Dcf { aggregation } => {
-                        Box::new(DcfMac::new(DcfConfig::from_phy(&params, aggregation), node, rng))
-                    }
-                    Scheme::PreExor => Box::new(ExorMac::new(
-                        ExorMode::PreExor,
-                        ExorConfig::from_phy(&params),
-                        node,
-                        rng,
-                    )),
-                    Scheme::McExor => Box::new(ExorMac::new(
-                        ExorMode::McExor,
-                        ExorConfig::from_phy(&params),
-                        node,
-                        rng,
-                    )),
-                    Scheme::Ripple { aggregation } => Box::new(RippleMac::new(
-                        RippleConfig::from_phy(&params, aggregation),
-                        node,
-                        rng,
-                    )),
-                }
-            })
-            .collect();
-
-        let mut flows = Vec::with_capacity(scenario.flows.len());
-        for (i, spec) in scenario.flows.iter().enumerate() {
-            let id = FlowId::new(i as u32);
-            // Path shape and id range were checked by `scenario.validate()`.
-            let (fwd_routes, rev_routes) = build_routes(spec, scenario);
-            let (tcp_tx, tcp_rx) = match spec.workload {
-                Workload::Ftp | Workload::Web(_) => (
-                    Some(TcpSender::new(TcpConfig::default())),
-                    Some(TcpReceiver::new(TcpConfig::default())),
-                ),
-                _ => (None, None),
-            };
-            let web_rng = match spec.workload {
-                Workload::Web(_) => Some(dir.stream(&format!("web/{i}"))),
-                _ => None,
-            };
-            flows.push(FlowRt {
-                spec: spec.clone(),
-                id,
-                tcp_tx,
-                tcp_rx,
-                udp_sink: UdpSink::new(),
-                udp_seq: 0,
-                udp_sent: 0,
-                fwd_routes,
-                rev_routes,
-                web_rng,
-            });
+        let macs =
+            MacEngine::build(&scenario.scheme, &scenario.params, scenario.positions.len(), &dir);
+        let net = NetLayer::build(scenario);
+        let flows = FlowLayer::build(scenario, &dir);
+        let mut queue = flows.initial_queue(scenario, &dir);
+        let phy = PhyIo::build(scenario, &dir);
+        if phy.is_mobile() {
+            // First re-sample one tick in: t = 0 is the placement itself.
+            queue.schedule_in(phy.motion_tick(), Event::MobilityTick);
         }
-
-        // Pre-compute the VoIP departure schedules so the queue can be sized
-        // to the full initial event load in one allocation.
-        let voip_departures: Vec<Option<Vec<SimDuration>>> = flows
-            .iter()
-            .enumerate()
-            .map(|(i, flow)| match &flow.spec.workload {
-                Workload::Voip(model) => {
-                    let mut rng = dir.stream(&format!("voip/{i}"));
-                    Some(model.departure_schedule(scenario.duration, &mut rng))
-                }
-                _ => None,
-            })
-            .collect();
-        let initial_events: usize =
-            voip_departures.iter().map(|deps| deps.as_ref().map_or(1, Vec::len)).sum();
-        let mut queue = EventQueue::with_capacity(initial_events);
-        let end = SimTime::ZERO + scenario.duration;
-        for ((i, flow), departures) in flows.iter().enumerate().zip(voip_departures) {
-            // Small deterministic stagger breaks pathological phase locks.
-            let stagger = SimDuration::from_micros(17 * i as u64);
-            match &flow.spec.workload {
-                Workload::Ftp | Workload::Web(_) => {
-                    queue.schedule_in(stagger, Event::FlowStart { flow: flow.id });
-                }
-                Workload::Voip(_) => {
-                    for dep in departures.expect("departure schedule precomputed above") {
-                        queue.schedule_in(dep, Event::UdpSend { flow: flow.id });
-                    }
-                }
-                Workload::Cbr(_) => {
-                    queue.schedule_in(stagger, Event::UdpSend { flow: flow.id });
-                }
-            }
-        }
-
-        World {
-            end,
-            medium,
-            ber,
-            receivers: (0..n).map(|_| Receiver::new()).collect(),
-            macs,
-            flows,
-            queue,
-            arrivals: Vec::new(),
-            free_arrivals: Vec::new(),
-            plan_scratch: Vec::new(),
-            medium_rng: dir.stream("medium"),
-            ber_rng: dir.stream("ber"),
-            trace: None,
-        }
+        Runner { end: SimTime::ZERO + scenario.duration, phy, macs, net, flows, queue, trace: None }
     }
 
     /// The simulation clock. There is exactly one: the event queue's notion
@@ -351,43 +257,38 @@ impl World {
         match event {
             Event::TxEnd { node } => {
                 self.record(node, TraceKind::TxEnd);
-                let actions = self.macs[node.index()].on_tx_end(now);
+                let actions = self.macs.node(node).on_tx_end(now);
                 self.apply_mac_actions(node, actions);
-                if let Some(BusyTransition::BecameIdle) =
-                    self.receivers[node.index()].on_tx_end(now)
-                {
-                    let actions = self.macs[node.index()].on_idle(now);
+                if let Some(BusyTransition::BecameIdle) = self.phy.receiver(node).on_tx_end(now) {
+                    let actions = self.macs.node(node).on_idle(now);
                     self.apply_mac_actions(node, actions);
                 }
             }
             Event::RxStart { arrival } => {
-                let Some(a) = self.arrivals.get(arrival as usize).and_then(Option::as_ref) else {
+                let Some(a) = self.phy.arrival(arrival) else {
                     return;
                 };
                 let (node, decodable, power) = (a.node, a.decodable, a.power_dbm);
                 if let Some(BusyTransition::BecameBusy) =
-                    self.receivers[node.index()].on_arrival_start(arrival, decodable, power, now)
+                    self.phy.receiver(node).on_arrival_start(arrival, decodable, power, now)
                 {
-                    let actions = self.macs[node.index()].on_busy(now);
+                    let actions = self.macs.node(node).on_busy(now);
                     self.apply_mac_actions(node, actions);
                 }
             }
             Event::RxEnd { arrival } => {
-                let Some(state) = self.arrivals.get_mut(arrival as usize).and_then(Option::take)
-                else {
+                let Some(state) = self.phy.take_arrival(arrival) else {
                     return;
                 };
-                self.free_arrivals.push(arrival);
                 let node = state.node;
-                let (outcome, transition) =
-                    self.receivers[node.index()].on_arrival_end(arrival, now);
+                let (outcome, transition) = self.phy.receiver(node).on_arrival_end(arrival, now);
                 // Idle first so relay waits measure from the channel edge.
                 if let Some(BusyTransition::BecameIdle) = transition {
-                    let actions = self.macs[node.index()].on_idle(now);
+                    let actions = self.macs.node(node).on_idle(now);
                     self.apply_mac_actions(node, actions);
                 }
                 if outcome == ArrivalOutcome::Clean && state.decodable {
-                    if let Some(frame) = self.apply_bit_errors(&state.frame) {
+                    if let Some(frame) = self.phy.apply_bit_errors(&state.frame) {
                         if self.trace.is_some() {
                             let (kind, flow, frame_seq) = match &frame {
                                 Frame::Data(d) => (FrameKind::Data, d.flow, d.frame_seq),
@@ -403,17 +304,19 @@ impl World {
                                 },
                             );
                         }
-                        let actions = self.macs[node.index()].on_frame_rx(frame, now);
+                        let actions = self.macs.node(node).on_frame_rx(frame, now);
                         self.apply_mac_actions(node, actions);
                     }
                 }
             }
             Event::MacTimer { node, token } => {
-                let actions = self.macs[node.index()].on_timer(token, now);
+                let actions = self.macs.node(node).on_timer(token, now);
                 self.apply_mac_actions(node, actions);
             }
             Event::TcpRto { flow, generation } => {
-                let actions = self.flows[flow.index()]
+                let actions = self
+                    .flows
+                    .flow_mut(flow)
                     .tcp_tx
                     .as_mut()
                     .map(|tx| tx.on_rto(generation, now))
@@ -423,32 +326,12 @@ impl World {
             Event::FlowStart { flow } => self.start_flow(flow),
             Event::UdpSend { flow } => self.udp_send(flow),
             Event::WebStart { flow } => self.web_next_transfer(flow),
-        }
-    }
-
-    /// Applies the i.i.d. BER model to one received frame copy: the header
-    /// must survive for anything to be decoded; each subframe's CRC fails
-    /// independently.
-    ///
-    /// Takes the shared broadcast frame by reference and clones only when
-    /// something actually reaches the MAC — the per-receiver deep copy the
-    /// fan-out used to pay is gone.
-    fn apply_bit_errors(&mut self, frame: &Frame) -> Option<Frame> {
-        if !self.ber.unit_survives(frame.header_bytes(), &mut self.ber_rng) {
-            return None;
-        }
-        match frame {
-            Frame::Ack(a) => Some(Frame::Ack(a.clone())),
-            Frame::Data(d) => {
-                let mut d = d.clone();
-                for sf in &mut d.subframes {
-                    let bytes =
-                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
-                    if !self.ber.unit_survives(bytes, &mut self.ber_rng) {
-                        sf.corrupted = true;
-                    }
+            Event::MobilityTick => {
+                self.phy.advance_positions(now);
+                let tick = self.phy.motion_tick();
+                if now + tick <= self.end {
+                    self.queue.schedule_in(tick, Event::MobilityTick);
                 }
-                Some(Frame::Data(d))
             }
         }
     }
@@ -478,56 +361,25 @@ impl World {
             let wire_bytes = frame.wire_bytes();
             self.record(node, TraceKind::TxStart { kind, flow, frame_seq, subframes, wire_bytes });
         }
-        let params = self.medium.params();
+        let params = self.phy.params();
         let rate = match rate {
             RateClass::Data => params.data_rate,
             RateClass::Basic => params.basic_rate,
         };
         let airtime = params.airtime(rate, frame.wire_bytes());
         let now = self.now();
-        if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()].on_tx_start(now) {
-            let actions = self.macs[node.index()].on_busy(now);
+        if let Some(BusyTransition::BecameBusy) = self.phy.receiver(node).on_tx_start(now) {
+            let actions = self.macs.node(node).on_busy(now);
             self.apply_mac_actions(node, actions);
         }
         self.queue.schedule_in(airtime, Event::TxEnd { node });
-        // Plan into the reusable scratch buffer (taken out to satisfy the
-        // borrow checker while scheduling), then share one frame allocation
-        // across every receiver.
-        let mut plans = std::mem::take(&mut self.plan_scratch);
-        self.medium.plan_transmission_into(node, &mut self.medium_rng, &mut plans);
-        let frame = Arc::new(frame);
-        for plan in &plans {
-            let slot = self.alloc_arrival(ArrivalState {
-                node: plan.to,
-                frame: Arc::clone(&frame),
-                decodable: plan.decodable,
-                power_dbm: plan.power_dbm,
-            });
-            self.queue.schedule_in(plan.delay, Event::RxStart { arrival: slot });
-            self.queue.schedule_in(plan.delay + airtime, Event::RxEnd { arrival: slot });
-        }
-        self.plan_scratch = plans;
-    }
-
-    /// Places an in-flight arrival into the slab, recycling a freed slot if
-    /// one is available, and returns its slot index (the event id).
-    fn alloc_arrival(&mut self, state: ArrivalState) -> u64 {
-        match self.free_arrivals.pop() {
-            Some(slot) => {
-                self.arrivals[slot as usize] = Some(state);
-                slot
-            }
-            None => {
-                self.arrivals.push(Some(state));
-                (self.arrivals.len() - 1) as u64
-            }
-        }
+        self.phy.broadcast(node, frame, airtime, &mut self.queue);
     }
 
     fn handle_delivery(&mut self, node: NodeId, packet: Packet) {
         let flow_id = packet.header.flow;
-        let spec_src = self.flows[flow_id.index()].spec.src();
-        let spec_dst = self.flows[flow_id.index()].spec.dst();
+        let spec_src = self.flows.flow(flow_id).spec.src();
+        let spec_dst = self.flows.flow(flow_id).spec.dst();
         let forward = packet.header.src == spec_src;
 
         if packet.header.dst == node {
@@ -541,14 +393,9 @@ impl World {
             return;
         }
         // Intermediate hop (predetermined routing only): forward along.
-        let route = {
-            let flow = &self.flows[flow_id.index()];
-            let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
-            table[node.index()].clone()
-        };
-        if let Some(route) = route {
+        if let Some(route) = self.net.route(flow_id, node, forward) {
             let now = self.now();
-            let actions = self.macs[node.index()].on_enqueue(packet, route, now);
+            let actions = self.macs.node(node).on_enqueue(packet, route, now);
             self.apply_mac_actions(node, actions);
         }
     }
@@ -558,7 +405,7 @@ impl World {
         match packet.header.proto {
             Proto::Tcp => {
                 let actions = {
-                    let flow = &mut self.flows[flow_id.index()];
+                    let flow = self.flows.flow_mut(flow_id);
                     let Some(rx) = flow.tcp_rx.as_mut() else { return };
                     match TcpSegment::decode(&packet.body) {
                         Some(TcpSegment::Data { seq, ts, retx }) => rx.on_data(seq, ts, retx),
@@ -568,7 +415,7 @@ impl World {
                 self.apply_tcp_receiver_actions(flow_id, actions);
             }
             Proto::Udp => {
-                let flow = &mut self.flows[flow_id.index()];
+                let flow = self.flows.flow_mut(flow_id);
                 if let Some(dg) = UdpDatagram::decode(&packet.body) {
                     flow.udp_sink.on_datagram(dg, packet.header.wire_bytes, now);
                 }
@@ -579,7 +426,7 @@ impl World {
     fn deliver_at_source(&mut self, flow_id: FlowId, packet: Packet) {
         let now = self.now();
         let actions = {
-            let flow = &mut self.flows[flow_id.index()];
+            let flow = self.flows.flow_mut(flow_id);
             let Some(tx) = flow.tcp_tx.as_mut() else { return };
             match TcpSegment::decode(&packet.body) {
                 Some(TcpSegment::Ack { cum_ack, ts_echo }) => tx.on_ack(cum_ack, ts_echo, now),
@@ -601,7 +448,7 @@ impl World {
                 TcpAction::SendComplete => {
                     // Web workload: think, then start the next transfer.
                     let off = {
-                        let flow = &mut self.flows[flow_id.index()];
+                        let flow = self.flows.flow_mut(flow_id);
                         match (&flow.spec.workload, flow.web_rng.as_mut()) {
                             (Workload::Web(model), Some(rng)) => Some(model.draw_off_period(rng)),
                             _ => None,
@@ -630,31 +477,25 @@ impl World {
         wire_bytes: u32,
         forward: bool,
     ) {
-        let (src, dst, at_node, route) = {
-            let flow = &self.flows[flow_id.index()];
-            let (src, dst) = if forward {
-                (flow.spec.src(), flow.spec.dst())
-            } else {
-                (flow.spec.dst(), flow.spec.src())
-            };
-            let table = if forward { &flow.fwd_routes } else { &flow.rev_routes };
-            let Some(route) = table[src.index()].clone() else { return };
-            (src, dst, src, route)
-        };
+        let spec = &self.flows.flow(flow_id).spec;
+        let (src, dst) = if forward { (spec.src(), spec.dst()) } else { (spec.dst(), spec.src()) };
+        let Some(route) = self.net.route(flow_id, src, forward) else { return };
         let packet = Packet::new(
             NetHeader { flow: flow_id, src, dst, proto: Proto::Tcp, wire_bytes },
             segment.encode(),
         );
         let now = self.now();
-        let actions = self.macs[at_node.index()].on_enqueue(packet, route, now);
-        self.apply_mac_actions(at_node, actions);
+        let actions = self.macs.node(src).on_enqueue(packet, route, now);
+        self.apply_mac_actions(src, actions);
     }
 
     fn start_flow(&mut self, flow_id: FlowId) {
         let now = self.now();
-        match self.flows[flow_id.index()].spec.workload.clone() {
+        match self.flows.flow(flow_id).spec.workload.clone() {
             Workload::Ftp => {
-                let actions = self.flows[flow_id.index()]
+                let actions = self
+                    .flows
+                    .flow_mut(flow_id)
                     .tcp_tx
                     .as_mut()
                     .map(|tx| tx.start_unlimited(now))
@@ -669,7 +510,7 @@ impl World {
     fn web_next_transfer(&mut self, flow_id: FlowId) {
         let now = self.now();
         let actions = {
-            let flow = &mut self.flows[flow_id.index()];
+            let flow = self.flows.flow_mut(flow_id);
             let Workload::Web(model) = flow.spec.workload else { return };
             let Some(rng) = flow.web_rng.as_mut() else { return };
             let segments = model.draw_transfer_segments(rng);
@@ -680,28 +521,29 @@ impl World {
 
     fn udp_send(&mut self, flow_id: FlowId) {
         let now = self.now();
-        let (packet, route, src, next) = {
-            let flow = &mut self.flows[flow_id.index()];
-            let (bytes, next) = match flow.spec.workload {
-                Workload::Voip(VoipModel { packet_bytes, .. }) => (packet_bytes, None),
-                Workload::Cbr(CbrModel { packet_bytes, interval }) => {
-                    (packet_bytes, Some(interval))
-                }
-                _ => return,
-            };
-            let src = flow.spec.src();
-            let dst = flow.spec.dst();
-            let Some(route) = flow.fwd_routes[src.index()].clone() else { return };
+        let (bytes, next) = match self.flows.flow(flow_id).spec.workload {
+            Workload::Voip(wmn_traffic::VoipModel { packet_bytes, .. }) => (packet_bytes, None),
+            Workload::Cbr(wmn_traffic::CbrModel { packet_bytes, interval }) => {
+                (packet_bytes, Some(interval))
+            }
+            _ => return,
+        };
+        let src = self.flows.flow(flow_id).spec.src();
+        let dst = self.flows.flow(flow_id).spec.dst();
+        // Route lookup precedes the counter bumps: a (hypothetical)
+        // source without a forward route sends nothing and counts nothing.
+        let Some(route) = self.net.route(flow_id, src, true) else { return };
+        let packet = {
+            let flow = self.flows.flow_mut(flow_id);
             let dg = UdpDatagram { seq: flow.udp_seq, sent_at_ns: now.as_nanos() };
             flow.udp_seq += 1;
             flow.udp_sent += 1;
-            let packet = Packet::new(
+            Packet::new(
                 NetHeader { flow: flow_id, src, dst, proto: Proto::Udp, wire_bytes: bytes },
                 dg.encode(),
-            );
-            (packet, route, src, next)
+            )
         };
-        let actions = self.macs[src.index()].on_enqueue(packet, route, now);
+        let actions = self.macs.node(src).on_enqueue(packet, route, now);
         self.apply_mac_actions(src, actions);
         if let Some(interval) = next {
             if now + interval <= self.end {
@@ -711,94 +553,18 @@ impl World {
     }
 
     fn results(&self, scenario: &Scenario) -> RunResult {
-        let mss = u64::from(TcpConfig::default().mss_wire_bytes);
-        let mut flows = Vec::with_capacity(self.flows.len());
-        for flow in &self.flows {
-            let (delivered_bytes, tcp, voip) = match &flow.spec.workload {
-                Workload::Ftp | Workload::Web(_) => {
-                    let rx = flow.tcp_rx.as_ref().expect("tcp flow has receiver");
-                    let tx = flow.tcp_tx.as_ref().expect("tcp flow has sender");
-                    let bytes = rx.delivered_segments() * mss;
-                    let tcp = TcpFlowResult {
-                        segments_arrived: rx.stats().segments_arrived,
-                        reordered_arrivals: rx.stats().reordered_arrivals,
-                        retransmits: tx.stats().retransmits,
-                        timeouts: tx.stats().timeouts,
-                    };
-                    (bytes, Some(tcp), None)
-                }
-                Workload::Voip(_) => {
-                    let sink = &flow.udp_sink;
-                    let sent = flow.udp_sent.max(1);
-                    let late = sink.late_fraction(WIRELESS_BUDGET);
-                    let ontime = sink.received() as f64 * (1.0 - late);
-                    let loss = (1.0 - ontime / sent as f64).clamp(0.0, 1.0);
-                    let mean_delay =
-                        sink.mean_ontime_delay(WIRELESS_BUDGET).unwrap_or(WIRELESS_BUDGET);
-                    let mos = voip_mos(VoipQualityInputs {
-                        mean_wireless_delay: mean_delay,
-                        loss_fraction: loss,
-                    });
-                    let v = VoipFlowResult {
-                        sent: flow.udp_sent,
-                        received: sink.received(),
-                        loss_fraction: loss,
-                        mean_delay,
-                        p95_delay: wmn_metrics::p95(sink.delays()).unwrap_or(SimDuration::ZERO),
-                        jitter: wmn_metrics::jitter(sink.delays()).unwrap_or(SimDuration::ZERO),
-                        mos,
-                    };
-                    (sink.bytes_received(), None, Some(v))
-                }
-                Workload::Cbr(_) => (flow.udp_sink.bytes_received(), None, None),
-            };
-            flows.push(FlowResult {
-                flow: flow.id,
-                delivered_bytes,
-                throughput_mbps: throughput_mbps(delivered_bytes, scenario.duration),
-                tcp,
-                voip,
-            });
-        }
+        let flows = self.flows.results(scenario);
         let total = flows.iter().map(|f| f.throughput_mbps).sum();
-        let mac_stats = self.macs.iter().map(|m| m.stats()).collect();
-        RunResult { flows, total_throughput_mbps: total, mac_stats }
+        RunResult { flows, total_throughput_mbps: total, mac_stats: self.macs.stats() }
     }
-}
-
-/// Builds per-node routing decisions for both directions of a flow, as
-/// dense `NodeId`-indexed tables pre-sized to the placement. The path is
-/// borrowed throughout; the only reversal is materialised for the
-/// opportunistic forwarder list, which genuinely needs a reversed slice.
-fn build_routes(spec: &FlowSpec, scenario: &Scenario) -> (RouteTable, RouteTable) {
-    let n = scenario.positions.len();
-    let mut fwd: RouteTable = vec![None; n];
-    let mut rev: RouteTable = vec![None; n];
-    let path = &spec.path;
-    if scenario.scheme.is_opportunistic() {
-        let reversed: Vec<NodeId> = path.iter().rev().copied().collect();
-        fwd[path[0].index()] =
-            Some(RouteInfo::Opportunistic { list: forwarder_list(path, scenario.max_forwarders) });
-        rev[reversed[0].index()] = Some(RouteInfo::Opportunistic {
-            list: forwarder_list(&reversed, scenario.max_forwarders),
-        });
-    } else {
-        for w in path.windows(2) {
-            fwd[w[0].index()] = Some(RouteInfo::NextHop(w[1]));
-        }
-        // Walk the forward windows back to front — the same overwrite order
-        // the reversed-path construction had, should a path revisit a node.
-        for w in path.windows(2).rev() {
-            rev[w[1].index()] = Some(RouteInfo::NextHop(w[0]));
-        }
-    }
-    (fwd, rev)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{FlowSpec, Scheme};
     use wmn_phy::{PhyParams, Position};
+    use wmn_topology::{MotionPlan, NodePath, Waypoint};
 
     fn line_positions(n: usize) -> Vec<Position> {
         (0..n).map(|i| Position::new(i as f64 * 5.0, 0.0)).collect()
@@ -817,6 +583,7 @@ mod tests {
             duration: SimDuration::from_millis(200),
             seed: 42,
             max_forwarders: 5,
+            motion: MotionPlan::default(),
         }
     }
 
@@ -951,5 +718,120 @@ mod tests {
         s.duration = SimDuration::from_millis(800);
         let r = run(&s);
         assert!(r.flows[0].delivered_bytes > 0, "web transfers must complete");
+    }
+
+    #[test]
+    fn explicitly_static_motion_is_bit_identical_to_default() {
+        // The runner must not consume RNG, schedule ticks, or perturb
+        // anything for a plan that is structurally present but never moves.
+        let base =
+            ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
+        let mut explicit = base.clone();
+        explicit.motion = MotionPlan { paths: vec![NodePath::Static; 4], ..MotionPlan::default() };
+        let mut zero_drift = base.clone();
+        zero_drift.motion = MotionPlan {
+            paths: vec![NodePath::Drift { vx_mps: 0.0, vy_mps: 0.0 }; 4],
+            ..MotionPlan::default()
+        };
+        let a = run(&base);
+        assert_eq!(a, run(&explicit), "explicit static paths must change nothing");
+        assert_eq!(a, run(&zero_drift), "zero-velocity drift is static");
+    }
+
+    #[test]
+    fn departing_node_starves_the_flow() {
+        // A 2-node FTP flow whose receiver drifts away at 60 m/s: the link
+        // dies mid-run, so a mobile run must deliver strictly less than the
+        // static one — and still complete without panicking.
+        let base = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], line_positions(2));
+        let mut mobile = base.clone();
+        mobile.duration = SimDuration::from_millis(400);
+        let mut static_long = base;
+        static_long.duration = SimDuration::from_millis(400);
+        mobile.motion = MotionPlan {
+            paths: vec![NodePath::Static, NodePath::Drift { vx_mps: 60.0, vy_mps: 0.0 }],
+            tick: SimDuration::from_millis(10),
+        };
+        let moving = run(&mobile);
+        let parked = run(&static_long);
+        assert!(
+            moving.flows[0].delivered_bytes < parked.flows[0].delivered_bytes / 2,
+            "a departing receiver must starve the flow: mobile {} vs static {}",
+            moving.flows[0].delivered_bytes,
+            parked.flows[0].delivered_bytes
+        );
+        assert!(moving.flows[0].delivered_bytes > 0, "the early, close-range phase delivers");
+    }
+
+    #[test]
+    fn waypoint_node_returns_and_recovers() {
+        // A saturating CBR sender towards a receiver that walks out to
+        // 100 m and (in one variant) back: datagrams flow again as soon as
+        // the link returns, so the round trip must deliver strictly more
+        // than staying away.
+        let positions = line_positions(2);
+        let away = MotionPlan {
+            paths: vec![
+                NodePath::Static,
+                NodePath::Waypoints(vec![Waypoint {
+                    at: SimTime::from_millis(100),
+                    pos: Position::new(100.0, 0.0),
+                }]),
+            ],
+            tick: SimDuration::from_millis(10),
+        };
+        let round_trip = MotionPlan {
+            paths: vec![
+                NodePath::Static,
+                NodePath::Waypoints(vec![
+                    Waypoint { at: SimTime::from_millis(100), pos: Position::new(100.0, 0.0) },
+                    Waypoint { at: SimTime::from_millis(200), pos: Position::new(5.0, 0.0) },
+                ]),
+            ],
+            tick: SimDuration::from_millis(10),
+        };
+        let mut gone = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], positions.clone());
+        gone.flows[0].workload = Workload::Cbr(wmn_traffic::CbrModel::saturating());
+        gone.duration = SimDuration::from_millis(400);
+        let mut back = gone.clone();
+        gone.motion = away;
+        back.motion = round_trip;
+        let gone_r = run(&gone);
+        let back_r = run(&back);
+        assert!(
+            back_r.flows[0].delivered_bytes > gone_r.flows[0].delivered_bytes,
+            "returning to range must recover throughput: back {} vs gone {}",
+            back_r.flows[0].delivered_bytes,
+            gone_r.flows[0].delivered_bytes
+        );
+        assert!(gone_r.flows[0].delivered_bytes > 0, "the in-range phase delivers");
+    }
+
+    #[test]
+    fn mobility_ticks_track_positions() {
+        let mut s = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], line_positions(2));
+        s.motion = MotionPlan {
+            paths: vec![NodePath::Static, NodePath::Drift { vx_mps: 10.0, vy_mps: 0.0 }],
+            tick: SimDuration::from_millis(50),
+        };
+        s.duration = SimDuration::from_millis(200);
+        let mut runner = Runner::build(&s);
+        runner.run_loop();
+        let p = runner.phy.position(NodeId::new(1));
+        // 200 ms at 10 m/s from x = 5: the last tick at or before the end
+        // leaves the node at x = 7 (t = 200 ms).
+        assert!((p.x - 7.0).abs() < 1e-9, "got {p}");
+        assert_eq!(runner.phy.position(NodeId::new(0)), Position::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed scenario")]
+    fn malformed_motion_plans_are_rejected() {
+        let mut s = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], line_positions(2));
+        s.motion = MotionPlan {
+            paths: vec![NodePath::Static; 3], // 3 paths, 2 stations
+            ..MotionPlan::default()
+        };
+        let _ = run(&s);
     }
 }

@@ -1,0 +1,83 @@
+//! The network layer of the node stack: per-flow routing decisions.
+//!
+//! Routes are predetermined per scenario (the paper's experiments fix each
+//! flow's path or forwarder list up front), so this layer is pure lookup
+//! tables: for every flow, a forward and a reverse table mapping each node
+//! to its routing decision. Opportunistic schemes collapse to a single
+//! decision at each direction's source (the forwarder list); per-hop
+//! schemes get one next-hop entry per interior window of the path.
+
+use wmn_mac::frame::RouteInfo;
+use wmn_routing::forwarder_list;
+use wmn_sim::{FlowId, NodeId};
+
+use crate::scenario::{FlowSpec, Scenario};
+
+/// Per-node routing decisions of one flow direction, indexed by `NodeId`
+/// (ids are dense indices per [`Scenario::validate`]): `table[node]` is the
+/// decision at `node`, `None` where the flow never routes through.
+type RouteTable = Vec<Option<RouteInfo>>;
+
+/// Both directions of one flow's routing decisions.
+struct FlowRoutes {
+    fwd: RouteTable,
+    rev: RouteTable,
+}
+
+/// The network layer: routing decisions for every flow of a run.
+pub(crate) struct NetLayer {
+    flows: Vec<FlowRoutes>,
+}
+
+impl NetLayer {
+    /// Builds the per-flow route tables from a validated scenario.
+    pub(crate) fn build(scenario: &Scenario) -> Self {
+        let flows = scenario
+            .flows
+            .iter()
+            .map(|spec| {
+                let (fwd, rev) = build_routes(spec, scenario);
+                FlowRoutes { fwd, rev }
+            })
+            .collect();
+        NetLayer { flows }
+    }
+
+    /// The routing decision of `flow` at `node`, in the given direction
+    /// (`forward` = towards the flow's destination). `None` where the flow
+    /// never routes through `node`.
+    pub(crate) fn route(&self, flow: FlowId, node: NodeId, forward: bool) -> Option<RouteInfo> {
+        let routes = &self.flows[flow.index()];
+        let table = if forward { &routes.fwd } else { &routes.rev };
+        table[node.index()].clone()
+    }
+}
+
+/// Builds per-node routing decisions for both directions of a flow, as
+/// dense `NodeId`-indexed tables pre-sized to the placement. The path is
+/// borrowed throughout; the only reversal is materialised for the
+/// opportunistic forwarder list, which genuinely needs a reversed slice.
+fn build_routes(spec: &FlowSpec, scenario: &Scenario) -> (RouteTable, RouteTable) {
+    let n = scenario.positions.len();
+    let mut fwd: RouteTable = vec![None; n];
+    let mut rev: RouteTable = vec![None; n];
+    let path = &spec.path;
+    if scenario.scheme.is_opportunistic() {
+        let reversed: Vec<NodeId> = path.iter().rev().copied().collect();
+        fwd[path[0].index()] =
+            Some(RouteInfo::Opportunistic { list: forwarder_list(path, scenario.max_forwarders) });
+        rev[reversed[0].index()] = Some(RouteInfo::Opportunistic {
+            list: forwarder_list(&reversed, scenario.max_forwarders),
+        });
+    } else {
+        for w in path.windows(2) {
+            fwd[w[0].index()] = Some(RouteInfo::NextHop(w[1]));
+        }
+        // Walk the forward windows back to front — the same overwrite order
+        // the reversed-path construction had, should a path revisit a node.
+        for w in path.windows(2).rev() {
+            rev[w[1].index()] = Some(RouteInfo::NextHop(w[0]));
+        }
+    }
+    (fwd, rev)
+}

@@ -1,0 +1,213 @@
+//! The channel-facing layer of the node stack: the shared [`Medium`], one
+//! [`Receiver`] per station, the in-flight arrival slab, the bit-error
+//! model, and — since mobility — the station trajectories.
+//!
+//! Everything stochastic about the channel lives here, behind exactly two
+//! streams (`medium` for shadowing, `ber` for bit errors), consumed in the
+//! same order the monolithic runner consumed them — which is what keeps the
+//! layered stack bit-identical to its predecessor. Mobility draws **no**
+//! randomness at run time: trajectories are pure functions of time
+//! ([`wmn_topology::motion`]), sampled on a fixed tick and pushed into the
+//! medium's incremental row/column link-state refresh.
+
+use std::sync::Arc;
+
+use wmn_mac::frame::Frame;
+use wmn_phy::{BerModel, Medium, Position, Receiver, RxPlan};
+use wmn_sim::{EventQueue, NodeId, RngDirectory, SimDuration, SimTime, StreamRng};
+use wmn_topology::MotionPlan;
+
+use crate::scenario::Scenario;
+use crate::stack::Event;
+
+/// One in-flight arrival: a transmission en route to one receiver.
+pub(crate) struct ArrivalState {
+    /// The receiving station.
+    pub(crate) node: NodeId,
+    /// Shared handle to the transmitted frame: a broadcast to k receivers
+    /// costs one allocation, not k deep clones. A mutable copy is made only
+    /// when an arrival actually decodes cleanly (see
+    /// [`PhyIo::apply_bit_errors`]).
+    pub(crate) frame: Arc<Frame>,
+    /// Whether the arrival is strong enough to decode.
+    pub(crate) decodable: bool,
+    /// Received power in dBm.
+    pub(crate) power_dbm: f64,
+}
+
+/// The PHY I/O layer: medium, per-station receivers, arrival slab, BER, and
+/// mobility state.
+pub(crate) struct PhyIo {
+    medium: Medium,
+    ber: BerModel,
+    receivers: Vec<Receiver>,
+    /// Slab of in-flight arrivals: event ids are slot indices, freed slots
+    /// are recycled LIFO, so memory stays bounded by the peak number of
+    /// concurrent arrivals instead of growing with the run length.
+    arrivals: Vec<Option<ArrivalState>>,
+    free_arrivals: Vec<u64>,
+    /// Reusable buffer for `Medium::plan_transmission_into` — zero planner
+    /// allocations per transmission at steady state.
+    plan_scratch: Vec<RxPlan>,
+    medium_rng: StreamRng,
+    ber_rng: StreamRng,
+    /// The `t = 0` placement mobility trajectories are anchored to.
+    origin: Vec<Position>,
+    motion: MotionPlan,
+}
+
+impl PhyIo {
+    /// Builds the layer from a validated scenario, deriving its two RNG
+    /// streams (`medium`, `ber`) from the run's directory.
+    pub(crate) fn build(scenario: &Scenario, dir: &RngDirectory) -> Self {
+        let n = scenario.positions.len();
+        PhyIo {
+            medium: Medium::new(scenario.params.clone(), scenario.positions.clone()),
+            ber: BerModel::new(scenario.params.ber),
+            receivers: (0..n).map(|_| Receiver::new()).collect(),
+            arrivals: Vec::new(),
+            free_arrivals: Vec::new(),
+            plan_scratch: Vec::new(),
+            medium_rng: dir.stream("medium"),
+            ber_rng: dir.stream("ber"),
+            origin: scenario.positions.clone(),
+            motion: scenario.motion.clone(),
+        }
+    }
+
+    /// The PHY parameter set of the run.
+    pub(crate) fn params(&self) -> &wmn_phy::PhyParams {
+        self.medium.params()
+    }
+
+    /// The reception state machine of one station.
+    pub(crate) fn receiver(&mut self, node: NodeId) -> &mut Receiver {
+        &mut self.receivers[node.index()]
+    }
+
+    /// Fans one transmission out to every station that will perceive it:
+    /// plans receptions (one shadowing draw per pair, station-index order),
+    /// parks each arrival in the slab, and schedules its RxStart/RxEnd pair.
+    pub(crate) fn broadcast(
+        &mut self,
+        from: NodeId,
+        frame: Frame,
+        airtime: SimDuration,
+        queue: &mut EventQueue<Event>,
+    ) {
+        // Plan into the reusable scratch buffer (taken out to satisfy the
+        // borrow checker while scheduling), then share one frame allocation
+        // across every receiver.
+        let mut plans = std::mem::take(&mut self.plan_scratch);
+        self.medium.plan_transmission_into(from, &mut self.medium_rng, &mut plans);
+        let frame = Arc::new(frame);
+        for plan in &plans {
+            let slot = self.alloc_arrival(ArrivalState {
+                node: plan.to,
+                frame: Arc::clone(&frame),
+                decodable: plan.decodable,
+                power_dbm: plan.power_dbm,
+            });
+            queue.schedule_in(plan.delay, Event::RxStart { arrival: slot });
+            queue.schedule_in(plan.delay + airtime, Event::RxEnd { arrival: slot });
+        }
+        self.plan_scratch = plans;
+    }
+
+    /// Places an in-flight arrival into the slab, recycling a freed slot if
+    /// one is available, and returns its slot index (the event id).
+    fn alloc_arrival(&mut self, state: ArrivalState) -> u64 {
+        match self.free_arrivals.pop() {
+            Some(slot) => {
+                self.arrivals[slot as usize] = Some(state);
+                slot
+            }
+            None => {
+                self.arrivals.push(Some(state));
+                (self.arrivals.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Peeks at a parked arrival (for RxStart), if it is still in flight.
+    pub(crate) fn arrival(&self, id: u64) -> Option<&ArrivalState> {
+        self.arrivals.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Removes a parked arrival (at RxEnd), freeing its slot.
+    pub(crate) fn take_arrival(&mut self, id: u64) -> Option<ArrivalState> {
+        let state = self.arrivals.get_mut(id as usize).and_then(Option::take)?;
+        self.free_arrivals.push(id);
+        Some(state)
+    }
+
+    /// Applies the i.i.d. BER model to one received frame copy: the header
+    /// must survive for anything to be decoded; each subframe's CRC fails
+    /// independently.
+    ///
+    /// Takes the shared broadcast frame by reference and clones only when
+    /// something actually reaches the MAC — the per-receiver deep copy the
+    /// fan-out used to pay is gone.
+    pub(crate) fn apply_bit_errors(&mut self, frame: &Frame) -> Option<Frame> {
+        if !self.ber.unit_survives(frame.header_bytes(), &mut self.ber_rng) {
+            return None;
+        }
+        match frame {
+            Frame::Ack(a) => Some(Frame::Ack(a.clone())),
+            Frame::Data(d) => {
+                let mut d = d.clone();
+                for sf in &mut d.subframes {
+                    let bytes =
+                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
+                    if !self.ber.unit_survives(bytes, &mut self.ber_rng) {
+                        sf.corrupted = true;
+                    }
+                }
+                Some(Frame::Data(d))
+            }
+        }
+    }
+
+    /// Whether any station actually moves (drives whether the runner
+    /// schedules mobility ticks at all — a static plan schedules nothing
+    /// and the stack is byte-identical to the static simulator).
+    pub(crate) fn is_mobile(&self) -> bool {
+        !self.motion.is_static()
+    }
+
+    /// The position re-sampling interval of a mobile run.
+    pub(crate) fn motion_tick(&self) -> SimDuration {
+        self.motion.tick
+    }
+
+    /// One mobility step: re-sample every moving node's trajectory at `now`
+    /// and push the new position into the medium's incremental link-state
+    /// refresh (O(n) per moved node, instead of an n² matrix rebuild).
+    ///
+    /// A node whose sampled position equals its current one — typically a
+    /// waypoint walker parked at its final target — skips the refresh
+    /// entirely: recomputing link state from an identical position yields
+    /// identical values (the computation is deterministic and draws no
+    /// RNG), so the short-circuit cannot change results, only save the
+    /// `2n − 1` entry updates per tick.
+    pub(crate) fn advance_positions(&mut self, now: SimTime) {
+        for (i, path) in self.motion.paths.iter().enumerate() {
+            if path.is_static() {
+                continue;
+            }
+            let node = NodeId::new(i as u32);
+            let pos = path.position_at(self.origin[i], now);
+            if pos == self.medium.position(node) {
+                continue;
+            }
+            self.medium.update_node_position(node, pos);
+        }
+    }
+
+    /// The medium's current idea of a station's position (moves over time
+    /// in mobile runs).
+    #[cfg(test)]
+    pub(crate) fn position(&self, node: NodeId) -> Position {
+        self.medium.position(node)
+    }
+}

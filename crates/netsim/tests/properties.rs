@@ -45,6 +45,7 @@ proptest! {
             duration: SimDuration::from_millis(60),
             seed,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         };
         let result = run(&scenario);
         let flow = &result.flows[0];
@@ -80,6 +81,7 @@ proptest! {
             duration: SimDuration::from_millis(80),
             seed,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         };
         let result = run(&scenario);
         prop_assert_eq!(result.flows[0].tcp.unwrap().reordered_arrivals, 0);

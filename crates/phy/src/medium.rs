@@ -118,40 +118,70 @@ fn max_shadowing_sigmas() -> f64 {
     (-2.0 * (1.0 / (1u64 << 53) as f64).ln()).sqrt() * (1.0 + 1e-9) + 1e-9
 }
 
+/// Computes the link state of one directed pair. This is the **single**
+/// place the deterministic part of the propagation model is evaluated:
+/// construction and the incremental [`Medium::update_node_position`] refresh
+/// both call it, so a refreshed matrix is bit-identical to a rebuilt one.
+fn link_state(params: &PhyParams, from: Position, to: Position) -> LinkState {
+    let z_max = max_shadowing_sigmas();
+    let sigma = params.shadowing.sigma_db.abs();
+    let d = from.distance_to(to);
+    let mean = params.shadowing.mean_rx_dbm(params.tx_power_dbm, d);
+    // AlwaysDecodable must clear *both* thresholds at the most
+    // negative possible excursion: `PhyParams` fields are public,
+    // so cs_thresh above rx_thresh is a legal (if odd)
+    // configuration, and the naive path would still drop
+    // sub-carrier-sense samples there.
+    let min_power = mean - sigma * z_max;
+    let class = if mean + sigma * z_max < params.cs_thresh_dbm {
+        LinkClass::NeverSensed
+    } else if min_power >= params.rx_thresh_dbm && min_power >= params.cs_thresh_dbm {
+        LinkClass::AlwaysDecodable
+    } else {
+        LinkClass::Sampled
+    };
+    LinkState { distance: d, mean_rx_dbm: mean, delay: params.propagation_delay(d), class }
+}
+
 impl Medium {
     /// Creates a medium over the given station placement, precomputing the
     /// per-pair link-state matrix (O(n²) once, instead of per transmission).
     pub fn new(params: PhyParams, positions: Vec<Position>) -> Self {
         let n = positions.len();
-        let z_max = max_shadowing_sigmas();
-        let sigma = params.shadowing.sigma_db.abs();
         let mut links = Vec::with_capacity(n * n);
         for from in 0..n {
             for to in 0..n {
-                let d = positions[from].distance_to(positions[to]);
-                let mean = params.shadowing.mean_rx_dbm(params.tx_power_dbm, d);
-                // AlwaysDecodable must clear *both* thresholds at the most
-                // negative possible excursion: `PhyParams` fields are public,
-                // so cs_thresh above rx_thresh is a legal (if odd)
-                // configuration, and the naive path would still drop
-                // sub-carrier-sense samples there.
-                let min_power = mean - sigma * z_max;
-                let class = if mean + sigma * z_max < params.cs_thresh_dbm {
-                    LinkClass::NeverSensed
-                } else if min_power >= params.rx_thresh_dbm && min_power >= params.cs_thresh_dbm {
-                    LinkClass::AlwaysDecodable
-                } else {
-                    LinkClass::Sampled
-                };
-                links.push(LinkState {
-                    distance: d,
-                    mean_rx_dbm: mean,
-                    delay: params.propagation_delay(d),
-                    class,
-                });
+                links.push(link_state(&params, positions[from], positions[to]));
             }
         }
         Medium { params, positions, links }
+    }
+
+    /// Moves one station and refreshes only the link-state entries the move
+    /// can affect: the node's row (it as transmitter) and its column (it as
+    /// receiver) — `2n − 1` entries instead of the full n² rebuild, which is
+    /// what makes per-tick mobility affordable on large placements.
+    ///
+    /// The refreshed entries are computed by the same code path as
+    /// construction, so after any sequence of updates the matrix is
+    /// bit-identical to `Medium::new` over the current placement (pinned by
+    /// this module's tests). No RNG is touched: link state is the
+    /// deterministic part of the model, and per-frame shadowing draws keep
+    /// their stream positions regardless of position changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn update_node_position(&mut self, node: NodeId, position: Position) {
+        let n = self.positions.len();
+        assert!(node.index() < n, "node id out of range");
+        self.positions[node.index()] = position;
+        for other in 0..n {
+            self.links[node.index() * n + other] =
+                link_state(&self.params, position, self.positions[other]);
+            self.links[other * n + node.index()] =
+                link_state(&self.params, self.positions[other], position);
+        }
     }
 
     /// Number of stations.
@@ -273,6 +303,13 @@ impl Medium {
                 }
             }
         }
+    }
+
+    /// The raw link-state matrix, for tests pinning the incremental refresh
+    /// bit-identical to full reconstruction.
+    #[cfg(test)]
+    fn links(&self) -> &[LinkState] {
+        &self.links
     }
 
     /// The pre-refactor per-call computation, kept as the oracle the cached
@@ -716,7 +753,103 @@ mod tests {
         }
     }
 
+    /// Asserts two media have bit-identical link-state matrices (floats
+    /// compared via `to_bits`, classification exactly).
+    fn assert_links_identical(a: &Medium, b: &Medium, context: &str) {
+        assert_eq!(a.links().len(), b.links().len(), "{context}: matrix sizes differ");
+        for (i, (x, y)) in a.links().iter().zip(b.links()).enumerate() {
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "{context}: distance [{i}]");
+            assert_eq!(
+                x.mean_rx_dbm.to_bits(),
+                y.mean_rx_dbm.to_bits(),
+                "{context}: mean_rx_dbm [{i}]"
+            );
+            assert_eq!(x.delay, y.delay, "{context}: delay [{i}]");
+            assert_eq!(x.class, y.class, "{context}: class [{i}]");
+        }
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_reconstruction() {
+        use crate::params::PhyParams;
+        let params = PhyParams::paper_216();
+        let mut positions: Vec<Position> =
+            (0..7).map(|i| Position::new(f64::from(i) * 60.0, f64::from(i % 3) * 45.0)).collect();
+        let mut medium = Medium::new(params.clone(), positions.clone());
+        // Walk one node across every propagation regime (near, mid, beyond
+        // any possible excursion), moving other nodes in between so stale
+        // rows would be caught.
+        let moves: [(u32, f64, f64); 5] =
+            [(2, 3.0, 4.0), (0, 500.0, 0.0), (2, 120.0, 80.0), (6, 1.0, 1.0), (3, 417.0, 0.0)];
+        for (step, (node, x, y)) in moves.into_iter().enumerate() {
+            let pos = Position::new(x, y);
+            positions[node as usize] = pos;
+            medium.update_node_position(NodeId::new(node), pos);
+            let rebuilt = Medium::new(params.clone(), positions.clone());
+            assert_links_identical(&medium, &rebuilt, &format!("move {step}"));
+            // The planner sees the refreshed matrix exactly as a rebuild
+            // would, including the RNG stream position afterwards.
+            let mut rng_a = StreamRng::derive(step as u64, "refresh");
+            let mut rng_b = StreamRng::derive(step as u64, "refresh");
+            for from in 0..positions.len() {
+                let from = NodeId::new(from as u32);
+                assert_eq!(
+                    medium.plan_transmission(from, &mut rng_a),
+                    rebuilt.plan_transmission(from, &mut rng_b),
+                );
+            }
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
+    }
+
+    #[test]
+    fn update_reclassifies_links_across_thresholds() {
+        use crate::params::PhyParams;
+        let mut medium = Medium::new(
+            PhyParams::paper_216(),
+            vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+        );
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(medium.link_class(n0, n1), LinkClass::Sampled);
+        medium.update_node_position(n1, Position::new(1000.0, 0.0));
+        assert_eq!(medium.link_class(n0, n1), LinkClass::NeverSensed);
+        assert_eq!(medium.link_class(n1, n0), LinkClass::NeverSensed, "column refreshed too");
+        assert!((medium.distance(n0, n1) - 1000.0).abs() < 1e-9);
+        medium.update_node_position(n1, Position::new(5.0, 0.0));
+        assert_eq!(medium.link_class(n0, n1), LinkClass::Sampled, "move back restores the link");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_rejects_out_of_range_ids() {
+        use crate::params::PhyParams;
+        let mut medium = Medium::new(PhyParams::paper_216(), vec![Position::new(0.0, 0.0)]);
+        medium.update_node_position(NodeId::new(3), Position::new(1.0, 1.0));
+    }
+
     proptest! {
+        /// After a random sequence of node moves, the incrementally
+        /// refreshed matrix is bit-identical to a fresh construction over
+        /// the final placement — the contract the mobility subsystem's
+        /// determinism rests on.
+        #[test]
+        fn prop_incremental_refresh_matches_rebuild(
+            coords in proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0), 2..12),
+            moves in proptest::collection::vec((0usize..12, 0.0f64..500.0, 0.0f64..500.0), 1..12),
+        ) {
+            use crate::params::PhyParams;
+            let mut positions: Vec<Position> =
+                coords.iter().map(|&(x, y)| Position::new(x, y)).collect();
+            let mut medium = Medium::new(PhyParams::paper_216(), positions.clone());
+            for &(pick, x, y) in &moves {
+                let node = pick % positions.len();
+                positions[node] = Position::new(x, y);
+                medium.update_node_position(NodeId::new(node as u32), Position::new(x, y));
+            }
+            let rebuilt = Medium::new(PhyParams::paper_216(), positions);
+            assert_links_identical(&medium, &rebuilt, "prop rebuild");
+        }
+
         /// The cached planner is pinned bit-identical to the pre-refactor
         /// naive computation: same plans (floats compared exactly) AND the
         /// same RNG stream position afterwards, across random topologies,

@@ -17,7 +17,7 @@ pub mod etx;
 pub mod exor;
 
 pub use etx::{forwarder_list, LinkGraph};
-pub use exor::{ExorMac, ExorMode};
+pub use exor::{ExorMac, ExorMode, ExorScheme};
 
 /// The paper's default cap on forwarders per path ("we use 5 as the default
 /// maximum forwarders since it works well under a wide range of network

@@ -10,6 +10,9 @@
 //! * [`TrafficMix`] — composes `wmn_traffic` workloads (FTP / web / VoIP /
 //!   CBR) onto a placement with pluggable endpoint policies, routing each
 //!   flow over its minimum-ETX path;
+//! * [`MobilitySpec`] — seeded mobility recipes (static, per-node drift,
+//!   random waypoint) expanding into concrete
+//!   [`wmn_topology::MotionPlan`] trajectories at materialisation time;
 //! * [`ScenarioSpec`] — a plain-struct description of one run that
 //!   round-trips through the hand-rolled JSON in [`wmn_exec::json`] and
 //!   [`materialises`](ScenarioSpec::materialise) into a validated
@@ -38,6 +41,7 @@
 //!     duration_ms: 50,
 //!     seed: 7,
 //!     max_forwarders: 5,
+//!     mobility: wmn_scengen::MobilitySpec::Static,
 //! };
 //! // Specs are data: they round-trip to disk …
 //! let reloaded = ScenarioSpec::parse(&spec.to_json().to_string()).unwrap();
@@ -50,6 +54,7 @@
 //! ```
 
 pub mod mix;
+pub mod mobility;
 pub mod spec;
 pub mod sweep;
 pub mod topo;
@@ -58,6 +63,7 @@ pub mod topo;
 pub use wmn_exec::json;
 
 pub use mix::{PairPolicy, TrafficMix};
+pub use mobility::MobilitySpec;
 pub use spec::{scheme_from_name, scheme_name, PhyPreset, ScenarioSpec};
 pub use sweep::SweepSpec;
 pub use topo::{is_connected, TopologySpec};

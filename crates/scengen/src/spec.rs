@@ -14,6 +14,7 @@ use wmn_sim::SimDuration;
 
 use crate::json::Value;
 use crate::mix::TrafficMix;
+use crate::mobility::MobilitySpec;
 use crate::topo::TopologySpec;
 
 /// The PHY parameter preset a spec runs under (Table I of the paper).
@@ -105,11 +106,15 @@ pub struct ScenarioSpec {
     pub ber: Option<f64>,
     /// Simulated duration, milliseconds.
     pub duration_ms: u64,
-    /// Master seed: drives topology generation, endpoint draws, and every
-    /// in-run RNG stream.
+    /// Master seed: drives topology generation, endpoint draws, mobility
+    /// expansion, and every in-run RNG stream.
     pub seed: u64,
     /// Cap on forwarders per opportunistic list (paper default: 5).
     pub max_forwarders: usize,
+    /// Mobility recipe, expanded over the generated placement at
+    /// materialisation time ([`MobilitySpec::Static`] — the default —
+    /// yields the byte-identical static simulation).
+    pub mobility: MobilitySpec,
 }
 
 impl ScenarioSpec {
@@ -127,6 +132,7 @@ impl ScenarioSpec {
         let topo = self.topology.generate(self.seed);
         let params = self.phy.params(self.ber);
         let flows = self.mix.compose(&topo, &params, self.seed).map_err(err)?;
+        let motion = self.mobility.expand(&topo.positions, self.seed);
         let scenario = Scenario {
             name: self.name.clone(),
             params,
@@ -136,6 +142,7 @@ impl ScenarioSpec {
             duration: SimDuration::from_millis(self.duration_ms),
             seed: self.seed,
             max_forwarders: self.max_forwarders,
+            motion,
         };
         scenario.validate().map_err(err)?;
         Ok(scenario)
@@ -152,6 +159,12 @@ impl ScenarioSpec {
             .with("phy", self.phy.name());
         if let Some(ber) = self.ber {
             doc = doc.with("ber", ber);
+        }
+        // The mobility key is omitted for static specs so every
+        // pre-mobility spec file (and the committed CI baseline's spec
+        // echo) stays byte-identical.
+        if self.mobility != MobilitySpec::Static {
+            doc = doc.with("mobility", self.mobility.to_json());
         }
         doc.with("duration_ms", self.duration_ms)
             .with("seed", self.seed)
@@ -179,6 +192,10 @@ impl ScenarioSpec {
             duration_ms: req_u64(value, "duration_ms", "scenario")?,
             seed: req_u64(value, "seed", "scenario")?,
             max_forwarders: req_usize(value, "max_forwarders", "scenario")?,
+            mobility: match value.get("mobility") {
+                None | Some(Value::Null) => MobilitySpec::Static,
+                Some(v) => MobilitySpec::from_json(v)?,
+            },
         })
     }
 
@@ -250,6 +267,7 @@ mod tests {
             duration_ms: 40,
             seed: 3,
             max_forwarders: 5,
+            mobility: MobilitySpec::Static,
         }
     }
 
@@ -282,6 +300,35 @@ mod tests {
         assert_eq!(ScenarioSpec::parse(&plain.to_json().to_string()).unwrap(), plain);
         let with_ber = ScenarioSpec { ber: Some(1e-5), phy: PhyPreset::Mbps6, ..spec() };
         assert_eq!(ScenarioSpec::parse(&with_ber.to_json().to_string()).unwrap(), with_ber);
+    }
+
+    #[test]
+    fn mobility_round_trips_and_static_stays_implicit() {
+        let static_text = spec().to_json().to_string();
+        assert!(
+            !static_text.contains("mobility"),
+            "static specs must serialise without a mobility key (baseline byte-compat)"
+        );
+        let mobile =
+            ScenarioSpec { mobility: MobilitySpec::Drift { max_speed_mps: 2.0 }, ..spec() };
+        let text = mobile.to_json().to_string();
+        assert!(text.contains("\"mobility\""), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), mobile);
+    }
+
+    #[test]
+    fn mobile_specs_materialise_into_moving_scenarios() {
+        let mobile =
+            ScenarioSpec { mobility: MobilitySpec::Drift { max_speed_mps: 2.0 }, ..spec() };
+        let scenario = mobile.materialise().unwrap();
+        assert!(!scenario.motion.is_static());
+        assert_eq!(scenario.motion.paths.len(), scenario.positions.len());
+        // Mobile generated scenarios run end to end.
+        let result = run(&scenario);
+        assert_eq!(result.flows.len(), 2);
+        // Static materialisation is unchanged by the mobility field's
+        // existence.
+        assert!(spec().materialise().unwrap().motion.is_static());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use wmn_netsim::{Scenario, Scheme};
 
 use crate::json::Value;
 use crate::mix::{PairPolicy, TrafficMix};
+use crate::mobility::MobilitySpec;
 use crate::spec::{
     req_str, req_u64, req_u64_list, req_usize, scheme_from_name, scheme_name, PhyPreset,
     ScenarioSpec,
@@ -42,6 +43,9 @@ pub struct SweepSpec {
     pub duration_ms: u64,
     /// Cap on forwarders per opportunistic list.
     pub max_forwarders: usize,
+    /// Mobility recipes to sweep over (the innermost axis). `[Static]` —
+    /// the default — reproduces the pre-mobility grid byte for byte.
+    pub mobilities: Vec<MobilitySpec>,
 }
 
 impl SweepSpec {
@@ -66,12 +70,48 @@ impl SweepSpec {
             ber: None,
             duration_ms: 200,
             max_forwarders: 5,
+            mobilities: vec![MobilitySpec::Static],
+        }
+    }
+
+    /// The mobility companion grid CI's scenario-matrix job runs: one
+    /// topology × one mix × {DCF, RIPPLE-16} × {static, drift, waypoint}
+    /// × 2 run seeds = 12 runs. Small on purpose — the point is that
+    /// moving-node scenarios exercise the whole engine (expansion,
+    /// parallel execution, deterministic reporting) on every push.
+    pub fn ci_mobility() -> Self {
+        SweepSpec {
+            name: "ci-mobility".into(),
+            topologies: vec![TopologySpec::Grid { cols: 4, rows: 3, spacing_m: 5.0 }],
+            mixes: vec![TrafficMix {
+                ftp: 1,
+                web: 0,
+                voip: 1,
+                cbr: 0,
+                pairing: PairPolicy::FarPairs,
+            }],
+            schemes: vec![Scheme::Dcf { aggregation: 1 }, Scheme::Ripple { aggregation: 16 }],
+            topo_seeds: vec![1],
+            run_seeds: vec![1, 2],
+            phy: PhyPreset::Mbps216,
+            ber: None,
+            duration_ms: 200,
+            max_forwarders: 5,
+            mobilities: vec![
+                MobilitySpec::Static,
+                MobilitySpec::Drift { max_speed_mps: 2.0 },
+                MobilitySpec::Waypoint { speed_mps: 2.0, legs: 3 },
+            ],
         }
     }
 
     /// Scenarios in the grid (before the run-seed axis).
     pub fn scenario_count(&self) -> usize {
-        self.topologies.len() * self.mixes.len() * self.schemes.len() * self.topo_seeds.len()
+        self.topologies.len()
+            * self.mixes.len()
+            * self.schemes.len()
+            * self.topo_seeds.len()
+            * self.mobilities.len()
     }
 
     /// Total runs the engine will execute: scenarios × run seeds.
@@ -80,31 +120,40 @@ impl SweepSpec {
     }
 
     /// Expands the grid into one [`ScenarioSpec`] per cell, in the fixed
-    /// topology-major order. Names are
-    /// `<sweep>-<topology>-<mix>-<scheme>-t<topo_seed>` and unique.
+    /// topology-major order (mobility is the innermost axis). Names are
+    /// `<sweep>-<topology>-<mix>-<scheme>-t<topo_seed>`, suffixed with
+    /// `-m<mobility>` only for non-static cells — so a static-only sweep's
+    /// names (and its committed baseline) are untouched by the axis.
     pub fn scenario_specs(&self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::with_capacity(self.scenario_count());
         for topology in &self.topologies {
             for mix in &self.mixes {
                 for &scheme in &self.schemes {
                     for &topo_seed in &self.topo_seeds {
-                        specs.push(ScenarioSpec {
-                            name: format!(
+                        for &mobility in &self.mobilities {
+                            let mut name = format!(
                                 "{}-{}-{}-{}-t{topo_seed}",
                                 self.name,
                                 topology.slug(),
                                 mix.slug(),
                                 scheme_name(scheme),
-                            ),
-                            topology: topology.clone(),
-                            mix: *mix,
-                            scheme,
-                            phy: self.phy,
-                            ber: self.ber,
-                            duration_ms: self.duration_ms,
-                            seed: topo_seed,
-                            max_forwarders: self.max_forwarders,
-                        });
+                            );
+                            if mobility != MobilitySpec::Static {
+                                name.push_str(&format!("-m{}", mobility.slug()));
+                            }
+                            specs.push(ScenarioSpec {
+                                name,
+                                topology: topology.clone(),
+                                mix: *mix,
+                                scheme,
+                                phy: self.phy,
+                                ber: self.ber,
+                                duration_ms: self.duration_ms,
+                                seed: topo_seed,
+                                max_forwarders: self.max_forwarders,
+                                mobility,
+                            });
+                        }
                     }
                 }
             }
@@ -118,17 +167,31 @@ impl SweepSpec {
     ///
     /// # Errors
     ///
-    /// Fails on structurally empty sweeps (any empty axis) or on the first
-    /// cell whose materialisation fails, with the cell named.
+    /// Fails on structurally empty sweeps (any empty axis), on duplicate
+    /// cell names (e.g. the same recipe listed twice on an axis — report
+    /// rows are keyed by name, so collisions would be indistinguishable),
+    /// or on the first cell whose materialisation fails, with the cell
+    /// named.
     pub fn expand(&self) -> Result<Vec<Scenario>, String> {
         if self.scenario_count() == 0 || self.run_seeds.is_empty() {
             return Err(format!(
                 "sweep {:?} is empty: every axis (topologies, mixes, schemes, topo_seeds, \
-                 run_seeds) needs at least one entry",
+                 mobilities, run_seeds) needs at least one entry",
                 self.name
             ));
         }
-        self.scenario_specs().iter().map(ScenarioSpec::materialise).collect()
+        let specs = self.scenario_specs();
+        let mut seen = std::collections::HashSet::new();
+        for spec in &specs {
+            if !seen.insert(spec.name.as_str()) {
+                return Err(format!(
+                    "sweep {:?}: duplicate cell name {:?} — two axis entries expand to the \
+                     same cell",
+                    self.name, spec.name
+                ));
+            }
+        }
+        specs.iter().map(ScenarioSpec::materialise).collect()
     }
 
     /// Serialises the sweep as a JSON object (the on-disk format
@@ -150,6 +213,15 @@ impl SweepSpec {
             .with("phy", self.phy.name());
         if let Some(ber) = self.ber {
             doc = doc.with("ber", ber);
+        }
+        // Like the scenario spec, an all-static mobility axis stays
+        // implicit so pre-mobility sweep files and the committed baseline's
+        // spec echo remain byte-identical.
+        if self.mobilities != [MobilitySpec::Static] {
+            doc = doc.with(
+                "mobilities",
+                Value::Arr(self.mobilities.iter().map(|m| m.to_json()).collect()),
+            );
         }
         doc.with("duration_ms", self.duration_ms).with("max_forwarders", self.max_forwarders)
     }
@@ -190,6 +262,15 @@ impl SweepSpec {
             },
             duration_ms: req_u64(value, "duration_ms", "sweep")?,
             max_forwarders: req_usize(value, "max_forwarders", "sweep")?,
+            mobilities: match value.get("mobilities") {
+                None | Some(Value::Null) => vec![MobilitySpec::Static],
+                Some(v) => v
+                    .as_arr()
+                    .ok_or("sweep: \"mobilities\" must be an array")?
+                    .iter()
+                    .map(MobilitySpec::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 
@@ -252,6 +333,16 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_cells_are_rejected() {
+        // The same mobility recipe twice expands to two cells with one
+        // name; report rows are keyed by name, so this must fail loudly.
+        let mut sweep = SweepSpec::ci_mobility();
+        sweep.mobilities.push(sweep.mobilities[1]);
+        let msg = sweep.expand().unwrap_err();
+        assert!(msg.contains("duplicate cell name"), "{msg}");
+    }
+
+    #[test]
     fn json_round_trip() {
         let sweep = SweepSpec::ci_quick();
         let text = sweep.to_json().to_string();
@@ -259,5 +350,51 @@ mod tests {
         let with_ber = SweepSpec { ber: Some(1e-6), ..SweepSpec::ci_quick() };
         assert_eq!(SweepSpec::parse(&with_ber.to_json().to_string()).unwrap(), with_ber);
         assert!(SweepSpec::parse("{}").is_err());
+    }
+
+    #[test]
+    fn static_sweeps_serialise_without_a_mobility_axis() {
+        let text = SweepSpec::ci_quick().to_json().to_string();
+        assert!(!text.contains("mobilities"), "baseline spec echo must stay byte-compatible");
+    }
+
+    #[test]
+    fn mobility_axis_multiplies_the_grid_and_suffixes_names() {
+        let sweep = SweepSpec::ci_mobility();
+        assert_eq!(sweep.scenario_count(), 6, "2 schemes x 3 mobility recipes");
+        assert_eq!(sweep.run_count(), 12);
+        let specs = sweep.scenario_specs();
+        let static_cells = specs.iter().filter(|s| s.mobility == MobilitySpec::Static).count();
+        assert_eq!(static_cells, 2);
+        for spec in &specs {
+            if spec.mobility == MobilitySpec::Static {
+                assert!(
+                    spec.name.ends_with("-t1"),
+                    "static names keep the legacy shape: {}",
+                    spec.name
+                );
+            } else {
+                assert!(
+                    spec.name.contains("-t1-m"),
+                    "mobile names carry the recipe: {}",
+                    spec.name
+                );
+            }
+        }
+        let names: HashSet<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), specs.len(), "names must stay unique across the axis");
+        // The JSON round-trip covers the axis.
+        assert_eq!(SweepSpec::parse(&sweep.to_json().to_string()).unwrap(), sweep);
+    }
+
+    #[test]
+    fn ci_mobility_expands_into_runnable_scenarios() {
+        let scenarios = SweepSpec::ci_mobility().expand().unwrap();
+        assert_eq!(scenarios.len(), 6);
+        assert!(scenarios.iter().any(|s| !s.motion.is_static()), "mobile cells exist");
+        assert!(scenarios.iter().any(|s| s.motion.is_static()), "static control cells exist");
+        for s in &scenarios {
+            assert_eq!(s.validate(), Ok(()), "{}", s.name);
+        }
     }
 }

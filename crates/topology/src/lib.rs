@@ -10,7 +10,10 @@
 //! * [`wigle`] — a synthetic stand-in for the Wigle AP map of Fig. 9
 //!   (small diameter, flows 1–3 hops, plus two hidden stations S and R);
 //! * [`roofnet`] — a synthetic stand-in for the MIT Roofnet map of Fig. 11
-//!   (large sparse mesh; flows 3–5 hops with nearby hidden terminals).
+//!   (large sparse mesh; flows 3–5 hops with nearby hidden terminals);
+//! * [`motion`] — time-varying positions: per-node trajectories (constant
+//!   drift, waypoint schedules) that a mobile simulation samples on a fixed
+//!   tick.
 //!
 //! The Wigle/Roofnet coordinate files are unavailable, so both are
 //! deterministic synthetic placements with the same structural properties
@@ -24,11 +27,14 @@
 pub mod collision;
 pub mod fig1;
 pub mod line;
+pub mod motion;
 pub mod roofnet;
 pub mod wigle;
 
 use wmn_phy::Position;
 use wmn_sim::NodeId;
+
+pub use motion::{MotionPlan, NodePath, Waypoint};
 
 /// A named topology: positions plus the flows an experiment will run on it.
 ///

@@ -49,6 +49,7 @@ fn main() {
                 duration: SimDuration::from_secs_f64(1.5),
                 seed: 3,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             };
             row.push(run(&scenario).flows[0].throughput_mbps);
         }

@@ -33,6 +33,7 @@ fn main() {
             duration: SimDuration::from_secs_f64(2.0),
             seed: 1,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         };
         let result = run(&scenario);
         let flow = &result.flows[0];

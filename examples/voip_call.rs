@@ -32,6 +32,7 @@ fn main() {
                 duration: SimDuration::from_secs_f64(2.0),
                 seed: 5,
                 max_forwarders: 5,
+                motion: wmn_netsim::MotionPlan::default(),
             };
             let result = run(&scenario);
             let moses: Vec<f64> =

@@ -29,6 +29,7 @@ fn main() {
             duration: SimDuration::from_secs_f64(2.0),
             seed: 9,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         };
         let result = run(&scenario);
         let best = result.flows.iter().map(|f| f.throughput_mbps).fold(0.0f64, f64::max);

@@ -17,6 +17,7 @@ fn base(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>) -> Scena
         duration: SimDuration::from_millis(300),
         seed: 7,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     }
 }
 

@@ -18,6 +18,7 @@ fn scenario(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>, ms: 
         duration: SimDuration::from_millis(ms),
         seed: 11,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     }
 }
 

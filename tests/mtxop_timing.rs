@@ -29,6 +29,7 @@ fn one_packet_scenario(seed: u64) -> Scenario {
         duration: SimDuration::from_millis(5),
         seed,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     }
 }
 

@@ -22,6 +22,7 @@ fn chain_scenario(scheme: Scheme, ms: u64) -> Scenario {
         duration: SimDuration::from_millis(ms),
         seed: 1,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     }
 }
 

@@ -16,6 +16,7 @@ fn base(scheme: Scheme, ber: f64, seed: u64) -> Scenario {
         duration: SimDuration::from_millis(250),
         seed,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     }
 }
 
@@ -87,6 +88,7 @@ fn partitioned_network_terminates_cleanly() {
             duration: SimDuration::from_millis(300),
             seed: 1,
             max_forwarders: 5,
+            motion: wmn_netsim::MotionPlan::default(),
         };
         let r = run(&scenario);
         assert_eq!(r.flows[0].delivered_bytes, 0, "{scheme:?}: nothing can cross a partition");
@@ -143,6 +145,7 @@ fn long_path_with_forwarder_cap() {
         duration: SimDuration::from_millis(400),
         seed: 2,
         max_forwarders: 5,
+        motion: wmn_netsim::MotionPlan::default(),
     };
     let r = run(&scenario);
     // With only 5 forwarders on a 7-hop path the source's frames must hop
