@@ -20,7 +20,7 @@
 //!   ones it already holds) and delivers packets strictly in order through
 //!   the receive queue `Rq`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use wmn_mac::frame::{AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe};
 use wmn_mac::{
@@ -94,17 +94,17 @@ pub struct RippleMac {
     /// Relays waiting for their idle window (armed or paused).
     pending_relays: Vec<PendingRelay>,
     next_pending: u64,
-    timer_roles: HashMap<u64, Role>,
+    timer_roles: BTreeMap<u64, Role>,
     next_token: u64,
     /// (flow, origin, frame_seq) data frames this node has already relayed.
-    data_relayed: HashSet<(FlowId, NodeId, u64)>,
+    data_relayed: BTreeSet<(FlowId, NodeId, u64)>,
     /// (flow, source, frame_seq) ACK frames this node has already relayed.
-    ack_relayed: HashSet<(FlowId, NodeId, u64)>,
+    ack_relayed: BTreeSet<(FlowId, NodeId, u64)>,
     /// Bitmap-ACK frame_seqs the source side has already applied.
-    handled_acks: HashSet<u64>,
-    seq_counters: HashMap<(FlowId, NodeId), u32>,
+    handled_acks: BTreeSet<u64>,
+    seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
-    rq: HashMap<(FlowId, NodeId), ReorderBuffer>,
+    rq: BTreeMap<(FlowId, NodeId), ReorderBuffer>,
     rng: StreamRng,
     stats: MacStats,
     /// Relays performed (diagnostic; counts both data and ACK relays).
@@ -143,14 +143,14 @@ impl RippleMac {
             armed_timeout: None,
             pending_relays: Vec::new(),
             next_pending: 0,
-            timer_roles: HashMap::new(),
+            timer_roles: BTreeMap::new(),
             next_token: 0,
-            data_relayed: HashSet::new(),
-            ack_relayed: HashSet::new(),
-            handled_acks: HashSet::new(),
-            seq_counters: HashMap::new(),
+            data_relayed: BTreeSet::new(),
+            ack_relayed: BTreeSet::new(),
+            handled_acks: BTreeSet::new(),
+            seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
-            rq: HashMap::new(),
+            rq: BTreeMap::new(),
             rng,
             stats: MacStats::default(),
             relays_performed: 0,

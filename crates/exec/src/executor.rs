@@ -35,6 +35,7 @@ pub fn available_jobs() -> usize {
 /// Returns a descriptive message if [`JOBS_ENV`] is set to anything that is
 /// not a positive integer.
 pub fn jobs_from_env() -> Result<usize, String> {
+    // lint:allow(no-nondeterministic-std): worker count only changes the schedule — results are slot-ordered and bit-identical for any value
     match std::env::var(JOBS_ENV) {
         Err(_) => Ok(available_jobs()),
         Ok(raw) => match raw.trim().parse::<usize>() {

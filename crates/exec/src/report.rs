@@ -21,6 +21,7 @@ pub const REPRO_DIR_ENV: &str = "RIPPLE_REPRO_DIR";
 /// The directory repro JSON is written to: [`REPRO_DIR_ENV`] if set,
 /// otherwise `target/repro` under the current working directory.
 pub fn repro_dir() -> PathBuf {
+    // lint:allow(no-nondeterministic-std): redirects where reports are written, never what they contain
     match std::env::var_os(REPRO_DIR_ENV) {
         Some(dir) => PathBuf::from(dir),
         None => PathBuf::from("target").join("repro"),

@@ -1,0 +1,679 @@
+//! A lightweight Rust lexer, just deep enough for determinism linting.
+//!
+//! The rules in this crate must never fire on text inside comments, doc
+//! comments, or string/char literals — a commented-out `map.iter()` or a
+//! log message mentioning `Instant::now` is not a finding. This lexer
+//! therefore classifies exactly the token shapes that matter:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string-ish literals: `"…"` (with escapes), raw strings `r"…"` /
+//!   `r#"…"#` (any number of hashes), byte strings `b"…"` / `br#"…"#`,
+//!   C strings `c"…"` / `cr#"…"#`, char literals `'x'` / `'\n'`, and the
+//!   char-vs-lifetime ambiguity (`'a'` is a char, `'a` in `&'a str` is a
+//!   lifetime);
+//! * identifiers (including raw identifiers `r#type`), numbers, and
+//!   single-character punctuation (so `::` is two `:` tokens — the rule
+//!   matchers join them back up).
+//!
+//! Line comments are additionally scanned for inline waivers of the form
+//! `// lint:allow(<rule>): <reason>`; see [`Waiver`].
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `r#type`, …).
+    Ident,
+    /// A string-ish literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`). The token
+    /// text is the *source* content between the delimiters, escapes
+    /// unprocessed.
+    Str,
+    /// A char literal (`'x'`, `'\n'`). Content is not preserved.
+    Char,
+    /// A numeric literal (`42`, `0xF00F`, `1.5e-3`, `2u64`).
+    Num,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// Identifier/number/string-content text (empty for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// An inline waiver comment: `// lint:allow(<rule>): <reason>`.
+///
+/// A waiver suppresses findings of `rule` on its own line and on the line
+/// directly below it (so it can sit on the offending line or just above).
+/// The reason is mandatory; waivers with an empty reason are reported as
+/// `waiver` findings and suppress nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The rule being waived.
+    pub rule: String,
+    /// The (non-empty) justification.
+    pub reason: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order. Comments are dropped.
+    pub tokens: Vec<Token>,
+    /// Well-formed waivers found in line comments.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waivers: `(line, problem)`. Always findings, never
+    /// suppressions.
+    pub bad_waivers: Vec<(u32, String)>,
+}
+
+/// Lexes `src` into tokens and waiver comments. Never fails: unterminated
+/// literals or comments simply end at end-of-file.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer { b: src.as_bytes(), src, pos: 0, line: 1, out: Lexed::default() };
+    lx.run();
+    lx.out
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek(0)?;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32) {
+        self.out.tokens.push(Token { kind, text: text.to_string(), line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_string(),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c as char), "", line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let body = &self.src[start.min(self.src.len())..self.pos];
+        parse_waiver(body, line, &mut self.out);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Cooked string starting at the opening quote: `"…"` with `\` escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let start = self.pos;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump(); // the escaped char (enough: `\"` and `\\`)
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let content = self.src[start..self.pos].to_string();
+        self.bump(); // closing quote
+        self.out.tokens.push(Token { kind: TokKind::Str, text: content, line });
+    }
+
+    /// Raw string starting at the first `#` or the quote: `#*"…"#*`.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end;
+        loop {
+            match self.peek(0) {
+                None => {
+                    end = self.pos;
+                    break;
+                }
+                Some(b'"') => {
+                    let candidate = self.pos;
+                    let tail = &self.b[self.pos + 1..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                        self.bump(); // quote
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        end = candidate;
+                        break;
+                    }
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let content = self.src[start..end].to_string();
+        self.out.tokens.push(Token { kind: TokKind::Str, text: content, line });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // `'\n'`, `'\u{41}'`: definitely a char literal.
+            Some(b'\\') => {
+                self.bump();
+                self.bump();
+                // Consume to the closing quote (covers `\u{…}`).
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, "", line);
+            }
+            // `'a'` is a char; `'a` (no closing quote) is a lifetime.
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some(b'\'') && !is_ident_cont(self.peek(2).unwrap_or(b' ')) {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, "", line);
+                } else {
+                    while matches!(self.peek(0), Some(c) if is_ident_cont(c)) {
+                        self.bump();
+                    }
+                    self.push(TokKind::Lifetime, "", line);
+                }
+            }
+            // `'('`, `'9'` and friends.
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, "", line);
+            }
+            None => self.push(TokKind::Char, "", line),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // `1e-3` / `1E+3`: the sign belongs to the number.
+                let was_exp =
+                    (c == b'e' || c == b'E') && !self.src[start..self.pos].starts_with("0x");
+                self.bump();
+                if was_exp
+                    && matches!(self.peek(0), Some(b'+' | b'-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.out.tokens.push(Token { kind: TokKind::Num, text, line });
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if is_ident_cont(c)) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        // Raw identifier `r#type`: the `r` was consumed as an ident; a `#`
+        // followed by an ident-start continues it.
+        if text == "r"
+            && self.peek(0) == Some(b'#')
+            && matches!(self.peek(1), Some(c) if is_ident_start(c))
+        {
+            self.bump(); // '#'
+            let raw_start = self.pos;
+            while matches!(self.peek(0), Some(c) if is_ident_cont(c)) {
+                self.bump();
+            }
+            let name = self.src[raw_start..self.pos].to_string();
+            self.out.tokens.push(Token { kind: TokKind::Ident, text: name, line });
+            return;
+        }
+        // String prefixes: r"", r#"", b"", br#"", c"", cr#"".
+        match text {
+            "r" | "br" | "cr" if matches!(self.peek(0), Some(b'"' | b'#')) => {
+                self.raw_string();
+                return;
+            }
+            "b" | "c" if self.peek(0) == Some(b'"') => {
+                self.string();
+                return;
+            }
+            _ => {}
+        }
+        let text = text.to_string();
+        self.out.tokens.push(Token { kind: TokKind::Ident, text, line });
+    }
+}
+
+/// Scans a line-comment body for the waiver grammar.
+fn parse_waiver(body: &str, line: u32, out: &mut Lexed) {
+    let trimmed = body.trim_start();
+    let Some(rest) = trimmed.strip_prefix("lint:allow") else {
+        return;
+    };
+    let Some(rest) = rest.strip_prefix('(') else {
+        out.bad_waivers.push((line, "expected `(` after `lint:allow`".to_string()));
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        out.bad_waivers.push((line, "unclosed `lint:allow(` waiver".to_string()));
+        return;
+    };
+    let rule = rest[..close].trim().to_string();
+    let tail = &rest[close + 1..];
+    let Some(reason) = tail.trim_start().strip_prefix(':') else {
+        out.bad_waivers
+            .push((line, format!("waiver for `{rule}` is missing the `: <reason>` part")));
+        return;
+    };
+    let reason = reason.trim().to_string();
+    if reason.is_empty() {
+        out.bad_waivers.push((
+            line,
+            format!("waiver for `{rule}` has an empty reason — a justification is mandatory"),
+        ));
+        return;
+    }
+    out.waivers.push(Waiver { line, rule, reason });
+}
+
+/// Removes every item annotated `#[cfg(test)]` (and the annotation itself)
+/// from the token stream.
+///
+/// Test modules exercise nondeterminism freely (temp dirs, duplicate RNG
+/// labels, hash-map probes); the determinism contract only binds shipped
+/// code, so the rules run on the stripped stream. The scan understands
+/// `#[cfg(test)] mod … { … }`, `#[cfg(test)] fn … { … }`, and
+/// `#[cfg(test)] use …;` shapes: the attribute, any further attributes, and
+/// one following item (up to its matching `}` or a top-level `;`) are
+/// dropped. `#![…]` inner attributes are never treated as item annotations.
+pub fn strip_test_items(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (end, is_test) = scan_attr(&tokens, i + 1);
+            if is_test {
+                i = skip_item(&tokens, end);
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans the bracketed attribute starting at the `[` at `open`. Returns the
+/// index just past the matching `]` and whether the attribute marks a
+/// test-only item: `#[cfg(test)]` / `#[cfg(all(test, …))]` (but NOT
+/// `#[cfg(not(test))]`, which marks a *shipped* item, nor `#[cfg_attr(test,
+/// …)]`, which only conditions other attributes), or a bare `#[test]`.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut inner = 0usize;
+    let mut first_ident = None;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Punct('[') | TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(']') | TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    let bare_test = inner == 1 && first_ident == Some("test");
+                    return (i + 1, (saw_cfg && saw_test && !saw_not) || bare_test);
+                }
+            }
+            TokKind::Ident => {
+                if inner == 0 {
+                    first_ident = Some(tokens[i].text.as_str());
+                }
+                inner += 1;
+                saw_cfg |= t.text == "cfg";
+                saw_test |= t.text == "test";
+                saw_not |= t.text == "not";
+            }
+            _ => inner += 1,
+        }
+        i += 1;
+    }
+    (i, false)
+}
+
+/// Skips one item starting at `i`: leading attributes, then everything up
+/// to and including its body `{…}` or terminating `;`.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = scan_attr(tokens, i + 1);
+        i = end;
+    }
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('{') => {
+                // The item body: skip to its matching brace.
+                let mut braces = 1i32;
+                i += 1;
+                while i < tokens.len() && braces > 0 {
+                    match tokens[i].kind {
+                        TokKind::Punct('{') => braces += 1,
+                        TokKind::Punct('}') => braces -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            TokKind::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn line_comments_are_dropped() {
+        assert_eq!(idents("let x = 1; // map.iter() HashMap"), vec!["let", "x"]);
+        assert_eq!(idents("/// doc Instant::now\nfn f() {}"), vec!["fn", "f"]);
+        assert_eq!(idents("//! inner doc SystemTime\nfn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        assert_eq!(idents("/* a /* nested */ still comment */ fn f() {}"), vec!["fn", "f"]);
+        // Unterminated comment swallows the rest without panicking.
+        assert_eq!(idents("fn f() {} /* open"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r#"let s = "map.iter() // not a comment";"#);
+        let strs: Vec<&Token> = lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "map.iter() // not a comment");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("iter")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let lexed = lex(r#"let s = "a\"b\\"; let t = 1;"#);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r###"let s = r#"quote " inside"#; let u = 2;"###);
+        let s: Vec<&Token> = lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s[0].text, "quote \" inside");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("u")));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert!(kinds(r#"b"bytes""#).contains(&TokKind::Str));
+        assert!(kinds(r##"br#"raw bytes"#"##).contains(&TokKind::Str));
+        assert!(kinds(r#"c"cstr""#).contains(&TokKind::Str));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'\\n'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'\\u{41}'"), vec![TokKind::Char]);
+        let ks = kinds("&'a str");
+        assert!(ks.contains(&TokKind::Lifetime), "{ks:?}");
+        assert!(!ks.contains(&TokKind::Char));
+        let ks = kinds("&'static str");
+        assert!(ks.contains(&TokKind::Lifetime));
+        // `'_'` is the underscore char; `'_` alone is a lifetime.
+        assert_eq!(kinds("'_'"), vec![TokKind::Char]);
+        assert_eq!(kinds("&'_ str")[1], TokKind::Lifetime);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("r#type"), vec!["type"]);
+        // …and `r` alone stays an ident, not a string prefix.
+        assert_eq!(idents("r + 1"), vec!["r"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("1..5"),
+            vec![TokKind::Num, TokKind::Punct('.'), TokKind::Punct('.'), TokKind::Num]
+        );
+        let lexed = lex("1.5e-3 0xF00F 1_000u64");
+        let nums: Vec<String> =
+            lexed.tokens.into_iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text).collect();
+        assert_eq!(nums, vec!["1.5e-3", "0xF00F", "1_000u64"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("fn a() {}\n\nfn b() {}\n");
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn waiver_well_formed() {
+        let lexed = lex("let x = 1; // lint:allow(no-hash-iter): stable keyed lookup only\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].rule, "no-hash-iter");
+        assert_eq!(lexed.waivers[0].reason, "stable keyed lookup only");
+        assert!(lexed.bad_waivers.is_empty());
+    }
+
+    #[test]
+    fn waiver_missing_reason_is_flagged() {
+        let lexed = lex("// lint:allow(no-wall-clock):\nlet t = 1;");
+        assert!(lexed.waivers.is_empty());
+        assert_eq!(lexed.bad_waivers.len(), 1);
+        assert!(lexed.bad_waivers[0].1.contains("empty reason"), "{:?}", lexed.bad_waivers);
+        let lexed = lex("// lint:allow(no-wall-clock) missing colon\n");
+        assert_eq!(lexed.bad_waivers.len(), 1);
+    }
+
+    #[test]
+    fn strip_removes_test_modules() {
+        let src = "
+            fn real() { map.iter(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { other.keys(); }
+            }
+            fn after() {}
+        ";
+        let toks = strip_test_items(lex(src).tokens);
+        let names: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert!(names.contains(&"real"));
+        assert!(names.contains(&"after"));
+        assert!(!names.contains(&"helper"));
+        assert!(!names.contains(&"keys"));
+    }
+
+    #[test]
+    fn strip_handles_attr_stacks_and_semicolon_items() {
+        let src = "
+            #[cfg(test)]
+            #[allow(dead_code)]
+            fn gone() {}
+            #[cfg(test)]
+            use std::collections::HashMap;
+            #[cfg(all(test, feature = \"x\"))]
+            fn also_gone() {}
+            #[derive(Debug)]
+            struct Kept;
+        ";
+        let toks = strip_test_items(lex(src).tokens);
+        let names: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert!(!names.contains(&"gone"));
+        assert!(!names.contains(&"also_gone"));
+        assert!(!names.contains(&"HashMap"));
+        assert!(names.contains(&"Kept"));
+    }
+
+    #[test]
+    fn strip_spares_not_test_and_cfg_attr_but_takes_bare_test() {
+        let src = "
+            #[cfg(not(test))]
+            fn shipped() {}
+            #[cfg_attr(test, allow(dead_code))]
+            fn also_shipped() {}
+            #[test]
+            fn unit() { assert!(true); }
+        ";
+        let toks = strip_test_items(lex(src).tokens);
+        let names: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert!(names.contains(&"shipped"));
+        assert!(names.contains(&"also_shipped"));
+        assert!(!names.contains(&"unit"));
+    }
+
+    #[test]
+    fn strip_keeps_inner_attributes() {
+        // `#![cfg(test)]` at file top applies to the whole file; stripping
+        // "the next item" would be wrong, so inner attrs are left alone.
+        let toks = strip_test_items(lex("#![allow(dead_code)] fn kept() {}").tokens);
+        assert!(toks.iter().any(|t| t.is_ident("kept")));
+    }
+}

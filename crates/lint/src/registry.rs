@@ -1,0 +1,356 @@
+//! RNG label extraction and the committed label registry.
+//!
+//! Every random draw in the workspace flows through a named stream:
+//! `StreamRng::derive(seed, "phy/shadowing")` or `dir.stream("medium")`.
+//! Labels are load-bearing — renaming one silently reseeds every draw behind
+//! it and invalidates the committed baseline — so the linter extracts each
+//! label at its call site, checks that label *prefixes* (the first
+//! `/`-segment) are claimed by exactly one crate, and diffs the result
+//! against the committed `ci/rng_labels.json`. A stale registry is a
+//! finding: label changes must be visible in review, not discovered when
+//! `check_baseline` explodes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wmn_exec::json::Value;
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::{Finding, RNG_LABEL_REGISTRY};
+
+/// How a label is built at its call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelKind {
+    /// A plain string literal: the registry records it verbatim.
+    Static,
+    /// A `format!` template: recorded as `dynamic:<template>`.
+    Dynamic,
+}
+
+/// One extracted RNG label call site.
+#[derive(Clone, Debug)]
+pub struct LabelSite {
+    /// Registry key: the literal label, or `dynamic:` + the format template.
+    pub key: String,
+    /// Static literal or dynamic template.
+    pub kind: LabelKind,
+    /// The namespace this site claims: the first `/`-segment of the literal
+    /// part. `None` for dynamic templates with no literal head (they claim
+    /// nothing — and draw a waivable finding at the call site).
+    pub prefix: Option<String>,
+    /// Crate the call site lives in (directory name under `crates/`).
+    pub crate_name: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// Scans a token stream for `StreamRng::derive(seed, label)` and
+/// `.stream(label)` calls, returning the extracted sites plus findings for
+/// labels the linter cannot register (non-literal arguments, dynamic
+/// templates with no literal prefix).
+pub fn extract_labels(
+    tokens: &[Token],
+    crate_name: &str,
+    file: &str,
+) -> (Vec<LabelSite>, Vec<Finding>) {
+    let mut sites = Vec::new();
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        // `StreamRng::derive(seed, <label>)` — label is the second argument.
+        if tokens[i].is_ident("StreamRng")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("derive"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            classify_arg(
+                tokens,
+                i + 4,
+                1,
+                tokens[i].line,
+                crate_name,
+                file,
+                &mut sites,
+                &mut findings,
+            );
+        }
+        // `<dir>.stream(<label>)` — label is the first argument.
+        if tokens[i].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("stream"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            classify_arg(
+                tokens,
+                i + 2,
+                0,
+                tokens[i + 1].line,
+                crate_name,
+                file,
+                &mut sites,
+                &mut findings,
+            );
+        }
+    }
+    (sites, findings)
+}
+
+/// Splits the argument list opened by the `(` at `open` into per-argument
+/// token ranges (top-level commas only).
+fn split_args(tokens: &[Token], open: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 1i32;
+    let mut start = open + 1;
+    let mut i = open + 1;
+    while i < tokens.len() && depth > 0 {
+        match tokens[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 && i > start {
+                    args.push((start, i));
+                }
+            }
+            TokKind::Punct(',') if depth == 1 => {
+                args.push((start, i));
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    args
+}
+
+#[allow(clippy::too_many_arguments)]
+fn classify_arg(
+    tokens: &[Token],
+    open: usize,
+    arg_index: usize,
+    line: u32,
+    crate_name: &str,
+    file: &str,
+    sites: &mut Vec<LabelSite>,
+    findings: &mut Vec<Finding>,
+) {
+    let args = split_args(tokens, open);
+    let Some(&(start, end)) = args.get(arg_index) else {
+        return; // malformed call — the compiler will have plenty to say
+    };
+    let arg: Vec<&Token> = tokens[start..end].iter().filter(|t| !t.is_punct('&')).collect();
+    // A bare string literal: `"phy/shadowing"`.
+    if arg.len() == 1 && arg[0].kind == TokKind::Str {
+        let label = arg[0].text.clone();
+        let prefix = label.split('/').next().unwrap_or("").to_string();
+        sites.push(LabelSite {
+            key: label,
+            kind: LabelKind::Static,
+            prefix: Some(prefix),
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line,
+        });
+        return;
+    }
+    // A `format!("template", …)` expression: register the template.
+    let is_format = arg.windows(2).any(|w| w[0].is_ident("format") && w[1].is_punct('!'));
+    if is_format {
+        if let Some(template) = arg.iter().find(|t| t.kind == TokKind::Str) {
+            let literal_head: &str = template.text.split('{').next().unwrap_or("");
+            let prefix = literal_head.split('/').next().unwrap_or("");
+            if prefix.is_empty() {
+                findings.push(Finding::new(
+                    RNG_LABEL_REGISTRY,
+                    file,
+                    line,
+                    format!(
+                        "dynamic RNG label {:?} has no literal prefix before the first `{{…}}` \
+                         — it claims no namespace the registry can check; waive only if the \
+                         interpolated head is itself registry-checked",
+                        template.text
+                    ),
+                ));
+            }
+            sites.push(LabelSite {
+                key: format!("dynamic:{}", template.text),
+                kind: LabelKind::Dynamic,
+                prefix: (!prefix.is_empty()).then(|| prefix.to_string()),
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line,
+            });
+            return;
+        }
+    }
+    // Anything else (a variable, a function call) cannot be registered.
+    findings.push(Finding::new(
+        RNG_LABEL_REGISTRY,
+        file,
+        line,
+        "RNG label is not a string literal or format! template — the registry cannot record \
+         it, so stream collisions here are invisible to review"
+            .to_string(),
+    ));
+}
+
+/// Builds the registry document from every extracted site: one entry per
+/// distinct key, with the sorted set of crates using it.
+pub fn registry_json(sites: &[LabelSite]) -> Value {
+    let mut by_key: BTreeMap<&str, (LabelKind, BTreeSet<&str>)> = BTreeMap::new();
+    for s in sites {
+        let entry = by_key.entry(&s.key).or_insert((s.kind, BTreeSet::new()));
+        entry.1.insert(&s.crate_name);
+    }
+    let labels: Vec<Value> = by_key
+        .into_iter()
+        .map(|(key, (kind, crates))| {
+            Value::obj()
+                .with("label", key)
+                .with("kind", if kind == LabelKind::Dynamic { "dynamic" } else { "static" })
+                .with("crates", Value::Arr(crates.into_iter().map(Value::from).collect()))
+        })
+        .collect();
+    Value::obj().with("schema", 1u64).with("labels", Value::Arr(labels))
+}
+
+/// The canonical on-disk text of the registry (trailing newline included).
+pub fn registry_text(sites: &[LabelSite]) -> String {
+    format!("{}\n", registry_json(sites))
+}
+
+/// Cross-crate prefix ownership check: every claimed prefix must belong to
+/// exactly one crate, so two crates can never mint colliding stream names.
+/// Returns one (unwaivable) finding per contested prefix, anchored at the
+/// first site of each offending crate.
+pub fn prefix_collisions(sites: &[LabelSite]) -> Vec<Finding> {
+    let mut owners: BTreeMap<&str, BTreeMap<&str, &LabelSite>> = BTreeMap::new();
+    for s in sites {
+        if let Some(prefix) = &s.prefix {
+            owners.entry(prefix).or_default().entry(&s.crate_name).or_insert(s);
+        }
+    }
+    let mut out = Vec::new();
+    for (prefix, by_crate) in owners {
+        if by_crate.len() < 2 {
+            continue;
+        }
+        let claimants: Vec<String> = by_crate
+            .values()
+            .map(|s| format!("{} ({}:{})", s.crate_name, s.file, s.line))
+            .collect();
+        for site in by_crate.values() {
+            out.push(Finding::new(
+                RNG_LABEL_REGISTRY,
+                &site.file,
+                site.line,
+                format!(
+                    "RNG label prefix {prefix:?} is claimed by more than one crate: {} — \
+                     prefixes are per-crate namespaces; rename one side",
+                    claimants.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn extract(src: &str) -> (Vec<LabelSite>, Vec<Finding>) {
+        extract_labels(&lex(src).tokens, "demo", "demo.rs")
+    }
+
+    #[test]
+    fn static_labels_register_with_prefix() {
+        let (sites, findings) = extract(r#"let r = StreamRng::derive(seed, "phy/shadowing");"#);
+        assert!(findings.is_empty());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].key, "phy/shadowing");
+        assert_eq!(sites[0].kind, LabelKind::Static);
+        assert_eq!(sites[0].prefix.as_deref(), Some("phy"));
+    }
+
+    #[test]
+    fn stream_calls_and_borrowed_literals_register() {
+        let (sites, findings) = extract(r#"let r = dir.stream(&"medium");"#);
+        assert!(findings.is_empty());
+        assert_eq!(sites[0].key, "medium");
+        assert_eq!(sites[0].prefix.as_deref(), Some("medium"));
+    }
+
+    #[test]
+    fn format_labels_register_as_dynamic_templates() {
+        let (sites, findings) = extract(r#"let r = dir.stream(&format!("mac/{i}"));"#);
+        assert!(findings.is_empty());
+        assert_eq!(sites[0].key, "dynamic:mac/{i}");
+        assert_eq!(sites[0].kind, LabelKind::Dynamic);
+        assert_eq!(sites[0].prefix.as_deref(), Some("mac"));
+    }
+
+    #[test]
+    fn prefixless_dynamic_labels_are_findings_but_still_registered() {
+        let (sites, findings) =
+            extract(r#"let r = StreamRng::derive(seed, &format!("{label}/a{n}"));"#);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no literal prefix"));
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].prefix, None);
+    }
+
+    #[test]
+    fn opaque_labels_are_findings_and_not_registered() {
+        let (sites, findings) = extract("StreamRng::derive(self.master_seed, label)");
+        assert!(sites.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("cannot record"));
+    }
+
+    #[test]
+    fn nested_commas_in_the_seed_argument_do_not_shift_the_label() {
+        let (sites, findings) = extract(r#"StreamRng::derive(mix(a, b), "topo/grid")"#);
+        assert!(findings.is_empty());
+        assert_eq!(sites[0].key, "topo/grid");
+    }
+
+    #[test]
+    fn collisions_are_per_prefix_and_cross_crate_only() {
+        let mk = |key: &str, prefix: &str, krate: &str| LabelSite {
+            key: key.to_string(),
+            kind: LabelKind::Static,
+            prefix: Some(prefix.to_string()),
+            crate_name: krate.to_string(),
+            file: format!("{krate}.rs"),
+            line: 1,
+        };
+        // Same crate, same prefix: fine.
+        let sites = vec![mk("mac/a", "mac", "netsim"), mk("mac/b", "mac", "netsim")];
+        assert!(prefix_collisions(&sites).is_empty());
+        // Two crates claiming "mac": two findings, one per claimant.
+        let sites = vec![mk("mac/a", "mac", "netsim"), mk("mac/b", "mac", "mac")];
+        let found = prefix_collisions(&sites);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].message.contains("more than one crate"));
+    }
+
+    #[test]
+    fn registry_document_is_sorted_and_deduplicated() {
+        let (mut sites, _) = extract(
+            r#"
+            let a = dir.stream("medium");
+            let b = dir.stream("medium");
+            let c = dir.stream(&format!("mac/{i}"));
+            "#,
+        );
+        let (more, _) = extract(r#"let d = dir.stream("ber");"#);
+        sites.extend(more);
+        let text = registry_text(&sites);
+        let doc = wmn_exec::json::parse(&text).expect("registry must parse");
+        let labels = doc.get("labels").and_then(Value::as_arr).unwrap();
+        let keys: Vec<&str> =
+            labels.iter().map(|l| l.get("label").and_then(Value::as_str).unwrap()).collect();
+        assert_eq!(keys, vec!["ber", "dynamic:mac/{i}", "medium"], "sorted, deduped");
+    }
+}

@@ -1,0 +1,75 @@
+//! Machine-readable lint report, in the same hand-rolled JSON dialect as
+//! every other artefact this repo emits (`wmn_exec::json`): insertion-
+//! ordered keys, byte-stable pretty printing, so two runs over the same
+//! tree produce identical bytes and CI can archive the report as an
+//! artifact without diff noise.
+
+use wmn_exec::json::Value;
+
+use crate::rules::Finding;
+use crate::Analysis;
+
+fn finding_json(f: &Finding) -> Value {
+    let mut v = Value::obj()
+        .with("rule", f.rule)
+        .with("file", f.file.as_str())
+        .with("line", u64::from(f.line))
+        .with("message", f.message.as_str());
+    if let Some(reason) = &f.waive_reason {
+        v = v.with("waived_because", reason.as_str());
+    }
+    v
+}
+
+/// Renders the full analysis as a JSON document.
+///
+/// Shape: `schema`, `files_scanned`, `registry_fresh`, counts, then the
+/// sorted `findings` and `waived` arrays. Every waiver in the tree appears
+/// under `waived` with its written reason — the report is the audit trail
+/// for the whole exception list.
+pub fn report_json(analysis: &Analysis) -> Value {
+    Value::obj()
+        .with("schema", 1u64)
+        .with("tool", "wmn_lint")
+        .with("files_scanned", analysis.files_scanned)
+        .with("registry_fresh", analysis.registry_fresh)
+        .with("finding_count", analysis.findings.len())
+        .with("waived_count", analysis.waived.len())
+        .with("findings", Value::Arr(analysis.findings.iter().map(finding_json).collect()))
+        .with("waived", Value::Arr(analysis.waived.iter().map(finding_json).collect()))
+}
+
+/// The on-disk report text (trailing newline included).
+pub fn report_text(analysis: &Analysis) -> String {
+    format!("{}\n", report_json(analysis))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_carries_reasons() {
+        let mut f = Finding::new(crate::rules::NO_WALL_CLOCK, "a.rs", 3, "msg".to_string());
+        let mut w = Finding::new(crate::rules::NO_HASH_ITER, "b.rs", 7, "msg2".to_string());
+        w.waive_reason = Some("copied and sorted".to_string());
+        f.message = "reads the clock".to_string();
+        let analysis = Analysis {
+            files_scanned: 2,
+            findings: vec![f],
+            waived: vec![w],
+            registry: String::new(),
+            registry_fresh: true,
+        };
+        let text = report_text(&analysis);
+        let doc = wmn_exec::json::parse(&text).expect("report must parse");
+        assert_eq!(doc.get("finding_count").and_then(Value::as_u64), Some(1));
+        let waived = doc.get("waived").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            waived[0].get("waived_because").and_then(Value::as_str),
+            Some("copied and sorted")
+        );
+        // Byte-stable: rendering twice is identical.
+        assert_eq!(text, report_text(&analysis));
+    }
+}

@@ -1,0 +1,452 @@
+//! The determinism rules.
+//!
+//! Each rule walks one file's token stream (comments and test items already
+//! removed) and returns [`Finding`]s. The rules are deliberately heuristic —
+//! this is a linter, not a compiler — but every heuristic is pinned by the
+//! fixture corpus in `tests/fixtures/`, so a behaviour change is a visible
+//! test diff, never a silent drift.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{TokKind, Token};
+
+/// Rule id: HashMap/HashSet iteration in a deterministic crate.
+pub const NO_HASH_ITER: &str = "no-hash-iter";
+/// Rule id: wall-clock reads outside the telemetry allowlist.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Rule id: nondeterministic std surface (`sleep`, `process::id`,
+/// `RandomState`, env reads).
+pub const NO_NONDET_STD: &str = "no-nondeterministic-std";
+/// Rule id: RNG label extraction / registry problems.
+pub const RNG_LABEL_REGISTRY: &str = "rng-label-registry";
+/// Meta rule id: malformed, unknown-rule, or unused waivers.
+pub const WAIVER: &str = "waiver";
+
+/// Every real (waivable-in-principle) rule id, for waiver validation.
+pub const RULES: &[&str] = &[NO_HASH_ITER, NO_WALL_CLOCK, NO_NONDET_STD, RNG_LABEL_REGISTRY];
+
+/// One lint finding at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired (one of the `pub const` ids above).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The waiver reason, when an inline waiver suppressed this finding.
+    pub waive_reason: Option<String>,
+}
+
+impl Finding {
+    /// A fresh, unwaived finding.
+    pub fn new(rule: &'static str, file: &str, line: u32, message: String) -> Finding {
+        Finding { rule, file: file.to_string(), line, message, waive_reason: None }
+    }
+}
+
+/// Is `tokens[i..]` the two-character path separator `::`?
+fn path_sep(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Methods whose call on a hash collection observes its (randomised,
+/// allocation-dependent) iteration order.
+const ORDER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Collects identifiers bound to a `HashMap`/`HashSet` in this file, from
+/// type annotations (`name: [path::]HashMap<…>` — struct fields, lets, fn
+/// params, struct-literal fields) and constructor assignments
+/// (`name = [path::]HashMap::new()` and friends).
+fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left across a `seg::seg::` path prefix.
+        let mut j = i;
+        while j >= 3 && path_sep(tokens, j - 2) && tokens[j - 3].kind == TokKind::Ident {
+            j -= 3;
+        }
+        // …and across `&` / `&mut` in front of the type.
+        let mut k = j;
+        while k >= 1 && (tokens[k - 1].is_punct('&') || tokens[k - 1].is_ident("mut")) {
+            k -= 1;
+        }
+        // `name : Type` (single colon — a double colon is a path, handled
+        // by the walk above).
+        if k >= 2
+            && tokens[k - 1].is_punct(':')
+            && !(k >= 3 && tokens[k - 2].is_punct(':'))
+            && tokens[k - 2].kind == TokKind::Ident
+        {
+            names.insert(tokens[k - 2].text.clone());
+        }
+        // `name = HashMap::new()` — the binding carries no annotation.
+        if j >= 2 && tokens[j - 1].is_punct('=') && tokens[j - 2].kind == TokKind::Ident {
+            names.insert(tokens[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// `no-hash-iter`: flags order-observing method calls and `for … in` loops
+/// over identifiers bound to `HashMap`/`HashSet` in this file. Keyed access
+/// (`get`/`insert`/`remove`/`entry`/`contains_key`) is deliberately allowed:
+/// the contract forbids observing the randomised order, not the collection.
+pub fn no_hash_iter(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let tracked = hash_typed_names(tokens);
+    if tracked.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        // `name.iter()` / `self.name.drain(..)` — the receiver is the ident
+        // right before the dot.
+        if tokens[i].is_punct('.')
+            && i >= 1
+            && tokens[i - 1].kind == TokKind::Ident
+            && tracked.contains(&tokens[i - 1].text)
+            && tokens.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && ORDER_METHODS.contains(&t.text.as_str())
+            })
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let recv = &tokens[i - 1].text;
+            let method = &tokens[i + 1].text;
+            out.push(Finding::new(
+                NO_HASH_ITER,
+                file,
+                tokens[i + 1].line,
+                format!(
+                    "`{recv}.{method}()` observes HashMap/HashSet iteration order, which is \
+                     randomised per process — use a BTreeMap/BTreeSet, a dense Vec table, or \
+                     collect-and-sort"
+                ),
+            ));
+        }
+        if tokens[i].is_ident("for") {
+            if let Some(f) = for_loop_over_tracked(tokens, i, &tracked, file) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Checks the `for … in <expr> {` starting at the `for` token at `i` and
+/// returns a finding when `<expr>` is a plain (borrowed) reference to a
+/// tracked hash collection. Expressions with calls or indexing are left to
+/// the method check.
+fn for_loop_over_tracked(
+    tokens: &[Token],
+    i: usize,
+    tracked: &BTreeSet<String>,
+    file: &str,
+) -> Option<Finding> {
+    // Find the loop's `in` at bracket depth 0 (the pattern may contain
+    // tuples: `for (k, v) in …`), giving up at the body brace. `impl X for
+    // Y` has no `in` and is skipped naturally.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let in_idx = loop {
+        let t = tokens.get(j)?;
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('{') | TokKind::Punct(';') => return None,
+            TokKind::Ident if depth == 0 && t.text == "in" => break j,
+            _ => {}
+        }
+        j += 1;
+    };
+    let body = (in_idx + 1..tokens.len()).find(|&k| tokens[k].is_punct('{'))?;
+    let expr = &tokens[in_idx + 1..body];
+    // Plain reference shapes only: `[&][mut] [self.]name`.
+    let simple = expr
+        .iter()
+        .all(|t| matches!(t.kind, TokKind::Ident | TokKind::Punct('&') | TokKind::Punct('.')));
+    if !simple || expr.is_empty() {
+        return None;
+    }
+    let name = expr.iter().rev().find(|t| t.kind == TokKind::Ident)?;
+    if !tracked.contains(&name.text) {
+        return None;
+    }
+    Some(Finding::new(
+        NO_HASH_ITER,
+        file,
+        tokens[i].line,
+        format!(
+            "`for … in {}{}` iterates a HashMap/HashSet, whose order is randomised per \
+             process — use a BTreeMap/BTreeSet, a dense Vec table, or collect-and-sort",
+            if expr.iter().any(|t| t.is_punct('&')) { "&" } else { "" },
+            name.text
+        ),
+    ))
+}
+
+/// `no-wall-clock`: flags `Instant::now` and any mention of `SystemTime`.
+/// Simulated time comes from the event clock; wall-clock reads belong only
+/// to the telemetry layer (exec, bench, experiment binaries, devtools).
+pub fn no_wall_clock(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("Instant")
+            && path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Finding::new(
+                NO_WALL_CLOCK,
+                file,
+                t.line,
+                "`Instant::now()` reads the wall clock — simulated components must take time \
+                 from the event clock; telemetry belongs in wmn_exec/wmn_bench"
+                    .to_string(),
+            ));
+        }
+        if t.is_ident("SystemTime") {
+            out.push(Finding::new(
+                NO_WALL_CLOCK,
+                file,
+                t.line,
+                "`SystemTime` is wall-clock state — nothing in a simulated run may depend on \
+                 when it was executed"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Environment readers under `std::env` that make a run depend on ambient
+/// process state.
+const ENV_READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// `no-nondeterministic-std`: flags `thread::sleep`, `process::id`,
+/// `RandomState`, and `env::var`-family reads. Env reads inside a function
+/// named `from_env` are exempt — that is the repo's designated config
+/// boundary (`ExpConfig::from_env`), and funnelling every ambient read
+/// through it is exactly what this rule enforces.
+pub fn no_nondet_std(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Enclosing-function tracking for the `from_env` exemption: remember,
+    // per open brace, whether it is the body of a fn named `from_env`.
+    let mut pending_fn: Option<String> = None;
+    let mut brace_is_from_env: Vec<bool> = Vec::new();
+    let mut from_env_depth = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if t.text == "fn" => {
+                if let Some(name) = tokens.get(i + 1) {
+                    if name.kind == TokKind::Ident {
+                        pending_fn = Some(name.text.clone());
+                    }
+                }
+            }
+            TokKind::Punct(';') => pending_fn = None,
+            TokKind::Punct('{') => {
+                let is_from_env = pending_fn.take().as_deref() == Some("from_env");
+                brace_is_from_env.push(is_from_env);
+                from_env_depth += usize::from(is_from_env);
+            }
+            TokKind::Punct('}') => {
+                if let Some(was) = brace_is_from_env.pop() {
+                    from_env_depth -= usize::from(was);
+                }
+            }
+            _ => {}
+        }
+
+        if t.is_ident("thread")
+            && path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("sleep"))
+        {
+            out.push(Finding::new(
+                NO_NONDET_STD,
+                file,
+                t.line,
+                "`thread::sleep` injects wall-clock timing into the run — simulated delays \
+                 must be event-queue timers"
+                    .to_string(),
+            ));
+        }
+        if t.is_ident("process")
+            && path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("id"))
+        {
+            out.push(Finding::new(
+                NO_NONDET_STD,
+                file,
+                t.line,
+                "`process::id()` differs every run — nothing result-bearing may incorporate it"
+                    .to_string(),
+            ));
+        }
+        if t.is_ident("RandomState") {
+            out.push(Finding::new(
+                NO_NONDET_STD,
+                file,
+                t.line,
+                "`RandomState` is the randomised hasher behind HashMap — deterministic code \
+                 must not name it, let alone seed containers with it"
+                    .to_string(),
+            ));
+        }
+        if t.is_ident("env")
+            && path_sep(tokens, i + 1)
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Ident && ENV_READERS.contains(&t.text.as_str()))
+            && from_env_depth == 0
+        {
+            out.push(Finding::new(
+                NO_NONDET_STD,
+                file,
+                t.line,
+                format!(
+                    "`env::{}` reads ambient process state — route configuration through \
+                     `ExpConfig::from_env` (the one sanctioned boundary) instead",
+                    tokens[i + 3].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_items};
+
+    fn run<F>(src: &str, rule: F) -> Vec<Finding>
+    where
+        F: Fn(&[Token], &str) -> Vec<Finding>,
+    {
+        let tokens = strip_test_items(lex(src).tokens);
+        rule(&tokens, "test.rs")
+    }
+
+    #[test]
+    fn hash_iter_flags_methods_on_annotated_fields() {
+        let src = "
+            struct S { table: HashMap<u32, u32> }
+            impl S {
+                fn bad(&mut self) {
+                    for v in self.table.values() { use_it(v); }
+                }
+            }
+        ";
+        let found = run(src, no_hash_iter);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("values"));
+    }
+
+    #[test]
+    fn hash_iter_flags_for_loops_and_constructor_bindings() {
+        let src = "
+            fn f() {
+                let mut seen = std::collections::HashSet::new();
+                for x in &seen { touch(x); }
+            }
+        ";
+        let found = run(src, no_hash_iter);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("for … in &seen"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn hash_iter_allows_keyed_access_and_btree_iteration() {
+        let src = "
+            fn f(m: &mut HashMap<u32, u32>, b: &BTreeMap<u32, u32>) {
+                m.insert(1, 2);
+                let _ = m.get(&1);
+                m.remove(&1);
+                m.entry(3).or_default();
+                for (k, v) in b.iter() { use_it(k, v); }
+                for x in 0..m.len() { use_it(x); }
+            }
+        ";
+        assert!(run(src, no_hash_iter).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_ignores_vecs_named_like_maps() {
+        let src = "
+            fn f(pending: &mut Vec<u32>, set: HashSet<u32>) {
+                for p in pending.drain(..) { use_it(p); }
+                let _ = set.contains(&1);
+            }
+        ";
+        assert!(run(src, no_hash_iter).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_now_and_system_time() {
+        let found = run("fn f() { let t = Instant::now(); }", no_wall_clock);
+        assert_eq!(found.len(), 1);
+        let found = run("fn f() -> SystemTime { SystemTime::now() }", no_wall_clock);
+        assert_eq!(found.len(), 2, "both mentions: {found:?}");
+        // `Instant` as a stored type alone is not a read.
+        assert!(run("struct T { at: Instant }", no_wall_clock).is_empty());
+    }
+
+    #[test]
+    fn nondet_std_flags_the_forbidden_surface() {
+        let src = "
+            fn f() {
+                thread::sleep(d);
+                let p = std::process::id();
+                let h: RandomState = RandomState::new();
+                let v = std::env::var(\"X\");
+            }
+        ";
+        let found = run(src, no_nondet_std);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        assert_eq!(rules.len(), 5, "sleep, id, 2x RandomState, env::var: {found:?}");
+    }
+
+    #[test]
+    fn nondet_std_exempts_from_env() {
+        let src = "
+            impl ExpConfig {
+                pub fn from_env() -> Self {
+                    let v = std::env::var(\"RIPPLE_REPRO\").ok();
+                    Self { v }
+                }
+            }
+            fn elsewhere() { let _ = std::env::var(\"X\"); }
+        ";
+        let found = run(src, no_nondet_std);
+        assert_eq!(found.len(), 1, "only the read outside from_env: {found:?}");
+        assert!(found[0].message.contains("env::var"));
+    }
+
+    #[test]
+    fn commented_out_triggers_never_fire() {
+        let src = "
+            // for v in self.table.values() {}
+            /* Instant::now(); thread::sleep(d); */
+            fn f() { let s = \"env::var RandomState SystemTime\"; }
+        ";
+        assert!(run(src, no_hash_iter).is_empty());
+        assert!(run(src, no_wall_clock).is_empty());
+        assert!(run(src, no_nondet_std).is_empty());
+    }
+}

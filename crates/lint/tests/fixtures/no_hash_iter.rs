@@ -1,0 +1,62 @@
+//! Fixture: `no-hash-iter` true/false positives.
+//!
+//! This file is never compiled — it lives under `tests/fixtures/` so cargo
+//! ignores it, and `selftest.rs` lexes it directly. Lines expecting a
+//! finding carry a trailing tilde-marker comment naming the rule (with a
+//! leading `waived` for suppressed findings); the self-test fails on any
+//! missing or extra finding, pinning the rule's behaviour.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct State {
+    table: HashMap<u64, u32>,
+    seen: HashSet<u32>,
+    order: BTreeMap<u64, u32>,
+    backlog: Vec<u32>,
+}
+
+impl State {
+    fn true_positives(&mut self, m: &mut HashMap<u32, u32>) {
+        for v in self.table.values() { drop(v); } //~ no-hash-iter
+        for x in &self.seen { drop(x); } //~ no-hash-iter
+        let ks: Vec<u32> = m.keys().copied().collect(); //~ no-hash-iter
+        m.retain(|_, v| *v > 0); //~ no-hash-iter
+        let gone: Vec<(u64, u32)> = self.table.drain().collect(); //~ no-hash-iter
+        drop((ks, gone));
+    }
+
+    fn true_negatives(&mut self) {
+        self.table.insert(1, 2);
+        let _ = self.table.get(&1);
+        self.table.remove(&1);
+        let _ = self.seen.contains(&7);
+        self.table.entry(3).or_insert(0);
+        for (k, v) in self.order.iter() { drop((k, v)); } // BTreeMap: sorted order
+        for b in self.backlog.drain(..) { drop(b); } // Vec::drain: insertion order
+        for i in 0..self.backlog.len() { drop(i); } // index loop: no order observed
+        // for v in self.table.values() { drop(v); } — commented out, must not fire
+        let msg = "docs may say table.values() without tripping the rule";
+        drop(msg);
+    }
+
+    fn constructor_bindings() {
+        let mut fresh = std::collections::HashSet::new();
+        fresh.insert(1u32);
+        for f in &fresh { drop(f); } //~ no-hash-iter
+    }
+
+    fn waived(&mut self) {
+        // lint:allow(no-hash-iter): keys are copied out and sorted before any use
+        let mut ks: Vec<u64> = self.table.keys().copied().collect(); //~ waived no-hash-iter
+        ks.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_code_is_out_of_scope(t: &HashMap<u32, u32>) {
+        for v in t.values() { drop(v); } // fine here: tests probe freely
+    }
+}

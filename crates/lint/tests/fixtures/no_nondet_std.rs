@@ -1,0 +1,37 @@
+//! Fixture: `no-nondeterministic-std` true/false positives (lexed only).
+
+fn true_positives() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); //~ no-nondeterministic-std
+    let pid = std::process::id(); //~ no-nondeterministic-std
+    let hasher = std::collections::hash_map::RandomState::new(); //~ no-nondeterministic-std
+    let home = std::env::var("HOME"); //~ no-nondeterministic-std
+    let all: Vec<(String, String)> = std::env::vars().collect(); //~ no-nondeterministic-std
+    drop((pid, hasher, home, all));
+}
+
+struct ExpConfig {
+    repro: Option<String>,
+}
+
+impl ExpConfig {
+    // The one sanctioned boundary: a fn literally named `from_env` may read
+    // the environment — that is where ambient state becomes explicit config.
+    pub fn from_env() -> Self {
+        let repro = std::env::var("RIPPLE_REPRO").ok();
+        let _jobs = std::env::var_os("RIPPLE_JOBS"); // still inside from_env
+        Self { repro }
+    }
+}
+
+fn waived() {
+    // lint:allow(no-nondeterministic-std): worker count changes the schedule, never the results
+    let jobs = std::env::var("RIPPLE_JOBS"); //~ waived no-nondeterministic-std
+    drop(jobs);
+}
+
+fn true_negatives() {
+    let d = std::time::Duration::from_millis(5); // Duration math is pure
+    // std::thread::sleep(d) — commented out, must not fire
+    let msg = "help text may mention env::var and RandomState";
+    drop((d, msg));
+}

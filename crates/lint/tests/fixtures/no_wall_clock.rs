@@ -1,0 +1,25 @@
+//! Fixture: `no-wall-clock` true/false positives (lexed, never compiled).
+
+use std::time::{Duration, Instant};
+
+fn true_positives() {
+    let t0 = Instant::now(); //~ no-wall-clock
+    let wall = std::time::SystemTime::now(); //~ no-wall-clock
+    drop((t0, wall));
+}
+
+fn true_negatives(deadline: Instant, dt: Duration) {
+    // Instant::now() in a comment must not fire.
+    let msg = "Instant::now() in a string must not fire either";
+    let later = deadline.checked_add(dt); // storing/combining Instants is fine
+    drop((msg, later));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_probe() {
+        let t = std::time::Instant::now(); // test code may time itself
+        drop(t);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: `rng-label-registry` extraction (lexed, never compiled).
+
+fn registered(dir: &RngDirectory, seed: u64) {
+    let a = StreamRng::derive(seed, "fixture/static");
+    let b = dir.stream("fixture/stream");
+    for i in 0..3 {
+        let c = dir.stream(&format!("fixture/worker{i}"));
+        drop(c);
+    }
+    drop((a, b));
+}
+
+fn prefixless_dynamic(base: &str, seed: u64) {
+    let d = StreamRng::derive(seed, &format!("{base}/sub")); //~ rng-label-registry
+    drop(d);
+}
+
+fn opaque(label: &str, seed: u64) {
+    let r = StreamRng::derive(seed, label); //~ rng-label-registry
+    drop(r);
+}
+
+fn waived_forwarder(label: &str, seed: u64) {
+    // lint:allow(rng-label-registry): forwarding shim — callers register their own literal labels
+    let r = StreamRng::derive(seed, label); //~ waived rng-label-registry
+    drop(r);
+}
+
+fn true_negatives(seed: u64) {
+    // StreamRng::derive(seed, "commented/out") must not register anything
+    let msg = "derive(seed, \"quoted/label\") in a string is not a call";
+    let nested = StreamRng::derive(mix(seed, 7), "fixture/nested-seed-args");
+    drop((msg, nested));
+}

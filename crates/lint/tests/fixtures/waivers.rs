@@ -1,0 +1,26 @@
+//! Fixture: waiver misuse. Expectations are asserted explicitly in
+//! `selftest.rs` (a trailing marker comment cannot tag a malformed waiver
+//! line without changing the waiver text itself).
+
+fn unparseable() {
+    // lint:allow(no-wall-clock) missing the colon-and-reason part
+    let t = Instant::now();
+    drop(t);
+}
+
+fn empty_reason(m: &HashMap<u32, u32>) {
+    // lint:allow(no-hash-iter):
+    for k in m { drop(k); }
+}
+
+fn unknown_rule() {
+    // lint:allow(no-such-rule): the rule name has a typo
+    let t = Instant::now();
+    drop(t);
+}
+
+fn unused() {
+    // lint:allow(no-wall-clock): nothing on this line or the next needs it
+    let x = 1;
+    drop(x);
+}

@@ -1,0 +1,81 @@
+//! Property tests for the lexer: arbitrary concatenations of rule-trigger
+//! fragments, wrapped in comments or string literals, must never produce a
+//! finding — the whole point of lexing (rather than regex-grepping) is that
+//! commented-out or quoted trigger text is invisible to the rules.
+
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+use wmn_lint::analyze_source;
+use wmn_lint::lexer::{lex, TokKind};
+use wmn_lint::workspace::RuleConfig;
+
+/// Source fragments that, as live code in a deterministic crate, each
+/// produce at least one finding.
+const TRIGGERS: &[&str] = &[
+    "for v in self.table.values() { drop(v); }",
+    "let t = Instant::now();",
+    "std::thread::sleep(d);",
+    "let v = std::env::var(\"X\");",
+    "let s: SystemTime = now;",
+    "let h = RandomState::new();",
+    "let r = StreamRng::derive(seed, label);",
+];
+
+fn det() -> RuleConfig {
+    RuleConfig { deterministic: true, wall_clock_allowed: false }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn commented_or_quoted_triggers_never_fire(
+        picks in collection::vec((0usize..7, 0usize..4), 1..12),
+        with_live_map in any::<bool>(),
+    ) {
+        let mut src = String::from("struct S { table: HashMap<u64, u32> }\n");
+        if with_live_map {
+            // Live, rule-clean code interleaved with the disguised triggers:
+            // keyed access on a tracked map must stay silent.
+            src.push_str("fn live(m: &mut HashMap<u32, u32>) { m.insert(1, 2); }\n");
+        }
+        for (t, mode) in picks {
+            let frag = TRIGGERS[t];
+            match mode {
+                0 => src.push_str(&format!("// {frag}\n")),
+                1 => src.push_str(&format!("/* outer /* {frag} */ still comment */\n")),
+                2 => src.push_str(&format!(
+                    "fn doc() {{ let _d = \"{}\"; }}\n",
+                    frag.replace('\\', "\\\\").replace('"', "\\\"")
+                )),
+                _ => src.push_str(&format!("fn raw() {{ let _r = r#\"{frag}\"#; }}\n")),
+            }
+        }
+        let fa = analyze_source("prop.rs", "prop", &src, det());
+        prop_assert!(fa.findings.is_empty(), "phantom findings in:\n{src}\n{:?}", fa.findings);
+        prop_assert!(fa.waived.is_empty());
+        prop_assert!(fa.labels.is_empty(), "labels from non-code: {:?}", fa.labels);
+    }
+
+    #[test]
+    fn lexing_fragments_jointly_equals_lexing_them_separately(
+        picks in sample::subsequence(vec![0usize, 1, 2, 3, 4, 5, 6], 1..7),
+    ) {
+        // Each trigger is a self-contained single line; lexing the
+        // concatenation must yield exactly the per-fragment token streams
+        // with lines offset — i.e. no literal or comment state leaks across
+        // fragment boundaries.
+        let joined: String =
+            picks.iter().map(|&i| format!("{}\n", TRIGGERS[i])).collect();
+        let got: Vec<(TokKind, String, u32)> =
+            lex(&joined).tokens.into_iter().map(|t| (t.kind, t.text, t.line)).collect();
+        let mut want = Vec::new();
+        for (line0, &i) in picks.iter().enumerate() {
+            for t in lex(TRIGGERS[i]).tokens {
+                want.push((t.kind, t.text, u32::try_from(line0 + 1).unwrap()));
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}

@@ -14,7 +14,7 @@
 //! The state machine is passive — see the crate docs for the driving
 //! contract.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wmn_phy::PhyParams;
 use wmn_sim::{FlowId, NodeId, SimDuration, SimTime, StreamRng};
@@ -131,11 +131,11 @@ pub struct DcfMac {
     countdown_anchor: SimTime,
     armed_ack_timeout: Option<TimerToken>,
     armed_send_ack: Option<TimerToken>,
-    timer_roles: HashMap<u64, TimerRole>,
+    timer_roles: BTreeMap<u64, TimerRole>,
     next_token: u64,
-    seq_counters: HashMap<(FlowId, NodeId), u32>,
+    seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
-    rq: HashMap<(FlowId, NodeId), ReorderBuffer>,
+    rq: BTreeMap<(FlowId, NodeId), ReorderBuffer>,
     rng: StreamRng,
     stats: MacStats,
 }
@@ -171,11 +171,11 @@ impl DcfMac {
             countdown_anchor: SimTime::ZERO,
             armed_ack_timeout: None,
             armed_send_ack: None,
-            timer_roles: HashMap::new(),
+            timer_roles: BTreeMap::new(),
             next_token: 0,
-            seq_counters: HashMap::new(),
+            seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
-            rq: HashMap::new(),
+            rq: BTreeMap::new(),
             rng,
             stats: MacStats::default(),
         }

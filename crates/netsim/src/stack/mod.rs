@@ -790,7 +790,7 @@ mod tests {
             ],
             tick: SimDuration::from_millis(10),
         };
-        let mut gone = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], positions.clone());
+        let mut gone = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1], positions);
         gone.flows[0].workload = Workload::Cbr(wmn_traffic::CbrModel::saturating());
         gone.duration = SimDuration::from_millis(400);
         let mut back = gone.clone();

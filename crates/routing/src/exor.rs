@@ -20,7 +20,7 @@
 //! Retransmission is per-hop: the transmitter retries (CW doubling) until
 //! it hears any ACK for the frame or exhausts the retry limit.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use wmn_mac::frame::{AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe};
 use wmn_mac::{
@@ -147,11 +147,11 @@ pub struct ExorMac {
     armed_backoff: Option<TimerToken>,
     countdown_anchor: SimTime,
     armed_ack_timeout: Option<TimerToken>,
-    timer_roles: HashMap<u64, Role>,
+    timer_roles: BTreeMap<u64, Role>,
     next_token: u64,
-    pending: HashMap<(NodeId, u64), Pending>,
-    seen: HashMap<(FlowId, NodeId), HashSet<u32>>,
-    seq_counters: HashMap<(FlowId, NodeId), u32>,
+    pending: BTreeMap<(NodeId, u64), Pending>,
+    seen: BTreeMap<(FlowId, NodeId), BTreeSet<u32>>,
+    seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
     rng: StreamRng,
     stats: MacStats,
@@ -186,11 +186,11 @@ impl ExorMac {
             armed_backoff: None,
             countdown_anchor: SimTime::ZERO,
             armed_ack_timeout: None,
-            timer_roles: HashMap::new(),
+            timer_roles: BTreeMap::new(),
             next_token: 0,
-            pending: HashMap::new(),
-            seen: HashMap::new(),
-            seq_counters: HashMap::new(),
+            pending: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
             rng,
             stats: MacStats::default(),

@@ -280,6 +280,7 @@ fn connected_placement(
     mut place: impl FnMut(&mut StreamRng) -> Vec<Position>,
 ) -> Vec<Position> {
     for attempt in 0..CONNECT_ATTEMPTS {
+        // lint:allow(rng-label-registry): label is one of this module's own registered `scengen/…` generator names
         let mut rng = StreamRng::derive(seed, &format!("{label}/attempt{attempt}"));
         let positions = place(&mut rng);
         if is_connected(&positions) {

@@ -76,7 +76,7 @@ proptest! {
             vec![NodePath::Drift { vx_mps: 0.0, vy_mps: 0.0 }; zero_drift.positions.len()];
         prop_assert_eq!(&baseline, &run(&zero_drift), "zero-velocity drift drifted");
 
-        let mut parked = implicit.clone();
+        let mut parked = implicit;
         parked.motion.paths = parked
             .positions
             .iter()
