@@ -4,7 +4,9 @@
 //! pre-refactor naive computation, on a dense and a sparse grid), the
 //! mobility link-state refresh (incremental row/column update vs a full
 //! matrix rebuild — the incremental path must win, and the suite asserts
-//! it), event queue churn under the simulator's interleaved access
+//! it), a full live route-refresh pass (`LinkGraph` snapshot + per-flow
+//! min-ETX Dijkstra — the budget behind the `route_refresh` knob), event
+//! queue churn under the simulator's interleaved access
 //! pattern, and a fig-6(b)-class end-to-end run in both its static and
 //! moving-relay variants, then writes the numbers as `BENCH_<name>.json`
 //! in the current directory — the same hand-rolled JSON style as the
@@ -32,6 +34,7 @@ use wmn_bench::{
 use wmn_exec::json::{parse, Value};
 use wmn_netsim::run;
 use wmn_phy::{Medium, PhyParams, Position};
+use wmn_routing::LinkGraph;
 use wmn_sim::{EventQueue, NodeId, SimDuration, SimTime, StreamRng};
 
 struct Profile {
@@ -43,6 +46,9 @@ struct Profile {
     /// Node moves for the link-state refresh pair (incremental vs full
     /// rebuild) on the 16×16 grid.
     refresh_reps: u64,
+    /// Full route-refresh passes (live `LinkGraph` snapshot + per-flow
+    /// min-ETX Dijkstra) on the 16×16 grid.
+    route_refresh_reps: u64,
     /// Event-queue schedule/pop operations.
     queue_ops: u64,
     /// Simulated duration of the end-to-end runs (static and mobile).
@@ -54,6 +60,7 @@ const QUICK: Profile = Profile {
     dense_reps: 20_000,
     sparse_reps: 2_000,
     refresh_reps: 200,
+    route_refresh_reps: 50,
     queue_ops: 200_000,
     e2e_duration: SimDuration::from_millis(300),
 };
@@ -63,6 +70,7 @@ const FULL: Profile = Profile {
     dense_reps: 200_000,
     sparse_reps: 20_000,
     refresh_reps: 2_000,
+    route_refresh_reps: 500,
     queue_ops: 2_000_000,
     e2e_duration: SimDuration::from_millis(2_000),
 };
@@ -165,6 +173,37 @@ fn time_link_refresh(side: usize, spacing: f64, reps: u64, incremental: bool) ->
     start.elapsed().as_nanos() as f64 / reps as f64
 }
 
+/// One full live route-refresh pass, as the runner's `RouteRefresh` event
+/// pays it: snapshot the medium's current link state into a [`LinkGraph`]
+/// and rerun min-ETX Dijkstra for every flow endpoint pair. The mover keeps
+/// the link state changing between passes so the snapshot is never a cached
+/// no-op. Returns (ns/pass, paths found) — the latter pins the workload as
+/// "every flow actually routed".
+fn time_route_refresh(side: usize, spacing: f64, reps: u64, flows: usize) -> (f64, u64) {
+    let mut medium = Medium::new(PhyParams::paper_216(), grid_positions(side, spacing));
+    let n = side * side;
+    // Corner-to-corner and edge-to-edge endpoint pairs, one per flow.
+    let endpoints: Vec<(NodeId, NodeId)> = (0..flows)
+        .map(|f| (NodeId::new((f * side) as u32), NodeId::new((n - 1 - f) as u32)))
+        .collect();
+    let mover = NodeId::new((n / 2) as u32);
+    let mut paths_found = 0u64;
+    let start = Instant::now();
+    for i in 0..reps {
+        // A diagonal walk that stays inside the deployment footprint.
+        let step = (i % 128) as f64;
+        medium.update_node_position(mover, Position::new(step * 0.5, step * 0.25));
+        let graph = LinkGraph::try_from_medium(&medium).expect("grid link state is finite");
+        for &(src, dst) in &endpoints {
+            if let Some(path) = graph.shortest_path(src, dst) {
+                paths_found += 1;
+                black_box(&path);
+            }
+        }
+    }
+    (start.elapsed().as_nanos() as f64 / reps as f64, paths_found)
+}
+
 /// Event-queue churn under the simulator's steady-state pattern: a bounded
 /// frontier where every pop schedules a successor at or near "now".
 fn time_event_queue(ops: u64) -> f64 {
@@ -219,7 +258,28 @@ fn run_suite(profile: &Profile) -> Value {
         });
     }
 
-    // 4. Event-queue churn.
+    // 4. Live route refresh: the cost a `RouteRefresh` event pays on a
+    //    256-node grid — one LinkGraph snapshot of the live medium plus a
+    //    min-ETX Dijkstra per flow. 5 m spacing keeps every neighbour link
+    //    above the ETX usability floor so all flows really route (the 40 m
+    //    campus grid is link-dead at this PHY: p(40 m) ≈ 6e-5 < 0.05). This
+    //    is the budget behind choosing `route_refresh_ms`: the interval
+    //    should dwarf this number.
+    let (route_refresh_ns, paths_found) =
+        time_route_refresh(16, 5.0, profile.route_refresh_reps, 4);
+    assert_eq!(
+        paths_found,
+        profile.route_refresh_reps * 4,
+        "route-refresh bench: every flow must route on every pass"
+    );
+    benches.push(Bench {
+        name: "route_refresh_pass_grid256_flows4".into(),
+        reps: profile.route_refresh_reps,
+        ns_per_op: route_refresh_ns,
+        extras: vec![("paths_found", Value::Uint(paths_found))],
+    });
+
+    // 5. Event-queue churn.
     benches.push(Bench {
         name: "event_queue_interleaved".into(),
         reps: profile.queue_ops,
@@ -227,7 +287,7 @@ fn run_suite(profile: &Profile) -> Value {
         extras: vec![],
     });
 
-    // 5. End-to-end fig-6(b)-class runs (RIPPLE-16 + 5 hidden CBR senders):
+    // 6. End-to-end fig-6(b)-class runs (RIPPLE-16 + 5 hidden CBR senders):
     //    the static original and the mobile variant whose relays pace
     //    laterally on a 10 ms tick, exercising the incremental refresh
     //    inside the heaviest fan-out workload.
@@ -361,7 +421,16 @@ fn main() -> ExitCode {
     validate(&doc).expect("freshly measured report must be well-formed");
 
     let path = out.unwrap_or_else(|| format!("BENCH_{name}.json"));
-    std::fs::write(&path, format!("{doc}\n")).expect("report path must be writable");
+    // Checked emission: a non-finite timing (host clock misbehaving badly
+    // enough to produce NaN/inf) must fail the run, not serialise as `null`.
+    let text = match doc.to_json_string() {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("bench_suite: report is not serialisable: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    std::fs::write(&path, format!("{text}\n")).expect("report path must be writable");
 
     // Human summary: the tracked ratios plus each raw number.
     if let Some(Value::Obj(pairs)) = doc.get("speedup") {

@@ -36,6 +36,7 @@ pub fn three_hop_scenario(scheme: Scheme) -> Scenario {
         seed: 7,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 
@@ -112,6 +113,7 @@ pub fn fig6_class_scenario(n_hidden: usize, duration: SimDuration) -> Scenario {
         seed: 0,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 

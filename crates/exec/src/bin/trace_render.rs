@@ -1,0 +1,148 @@
+//! Offline renderer for `wmn-trace-v1` packet traces.
+//!
+//! Reads a trace JSON written from a [`wmn_netsim::run_traced`] timeline
+//! (see [`wmn_exec::trace`]), checks it against the schema, and renders a
+//! human-readable timeline plus a per-flow summary. With `--validate` it
+//! only checks the schema and prints the event count — the CI smoke mode.
+//!
+//! ```text
+//! trace_render trace.json             # validate + render the timeline
+//! trace_render trace.json --validate  # schema check only
+//! trace_render trace.json --summary   # per-flow summary only
+//! ```
+
+use std::process::exit;
+
+use wmn_exec::json::{parse, Value};
+use wmn_exec::validate_trace;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_render <trace.json> [--validate | --summary]");
+    exit(2)
+}
+
+fn get_u64(event: &Value, key: &str) -> u64 {
+    event.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn get_str<'v>(event: &'v Value, key: &str) -> &'v str {
+    event.get(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+fn describe(event: &Value) -> String {
+    let flow = || format!("f{}", get_u64(event, "flow"));
+    match get_str(event, "type") {
+        "tx" => format!(
+            "tx {} {} seq {} ({} subframes, {} B)",
+            get_str(event, "frame"),
+            flow(),
+            get_u64(event, "frame_seq"),
+            get_u64(event, "subframes"),
+            get_u64(event, "wire_bytes"),
+        ),
+        "tx_end" => "tx end".to_string(),
+        "rx" => format!(
+            "rx {} {} seq {} from n{}",
+            get_str(event, "frame"),
+            flow(),
+            get_u64(event, "frame_seq"),
+            get_u64(event, "from"),
+        ),
+        "deliver" => format!("deliver {}", flow()),
+        "drop" => format!("drop {} ({})", flow(), get_str(event, "reason")),
+        "forward" => format!("forward {} -> n{}", flow(), get_u64(event, "next_hop")),
+        "route_change" => {
+            let path: Vec<String> = event
+                .get("path")
+                .and_then(Value::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Value::as_u64)
+                .map(|n| format!("n{n}"))
+                .collect();
+            format!("route change {}: {}", flow(), path.join(" -> "))
+        }
+        other => format!("({other})"),
+    }
+}
+
+fn main() {
+    let mut path = None;
+    let mut validate_only = false;
+    let mut summary_only = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--validate" => validate_only = true,
+            "--summary" => summary_only = true,
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        eprintln!("error: cannot read {path}: {err}");
+        exit(1)
+    });
+    let doc = parse(&text).unwrap_or_else(|err| {
+        eprintln!("error: {path}: {err}");
+        exit(1)
+    });
+    let count = validate_trace(&doc).unwrap_or_else(|err| {
+        eprintln!("error: {path}: {err}");
+        exit(1)
+    });
+    let scenario = doc.get("scenario").and_then(Value::as_str).unwrap_or("?");
+    if validate_only {
+        println!("ok: {scenario}: {count} events");
+        return;
+    }
+
+    let events = doc.get("events").and_then(Value::as_arr).unwrap_or(&[]);
+    if !summary_only {
+        // Buffered, error-tolerant timeline printing: traces are large and
+        // routinely piped into `head`, so a closed pipe must end the
+        // listing quietly rather than panic.
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        let _ = writeln!(out, "# Trace {scenario} — {count} events\n");
+        for event in events {
+            let at_us = get_u64(event, "at_ns") as f64 / 1e3;
+            let line =
+                format!("{at_us:>12.3} us  n{:<3} {}", get_u64(event, "node"), describe(event));
+            if writeln!(out, "{line}").is_err() {
+                return;
+            }
+        }
+        let _ = writeln!(out);
+        let _ = out.flush();
+    }
+
+    // Per-flow summary: deliveries, drops, forwards, and each route change.
+    let mut flows: Vec<u64> = events
+        .iter()
+        .filter_map(|e| e.get("flow").and_then(Value::as_u64))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    flows.sort_unstable();
+    println!("# Summary");
+    for flow in flows {
+        let of_flow = |ty: &'static str| {
+            events.iter().filter(move |e| get_str(e, "type") == ty && get_u64(e, "flow") == flow)
+        };
+        println!(
+            "flow f{flow}: {} delivered, {} dropped, {} forwards, {} route changes",
+            of_flow("deliver").count(),
+            of_flow("drop").count(),
+            of_flow("forward").count(),
+            of_flow("route_change").count(),
+        );
+        for change in of_flow("route_change") {
+            let at_us = get_u64(change, "at_ns") as f64 / 1e3;
+            println!("  {at_us:>12.3} us  {}", describe(change));
+        }
+    }
+}

@@ -206,6 +206,7 @@ mod tests {
                 seed: i as u64,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             })
             .collect()
     }

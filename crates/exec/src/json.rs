@@ -15,8 +15,10 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A finite number (non-finite values serialise as `null`, as JSON has
-    /// no representation for them).
+    /// A number. JSON has no representation for NaN/infinity, so `Display`
+    /// falls back to `null` for them — report emission must therefore go
+    /// through [`Value::to_json_string`], which rejects non-finite numbers
+    /// instead of silently corrupting the document.
     Num(f64),
     /// An unsigned integer, serialised exactly (not via `f64`, which would
     /// silently round values above 2^53 — seeds can be any `u64`).
@@ -103,7 +105,74 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Walks the tree and reports the first non-finite [`Value::Num`], with
+    /// a JSON-path to it.
+    ///
+    /// # Errors
+    ///
+    /// [`NonFiniteError`] naming the offending path and value.
+    pub fn check_finite(&self) -> Result<(), NonFiniteError> {
+        fn walk(v: &Value, path: &mut String) -> Result<(), NonFiniteError> {
+            match v {
+                Value::Num(n) if !n.is_finite() => Err(NonFiniteError {
+                    path: if path.is_empty() { "$".to_string() } else { path.clone() },
+                    value: *n,
+                }),
+                Value::Arr(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        let len = path.len();
+                        path.push_str(&format!("[{i}]"));
+                        walk(item, path)?;
+                        path.truncate(len);
+                    }
+                    Ok(())
+                }
+                Value::Obj(pairs) => {
+                    for (key, value) in pairs {
+                        let len = path.len();
+                        path.push_str(&format!(".{key}"));
+                        walk(value, path)?;
+                        path.truncate(len);
+                    }
+                    Ok(())
+                }
+                _ => Ok(()),
+            }
+        }
+        walk(self, &mut String::new())
+    }
+
+    /// Serialises the document, rejecting non-finite numbers instead of
+    /// coercing them to `null` (which would round-trip as [`Value::Null`]
+    /// and corrupt report diffs undetected). All file-emission paths go
+    /// through this; `Display` remains lossy and is for logs only.
+    ///
+    /// # Errors
+    ///
+    /// [`NonFiniteError`] naming the path of the first non-finite number.
+    pub fn to_json_string(&self) -> Result<String, NonFiniteError> {
+        self.check_finite()?;
+        Ok(self.to_string())
+    }
 }
+
+/// A document contained a NaN or infinite number at emission time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NonFiniteError {
+    /// JSON-path of the offending number (`$` for a bare root value).
+    pub path: String,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite number {} at {} has no JSON representation", self.value, self.path)
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
 
 /// Parses a JSON document into a [`Value`].
 ///
@@ -514,9 +583,26 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_numbers_become_null() {
+    fn non_finite_numbers_fail_checked_emission() {
+        // Display stays lossy (logs), but the emission path must refuse: a
+        // NaN serialised as `null` round-trips as Value::Null and corrupts
+        // report diffs undetected.
         assert_eq!(Value::Num(f64::NAN).to_string(), "null");
         assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+        let err = Value::Num(f64::NAN).to_json_string().unwrap_err();
+        assert_eq!(err.path, "$");
+        assert!(err.value.is_nan());
+        let doc = Value::obj()
+            .with("ok", 1.5)
+            .with("tables", vec![Value::Arr(vec![Value::Num(2.0), Value::Num(f64::INFINITY)])]);
+        let err = doc.to_json_string().unwrap_err();
+        assert_eq!(err.path, ".tables[0][1]", "the error pins the offending cell");
+        assert_eq!(err.value, f64::INFINITY);
+        assert!(err.to_string().contains(".tables[0][1]"), "{err}");
+        // Finite documents emit exactly what Display renders.
+        let clean = Value::obj().with("x", 2.5).with("n", 3u64);
+        assert_eq!(clean.to_json_string().unwrap(), clean.to_string());
+        assert!(clean.check_finite().is_ok());
     }
 
     #[test]

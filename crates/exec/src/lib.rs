@@ -44,6 +44,7 @@
 //!     seed: 0,
 //!     max_forwarders: 5,
 //!     motion: wmn_netsim::MotionPlan::default(),
+//!     route_refresh: None,
 //! };
 //! let plan = RunPlan::grid(
 //!     std::slice::from_ref(&scenario),
@@ -59,6 +60,8 @@ pub mod json;
 pub mod plan;
 pub mod report;
 pub mod telemetry;
+pub mod trace;
 
 pub use executor::{available_jobs, jobs_from_env, ExecOutcome, ExecStats, Executor, JOBS_ENV};
 pub use plan::{RunPlan, RunSpec};
+pub use trace::{trace_document, validate_trace, TRACE_SCHEMA};

@@ -108,6 +108,7 @@ mod tests {
             seed: 0,
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         }
     }
 

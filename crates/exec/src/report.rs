@@ -84,7 +84,10 @@ pub fn artifact_document(
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors (unwritable directory, full disk, …).
+/// Propagates filesystem errors (unwritable directory, full disk, …), and
+/// fails with [`std::io::ErrorKind::InvalidData`] if the document contains a
+/// non-finite number — a NaN in a report must abort emission, not be
+/// laundered into `null`.
 pub fn write_artifact(
     dir: &Path,
     name: &str,
@@ -93,11 +96,25 @@ pub fn write_artifact(
     duration_secs: f64,
     seeds: &[u64],
 ) -> std::io::Result<PathBuf> {
+    let doc = artifact_document(name, tables, timing, duration_secs, seeds);
+    write_document(dir, name, &doc)
+}
+
+/// Writes any JSON document as `<dir>/<name>.json` (newline-terminated)
+/// through the checked emission path, and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; [`std::io::ErrorKind::InvalidData`] if the
+/// document contains a non-finite number.
+pub fn write_document(dir: &Path, name: &str, doc: &Value) -> std::io::Result<PathBuf> {
+    let text = doc.to_json_string().map_err(|err| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{name}: {err}"))
+    })?;
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let doc = artifact_document(name, tables, timing, duration_secs, seeds);
     let mut file = std::fs::File::create(&path)?;
-    writeln!(file, "{doc}")?;
+    writeln!(file, "{text}")?;
     Ok(path)
 }
 
@@ -136,6 +153,19 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("file exists");
         assert!(body.contains("\"artefact\": \"t\""));
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn non_finite_values_abort_emission() {
+        let dir = std::env::temp_dir().join(format!("wmn-exec-nonfinite-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Table::new("T", vec!["a"]);
+        let err = write_artifact(&dir, "bad", &[t], &timing(), f64::NAN, &[7])
+            .expect_err("a NaN config value must not serialise");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duration_secs"), "error names the path: {err}");
+        assert!(!dir.join("bad.json").exists(), "no partial file left behind");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn scenario(n_nodes: usize, scheme_pick: usize, workload_pick: usize, ms: u64) -
         seed: 0,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 

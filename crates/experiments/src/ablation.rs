@@ -33,6 +33,7 @@ pub fn max_forwarders(cfg: &ExpConfig) -> Table {
             seed: 0,
             max_forwarders: cap,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         })
         .collect();
     let mut table = Table::new(
@@ -65,6 +66,7 @@ pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
                 seed: 0,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             });
         }
     }
@@ -108,6 +110,7 @@ pub fn phy_rates(cfg: &ExpConfig) -> Table {
                 seed: 0,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             });
         }
     }

@@ -174,10 +174,19 @@ fn write_baseline(baseline_path: &Path, entries: Vec<Value>) {
              crates/experiments/src/bin/check_baseline.rs",
         )
         .with("artefacts", Value::Arr(entries));
+    // Checked emission: a NaN that slipped into timing or tables must abort
+    // the refresh, not be committed as `null` and break every future diff.
+    let text = match doc.to_json_string() {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: refusing to write baseline: {err}");
+            exit(1)
+        }
+    };
     if let Some(parent) = baseline_path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match std::fs::write(baseline_path, format!("{doc}\n")) {
+    match std::fs::write(baseline_path, format!("{text}\n")) {
         Ok(()) => println!("baseline refreshed: {}", baseline_path.display()),
         Err(err) => {
             eprintln!("error: could not write {}: {err}", baseline_path.display());

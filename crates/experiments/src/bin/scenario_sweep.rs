@@ -34,8 +34,9 @@ fn usage() -> ! {
          [--print-spec]\n\
          \n\
          Runs the built-in ci-quick sweep unless --builtin selects another\n\
-         preset (ci-quick, ci-mobility) or --spec points at a SweepSpec\n\
-         JSON file (see `--print-spec` for the schema by example).\n\
+         preset (ci-quick, ci-mobility, ci-mobility-refresh) or --spec\n\
+         points at a SweepSpec JSON file (see `--print-spec` for the schema\n\
+         by example).\n\
          RIPPLE_JOBS caps the worker pool; results are identical for any value."
     );
     exit(2)
@@ -65,9 +66,11 @@ fn main() {
         None => match builtin.as_deref() {
             None | Some("ci-quick") => SweepSpec::ci_quick(),
             Some("ci-mobility") => SweepSpec::ci_mobility(),
+            Some("ci-mobility-refresh") => SweepSpec::ci_mobility_refresh(),
             Some(other) => {
                 eprintln!(
-                    "error: unknown builtin sweep {other:?} (have \"ci-quick\", \"ci-mobility\")"
+                    "error: unknown builtin sweep {other:?} (have \"ci-quick\", \"ci-mobility\", \
+                     \"ci-mobility-refresh\")"
                 );
                 exit(2)
             }
@@ -125,7 +128,16 @@ fn main() {
             .with("jobs", jobs),
     );
     for (path, doc) in [(&report_path, &outcome.document), (&timing_path, &timing)] {
-        match std::fs::write(path, format!("{doc}\n")) {
+        // Checked emission: a non-finite table cell must fail the sweep, not
+        // serialise as `null` and corrupt the baseline diff undetected.
+        let text = match doc.to_json_string() {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("error: refusing to write {}: {err}", path.display());
+                exit(1)
+            }
+        };
+        match std::fs::write(path, format!("{text}\n")) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(err) => {
                 eprintln!("error: could not write {}: {err}", path.display());

@@ -58,6 +58,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                     seed: 0,
                     max_forwarders: 5,
                     motion: wmn_netsim::MotionPlan::default(),
+                    route_refresh: None,
                 });
             }
         }

@@ -46,6 +46,7 @@ pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
                     seed: 0,
                     max_forwarders: 5,
                     motion: wmn_netsim::MotionPlan::default(),
+                    route_refresh: None,
                 });
             }
         }

@@ -39,6 +39,7 @@ pub fn generate_regular(cfg: &ExpConfig) -> Table {
                 seed: 0,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             });
         }
     }
@@ -85,6 +86,7 @@ pub fn generate_hidden(cfg: &ExpConfig) -> Table {
                 seed: 0,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             });
         }
     }

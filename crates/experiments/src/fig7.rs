@@ -41,6 +41,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                     // — the 6/7-hop lines need more than the default 5.
                     max_forwarders: 7,
                     motion: wmn_netsim::MotionPlan::default(),
+                    route_refresh: None,
                 });
             }
         }

@@ -43,6 +43,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod motivation;
+pub mod refresh;
 pub mod sweep;
 pub mod table3;
 

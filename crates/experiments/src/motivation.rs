@@ -41,6 +41,7 @@ pub fn generate(cfg: &ExpConfig) -> Table {
             seed: 0,
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         })
         .collect();
     let avgs = run_grid(&scenarios, cfg);

@@ -1,0 +1,145 @@
+//! The stale-route crossover: frozen build-time routes versus live min-ETX
+//! refresh while a relay drifts out of a flow's path.
+//!
+//! The scenario is a 4-station line 0–1–2–3 at 5 m spacing with a spare
+//! relay parked at (5, 3). A CBR flow runs 0 → 3 over the line; the flow's
+//! first relay (station 1) drifts broadside at each swept speed. With
+//! routes frozen at build time — the pre-refresh behaviour — the flow stays
+//! pinned to the departed relay and starves. With a 50 ms live refresh the
+//! min-ETX recomputation hands the flow to the spare relay as soon as the
+//! live link state favours it, and throughput survives. At 0 m/s the two
+//! columns are bit-identical: refresh over an unmoved placement is a no-op.
+
+use wmn_metrics::Table;
+use wmn_netsim::{run_traced, FlowSpec, MotionPlan, NodePath, Scenario, Scheme, Trace, Workload};
+use wmn_phy::{PhyParams, Position};
+use wmn_sim::{NodeId, SimDuration};
+use wmn_traffic::CbrModel;
+
+use crate::common::{run_grid, ExpConfig};
+
+/// Relay drift speeds swept, m/s (0 = the static control).
+pub const DRIFT_SPEEDS: [f64; 4] = [0.0, 15.0, 30.0, 60.0];
+
+/// The live-routing refresh period used by the refreshed column.
+pub const REFRESH_INTERVAL: SimDuration = SimDuration::from_millis(50);
+
+fn base_scenario(name: String, drift_mps: f64, duration: SimDuration) -> Scenario {
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(5.0, 0.0),
+        Position::new(10.0, 0.0),
+        Position::new(15.0, 0.0),
+        Position::new(5.0, 3.0), // the spare relay
+    ];
+    let motion = if drift_mps == 0.0 {
+        MotionPlan::default()
+    } else {
+        MotionPlan {
+            paths: vec![
+                NodePath::Static,
+                NodePath::Drift { vx_mps: 0.0, vy_mps: drift_mps },
+                NodePath::Static,
+                NodePath::Static,
+                NodePath::Static,
+            ],
+            tick: SimDuration::from_millis(10),
+        }
+    };
+    Scenario {
+        name,
+        params: PhyParams::paper_216(),
+        positions,
+        scheme: Scheme::Dcf { aggregation: 1 },
+        flows: vec![FlowSpec {
+            path: vec![0, 1, 2, 3].into_iter().map(NodeId::new).collect(),
+            // CBR: every datagram takes the route as it stands at send
+            // time, so the table measures routing, not TCP's loss recovery.
+            workload: Workload::Cbr(CbrModel {
+                packet_bytes: 1000,
+                interval: SimDuration::from_millis(2),
+            }),
+        }],
+        duration,
+        seed: 0,
+        max_forwarders: 5,
+        motion,
+        route_refresh: None,
+    }
+}
+
+/// Runs the crossover sweep and returns the frozen-vs-refreshed table.
+pub fn generate(cfg: &ExpConfig) -> Table {
+    let mut scenarios = Vec::with_capacity(DRIFT_SPEEDS.len() * 2);
+    for &speed in &DRIFT_SPEEDS {
+        let frozen =
+            base_scenario(format!("refresh-crossover-v{speed}-frozen"), speed, cfg.duration);
+        let mut live =
+            base_scenario(format!("refresh-crossover-v{speed}-refreshed"), speed, cfg.duration);
+        live.route_refresh = Some(REFRESH_INTERVAL);
+        scenarios.push(frozen);
+        scenarios.push(live);
+    }
+    let avgs = run_grid(&scenarios, cfg);
+
+    let mut table = Table::new(
+        "Stale-route crossover — CBR 0->3, relay 1 drifting, spare relay at (5, 3)",
+        vec!["relay drift (m/s)", "frozen routes (Mbps)", "50 ms refresh (Mbps)"],
+    );
+    for (i, &speed) in DRIFT_SPEEDS.iter().enumerate() {
+        let frozen = &avgs[2 * i];
+        let live = &avgs[2 * i + 1];
+        table.add_numeric_row(
+            format!("{speed}"),
+            &[frozen.flows[0].throughput_mbps, live.flows[0].throughput_mbps],
+        );
+    }
+    table
+}
+
+/// One traced run of the fastest-drift refreshed cell — the packet trace
+/// the artefact ships alongside the table (rendered by `trace_render`).
+/// Returns the scenario name and the timeline.
+pub fn demo_trace(cfg: &ExpConfig) -> (String, Trace) {
+    let mut scenario = base_scenario(
+        "refresh-crossover-demo".into(),
+        *DRIFT_SPEEDS.last().expect("non-empty"),
+        cfg.duration,
+    );
+    scenario.route_refresh = Some(REFRESH_INTERVAL);
+    scenario.seed = cfg.seeds.first().copied().unwrap_or(1);
+    let (_, trace) = run_traced(&scenario);
+    (scenario.name, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_netsim::TraceKind;
+
+    #[test]
+    fn refresh_crosses_over_under_drift() {
+        let cfg = ExpConfig::custom(SimDuration::from_millis(400), vec![1]);
+        let t = generate(&cfg);
+        let v = |r: usize, c: usize| t.cell(r, c).unwrap().parse::<f64>().unwrap();
+        // Static control: refresh must change nothing at all.
+        assert_eq!(t.cell(0, 1), t.cell(0, 2), "at 0 m/s the columns must be identical");
+        // Fastest drift: live refresh must clearly beat the frozen route.
+        let (frozen, live) = (v(3, 1), v(3, 2));
+        assert!(
+            live > 1.5 * frozen,
+            "60 m/s: refreshed ({live}) must rescue what frozen ({frozen}) loses"
+        );
+    }
+
+    #[test]
+    fn demo_trace_contains_a_route_change() {
+        let cfg = ExpConfig::custom(SimDuration::from_millis(400), vec![1]);
+        let (name, trace) = demo_trace(&cfg);
+        assert_eq!(name, "refresh-crossover-demo");
+        assert!(
+            trace.events.iter().any(|e| matches!(e.kind, TraceKind::RouteChange { .. })),
+            "the demo trace must show the re-route"
+        );
+    }
+}

@@ -33,6 +33,26 @@ fn ci_sweep_json_is_byte_identical_across_1_and_8_workers() {
 }
 
 #[test]
+fn refresh_sweep_json_is_byte_identical_across_1_and_8_workers() {
+    // Live route refresh consumes no RNG and runs inside each worker's own
+    // simulation, so the refresh-enabled mobility grid must keep the same
+    // bytes-out contract at any worker count.
+    let spec = SweepSpec::ci_mobility_refresh();
+    assert_eq!(artefact_name(&spec), "sweep_ci-mobility-refresh");
+
+    let serial = run_sweep(&spec, 1).expect("serial sweep");
+    let parallel = run_sweep(&spec, 8).expect("parallel sweep");
+    assert_eq!(
+        serial.document.to_string(),
+        parallel.document.to_string(),
+        "refresh-enabled sweep JSON must not depend on the worker count"
+    );
+    assert_eq!(serial.table.row_count(), spec.scenario_count());
+    let embedded = serial.document.get("spec").expect("report embeds the spec");
+    assert_eq!(SweepSpec::from_json(embedded).expect("spec decodes"), spec);
+}
+
+#[test]
 fn mobility_sweep_json_is_byte_identical_across_1_and_8_workers() {
     // Moving nodes must not weaken the determinism contract: the mobility
     // companion grid (static + drift + waypoint cells) produces the same

@@ -35,6 +35,7 @@
 //!     seed: 1,
 //!     max_forwarders: 5,
 //!     motion: wmn_netsim::MotionPlan::default(),
+//!     route_refresh: None,
 //! };
 //! let result = run(&scenario);
 //! assert!(result.flows[0].delivered_bytes > 0);
@@ -46,7 +47,8 @@ pub mod trace;
 
 pub use scenario::{FlowSpec, Scenario, Scheme, Workload};
 pub use stack::{run, run_traced, FlowResult, RunResult, TcpFlowResult, VoipFlowResult};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{FrameKind, Trace, TraceEvent, TraceKind};
+pub use wmn_mac::DropReason;
 // Re-exported so scenario authors can describe mobility without naming the
 // topology crate.
 pub use wmn_topology::{MotionPlan, NodePath, Waypoint};

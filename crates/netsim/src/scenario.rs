@@ -145,6 +145,14 @@ pub struct Scenario {
     /// default plan is empty — fully static — and is byte-for-byte
     /// equivalent to the pre-mobility simulator.
     pub motion: MotionPlan,
+    /// Interval between live route-refresh passes, or `None` for build-time
+    /// routes only. When set, the runner periodically recomputes every
+    /// flow's min-ETX path (and opportunistic forwarder list) from the
+    /// medium's *current* link state — the fix for a mobile relay leaving a
+    /// flow pinned to its stale forwarder list forever. The refresh consumes
+    /// no RNG, so `None` is byte-for-byte identical to the pre-refresh
+    /// runner, and a refresh over an unmoved topology changes nothing.
+    pub route_refresh: Option<SimDuration>,
 }
 
 impl Scenario {
@@ -195,6 +203,13 @@ impl Scenario {
             }
         }
         self.motion.check(n).map_err(|msg| format!("scenario {:?}, motion: {msg}", self.name))?;
+        if self.route_refresh == Some(SimDuration::ZERO) {
+            return Err(format!(
+                "scenario {:?}: route_refresh interval must be positive (a zero interval \
+                 would reschedule itself at the same instant forever)",
+                self.name
+            ));
+        }
         Ok(())
     }
 }
@@ -234,12 +249,24 @@ mod tests {
             seed: 0,
             max_forwarders: 5,
             motion: MotionPlan::default(),
+            route_refresh: None,
         }
     }
 
     #[test]
     fn validate_accepts_well_formed_scenarios() {
         assert_eq!(valid_scenario().validate(), Ok(()));
+        let mut refreshed = valid_scenario();
+        refreshed.route_refresh = Some(SimDuration::from_millis(50));
+        assert_eq!(refreshed.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_refresh_interval() {
+        let mut s = valid_scenario();
+        s.route_refresh = Some(SimDuration::ZERO);
+        let msg = s.validate().unwrap_err();
+        assert!(msg.contains("route_refresh"), "{msg}");
     }
 
     #[test]

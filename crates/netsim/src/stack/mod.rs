@@ -34,10 +34,11 @@ pub mod mac_engine;
 pub mod net_layer;
 pub mod phy_io;
 
-use wmn_mac::frame::{Frame, NetHeader, Packet, Proto};
+use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
 use wmn_mac::{MacAction, RateClass, TimerToken};
 use wmn_phy::medium::BusyTransition;
 use wmn_phy::ArrivalOutcome;
+use wmn_routing::LinkGraph;
 use wmn_sim::{EventQueue, FlowId, NodeId, RngDirectory, SimDuration, SimTime};
 use wmn_transport::{TcpAction, TcpSegment, UdpDatagram};
 
@@ -151,6 +152,9 @@ pub(crate) enum Event {
     /// Re-sample every moving node's trajectory and refresh the medium.
     /// Never scheduled for static motion plans.
     MobilityTick,
+    /// Recompute every flow's min-ETX route from the medium's current link
+    /// state. Never scheduled unless [`Scenario::route_refresh`] is set.
+    RouteRefresh,
 }
 
 /// Executes a scenario to completion and returns per-flow results.
@@ -207,6 +211,8 @@ struct Runner {
     net: NetLayer,
     flows: FlowLayer,
     queue: EventQueue<Event>,
+    /// Live routing period, if the scenario enables refresh.
+    route_refresh: Option<SimDuration>,
     trace: Option<Trace>,
 }
 
@@ -226,7 +232,21 @@ impl Runner {
             // First re-sample one tick in: t = 0 is the placement itself.
             queue.schedule_in(phy.motion_tick(), Event::MobilityTick);
         }
-        Runner { end: SimTime::ZERO + scenario.duration, phy, macs, net, flows, queue, trace: None }
+        if let Some(interval) = scenario.route_refresh {
+            // First refresh one interval in: the build-time tables *are* the
+            // min-ETX routes over the t = 0 placement.
+            queue.schedule_in(interval, Event::RouteRefresh);
+        }
+        Runner {
+            end: SimTime::ZERO + scenario.duration,
+            phy,
+            macs,
+            net,
+            flows,
+            queue,
+            route_refresh: scenario.route_refresh,
+            trace: None,
+        }
     }
 
     /// The simulation clock. There is exactly one: the event queue's notion
@@ -333,6 +353,33 @@ impl Runner {
                     self.queue.schedule_in(tick, Event::MobilityTick);
                 }
             }
+            Event::RouteRefresh => {
+                self.refresh_routes();
+                let interval = self.route_refresh.expect("scheduled only when set");
+                if now + interval <= self.end {
+                    self.queue.schedule_in(interval, Event::RouteRefresh);
+                }
+            }
+        }
+    }
+
+    /// One live routing pass: rebuild the link graph from the medium's
+    /// current state and let the network layer re-derive its tables. The
+    /// pass consumes no RNG; the analytic delivery model cannot produce a
+    /// non-finite probability from finite positions, so graph construction
+    /// only fails on a corrupted medium — in which case the last-known-good
+    /// routes stay in force, same as a transient partition.
+    fn refresh_routes(&mut self) {
+        let Ok(graph) = LinkGraph::try_from_medium(self.phy.medium()) else {
+            return;
+        };
+        let changed = self.net.refresh(&graph);
+        if self.trace.is_some() {
+            for flow in changed {
+                let path = self.net.path(flow).to_vec();
+                let src = path[0];
+                self.record(src, TraceKind::RouteChange { flow, path });
+            }
         }
     }
 
@@ -344,9 +391,11 @@ impl Runner {
                     self.queue.schedule_in(delay, Event::MacTimer { node, token });
                 }
                 MacAction::Deliver { packet } => self.handle_delivery(node, packet),
-                MacAction::Drop { .. } => {
+                MacAction::Drop { packet, reason } => {
                     // End-to-end recovery (TCP retransmission / VoIP loss
-                    // accounting) covers MAC drops; nothing to do here.
+                    // accounting) covers MAC drops; the trace just records
+                    // the loss for the packet-level pipeline.
+                    self.record(node, TraceKind::Drop { flow: packet.header.flow, reason });
                 }
             }
         }
@@ -394,6 +443,12 @@ impl Runner {
         }
         // Intermediate hop (predetermined routing only): forward along.
         if let Some(route) = self.net.route(flow_id, node, forward) {
+            if self.trace.is_some() {
+                if let RouteInfo::NextHop(next_hop) = &route {
+                    let next_hop = *next_hop;
+                    self.record(node, TraceKind::Forward { flow: flow_id, next_hop });
+                }
+            }
             let now = self.now();
             let actions = self.macs.node(node).on_enqueue(packet, route, now);
             self.apply_mac_actions(node, actions);
@@ -584,6 +639,7 @@ mod tests {
             seed: 42,
             max_forwarders: 5,
             motion: MotionPlan::default(),
+            route_refresh: None,
         }
     }
 
@@ -822,6 +878,69 @@ mod tests {
         // leaves the node at x = 7 (t = 200 ms).
         assert!((p.x - 7.0).abs() < 1e-9, "got {p}");
         assert_eq!(runner.phy.position(NodeId::new(0)), Position::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn route_refresh_on_static_topology_is_bit_identical() {
+        // Over an unmoved placement the live link graph equals the
+        // build-time one, so every refresh pass is a no-op: same results,
+        // no RouteChange events, for any interval.
+        let base =
+            ftp_scenario(Scheme::Ripple { aggregation: 16 }, vec![0, 1, 2, 3], line_positions(4));
+        for interval_ms in [1, 10, 37, 150] {
+            let mut refreshed = base.clone();
+            refreshed.route_refresh = Some(SimDuration::from_millis(interval_ms));
+            let (r, trace) = run_traced(&refreshed);
+            assert_eq!(run(&base), r, "refresh every {interval_ms} ms must change nothing");
+            assert!(trace.route_changes(FlowId::new(0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn route_refresh_rescues_a_drifting_relay() {
+        // A line 0-(5,0)-(10,0)-(15,0) with a spare relay at (5,3). The
+        // flow's relay (node 1) drifts away; the frozen table keeps talking
+        // to the departed node forever, while a live refresh re-routes
+        // through the spare and keeps the flow alive.
+        let mut positions = line_positions(4);
+        positions.push(Position::new(5.0, 3.0));
+        let mut stale = ftp_scenario(Scheme::Dcf { aggregation: 1 }, vec![0, 1, 2, 3], positions);
+        // CBR rather than FTP: each datagram looks the route up at send
+        // time, so the rescue shows up as raw delivered bytes instead of
+        // being masked by TCP's in-order wedge on a segment that died in a
+        // stale-routed MAC queue.
+        stale.flows[0].workload = Workload::Cbr(wmn_traffic::CbrModel {
+            packet_bytes: 1000,
+            interval: SimDuration::from_millis(2),
+        });
+        stale.duration = SimDuration::from_millis(400);
+        stale.motion = MotionPlan {
+            paths: vec![
+                NodePath::Static,
+                NodePath::Drift { vx_mps: 0.0, vy_mps: 60.0 },
+                NodePath::Static,
+                NodePath::Static,
+                NodePath::Static,
+            ],
+            tick: SimDuration::from_millis(10),
+        };
+        let mut live = stale.clone();
+        live.route_refresh = Some(SimDuration::from_millis(50));
+        let (live_r, trace) = run_traced(&live);
+        let stale_r = run(&stale);
+        let changes = trace.route_changes(FlowId::new(0));
+        assert!(!changes.is_empty(), "the drift must trigger a re-route");
+        let (_, last_path) = changes.last().expect("non-empty");
+        assert!(
+            last_path.contains(&NodeId::new(4)),
+            "the final route must use the spare relay, got {last_path:?}"
+        );
+        assert!(
+            live_r.flows[0].delivered_bytes > stale_r.flows[0].delivered_bytes,
+            "live refresh {} must beat the frozen route {}",
+            live_r.flows[0].delivered_bytes,
+            stale_r.flows[0].delivered_bytes
+        );
     }
 
     #[test]

@@ -1,25 +1,35 @@
 //! The network layer of the node stack: per-flow routing decisions.
 //!
-//! Routes are predetermined per scenario (the paper's experiments fix each
-//! flow's path or forwarder list up front), so this layer is pure lookup
-//! tables: for every flow, a forward and a reverse table mapping each node
-//! to its routing decision. Opportunistic schemes collapse to a single
+//! Routes start out predetermined per scenario (the paper's experiments fix
+//! each flow's path or forwarder list up front), so this layer is pure
+//! lookup tables: for every flow, a forward and a reverse table mapping each
+//! node to its routing decision. Opportunistic schemes collapse to a single
 //! decision at each direction's source (the forwarder list); per-hop
 //! schemes get one next-hop entry per interior window of the path.
+//!
+//! With [`Scenario::route_refresh`] set, `NetLayer::refresh` periodically
+//! recomputes each flow's min-ETX path from the medium's *current* link
+//! state and rebuilds the affected tables — the fix for a mobile relay
+//! leaving a flow pinned to its stale forwarder list forever. The pass
+//! consumes no RNG and keeps the last-known-good route when the live graph
+//! offers no path, so a refresh over an unmoved topology is a behavioural
+//! no-op (pinned by the crate's equivalence tests).
 
 use wmn_mac::frame::RouteInfo;
-use wmn_routing::forwarder_list;
+use wmn_routing::{forwarder_list, LinkGraph};
 use wmn_sim::{FlowId, NodeId};
 
-use crate::scenario::{FlowSpec, Scenario};
+use crate::scenario::Scenario;
 
 /// Per-node routing decisions of one flow direction, indexed by `NodeId`
 /// (ids are dense indices per [`Scenario::validate`]): `table[node]` is the
 /// decision at `node`, `None` where the flow never routes through.
 type RouteTable = Vec<Option<RouteInfo>>;
 
-/// Both directions of one flow's routing decisions.
+/// Both directions of one flow's routing decisions, plus the path they were
+/// derived from (kept so a refresh can detect an actual route change).
 struct FlowRoutes {
+    path: Vec<NodeId>,
     fwd: RouteTable,
     rev: RouteTable,
 }
@@ -27,20 +37,27 @@ struct FlowRoutes {
 /// The network layer: routing decisions for every flow of a run.
 pub(crate) struct NetLayer {
     flows: Vec<FlowRoutes>,
+    /// Placement size (dense `NodeId` namespace) the tables are sized to.
+    n: usize,
+    opportunistic: bool,
+    max_forwarders: usize,
 }
 
 impl NetLayer {
     /// Builds the per-flow route tables from a validated scenario.
     pub(crate) fn build(scenario: &Scenario) -> Self {
+        let n = scenario.positions.len();
+        let opportunistic = scenario.scheme.is_opportunistic();
         let flows = scenario
             .flows
             .iter()
             .map(|spec| {
-                let (fwd, rev) = build_routes(spec, scenario);
-                FlowRoutes { fwd, rev }
+                let path = spec.path.clone();
+                let (fwd, rev) = build_routes(&path, n, opportunistic, scenario.max_forwarders);
+                FlowRoutes { path, fwd, rev }
             })
             .collect();
-        NetLayer { flows }
+        NetLayer { flows, n, opportunistic, max_forwarders: scenario.max_forwarders }
     }
 
     /// The routing decision of `flow` at `node`, in the given direction
@@ -51,24 +68,58 @@ impl NetLayer {
         let table = if forward { &routes.fwd } else { &routes.rev };
         table[node.index()].clone()
     }
+
+    /// The current path of `flow` (source → destination, inclusive).
+    pub(crate) fn path(&self, flow: FlowId) -> &[NodeId] {
+        &self.flows[flow.index()].path
+    }
+
+    /// One live routing pass: recomputes every flow's min-ETX path over
+    /// `graph` (built from the medium's current link state) and rebuilds the
+    /// tables of each flow whose path actually changed. Returns the changed
+    /// flows, in flow order.
+    ///
+    /// A flow whose endpoints have no usable path in the live graph keeps
+    /// its last-known-good route — a transiently partitioned flow should
+    /// recover when its relay comes back, not forget how to route entirely.
+    pub(crate) fn refresh(&mut self, graph: &LinkGraph) -> Vec<FlowId> {
+        let mut changed = Vec::new();
+        for (i, routes) in self.flows.iter_mut().enumerate() {
+            let (src, dst) = (routes.path[0], *routes.path.last().expect("non-empty path"));
+            let Some(path) = graph.shortest_path(src, dst) else {
+                continue;
+            };
+            if path == routes.path {
+                continue;
+            }
+            let (fwd, rev) = build_routes(&path, self.n, self.opportunistic, self.max_forwarders);
+            routes.path = path;
+            routes.fwd = fwd;
+            routes.rev = rev;
+            changed.push(FlowId::new(i as u32));
+        }
+        changed
+    }
 }
 
-/// Builds per-node routing decisions for both directions of a flow, as
+/// Builds per-node routing decisions for both directions of a flow path, as
 /// dense `NodeId`-indexed tables pre-sized to the placement. The path is
 /// borrowed throughout; the only reversal is materialised for the
 /// opportunistic forwarder list, which genuinely needs a reversed slice.
-fn build_routes(spec: &FlowSpec, scenario: &Scenario) -> (RouteTable, RouteTable) {
-    let n = scenario.positions.len();
+fn build_routes(
+    path: &[NodeId],
+    n: usize,
+    opportunistic: bool,
+    max_forwarders: usize,
+) -> (RouteTable, RouteTable) {
     let mut fwd: RouteTable = vec![None; n];
     let mut rev: RouteTable = vec![None; n];
-    let path = &spec.path;
-    if scenario.scheme.is_opportunistic() {
+    if opportunistic {
         let reversed: Vec<NodeId> = path.iter().rev().copied().collect();
         fwd[path[0].index()] =
-            Some(RouteInfo::Opportunistic { list: forwarder_list(path, scenario.max_forwarders) });
-        rev[reversed[0].index()] = Some(RouteInfo::Opportunistic {
-            list: forwarder_list(&reversed, scenario.max_forwarders),
-        });
+            Some(RouteInfo::Opportunistic { list: forwarder_list(path, max_forwarders) });
+        rev[reversed[0].index()] =
+            Some(RouteInfo::Opportunistic { list: forwarder_list(&reversed, max_forwarders) });
     } else {
         for w in path.windows(2) {
             fwd[w[0].index()] = Some(RouteInfo::NextHop(w[1]));

@@ -35,17 +35,38 @@ pub(crate) struct ArrivalState {
     pub(crate) power_dbm: f64,
 }
 
+/// One slab slot: its current occupant (if any) plus a generation counter
+/// bumped every time the slot is freed, so recycled slots mint fresh ids.
+#[derive(Default)]
+struct Slot {
+    generation: u32,
+    state: Option<ArrivalState>,
+}
+
+/// Packs a slot index and its generation into one arrival event id.
+fn arrival_id(slot: u32, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(slot)
+}
+
+/// Splits an arrival event id back into `(slot, generation)`.
+fn split_arrival_id(id: u64) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
+}
+
 /// The PHY I/O layer: medium, per-station receivers, arrival slab, BER, and
 /// mobility state.
 pub(crate) struct PhyIo {
     medium: Medium,
     ber: BerModel,
     receivers: Vec<Receiver>,
-    /// Slab of in-flight arrivals: event ids are slot indices, freed slots
-    /// are recycled LIFO, so memory stays bounded by the peak number of
-    /// concurrent arrivals instead of growing with the run length.
-    arrivals: Vec<Option<ArrivalState>>,
-    free_arrivals: Vec<u64>,
+    /// Slab of in-flight arrivals: freed slots are recycled LIFO, so memory
+    /// stays bounded by the peak number of concurrent arrivals instead of
+    /// growing with the run length. Event ids pack the slot index with the
+    /// slot's generation tag (see [`arrival_id`]): a stale id whose slot was
+    /// recycled for a *different* arrival then fails the generation check
+    /// instead of silently aliasing the new occupant.
+    arrivals: Vec<Slot>,
+    free_arrivals: Vec<u32>,
     /// Reusable buffer for `Medium::plan_transmission_into` — zero planner
     /// allocations per transmission at steady state.
     plan_scratch: Vec<RxPlan>,
@@ -78,6 +99,12 @@ impl PhyIo {
     /// The PHY parameter set of the run.
     pub(crate) fn params(&self) -> &wmn_phy::PhyParams {
         self.medium.params()
+    }
+
+    /// The shared medium, exposing the *current* link state — the input of
+    /// the live route-refresh pass.
+    pub(crate) fn medium(&self) -> &Medium {
+        &self.medium
     }
 
     /// The reception state machine of one station.
@@ -115,29 +142,48 @@ impl PhyIo {
     }
 
     /// Places an in-flight arrival into the slab, recycling a freed slot if
-    /// one is available, and returns its slot index (the event id).
+    /// one is available, and returns its generation-tagged event id.
     fn alloc_arrival(&mut self, state: ArrivalState) -> u64 {
         match self.free_arrivals.pop() {
             Some(slot) => {
-                self.arrivals[slot as usize] = Some(state);
-                slot
+                let entry = &mut self.arrivals[slot as usize];
+                entry.state = Some(state);
+                arrival_id(slot, entry.generation)
             }
             None => {
-                self.arrivals.push(Some(state));
-                (self.arrivals.len() - 1) as u64
+                self.arrivals.push(Slot { generation: 0, state: Some(state) });
+                arrival_id((self.arrivals.len() - 1) as u32, 0)
             }
         }
     }
 
     /// Peeks at a parked arrival (for RxStart), if it is still in flight.
+    /// An id whose slot has since been freed — even if recycled for another
+    /// arrival — fails the generation check and returns `None`.
     pub(crate) fn arrival(&self, id: u64) -> Option<&ArrivalState> {
-        self.arrivals.get(id as usize).and_then(Option::as_ref)
+        let (slot, generation) = split_arrival_id(id);
+        let entry = self.arrivals.get(slot as usize)?;
+        if entry.generation != generation {
+            return None;
+        }
+        entry.state.as_ref()
     }
 
-    /// Removes a parked arrival (at RxEnd), freeing its slot.
+    /// Removes a parked arrival (at RxEnd), freeing its slot. Stale ids are
+    /// rejected by the generation check like in [`PhyIo::arrival`].
     pub(crate) fn take_arrival(&mut self, id: u64) -> Option<ArrivalState> {
-        let state = self.arrivals.get_mut(id as usize).and_then(Option::take)?;
-        self.free_arrivals.push(id);
+        let (slot, generation) = split_arrival_id(id);
+        let entry = self.arrivals.get_mut(slot as usize)?;
+        if entry.generation != generation {
+            return None;
+        }
+        let state = entry.state.take()?;
+        // Freeing bumps the generation, invalidating every id minted for
+        // the old occupant the moment the slot is recyclable. Wrapping is
+        // fine: an id only collides after exactly 2^32 reuses of one slot
+        // while it is somehow still in flight.
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free_arrivals.push(slot);
         Some(state)
     }
 
@@ -209,5 +255,77 @@ impl PhyIo {
     #[cfg(test)]
     pub(crate) fn position(&self, node: NodeId) -> Position {
         self.medium.position(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(node: u32) -> ArrivalState {
+        ArrivalState {
+            node: NodeId::new(node),
+            frame: Arc::new(Frame::Ack(wmn_mac::frame::AckFrame {
+                transmitter: NodeId::new(0),
+                to: NodeId::new(node),
+                flow: wmn_sim::FlowId::new(0),
+                frame_seq: 0,
+                acked_seqs: Vec::new(),
+                relay_list: Vec::new(),
+            })),
+            decodable: true,
+            power_dbm: -50.0,
+        }
+    }
+
+    fn phy() -> PhyIo {
+        let scenario = crate::scenario::Scenario {
+            name: "slab".into(),
+            params: wmn_phy::PhyParams::paper_216(),
+            positions: vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)],
+            scheme: crate::scenario::Scheme::Dcf { aggregation: 1 },
+            flows: vec![crate::scenario::FlowSpec {
+                path: vec![NodeId::new(0), NodeId::new(1)],
+                workload: crate::scenario::Workload::Ftp,
+            }],
+            duration: SimDuration::from_millis(1),
+            seed: 1,
+            max_forwarders: 5,
+            motion: MotionPlan::default(),
+            route_refresh: None,
+        };
+        PhyIo::build(&scenario, &RngDirectory::new(1))
+    }
+
+    #[test]
+    fn recycled_slot_rejects_stale_ids() {
+        let mut phy = phy();
+        // First occupant of slot 0.
+        let first = phy.alloc_arrival(arrival(1));
+        assert!(phy.arrival(first).is_some());
+        assert!(phy.take_arrival(first).is_some());
+        // The slot is recycled LIFO for a different arrival…
+        let second = phy.alloc_arrival(arrival(0));
+        assert_ne!(first, second, "recycling must mint a fresh id");
+        assert_eq!(split_arrival_id(first).0, split_arrival_id(second).0, "same slot reused");
+        // …and the stale id must not alias the new occupant.
+        assert!(phy.arrival(first).is_none(), "stale peek rejected");
+        assert!(phy.take_arrival(first).is_none(), "stale take rejected");
+        let current = phy.arrival(second).expect("live id still resolves");
+        assert_eq!(current.node, NodeId::new(0));
+        assert!(phy.take_arrival(second).is_some());
+        // Double-take of a live id is also rejected.
+        assert!(phy.take_arrival(second).is_none());
+    }
+
+    #[test]
+    fn generation_wraps_without_panicking() {
+        let mut phy = phy();
+        let id = phy.alloc_arrival(arrival(1));
+        let (slot, _) = split_arrival_id(id);
+        phy.arrivals[slot as usize].generation = u32::MAX;
+        let id = arrival_id(slot, u32::MAX);
+        assert!(phy.take_arrival(id).is_some());
+        assert_eq!(phy.arrivals[slot as usize].generation, 0, "wrapping add");
     }
 }

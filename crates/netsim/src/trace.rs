@@ -7,6 +7,7 @@
 //! after the previous transmission ended (the Fig. 2 timeline, measured
 //! inside a full simulation rather than on an isolated state machine).
 
+use wmn_mac::DropReason;
 use wmn_sim::{FlowId, NodeId, SimTime};
 
 /// Which kind of frame an event refers to.
@@ -63,6 +64,28 @@ pub enum TraceKind {
         /// The flow it belonged to.
         flow: FlowId,
     },
+    /// The MAC gave up on a packet (queue overflow or retry exhaustion).
+    Drop {
+        /// The flow it belonged to.
+        flow: FlowId,
+        /// Why the MAC dropped it.
+        reason: DropReason,
+    },
+    /// A per-hop relay re-enqueued a packet towards its next hop.
+    Forward {
+        /// The flow being relayed.
+        flow: FlowId,
+        /// The hop the packet was re-enqueued towards.
+        next_hop: NodeId,
+    },
+    /// A live route-refresh pass changed this flow's path. Recorded at the
+    /// flow's source; `path` is the new source → destination route.
+    RouteChange {
+        /// The re-routed flow.
+        flow: FlowId,
+        /// The new path, inclusive of both endpoints.
+        path: Vec<NodeId>,
+    },
 }
 
 /// A completed run's timeline with query helpers.
@@ -108,6 +131,27 @@ impl Trace {
             .count()
     }
 
+    /// How many packets of `flow` the MACs dropped.
+    pub fn drop_count(&self, flow: FlowId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Drop { flow: f, .. } if f == flow))
+            .count()
+    }
+
+    /// Every route change of `flow`, in time order: `(when, new path)`.
+    pub fn route_changes(&self, flow: FlowId) -> Vec<(SimTime, &[NodeId])> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::RouteChange { flow: f, path } if *f == flow => {
+                    Some((e.at, path.as_slice()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Total number of events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -146,6 +190,16 @@ mod tests {
                 ev(100, 1, tx(FrameKind::Ack)),
                 ev(105, 1, TraceKind::TxEnd),
                 ev(110, 2, TraceKind::Delivered { flow: FlowId::new(0) }),
+                ev(115, 1, TraceKind::Forward { flow: FlowId::new(0), next_hop: NodeId::new(2) }),
+                ev(120, 0, TraceKind::Drop { flow: FlowId::new(0), reason: DropReason::QueueFull }),
+                ev(
+                    130,
+                    0,
+                    TraceKind::RouteChange {
+                        flow: FlowId::new(0),
+                        path: vec![NodeId::new(0), NodeId::new(3), NodeId::new(2)],
+                    },
+                ),
             ],
         };
         assert_eq!(trace.tx_starts(None).len(), 2);
@@ -157,7 +211,13 @@ mod tests {
             Some(SimTime::from_micros(70))
         );
         assert_eq!(trace.delivered_count(FlowId::new(0)), 1);
-        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.drop_count(FlowId::new(0)), 1);
+        assert_eq!(trace.drop_count(FlowId::new(1)), 0);
+        let changes = trace.route_changes(FlowId::new(0));
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].0, SimTime::from_micros(130));
+        assert_eq!(changes[0].1[1], NodeId::new(3));
+        assert_eq!(trace.len(), 8);
         assert!(!trace.is_empty());
     }
 }

@@ -46,6 +46,7 @@ proptest! {
             seed,
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         };
         let result = run(&scenario);
         let flow = &result.flows[0];
@@ -82,6 +83,7 @@ proptest! {
             seed,
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         };
         let result = run(&scenario);
         prop_assert_eq!(result.flows[0].tcp.unwrap().reordered_arrivals, 0);

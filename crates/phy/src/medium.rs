@@ -203,6 +203,30 @@ impl Medium {
         &self.params
     }
 
+    /// The *current* placement of every station, in node-id order.
+    ///
+    /// Under mobility this reflects every [`Medium::update_node_position`]
+    /// applied so far — it is the live view routing-refresh passes rebuild
+    /// their link graphs from.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Clean-frame delivery probability over the directed pair, evaluated
+    /// from the *cached* link distance ([`PhyParams::link_delivery_probability`]).
+    ///
+    /// Because the cached distance comes from the same `distance_to`
+    /// computation as scenario build, this is bit-identical to evaluating the
+    /// analytic model over the current placement directly — the property that
+    /// makes a route refresh over an unmoved topology a behavioural no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn link_delivery_probability(&self, from: NodeId, to: NodeId) -> f64 {
+        self.params.link_delivery_probability(self.link(from, to).distance)
+    }
+
     /// Distance between two stations in metres (precomputed).
     ///
     /// # Panics
@@ -817,6 +841,31 @@ mod tests {
         assert!((medium.distance(n0, n1) - 1000.0).abs() < 1e-9);
         medium.update_node_position(n1, Position::new(5.0, 0.0));
         assert_eq!(medium.link_class(n0, n1), LinkClass::Sampled, "move back restores the link");
+    }
+
+    #[test]
+    fn link_delivery_probability_tracks_moves_bit_for_bit() {
+        use crate::params::PhyParams;
+        let params = PhyParams::paper_216();
+        let mut medium =
+            Medium::new(params.clone(), vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)]);
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        let analytic =
+            |a: Position, b: Position| params.link_delivery_probability(a.distance_to(b));
+        assert_eq!(
+            medium.link_delivery_probability(n0, n1).to_bits(),
+            analytic(Position::new(0.0, 0.0), Position::new(5.0, 0.0)).to_bits(),
+            "cached distance must reproduce the analytic model exactly"
+        );
+        assert_eq!(medium.positions()[1], Position::new(5.0, 0.0));
+        let moved = Position::new(3.0, 4.0);
+        medium.update_node_position(n1, moved);
+        assert_eq!(medium.positions()[1], moved, "positions() is the live view");
+        assert_eq!(
+            medium.link_delivery_probability(n1, n0).to_bits(),
+            analytic(moved, Position::new(0.0, 0.0)).to_bits(),
+            "refresh keeps the bit-identity"
+        );
     }
 
     #[test]

@@ -8,11 +8,82 @@
 //! on forwarding, so we compute delivery probabilities *analytically* from
 //! the shadowing model rather than with probe traffic.
 
-use wmn_phy::{PhyParams, Position};
+use wmn_phy::{Medium, PhyParams, Position};
 use wmn_sim::NodeId;
 
 /// Links with delivery probability below this are unusable for routing.
 const MIN_LINK_PROBABILITY: f64 = 0.05;
+
+/// A delivery-probability matrix was rejected at [`LinkGraph`] construction.
+///
+/// Catching bad link costs here — with the offending pair named — replaces
+/// the old failure mode: a `NaN` smuggled into the matrix survived until
+/// Dijkstra's comparator panicked mid-extraction with no hint of which link
+/// was broken.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EtxError {
+    /// A matrix row's length differs from the number of rows.
+    NonSquare {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The expected dimension (number of rows).
+        n: usize,
+    },
+    /// A link's delivery probability is NaN or infinite.
+    NonFinite {
+        /// Transmitting node of the offending directed pair.
+        from: NodeId,
+        /// Receiving node of the offending directed pair.
+        to: NodeId,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for EtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EtxError::NonSquare { row, len, n } => {
+                write!(
+                    f,
+                    "delivery matrix must be square: row {row} has {len} entries, expected {n}"
+                )
+            }
+            EtxError::NonFinite { from, to, value } => {
+                write!(
+                    f,
+                    "non-finite delivery probability {value} on link {} -> {}",
+                    from.index(),
+                    to.index()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EtxError {}
+
+/// Validates a delivery matrix: square, every entry finite.
+fn validate(delivery: &[Vec<f64>]) -> Result<(), EtxError> {
+    let n = delivery.len();
+    for (i, row) in delivery.iter().enumerate() {
+        if row.len() != n {
+            return Err(EtxError::NonSquare { row: i, len: row.len(), n });
+        }
+        for (j, &p) in row.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(EtxError::NonFinite {
+                    from: NodeId::new(i as u32),
+                    to: NodeId::new(j as u32),
+                    value: p,
+                });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Pairwise link-quality graph with ETX arithmetic and Dijkstra.
 ///
@@ -41,7 +112,27 @@ pub struct LinkGraph {
 impl LinkGraph {
     /// Builds the graph from the analytic shadowing-model delivery
     /// probabilities for a station placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`EtxError`] message if the parameters yield a
+    /// non-finite delivery probability (a misconfigured `PhyParams` — a
+    /// programming error, not a runtime condition).
     pub fn from_placement(params: &PhyParams, positions: &[Position]) -> Self {
+        Self::try_from_placement(params, positions).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible form of [`LinkGraph::from_placement`]: rejects non-finite
+    /// delivery probabilities with a typed error naming the offending pair.
+    ///
+    /// # Errors
+    ///
+    /// [`EtxError::NonFinite`] if any pair's delivery probability is NaN or
+    /// infinite.
+    pub fn try_from_placement(
+        params: &PhyParams,
+        positions: &[Position],
+    ) -> Result<Self, EtxError> {
         let n = positions.len();
         let mut delivery = vec![vec![0.0; n]; n];
         for i in 0..n {
@@ -52,21 +143,50 @@ impl LinkGraph {
                 }
             }
         }
-        LinkGraph { n, delivery }
+        validate(&delivery)?;
+        Ok(LinkGraph { n, delivery })
+    }
+
+    /// Builds the graph from a [`Medium`]'s *current* link state — the entry
+    /// point of the live routing-refresh pass.
+    ///
+    /// Delivery probabilities come from the medium's cached per-pair
+    /// distances, which the mobility subsystem keeps bit-identical to a full
+    /// rebuild over the current placement; over an unmoved placement this
+    /// graph is therefore bit-identical to
+    /// [`LinkGraph::from_placement`] at scenario build.
+    ///
+    /// # Errors
+    ///
+    /// [`EtxError::NonFinite`] if any pair's delivery probability is NaN or
+    /// infinite (a refresh caller can then keep its last-known-good routes
+    /// instead of panicking mid-run).
+    pub fn try_from_medium(medium: &Medium) -> Result<Self, EtxError> {
+        let n = medium.node_count();
+        let mut delivery = vec![vec![0.0; n]; n];
+        for (i, row) in delivery.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i != j {
+                    *cell = medium
+                        .link_delivery_probability(NodeId::new(i as u32), NodeId::new(j as u32));
+                }
+            }
+        }
+        validate(&delivery)?;
+        Ok(LinkGraph { n, delivery })
     }
 
     /// Builds a graph directly from a delivery-probability matrix (used by
     /// tests and synthetic topologies).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the matrix is not square.
-    pub fn from_matrix(delivery: Vec<Vec<f64>>) -> Self {
+    /// [`EtxError::NonSquare`] if the matrix is not square,
+    /// [`EtxError::NonFinite`] if any entry is NaN or infinite.
+    pub fn from_matrix(delivery: Vec<Vec<f64>>) -> Result<Self, EtxError> {
+        validate(&delivery)?;
         let n = delivery.len();
-        for row in &delivery {
-            assert_eq!(row.len(), n, "delivery matrix must be square");
-        }
-        LinkGraph { n, delivery }
+        Ok(LinkGraph { n, delivery })
     }
 
     /// Number of stations.
@@ -112,9 +232,13 @@ impl LinkGraph {
         dist[s] = 0.0;
         for _ in 0..n {
             // Linear extraction: topologies here are tens of nodes.
+            // `total_cmp` keeps the extraction total even for values a
+            // malformed metric could produce — construction rejects
+            // non-finite inputs, but the comparator must not be the thing
+            // that panics if that invariant ever slips.
             let u = (0..n)
                 .filter(|&u| !visited[u] && dist[u].is_finite())
-                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("no NaN"))?;
+                .min_by(|&a, &b| dist[a].total_cmp(&dist[b]))?;
             if u == d {
                 break;
             }
@@ -225,8 +349,68 @@ mod tests {
 
     #[test]
     fn no_path_returns_none() {
-        let g = LinkGraph::from_matrix(vec![vec![0.0, 0.0], vec![0.0, 0.0]]);
+        let g = LinkGraph::from_matrix(vec![vec![0.0, 0.0], vec![0.0, 0.0]]).unwrap();
         assert!(g.shortest_path(NodeId::new(0), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn construction_rejects_non_finite_and_non_square() {
+        let err = LinkGraph::from_matrix(vec![vec![0.0, f64::NAN], vec![0.5, 0.0]]).unwrap_err();
+        match err {
+            EtxError::NonFinite { from, to, value } => {
+                assert_eq!((from, to), (NodeId::new(0), NodeId::new(1)));
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(err.to_string().contains("non-finite"), "display names the failure: {err}");
+        let err = LinkGraph::from_matrix(vec![vec![0.0, 0.9], vec![0.5, 0.0, 0.1]]).unwrap_err();
+        assert_eq!(err, EtxError::NonSquare { row: 1, len: 3, n: 2 });
+        let err =
+            LinkGraph::from_matrix(vec![vec![0.0, f64::INFINITY], vec![0.5, 0.0]]).unwrap_err();
+        assert!(matches!(err, EtxError::NonFinite { value, .. } if value.is_infinite()));
+    }
+
+    #[test]
+    fn graph_from_medium_matches_placement_bit_for_bit() {
+        use wmn_phy::Medium;
+        let params = PhyParams::paper_216();
+        let positions = line(5, 5.0);
+        let mut medium = Medium::new(params.clone(), positions.clone());
+        let built = LinkGraph::from_placement(&params, &positions);
+        let live = LinkGraph::try_from_medium(&medium).unwrap();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                assert_eq!(
+                    live.delivery_probability(a, b).to_bits(),
+                    built.delivery_probability(a, b).to_bits(),
+                    "unmoved medium must reproduce the build-time graph exactly"
+                );
+            }
+        }
+        // After a move the live graph tracks the new placement, again
+        // bit-identical to a from-scratch build.
+        let moved = Position::new(5.0, 30.0);
+        medium.update_node_position(NodeId::new(1), moved);
+        let mut positions = positions;
+        positions[1] = moved;
+        let rebuilt = LinkGraph::from_placement(&params, &positions);
+        let live = LinkGraph::try_from_medium(&medium).unwrap();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                assert_eq!(
+                    live.delivery_probability(a, b).to_bits(),
+                    rebuilt.delivery_probability(a, b).to_bits()
+                );
+            }
+        }
+        assert_ne!(
+            rebuilt.shortest_path(NodeId::new(0), NodeId::new(4)),
+            Some(vec![0, 1, 2, 3, 4].into_iter().map(NodeId::new).collect()),
+            "the moved relay must fall off the min-ETX path"
+        );
     }
 
     #[test]
@@ -277,7 +461,7 @@ mod tests {
                     }
                 }
             }
-            let g = LinkGraph::from_matrix(m);
+            let g = LinkGraph::from_matrix(m).expect("finite square matrix");
             let (a, b) = (NodeId::new(0), NodeId::new(2));
             if let Some(path) = g.shortest_path(a, b) {
                 let best = g.path_etx(&path);

@@ -16,7 +16,7 @@
 pub mod etx;
 pub mod exor;
 
-pub use etx::{forwarder_list, LinkGraph};
+pub use etx::{forwarder_list, EtxError, LinkGraph};
 pub use exor::{ExorMac, ExorMode, ExorScheme};
 
 /// The paper's default cap on forwarders per path ("we use 5 as the default

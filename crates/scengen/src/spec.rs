@@ -115,6 +115,10 @@ pub struct ScenarioSpec {
     /// materialisation time ([`MobilitySpec::Static`] — the default —
     /// yields the byte-identical static simulation).
     pub mobility: MobilitySpec,
+    /// Live min-ETX route-refresh period, milliseconds. `None` — the
+    /// default — freezes routes at their build-time tables (the
+    /// pre-refresh behaviour, byte for byte).
+    pub route_refresh_ms: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -143,6 +147,7 @@ impl ScenarioSpec {
             seed: self.seed,
             max_forwarders: self.max_forwarders,
             motion,
+            route_refresh: self.route_refresh_ms.map(SimDuration::from_millis),
         };
         scenario.validate().map_err(err)?;
         Ok(scenario)
@@ -165,6 +170,11 @@ impl ScenarioSpec {
         // echo) stays byte-identical.
         if self.mobility != MobilitySpec::Static {
             doc = doc.with("mobility", self.mobility.to_json());
+        }
+        // Likewise the refresh knob: omitted when off, so pre-refresh spec
+        // files stay byte-identical.
+        if let Some(ms) = self.route_refresh_ms {
+            doc = doc.with("route_refresh_ms", ms);
         }
         doc.with("duration_ms", self.duration_ms)
             .with("seed", self.seed)
@@ -195,6 +205,12 @@ impl ScenarioSpec {
             mobility: match value.get("mobility") {
                 None | Some(Value::Null) => MobilitySpec::Static,
                 Some(v) => MobilitySpec::from_json(v)?,
+            },
+            route_refresh_ms: match value.get("route_refresh_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    Some(v.as_u64().ok_or("scenario: \"route_refresh_ms\" must be an integer")?)
+                }
             },
         })
     }
@@ -268,6 +284,7 @@ mod tests {
             seed: 3,
             max_forwarders: 5,
             mobility: MobilitySpec::Static,
+            route_refresh_ms: None,
         }
     }
 
@@ -314,6 +331,22 @@ mod tests {
         let text = mobile.to_json().to_string();
         assert!(text.contains("\"mobility\""), "{text}");
         assert_eq!(ScenarioSpec::parse(&text).unwrap(), mobile);
+    }
+
+    #[test]
+    fn route_refresh_round_trips_and_off_stays_implicit() {
+        let off_text = spec().to_json().to_string();
+        assert!(
+            !off_text.contains("route_refresh"),
+            "refresh-off specs must serialise without the key (baseline byte-compat)"
+        );
+        let on = ScenarioSpec { route_refresh_ms: Some(50), ..spec() };
+        let text = on.to_json().to_string();
+        assert!(text.contains("\"route_refresh_ms\": 50"), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), on);
+        let scenario = on.materialise().unwrap();
+        assert_eq!(scenario.route_refresh, Some(SimDuration::from_millis(50)));
+        assert_eq!(spec().materialise().unwrap().route_refresh, None);
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct SweepSpec {
     /// Mobility recipes to sweep over (the innermost axis). `[Static]` —
     /// the default — reproduces the pre-mobility grid byte for byte.
     pub mobilities: Vec<MobilitySpec>,
+    /// Live min-ETX route-refresh period shared by every cell,
+    /// milliseconds. `None` — the default — keeps routes frozen, which
+    /// reproduces the pre-refresh grid byte for byte.
+    pub route_refresh_ms: Option<u64>,
 }
 
 impl SweepSpec {
@@ -71,6 +75,7 @@ impl SweepSpec {
             duration_ms: 200,
             max_forwarders: 5,
             mobilities: vec![MobilitySpec::Static],
+            route_refresh_ms: None,
         }
     }
 
@@ -102,6 +107,19 @@ impl SweepSpec {
                 MobilitySpec::Drift { max_speed_mps: 2.0 },
                 MobilitySpec::Waypoint { speed_mps: 2.0, legs: 3 },
             ],
+            route_refresh_ms: None,
+        }
+    }
+
+    /// The [`SweepSpec::ci_mobility`] grid with live routing switched on:
+    /// every cell refreshes its min-ETX routes every 50 ms. CI runs it
+    /// alongside the frozen-route grid, so the refresh pass is exercised
+    /// (and its 1-vs-N-worker determinism pinned) on every push.
+    pub fn ci_mobility_refresh() -> Self {
+        SweepSpec {
+            name: "ci-mobility-refresh".into(),
+            route_refresh_ms: Some(50),
+            ..SweepSpec::ci_mobility()
         }
     }
 
@@ -152,6 +170,7 @@ impl SweepSpec {
                                 seed: topo_seed,
                                 max_forwarders: self.max_forwarders,
                                 mobility,
+                                route_refresh_ms: self.route_refresh_ms,
                             });
                         }
                     }
@@ -223,6 +242,10 @@ impl SweepSpec {
                 Value::Arr(self.mobilities.iter().map(|m| m.to_json()).collect()),
             );
         }
+        // Same omit-when-off rule for the refresh knob.
+        if let Some(ms) = self.route_refresh_ms {
+            doc = doc.with("route_refresh_ms", ms);
+        }
         doc.with("duration_ms", self.duration_ms).with("max_forwarders", self.max_forwarders)
     }
 
@@ -270,6 +293,12 @@ impl SweepSpec {
                     .iter()
                     .map(MobilitySpec::from_json)
                     .collect::<Result<_, _>>()?,
+            },
+            route_refresh_ms: match value.get("route_refresh_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    Some(v.as_u64().ok_or("sweep: \"route_refresh_ms\" must be an integer")?)
+                }
             },
         })
     }
@@ -385,6 +414,25 @@ mod tests {
         assert_eq!(names.len(), specs.len(), "names must stay unique across the axis");
         // The JSON round-trip covers the axis.
         assert_eq!(SweepSpec::parse(&sweep.to_json().to_string()).unwrap(), sweep);
+    }
+
+    #[test]
+    fn ci_mobility_refresh_mirrors_the_mobility_grid_with_live_routing() {
+        let sweep = SweepSpec::ci_mobility_refresh();
+        assert_eq!(sweep.run_count(), SweepSpec::ci_mobility().run_count());
+        assert_eq!(sweep.route_refresh_ms, Some(50));
+        let scenarios = sweep.expand().unwrap();
+        assert!(
+            scenarios.iter().all(|s| s.route_refresh.is_some()),
+            "every cell must carry the refresh interval"
+        );
+        assert!(scenarios.iter().all(|s| s.name.starts_with("ci-mobility-refresh-")));
+        // The knob round-trips through the on-disk format…
+        let text = sweep.to_json().to_string();
+        assert!(text.contains("\"route_refresh_ms\": 50"), "{text}");
+        assert_eq!(SweepSpec::parse(&text).unwrap(), sweep);
+        // …and stays implicit for refresh-off sweeps (baseline byte-compat).
+        assert!(!SweepSpec::ci_quick().to_json().to_string().contains("route_refresh"));
     }
 
     #[test]

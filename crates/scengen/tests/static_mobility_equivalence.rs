@@ -39,6 +39,7 @@ fn spec(topo_pick: usize, scheme_pick: usize, seed: u64) -> ScenarioSpec {
         seed,
         max_forwarders: 5,
         mobility: MobilitySpec::Static,
+        route_refresh_ms: None,
     }
 }
 
@@ -90,6 +91,31 @@ proptest! {
             &baseline,
             &run(&parked),
             "ticking refreshes towards identical positions drifted"
+        );
+    }
+
+    /// The same contract for live routing: over a topology where nobody
+    /// moves, the link graph a refresh pass sees is bit-identical to the
+    /// build-time one, so the recomputed min-ETX routes equal the frozen
+    /// tables and the run is byte-identical to refresh-off — for *any*
+    /// refresh interval. (The refresh pass consumes no RNG, which is what
+    /// makes this provable rather than merely likely.)
+    #[test]
+    fn prop_route_refresh_over_static_topology_is_a_no_op(
+        topo_pick in 0usize..3,
+        scheme_pick in 0usize..4,
+        seed in 1u64..32,
+        interval_ms in 1u64..80,
+    ) {
+        let frozen = spec(topo_pick, scheme_pick, seed).materialise().expect("materialise");
+        let mut live_spec = spec(topo_pick, scheme_pick, seed);
+        live_spec.route_refresh_ms = Some(interval_ms);
+        let live = live_spec.materialise().expect("materialise");
+        prop_assert_eq!(
+            run(&frozen),
+            run(&live),
+            "a {} ms refresh over a static topology drifted",
+            interval_ms
         );
     }
 

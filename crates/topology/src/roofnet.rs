@@ -84,17 +84,19 @@ pub fn pick_hidden_pair(
         .filter(|&x| x != src && x != dst && !exclude.contains(&x))
         .collect();
     // Hidden source: close to the destination, far from the source.
+    // `total_cmp` keeps the selection total (and deterministic) even if a
+    // distance were ever NaN — a panic in a topology helper is the wrong
+    // failure mode for bad coordinates.
     let hidden_src = candidates
         .iter()
         .copied()
         .filter(|&x| topo.distance(x, dst) < 9.0 && topo.distance(x, src) > 14.0)
-        .min_by(|&a, &b| {
-            topo.distance(a, dst).partial_cmp(&topo.distance(b, dst)).expect("no NaN")
-        })?;
+        .min_by(|&a, &b| topo.distance(a, dst).total_cmp(&topo.distance(b, dst)))?;
     // Its sink: the nearest remaining station.
-    let hidden_dst = candidates.iter().copied().filter(|&x| x != hidden_src).min_by(|&a, &b| {
-        topo.distance(a, hidden_src).partial_cmp(&topo.distance(b, hidden_src)).expect("no NaN")
-    })?;
+    let hidden_dst =
+        candidates.iter().copied().filter(|&x| x != hidden_src).min_by(|&a, &b| {
+            topo.distance(a, hidden_src).total_cmp(&topo.distance(b, hidden_src))
+        })?;
     Some((hidden_src, hidden_dst))
 }
 

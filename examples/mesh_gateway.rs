@@ -50,6 +50,7 @@ fn main() {
                 seed: 3,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             };
             row.push(run(&scenario).flows[0].throughput_mbps);
         }

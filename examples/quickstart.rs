@@ -34,6 +34,7 @@ fn main() {
             seed: 1,
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         };
         let result = run(&scenario);
         let flow = &result.flows[0];

@@ -33,6 +33,7 @@ fn main() {
                 seed: 5,
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
+                route_refresh: None,
             };
             let result = run(&scenario);
             let moses: Vec<f64> =

@@ -18,6 +18,7 @@ fn base(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>) -> Scena
         seed: 7,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 

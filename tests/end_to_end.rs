@@ -19,6 +19,7 @@ fn scenario(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>, ms: 
         seed: 11,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 

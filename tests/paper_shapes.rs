@@ -23,6 +23,7 @@ fn chain_scenario(scheme: Scheme, ms: u64) -> Scenario {
         seed: 1,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 

@@ -17,6 +17,7 @@ fn base(scheme: Scheme, ber: f64, seed: u64) -> Scenario {
         seed,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     }
 }
 
@@ -89,6 +90,7 @@ fn partitioned_network_terminates_cleanly() {
             seed: 1,
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
+            route_refresh: None,
         };
         let r = run(&scenario);
         assert_eq!(r.flows[0].delivered_bytes, 0, "{scheme:?}: nothing can cross a partition");
@@ -146,6 +148,7 @@ fn long_path_with_forwarder_cap() {
         seed: 2,
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
+        route_refresh: None,
     };
     let r = run(&scenario);
     // With only 5 forwarders on a 7-hop path the source's frames must hop
