@@ -7,29 +7,34 @@
 //! it), a full live route-refresh pass (`LinkGraph` snapshot + per-flow
 //! min-ETX Dijkstra — the budget behind the `route_refresh` knob), event
 //! queue churn under the simulator's interleaved access
-//! pattern, and a fig-6(b)-class end-to-end run in both its static and
-//! moving-relay variants, then writes the numbers as `BENCH_<name>.json`
-//! in the current directory — the same hand-rolled JSON style as the
-//! `target/repro` reports, so trajectories can be tracked across commits
-//! with `jq`.
+//! pattern, a fig-6(b)-class end-to-end run in both its static and
+//! moving-relay variants, and the 1024-station campus preset on the
+//! sharded conservative engine at 1 vs 4 shards (result bit-equality
+//! asserted, ratio tracked), then writes the numbers as
+//! `BENCH_<name>.json` in the current directory — the same hand-rolled
+//! JSON style as the `target/repro` reports, so trajectories can be
+//! tracked across commits with `jq`.
 //!
 //! ```text
 //! bench_suite [--quick] [--name suite] [--out PATH]   # measure and write
-//! bench_suite --validate PATH                         # schema-check a report
+//! bench_suite --validate PATH [--expect-keys REF]     # schema/drift check
 //! ```
 //!
 //! `--quick` is the CI smoke profile: same workloads, fewer repetitions.
 //! Absolute numbers vary with the host; the cached-vs-naive *ratio* is the
 //! tracked signal. CI runs `--quick` and then `--validate` so a malformed
-//! report fails the job (timing thresholds are deliberately not gated —
-//! container speed varies).
+//! report fails the job; `--expect-keys` additionally pins the *key set*
+//! (bench names + speedup keys) to the committed `BENCH_suite.json`, so
+//! silently dropping or renaming a bench fails the smoke job while timing
+//! thresholds stay deliberately ungated — container speed varies.
 
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use wmn_bench::{
-    fig6_class_mobile_scenario, fig6_class_scenario, grid_positions, naive_plan_reference,
+    campus_scale_scenario, fig6_class_mobile_scenario, fig6_class_scenario, grid_positions,
+    naive_plan_reference,
 };
 use wmn_exec::json::{parse, Value};
 use wmn_netsim::run;
@@ -53,6 +58,8 @@ struct Profile {
     queue_ops: u64,
     /// Simulated duration of the end-to-end runs (static and mobile).
     e2e_duration: SimDuration,
+    /// Simulated duration of the 1024-station sharded-engine probe.
+    campus_duration: SimDuration,
 }
 
 const QUICK: Profile = Profile {
@@ -63,6 +70,7 @@ const QUICK: Profile = Profile {
     route_refresh_reps: 50,
     queue_ops: 200_000,
     e2e_duration: SimDuration::from_millis(300),
+    campus_duration: SimDuration::from_millis(5),
 };
 
 const FULL: Profile = Profile {
@@ -73,6 +81,7 @@ const FULL: Profile = Profile {
     route_refresh_reps: 500,
     queue_ops: 2_000_000,
     e2e_duration: SimDuration::from_millis(2_000),
+    campus_duration: SimDuration::from_millis(40),
 };
 
 /// One measured benchmark, as it appears in the report's `benches` array.
@@ -310,6 +319,40 @@ fn run_suite(profile: &Profile) -> Value {
         });
     }
 
+    // 7. The sharded conservative engine on the campus-1k preset: the same
+    //    1024-station run at 1 and 4 shards. Bit-equality of the two results
+    //    is *asserted* (the engine's k-invariance contract), so the ratio
+    //    really compares two computations of the same answer. The ratio is
+    //    tracked, not gated: conservative lookahead on this PHY is the radio
+    //    propagation delay (tens of ns), so on few-core or oversubscribed
+    //    hosts parity (≈1×) is the honest expectation — the number exists to
+    //    show the trajectory as windows widen, not to claim a speed-up.
+    let mut campus_results = Vec::new();
+    let mut campus_ns = Vec::new();
+    for shards in [1u32, 4] {
+        let scenario = campus_scale_scenario(profile.campus_duration, shards);
+        let start = Instant::now();
+        let result = run(&scenario);
+        let wall = start.elapsed();
+        let delivered: u64 = result.flows.iter().map(|f| f.delivered_bytes).sum();
+        benches.push(Bench {
+            name: format!("campus1024_shard{shards}_end_to_end"),
+            reps: 1,
+            ns_per_op: wall.as_nanos() as f64,
+            extras: vec![
+                ("sim_millis", Value::Uint(profile.campus_duration.as_nanos() / 1_000_000)),
+                ("delivered_bytes", Value::Uint(delivered)),
+            ],
+        });
+        campus_results.push(result);
+        campus_ns.push(wall.as_nanos() as f64);
+    }
+    assert_eq!(
+        campus_results[0], campus_results[1],
+        "campus-1k: 4 shards must be bit-identical to 1 shard — benchmark invalid"
+    );
+    let campus_speedup = campus_ns[0] / campus_ns[1];
+
     Value::obj()
         .with("artefact", "bench_suite")
         .with("profile", profile.label)
@@ -319,8 +362,46 @@ fn run_suite(profile: &Profile) -> Value {
             Value::obj()
                 .with("plan_transmission_grid36", dense_speedup)
                 .with("plan_transmission_grid256", sparse_speedup)
-                .with("link_refresh_grid256", refresh_speedup),
+                .with("link_refresh_grid256", refresh_speedup)
+                .with("campus1024_shard4_vs_shard1", campus_speedup),
         )
+}
+
+/// The stable identity of a report: sorted bench names plus (prefixed)
+/// speedup keys. This is what `--expect-keys` compares — a bench renamed,
+/// dropped, or added without refreshing the committed reference is drift
+/// the smoke job should catch, while timings stay ungated.
+fn key_set(doc: &Value) -> Vec<String> {
+    let mut keys: Vec<String> = doc
+        .get("benches")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|b| b.get("name").and_then(Value::as_str))
+        .map(str::to_string)
+        .collect();
+    if let Some(Value::Obj(pairs)) = doc.get("speedup") {
+        keys.extend(pairs.iter().map(|(k, _)| format!("speedup/{k}")));
+    }
+    keys.sort();
+    keys
+}
+
+/// Compares the key sets of a measured report and the committed reference,
+/// returning a human-readable diff on mismatch.
+fn check_expected_keys(measured: &Value, reference: &Value) -> Result<(), String> {
+    let got = key_set(measured);
+    let want = key_set(reference);
+    if got == want {
+        return Ok(());
+    }
+    let missing: Vec<&String> = want.iter().filter(|k| !got.contains(k)).collect();
+    let extra: Vec<&String> = got.iter().filter(|k| !want.contains(k)).collect();
+    Err(format!(
+        "bench key set drifted from the committed reference \
+         (missing: {missing:?}, unexpected: {extra:?}) — if the suite \
+         changed on purpose, regenerate the committed report"
+    ))
 }
 
 /// Schema check for a written report. This is the CI gate against malformed
@@ -374,7 +455,7 @@ fn validate(doc: &Value) -> Result<(), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_suite [--quick] [--name NAME] [--out PATH]\n\
-         \x20      bench_suite --validate PATH"
+         \x20      bench_suite --validate PATH [--expect-keys REF]"
     );
     std::process::exit(2);
 }
@@ -384,6 +465,7 @@ fn main() -> ExitCode {
     let mut name = String::from("suite");
     let mut out: Option<String> = None;
     let mut validate_path: Option<String> = None;
+    let mut expect_keys: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -391,8 +473,12 @@ fn main() -> ExitCode {
             "--name" => name = args.next().unwrap_or_else(|| usage()),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--validate" => validate_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--expect-keys" => expect_keys = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+    if expect_keys.is_some() && validate_path.is_none() {
+        usage();
     }
 
     if let Some(path) = validate_path {
@@ -403,7 +489,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let verdict = parse(&text).and_then(|doc| validate(&doc));
+        let verdict = parse(&text).and_then(|doc| {
+            validate(&doc)?;
+            if let Some(ref_path) = &expect_keys {
+                let ref_text = std::fs::read_to_string(ref_path)
+                    .map_err(|err| format!("cannot read key reference {ref_path}: {err}"))?;
+                check_expected_keys(&doc, &parse(&ref_text)?)?;
+            }
+            Ok(())
+        });
         return match verdict {
             Ok(()) => {
                 println!("bench_suite: {path} is well-formed");
@@ -435,7 +529,7 @@ fn main() -> ExitCode {
     // Human summary: the tracked ratios plus each raw number.
     if let Some(Value::Obj(pairs)) = doc.get("speedup") {
         for (key, v) in pairs {
-            println!("{key}: {:.2}x cached-vs-naive", v.as_f64().unwrap_or(f64::NAN));
+            println!("{key}: {:.2}x speedup", v.as_f64().unwrap_or(f64::NAN));
         }
     }
     for bench in doc.get("benches").and_then(Value::as_arr).unwrap_or(&[]) {

@@ -37,6 +37,7 @@ pub fn three_hop_scenario(scheme: Scheme) -> Scenario {
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 
@@ -114,6 +115,7 @@ pub fn fig6_class_scenario(n_hidden: usize, duration: SimDuration) -> Scenario {
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 
@@ -137,6 +139,20 @@ pub fn fig6_class_mobile_scenario(n_hidden: usize, duration: SimDuration) -> Sce
         paths[node] = NodePath::Waypoints(points);
     }
     scenario.motion = MotionPlan { paths, tick: SimDuration::from_millis(10) };
+    scenario
+}
+
+/// The thousand-station probe for the sharded engine: the `campus-1k`
+/// scengen preset (1024 stations in 32 dense clusters, mixed FTP/VoIP/CBR
+/// traffic) at the given duration and shard count. The suite runs it at
+/// `shards: Some(1)` and `Some(k)` and *asserts bit-equality* — the timing
+/// comparison is only meaningful because both sides provably compute the
+/// same result.
+pub fn campus_scale_scenario(duration: SimDuration, shards: u32) -> Scenario {
+    let mut scenario =
+        wmn_scengen::ScenarioSpec::campus_scale().materialise().expect("campus-1k preset is valid");
+    scenario.duration = duration;
+    scenario.shards = Some(shards);
     scenario
 }
 
@@ -208,6 +224,22 @@ mod tests {
         assert_eq!(s.validate(), Ok(()));
         let r = run(&s);
         assert!(r.flows[0].delivered_bytes > 0, "main flow must make progress");
+    }
+
+    #[test]
+    fn campus_scale_scenario_is_valid_and_shard_invariant_probe_shaped() {
+        let s = campus_scale_scenario(SimDuration::from_millis(2), 4);
+        assert_eq!(s.validate(), Ok(()));
+        assert_eq!(s.positions.len(), 1024);
+        assert_eq!(s.shards, Some(4));
+        // Both suite sides must describe the same run, differing only in
+        // shard count (the suite then asserts result bit-equality).
+        let one = campus_scale_scenario(SimDuration::from_millis(2), 1);
+        assert_eq!(one.shards, Some(1));
+        assert_eq!(one.positions, s.positions);
+        assert_eq!(one.seed, s.seed);
+        assert_eq!(one.duration, s.duration);
+        assert_eq!(one.flows.len(), s.flows.len());
     }
 
     #[test]

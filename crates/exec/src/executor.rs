@@ -19,6 +19,16 @@ use crate::telemetry;
 /// Environment variable selecting the worker count (a positive integer).
 pub const JOBS_ENV: &str = "RIPPLE_JOBS";
 
+/// Environment variable forcing the sharded engine at a fixed shard count
+/// (a positive integer) for every run of the plan. Unset respects each
+/// scenario's own [`Scenario::shards`](wmn_netsim::Scenario) knob.
+///
+/// The override exists for the CI shard-determinism job: the same sweep
+/// executed under `RIPPLE_SHARDS=1`, `=2`, and `=8` must produce
+/// byte-identical reports (the sharded engine's k-invariance contract),
+/// without maintaining per-shard-count spec files.
+pub const SHARDS_ENV: &str = "RIPPLE_SHARDS";
+
 /// The worker count used when [`JOBS_ENV`] is unset: the host's available
 /// parallelism, falling back to 1 if it cannot be determined.
 pub fn available_jobs() -> usize {
@@ -41,6 +51,26 @@ pub fn jobs_from_env() -> Result<usize, String> {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err(format!("{JOBS_ENV} must be a positive integer worker count, got {raw:?}")),
+        },
+    }
+}
+
+/// Resolves the shard-count override from the environment.
+///
+/// Unset means no override (each scenario's own `shards` knob decides the
+/// engine); anything set must parse as a positive integer.
+///
+/// # Errors
+///
+/// Returns a descriptive message if [`SHARDS_ENV`] is set to anything that
+/// is not a positive integer.
+pub fn shards_from_env() -> Result<Option<u32>, String> {
+    // lint:allow(no-nondeterministic-std): the override only selects the engine — results are bit-identical for any shard count
+    match std::env::var(SHARDS_ENV) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.trim().parse::<u32>() {
+            Ok(k) if k >= 1 => Ok(Some(k)),
+            _ => Err(format!("{SHARDS_ENV} must be a positive integer shard count, got {raw:?}")),
         },
     }
 }
@@ -96,27 +126,42 @@ pub struct ExecOutcome {
 #[derive(Clone, Copy, Debug)]
 pub struct Executor {
     jobs: usize,
+    /// Plan-level shard override: `Some(k)` forces every run onto the
+    /// sharded engine at `k` shards; `None` respects each scenario's knob.
+    shards: Option<u32>,
 }
 
 impl Executor {
-    /// An executor with exactly `jobs` workers (clamped to at least 1).
+    /// An executor with exactly `jobs` workers (clamped to at least 1) and
+    /// no shard override.
     pub fn new(jobs: usize) -> Self {
-        Executor { jobs: jobs.max(1) }
+        Executor { jobs: jobs.max(1), shards: None }
+    }
+
+    /// The same executor with a plan-level shard override ([`SHARDS_ENV`]'s
+    /// programmatic form). `None` clears the override.
+    pub fn with_shards(self, shards: Option<u32>) -> Self {
+        Executor { shards, ..self }
     }
 
     /// An executor with the environment-selected worker count
-    /// ([`jobs_from_env`]).
+    /// ([`jobs_from_env`]) and shard override ([`shards_from_env`]).
     ///
     /// # Panics
     ///
-    /// Panics with a clear message if [`JOBS_ENV`] is set to an invalid
-    /// value — a misconfigured run must not silently fall back to some other
-    /// parallelism.
+    /// Panics with a clear message if [`JOBS_ENV`] or [`SHARDS_ENV`] is set
+    /// to an invalid value — a misconfigured run must not silently fall
+    /// back to some other parallelism or engine.
     pub fn from_env() -> Self {
-        match jobs_from_env() {
-            Ok(jobs) => Executor::new(jobs),
+        let jobs = match jobs_from_env() {
+            Ok(jobs) => jobs,
             Err(msg) => panic!("{msg}"),
-        }
+        };
+        let shards = match shards_from_env() {
+            Ok(shards) => shards,
+            Err(msg) => panic!("{msg}"),
+        };
+        Executor::new(jobs).with_shards(shards)
     }
 
     /// The configured worker count.
@@ -124,17 +169,34 @@ impl Executor {
         self.jobs
     }
 
+    /// The configured shard override, if any.
+    pub fn shards(&self) -> Option<u32> {
+        self.shards
+    }
+
     /// Executes every run of `plan` and returns the results in plan order.
     ///
     /// Determinism contract: each run is a pure function of its scenario
     /// (seeded via [`wmn_sim::RngDirectory`]), runs share no state, and the
     /// result vector is indexed by plan position — so the output is
-    /// bit-identical for any worker count, including 1.
+    /// bit-identical for any worker count, including 1. With a shard
+    /// override set, every scenario additionally runs on the sharded engine
+    /// at that count, which is itself bit-identical for any count ≥ 1.
     pub fn execute(&self, plan: &RunPlan) -> ExecOutcome {
         let started = Instant::now();
         let specs = plan.specs();
         let n = specs.len();
         let jobs = self.jobs.min(n).max(1);
+        let run_one = |scenario: &wmn_netsim::Scenario| -> RunResult {
+            match self.shards {
+                None => run(scenario),
+                Some(k) => {
+                    let mut forced = scenario.clone();
+                    forced.shards = Some(k);
+                    run(&forced)
+                }
+            }
+        };
 
         let busy_ns = AtomicU64::new(0);
         let mut slots: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
@@ -142,7 +204,7 @@ impl Executor {
         if jobs == 1 {
             for (slot, spec) in slots.iter_mut().zip(specs) {
                 let t0 = Instant::now();
-                *slot = Some(run(&spec.scenario));
+                *slot = Some(run_one(&spec.scenario));
                 busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
         } else {
@@ -158,7 +220,7 @@ impl Executor {
                                 break;
                             }
                             let t0 = Instant::now();
-                            let result = run(&specs[i].scenario);
+                            let result = run_one(&specs[i].scenario);
                             busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             local.push((i, result));
                         }
@@ -207,6 +269,7 @@ mod tests {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             })
             .collect()
     }
@@ -233,6 +296,35 @@ mod tests {
     fn jobs_clamp_to_at_least_one() {
         assert_eq!(Executor::new(0).jobs(), 1);
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn shard_override_forces_the_sharded_engine_and_stays_count_invariant() {
+        let plan = RunPlan::grid(&scenarios(3), &[1, 2], SimDuration::from_millis(5));
+        // The override must be equivalent to setting `shards` on every
+        // scenario directly …
+        let mut direct = scenarios(3);
+        for s in &mut direct {
+            s.shards = Some(1);
+        }
+        let direct_plan = RunPlan::grid(&direct, &[1, 2], SimDuration::from_millis(5));
+        let overridden = Executor::new(2).with_shards(Some(1)).execute(&plan);
+        assert_eq!(overridden.results, Executor::new(2).execute(&direct_plan).results);
+        // … and k-invariant, per the sharded engine's contract.
+        let two = Executor::new(2).with_shards(Some(2)).execute(&plan);
+        assert_eq!(overridden.results, two.results);
+        // The sharded engine consumes per-entity RNG streams, so the
+        // override genuinely switched engines (≠ legacy bytes).
+        let legacy = Executor::new(2).execute(&plan);
+        assert_ne!(legacy.results, overridden.results);
+    }
+
+    #[test]
+    fn with_shards_round_trips_and_clears() {
+        let exec = Executor::new(3).with_shards(Some(8));
+        assert_eq!(exec.shards(), Some(8));
+        assert_eq!(exec.jobs(), 3);
+        assert_eq!(exec.with_shards(None).shards(), None);
     }
 
     #[test]

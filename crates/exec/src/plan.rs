@@ -109,6 +109,7 @@ mod tests {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         }
     }
 

@@ -178,6 +178,7 @@ mod tests {
             max_forwarders: 5,
             motion: MotionPlan::default(),
             route_refresh: Some(SimDuration::from_millis(10)),
+            shards: None,
         }
     }
 

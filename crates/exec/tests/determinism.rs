@@ -45,6 +45,7 @@ fn scenario(n_nodes: usize, scheme_pick: usize, workload_pick: usize, ms: u64) -
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 
@@ -113,5 +114,38 @@ proptest! {
         let baseline: Vec<RunResult> = scenarios.iter().map(run).collect();
         let parallel = Executor::new(8).execute(&plan);
         prop_assert_eq!(&parallel.results, &baseline);
+    }
+
+    /// The `RIPPLE_SHARDS` override composes with the worker pool: for any
+    /// shard count k and any worker count, the overridden plan is
+    /// bit-identical to a serial loop over the same scenarios with
+    /// `shards: Some(k)` set directly — and to every other shard count.
+    #[test]
+    fn prop_shard_override_is_invisible_at_any_count(
+        n_nodes in 3usize..5,
+        scheme_pick in 0usize..6,
+        workload_pick in 0usize..4,
+        ms in 5u64..20,
+        seed_base in any::<u32>(),
+    ) {
+        let scenario = scenario(n_nodes, scheme_pick, workload_pick, ms);
+        let duration = SimDuration::from_millis(ms);
+        let seeds: Vec<u64> =
+            (0..2).map(|i| u64::from(seed_base).wrapping_add(i * 7919)).collect();
+        let mut sharded = scenario.clone();
+        sharded.shards = Some(1);
+        let baseline = serial_baseline(&sharded, &seeds, duration);
+        let plan = RunPlan::grid(std::slice::from_ref(&scenario), &seeds, duration);
+        for (jobs, shards) in [(1usize, 1u32), (2, 2), (8, 8)] {
+            let outcome = Executor::new(jobs).with_shards(Some(shards)).execute(&plan);
+            prop_assert_eq!(
+                &outcome.results,
+                &baseline,
+                "{} workers at {} shards diverged from the serial 1-shard loop ({})",
+                jobs,
+                shards,
+                scenario.name
+            );
+        }
     }
 }

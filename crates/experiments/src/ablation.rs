@@ -34,6 +34,7 @@ pub fn max_forwarders(cfg: &ExpConfig) -> Table {
             max_forwarders: cap,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         })
         .collect();
     let mut table = Table::new(
@@ -67,6 +68,7 @@ pub fn aggregation_limit(cfg: &ExpConfig) -> Table {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             });
         }
     }
@@ -111,6 +113,7 @@ pub fn phy_rates(cfg: &ExpConfig) -> Table {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             });
         }
     }

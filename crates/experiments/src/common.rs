@@ -18,13 +18,19 @@ pub struct ExpConfig {
     /// environment selection (host parallelism when unset); results are
     /// bit-identical for any value.
     pub jobs: usize,
+    /// Shard override for [`run_grid`]: `Some(k)` forces every run onto
+    /// the sharded engine at `k` shards (bit-identical for any `k ≥ 1`);
+    /// `None` — the `RIPPLE_SHARDS`-unset default — respects each
+    /// scenario's own `shards` knob.
+    pub shards: Option<u32>,
 }
 
 impl ExpConfig {
     /// A configuration with explicit duration and seeds, and the
-    /// environment-selected worker count.
+    /// environment-selected worker count and shard override.
     pub fn custom(duration: SimDuration, seeds: Vec<u64>) -> Self {
-        ExpConfig { duration, seeds, jobs: Executor::from_env().jobs() }
+        let exec = Executor::from_env();
+        ExpConfig { duration, seeds, jobs: exec.jobs(), shards: exec.shards() }
     }
 
     /// Fast settings for CI / benches: 1 s, two seeds.
@@ -147,7 +153,7 @@ fn average(name: &str, flow_count: usize, samples: &[RunResult]) -> AvgResult {
 /// serial per-module seed loops for any worker count.
 pub fn run_grid(scenarios: &[Scenario], cfg: &ExpConfig) -> Vec<AvgResult> {
     let plan = RunPlan::grid(scenarios, &cfg.seeds, cfg.duration);
-    let outcome = Executor::new(cfg.jobs).execute(&plan);
+    let outcome = Executor::new(cfg.jobs).with_shards(cfg.shards).execute(&plan);
     let per_seed = cfg.seeds.len();
     scenarios
         .iter()
@@ -236,6 +242,7 @@ mod tests {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         }
     }
 
@@ -252,7 +259,12 @@ mod tests {
     #[test]
     fn grid_matches_handrolled_serial_loop() {
         let scenarios = vec![two_node_scenario("g0"), two_node_scenario("g1")];
-        let cfg = ExpConfig { duration: SimDuration::from_millis(40), seeds: vec![5, 6], jobs: 3 };
+        let cfg = ExpConfig {
+            duration: SimDuration::from_millis(40),
+            seeds: vec![5, 6],
+            jobs: 3,
+            shards: None,
+        };
         let grid = run_grid(&scenarios, &cfg);
         assert_eq!(grid.len(), 2);
         // The pre-engine serial path: run per seed, average by hand.

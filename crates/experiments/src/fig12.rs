@@ -61,6 +61,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                         max_forwarders: 5,
                         motion: wmn_netsim::MotionPlan::default(),
                         route_refresh: None,
+                        shards: None,
                     });
                 }
             }

@@ -47,6 +47,7 @@ pub fn generate(ber: f64, cfg: &ExpConfig) -> Vec<Table> {
                     max_forwarders: 5,
                     motion: wmn_netsim::MotionPlan::default(),
                     route_refresh: None,
+                    shards: None,
                 });
             }
         }

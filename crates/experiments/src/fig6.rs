@@ -40,6 +40,7 @@ pub fn generate_regular(cfg: &ExpConfig) -> Table {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             });
         }
     }
@@ -87,6 +88,7 @@ pub fn generate_hidden(cfg: &ExpConfig) -> Table {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             });
         }
     }

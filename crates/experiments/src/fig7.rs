@@ -42,6 +42,7 @@ pub fn generate(cfg: &ExpConfig) -> Vec<Table> {
                     max_forwarders: 7,
                     motion: wmn_netsim::MotionPlan::default(),
                     route_refresh: None,
+                    shards: None,
                 });
             }
         }

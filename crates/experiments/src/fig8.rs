@@ -50,6 +50,7 @@ pub fn generate_with_users(cfg: &ExpConfig, users_per_pair: usize) -> Table {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         })
         .collect();
     let avgs = run_grid(&scenarios, cfg);

@@ -42,6 +42,7 @@ pub fn generate(cfg: &ExpConfig) -> Table {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         })
         .collect();
     let avgs = run_grid(&scenarios, cfg);

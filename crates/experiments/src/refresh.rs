@@ -65,6 +65,7 @@ fn base_scenario(name: String, drift_mps: f64, duration: SimDuration) -> Scenari
         max_forwarders: 5,
         motion,
         route_refresh: None,
+        shards: None,
     }
 }
 

@@ -67,6 +67,13 @@ pub fn analyze_source(rel: &str, crate_name: &str, src: &str, cfg: RuleConfig) -
         findings.extend(rules::no_wall_clock(&tokens, rel));
     }
     findings.extend(rules::no_nondet_std(&tokens, rel));
+    if cfg.shard_module {
+        findings.extend(rules::shard_merge_order(&tokens, rel));
+        findings.extend(rules::shard_rng_label(&tokens, rel));
+        if !cfg.shard_seam {
+            findings.extend(rules::shard_state_isolation(&tokens, rel));
+        }
+    }
     let (labels, label_findings) = extract_labels(&tokens, crate_name, rel);
     findings.extend(label_findings);
 
@@ -202,7 +209,7 @@ mod tests {
     use super::*;
 
     fn det() -> RuleConfig {
-        RuleConfig { deterministic: true, wall_clock_allowed: false }
+        RuleConfig { deterministic: true, ..RuleConfig::default() }
     }
 
     #[test]
@@ -256,7 +263,7 @@ mod tests {
             "x.rs",
             "exec",
             src,
-            RuleConfig { deterministic: false, wall_clock_allowed: true },
+            RuleConfig { wall_clock_allowed: true, ..RuleConfig::default() },
         );
         assert!(fa.findings.is_empty(), "exec is exempt from both: {:?}", fa.findings);
         let fa = analyze_source("x.rs", "mac", src, det());

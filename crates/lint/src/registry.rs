@@ -91,6 +91,23 @@ pub fn extract_labels(
                 &mut findings,
             );
         }
+        // `<dir>.indexed_stream(<prefix>, <index>)` — derives the stream
+        // family `"{prefix}/{index}"`; the registry records it as the
+        // dynamic template it expands to.
+        if tokens[i].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("indexed_stream"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            classify_indexed(
+                tokens,
+                i + 2,
+                tokens[i + 1].line,
+                crate_name,
+                file,
+                &mut sites,
+                &mut findings,
+            );
+        }
     }
     (sites, findings)
 }
@@ -189,6 +206,46 @@ fn classify_arg(
         line,
         "RNG label is not a string literal or format! template — the registry cannot record \
          it, so stream collisions here are invisible to review"
+            .to_string(),
+    ));
+}
+
+/// Classifies the prefix argument of an `indexed_stream(prefix, index)`
+/// call. A literal prefix registers the whole family as the dynamic
+/// template it expands to (`dynamic:<prefix>/{index}`); anything else is a
+/// finding — the family's namespace would be invisible to review.
+fn classify_indexed(
+    tokens: &[Token],
+    open: usize,
+    line: u32,
+    crate_name: &str,
+    file: &str,
+    sites: &mut Vec<LabelSite>,
+    findings: &mut Vec<Finding>,
+) {
+    let args = split_args(tokens, open);
+    let Some(&(start, end)) = args.first() else {
+        return; // malformed call — the compiler will have plenty to say
+    };
+    let arg: Vec<&Token> = tokens[start..end].iter().filter(|t| !t.is_punct('&')).collect();
+    if arg.len() == 1 && arg[0].kind == TokKind::Str {
+        let prefix = arg[0].text.split('/').next().unwrap_or("").to_string();
+        sites.push(LabelSite {
+            key: format!("dynamic:{}/{{index}}", arg[0].text),
+            kind: LabelKind::Dynamic,
+            prefix: Some(prefix),
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line,
+        });
+        return;
+    }
+    findings.push(Finding::new(
+        RNG_LABEL_REGISTRY,
+        file,
+        line,
+        "indexed_stream prefix is not a string literal — the registry cannot record the \
+         stream family, so collisions here are invisible to review"
             .to_string(),
     ));
 }
@@ -298,6 +355,24 @@ mod tests {
         assert!(findings[0].message.contains("no literal prefix"));
         assert_eq!(sites.len(), 1);
         assert_eq!(sites[0].prefix, None);
+    }
+
+    #[test]
+    fn indexed_streams_register_their_family_template() {
+        let (sites, findings) = extract(r#"let r = dir.indexed_stream("shard/medium", i);"#);
+        assert!(findings.is_empty());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].key, "dynamic:shard/medium/{index}");
+        assert_eq!(sites[0].kind, LabelKind::Dynamic);
+        assert_eq!(sites[0].prefix.as_deref(), Some("shard"));
+    }
+
+    #[test]
+    fn indexed_streams_with_opaque_prefixes_are_findings() {
+        let (sites, findings) = extract("let r = dir.indexed_stream(prefix, 3);");
+        assert!(sites.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("indexed_stream prefix"));
     }
 
     #[test]

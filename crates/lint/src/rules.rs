@@ -19,11 +19,25 @@ pub const NO_WALL_CLOCK: &str = "no-wall-clock";
 pub const NO_NONDET_STD: &str = "no-nondeterministic-std";
 /// Rule id: RNG label extraction / registry problems.
 pub const RNG_LABEL_REGISTRY: &str = "rng-label-registry";
+/// Rule id: unkeyed event scheduling inside the sharded engine.
+pub const SHARD_MERGE_ORDER: &str = "shard-merge-order";
+/// Rule id: non-indexed RNG stream derivation inside the sharded engine.
+pub const SHARD_RNG_LABEL: &str = "shard-rng-label";
+/// Rule id: shared-state write locks outside the coordinator seam.
+pub const SHARD_STATE_ISOLATION: &str = "shard-state-isolation";
 /// Meta rule id: malformed, unknown-rule, or unused waivers.
 pub const WAIVER: &str = "waiver";
 
 /// Every real (waivable-in-principle) rule id, for waiver validation.
-pub const RULES: &[&str] = &[NO_HASH_ITER, NO_WALL_CLOCK, NO_NONDET_STD, RNG_LABEL_REGISTRY];
+pub const RULES: &[&str] = &[
+    NO_HASH_ITER,
+    NO_WALL_CLOCK,
+    NO_NONDET_STD,
+    RNG_LABEL_REGISTRY,
+    SHARD_MERGE_ORDER,
+    SHARD_RNG_LABEL,
+    SHARD_STATE_ISOLATION,
+];
 
 /// One lint finding at a source location.
 #[derive(Clone, Debug)]
@@ -330,6 +344,111 @@ pub fn no_nondet_std(tokens: &[Token], file: &str) -> Vec<Finding> {
     out
 }
 
+/// Is `tokens[i..]` the shape `.name(` for one of `names`? Returns the
+/// matched method name.
+fn dot_call<'t>(tokens: &'t [Token], i: usize, names: &[&str]) -> Option<&'t str> {
+    if !tokens[i].is_punct('.') {
+        return None;
+    }
+    let m = tokens.get(i + 1)?;
+    if m.kind == TokKind::Ident
+        && names.contains(&m.text.as_str())
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+    {
+        Some(&m.text)
+    } else {
+        None
+    }
+}
+
+/// `shard-merge-order` (sharded-engine files only): flags unkeyed
+/// `.schedule(…)` / `.schedule_in(…)` calls. The cross-shard merge totally
+/// orders events by `(time, key)`; an event scheduled without a
+/// content-derived key gets an insertion-order tiebreak, which differs with
+/// the shard count — exactly the nondeterminism the engine exists to rule
+/// out. Shard code must use `schedule_keyed`/`schedule_keyed_in`.
+pub fn shard_merge_order(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if let Some(method) = dot_call(tokens, i, &["schedule", "schedule_in"]) {
+            out.push(Finding::new(
+                SHARD_MERGE_ORDER,
+                file,
+                tokens[i + 1].line,
+                format!(
+                    "`.{method}(…)` schedules without a content-derived key — inside the \
+                     sharded engine ties would break by insertion order, which varies with \
+                     the shard count; use `schedule_keyed`/`schedule_keyed_in`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `shard-rng-label` (sharded-engine files only): flags `.stream(…)` and
+/// `StreamRng::derive(…)`. A stream shared across entities is consumed in
+/// event-processing order, which interleaves differently per shard count;
+/// shard code must derive one stream per entity via
+/// `RngDirectory::indexed_stream` so every draw sequence is owned by
+/// exactly one entity regardless of partitioning.
+pub fn shard_rng_label(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if dot_call(tokens, i, &["stream"]).is_some() {
+            out.push(Finding::new(
+                SHARD_RNG_LABEL,
+                file,
+                tokens[i + 1].line,
+                "`.stream(…)` derives a shared RNG stream — its consumption order depends \
+                 on the shard count; shard code must use `indexed_stream` (one stream per \
+                 entity)"
+                    .to_string(),
+            ));
+        }
+        if tokens[i].is_ident("StreamRng")
+            && path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("derive"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding::new(
+                SHARD_RNG_LABEL,
+                file,
+                tokens[i].line,
+                "`StreamRng::derive(…)` bypasses the per-entity stream discipline — shard \
+                 code must go through `RngDirectory::indexed_stream`"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `shard-state-isolation` (sharded-engine files outside the coordinator
+/// seam): flags `.write(…)`. Workers replicate the shared `Medium` /
+/// `NetLayer` behind `RwLock`s and may only read them; every mutation
+/// (mobility tick, route refresh) happens on the coordinator at a window
+/// barrier, in the seam module (`stack/shard/mod.rs`). A write lock taken
+/// from worker code would race the other shards' reads mid-window.
+/// Mailbox/report `.lock()`s are deliberately not flagged.
+pub fn shard_state_isolation(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if dot_call(tokens, i, &["write"]).is_some() {
+            out.push(Finding::new(
+                SHARD_STATE_ISOLATION,
+                file,
+                tokens[i + 1].line,
+                "`.write(…)` takes a write lock on replicated shared state — mutations \
+                 belong to the coordinator barrier in `stack/shard/mod.rs`; workers may \
+                 only `.read()` between barriers"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +555,48 @@ mod tests {
         let found = run(src, no_nondet_std);
         assert_eq!(found.len(), 1, "only the read outside from_env: {found:?}");
         assert!(found[0].message.contains("env::var"));
+    }
+
+    #[test]
+    fn shard_merge_order_flags_unkeyed_scheduling_only() {
+        let src = "
+            fn f(q: &mut KeyedEventQueue<Event>) {
+                q.schedule(t, ev);
+                q.schedule_in(d, ev);
+                q.schedule_keyed(t, key, ev);
+                q.schedule_keyed_in(d, key, ev);
+            }
+        ";
+        let found = run(src, shard_merge_order);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].message.contains("schedule_keyed"));
+    }
+
+    #[test]
+    fn shard_rng_label_flags_shared_streams_and_raw_derives() {
+        let src = "
+            fn f(dir: &RngDirectory) {
+                let a = dir.stream(\"medium\");
+                let b = StreamRng::derive(seed, \"x/y\");
+                let c = dir.indexed_stream(\"shard/medium\", 3);
+            }
+        ";
+        let found = run(src, shard_rng_label);
+        assert_eq!(found.len(), 2, "indexed_stream is the sanctioned form: {found:?}");
+    }
+
+    #[test]
+    fn shard_state_isolation_flags_write_locks_not_mutex_locks() {
+        let src = "
+            fn f(m: &RwLock<Medium>, mailbox: &Mutex<Vec<u32>>) {
+                let r = m.read().unwrap();
+                let w = m.write().unwrap();
+                let q = mailbox.lock().unwrap();
+            }
+        ";
+        let found = run(src, shard_state_isolation);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("coordinator barrier"));
     }
 
     #[test]

@@ -117,13 +117,27 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 pub const WALL_CLOCK_ALLOWED: &[&str] =
     &["crates/exec/", "crates/bench/", "crates/devtools/", "crates/experiments/src/bin/"];
 
+/// The sharded-engine module: files here answer to the three `shard-*`
+/// rules (keyed scheduling, per-entity RNG streams, no write locks outside
+/// the seam).
+pub const SHARD_MODULE: &str = "crates/netsim/src/stack/shard/";
+
+/// The sharded engine's coordinator seam — the one file where write locks
+/// on the replicated shared state are legitimate (mobility/route-refresh
+/// barriers run there, between windows, with every worker parked).
+pub const SHARD_SEAM: &str = "crates/netsim/src/stack/shard/mod.rs";
+
 /// Per-file rule switches derived from where the file lives.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RuleConfig {
     /// Run `no-hash-iter` (deterministic crates only).
     pub deterministic: bool,
     /// Skip `no-wall-clock` (telemetry allowlist).
     pub wall_clock_allowed: bool,
+    /// Run the `shard-*` rules (sharded-engine module only).
+    pub shard_module: bool,
+    /// Skip `shard-state-isolation` (the coordinator seam).
+    pub shard_seam: bool,
 }
 
 /// Computes the rule switches for a file.
@@ -131,6 +145,8 @@ pub fn config_for(rel: &str, crate_name: &str) -> RuleConfig {
     RuleConfig {
         deterministic: DETERMINISTIC_CRATES.contains(&crate_name),
         wall_clock_allowed: WALL_CLOCK_ALLOWED.iter().any(|p| rel.starts_with(p)),
+        shard_module: rel.starts_with(SHARD_MODULE),
+        shard_seam: rel == SHARD_SEAM,
     }
 }
 
@@ -154,6 +170,14 @@ mod tests {
         assert!(!c.wall_clock_allowed);
         let c = config_for("crates/devtools/criterion/src/lib.rs", "devtools/criterion");
         assert!(c.wall_clock_allowed);
+        // The sharded engine: workers get all three shard rules; the
+        // coordinator seam keeps them minus the write-lock isolation.
+        let c = config_for("crates/netsim/src/stack/shard/worker.rs", "netsim");
+        assert!(c.shard_module && !c.shard_seam);
+        let c = config_for("crates/netsim/src/stack/shard/mod.rs", "netsim");
+        assert!(c.shard_module && c.shard_seam);
+        let c = config_for("crates/netsim/src/stack/mod.rs", "netsim");
+        assert!(!c.shard_module && !c.shard_seam);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Fixture: `shard-merge-order` true/false positives (lexed only).
+//! Runs under the sharded-engine config (`shard_module: true`).
+
+fn true_positives(q: &mut KeyedEventQueue<Event>) {
+    q.schedule(t, Event::TxEnd(node)); //~ shard-merge-order
+    q.schedule_in(delay, Event::MacTimer(node)); //~ shard-merge-order
+    self.queue.schedule(now, ev); //~ shard-merge-order
+}
+
+fn waived(q: &mut KeyedEventQueue<Event>) {
+    // lint:allow(shard-merge-order): bootstrap event before any worker runs, total order not yet observable
+    q.schedule(SimTime::ZERO, Event::Boot); //~ waived shard-merge-order
+}
+
+fn true_negatives(q: &mut KeyedEventQueue<Event>) {
+    q.schedule_keyed(t, key, Event::TxEnd(node)); // keyed: carries the tiebreak
+    q.schedule_keyed_in(delay, key, Event::MacTimer(node));
+    let plan = self.reschedule(t); // not an event-queue call
+    // q.schedule(t, ev) — commented out, must not fire
+    let msg = "docs may mention schedule( freely";
+    drop((plan, msg));
+}

@@ -1,0 +1,24 @@
+//! Fixture: `shard-rng-label` true/false positives (lexed only).
+//! Runs under the sharded-engine config (`shard_module: true`). Every
+//! label here is a literal, so the sites register cleanly — the rule fires
+//! on the derivation *shape*, not the label.
+
+fn true_positives(dir: &RngDirectory) {
+    let shared = dir.stream("shard/medium"); //~ shard-rng-label
+    let raw = StreamRng::derive(seed, "shard/ber"); //~ shard-rng-label
+    drop((shared, raw));
+}
+
+fn waived(dir: &RngDirectory) {
+    // lint:allow(shard-rng-label): scenario-level stream consumed before partitioning, shard-count invariant
+    let setup = dir.stream("shard/setup"); //~ waived shard-rng-label
+    drop(setup);
+}
+
+fn true_negatives(dir: &RngDirectory) {
+    let per_entity = dir.indexed_stream("shard/medium", node_index); // one stream per entity
+    let another = dir.indexed_stream("shard/ber", rx_index);
+    // dir.stream("medium") — commented out, must not fire
+    let msg = "prose may say stream( and StreamRng::derive";
+    drop((per_entity, another, msg));
+}

@@ -1,0 +1,25 @@
+//! Fixture: `shard-state-isolation` true/false positives (lexed only).
+//! Runs under the sharded-engine *worker* config (`shard_module: true`,
+//! `shard_seam: false`); the selftest re-runs it under the seam config,
+//! where the rule is off entirely.
+
+fn true_positives(medium: &RwLock<Medium>, net: &RwLock<NetLayer>) {
+    let m = medium.write().expect("poisoned"); //~ shard-state-isolation
+    net.write().unwrap().refresh_routes(&graph); //~ shard-state-isolation
+    drop(m);
+}
+
+fn waived(medium: &RwLock<Medium>) {
+    // lint:allow(shard-state-isolation): single-shard fallback path, no concurrent readers exist
+    let m = medium.write().expect("poisoned"); //~ waived shard-state-isolation
+    drop(m);
+}
+
+fn true_negatives(medium: &RwLock<Medium>, mailbox: &Mutex<Vec<Arrival>>) {
+    let snapshot = medium.read().expect("poisoned"); // reads are the worker contract
+    let mut inbox = mailbox.lock().expect("poisoned"); // mailboxes are Mutex-owned
+    let file = std::fs::File::create(path); // io::Write is not a lock
+    writer.write_all(b"bytes"); // write_all is not .write(
+    // medium.write() — commented out, must not fire
+    drop((snapshot, inbox, file));
+}

@@ -23,7 +23,7 @@ const TRIGGERS: &[&str] = &[
 ];
 
 fn det() -> RuleConfig {
-    RuleConfig { deterministic: true, wall_clock_allowed: false }
+    RuleConfig { deterministic: true, ..RuleConfig::default() }
 }
 
 proptest! {

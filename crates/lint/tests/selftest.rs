@@ -7,7 +7,10 @@
 use std::fs;
 use std::path::Path;
 
-use wmn_lint::rules::{NO_HASH_ITER, NO_WALL_CLOCK, RNG_LABEL_REGISTRY, WAIVER};
+use wmn_lint::rules::{
+    NO_HASH_ITER, NO_WALL_CLOCK, RNG_LABEL_REGISTRY, SHARD_MERGE_ORDER, SHARD_RNG_LABEL,
+    SHARD_STATE_ISOLATION, WAIVER,
+};
 use wmn_lint::workspace::RuleConfig;
 use wmn_lint::{analyze_source, FileAnalysis};
 
@@ -17,7 +20,12 @@ fn fixture(name: &str) -> String {
 }
 
 fn det() -> RuleConfig {
-    RuleConfig { deterministic: true, wall_clock_allowed: false }
+    RuleConfig { deterministic: true, ..RuleConfig::default() }
+}
+
+/// The config of a sharded-engine worker file (`stack/shard/worker.rs`).
+fn shard() -> RuleConfig {
+    RuleConfig { deterministic: true, shard_module: true, ..RuleConfig::default() }
 }
 
 /// Parses the `//~ [waived] <rule>` markers out of a fixture.
@@ -75,7 +83,7 @@ fn no_hash_iter_is_off_outside_deterministic_crates() {
         "no_hash_iter.rs",
         "exec",
         &src,
-        RuleConfig { deterministic: false, wall_clock_allowed: true },
+        RuleConfig { wall_clock_allowed: true, ..RuleConfig::default() },
     );
     // Without the rule, the inline waiver in the fixture goes unused — that
     // (and only that) surfaces as a waiver finding.
@@ -93,7 +101,7 @@ fn no_wall_clock_fixture_matches_markers() {
         "no_wall_clock.rs",
         "exec",
         &src,
-        RuleConfig { deterministic: false, wall_clock_allowed: true },
+        RuleConfig { wall_clock_allowed: true, ..RuleConfig::default() },
     );
     assert!(fa.findings.is_empty(), "{:?}", fa.findings);
 }
@@ -129,6 +137,60 @@ fn rng_labels_fixture_matches_markers_and_registers() {
 }
 
 #[test]
+fn shard_merge_order_fixture_matches_markers() {
+    let fa = check("shard_merge_order.rs", shard());
+    assert!(fa.findings.iter().all(|f| f.rule == SHARD_MERGE_ORDER));
+    assert_eq!(fa.waived.len(), 1);
+    assert!(fa.waived[0].waive_reason.as_deref().unwrap().contains("bootstrap"));
+}
+
+#[test]
+fn shard_rng_label_fixture_matches_markers_and_registers_families() {
+    let fa = check("shard_rng_label.rs", shard());
+    assert!(fa.findings.iter().all(|f| f.rule == SHARD_RNG_LABEL));
+    assert_eq!(fa.waived.len(), 1);
+    // The indexed_stream sites register their whole family as a dynamic
+    // template, claiming the `shard` prefix like any other label.
+    let mut keys: Vec<&str> = fa.labels.iter().map(|l| l.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert!(keys.contains(&"dynamic:shard/medium/{index}"), "{keys:?}");
+    assert!(keys.contains(&"dynamic:shard/ber/{index}"), "{keys:?}");
+    assert!(fa.labels.iter().all(|l| l.prefix.as_deref() == Some("shard")));
+}
+
+#[test]
+fn shard_state_isolation_fixture_matches_markers_and_seam_is_exempt() {
+    let fa = check("shard_state_isolation.rs", shard());
+    assert!(fa.findings.iter().all(|f| f.rule == SHARD_STATE_ISOLATION));
+    assert_eq!(fa.waived.len(), 1);
+    // The coordinator seam config switches the rule off; the fixture's
+    // waiver then goes unused, which is the only finding left.
+    let src = fixture("shard_state_isolation.rs");
+    let seam = RuleConfig {
+        deterministic: true,
+        shard_module: true,
+        shard_seam: true,
+        ..RuleConfig::default()
+    };
+    let fa = analyze_source("shard_state_isolation.rs", "fixture", &src, seam);
+    assert!(fa.findings.iter().all(|f| f.rule == WAIVER), "{:?}", fa.findings);
+    assert!(fa.waived.is_empty());
+}
+
+#[test]
+fn shard_rules_are_off_outside_the_shard_module() {
+    for name in ["shard_merge_order.rs", "shard_rng_label.rs", "shard_state_isolation.rs"] {
+        let src = fixture(name);
+        let fa = analyze_source(name, "netsim", &src, det());
+        // Only the now-unused waiver surfaces — the shard rules themselves
+        // must not leak into ordinary deterministic code.
+        assert!(fa.findings.iter().all(|f| f.rule == WAIVER), "{name}: {:?}", fa.findings);
+        assert!(fa.waived.is_empty(), "{name}");
+    }
+}
+
+#[test]
 fn waiver_misuse_fixture_reports_each_failure_mode() {
     let src = fixture("waivers.rs");
     let fa = analyze_source("waivers.rs", "fixture", &src, det());
@@ -155,4 +217,7 @@ fn rng_label_registry_rule_name_is_reserved_for_sites_and_registry() {
     assert_eq!(NO_WALL_CLOCK, "no-wall-clock");
     assert_eq!(wmn_lint::rules::NO_NONDET_STD, "no-nondeterministic-std");
     assert_eq!(RNG_LABEL_REGISTRY, "rng-label-registry");
+    assert_eq!(SHARD_MERGE_ORDER, "shard-merge-order");
+    assert_eq!(SHARD_RNG_LABEL, "shard-rng-label");
+    assert_eq!(SHARD_STATE_ISOLATION, "shard-state-isolation");
 }

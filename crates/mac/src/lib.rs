@@ -132,8 +132,11 @@ pub struct MacStats {
 ///
 /// The simulation runner (`wmn-netsim`) drives implementations through this
 /// trait; it is object-safe on purpose so the runner can store heterogeneous
-/// MACs behind one interface.
-pub trait MacEntity {
+/// MACs behind one interface. `Send` is a supertrait because the sharded
+/// event loop moves per-station MACs onto shard worker threads — every MAC
+/// is plain owned state plus seeded RNG streams, so the bound costs
+/// implementations nothing.
+pub trait MacEntity: Send {
     /// A packet arrives from the upper layer with its routing decision.
     fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction>;
     /// The channel at this station turned busy.

@@ -36,6 +36,7 @@
 //!     max_forwarders: 5,
 //!     motion: wmn_netsim::MotionPlan::default(),
 //!     route_refresh: None,
+//!     shards: None,
 //! };
 //! let result = run(&scenario);
 //! assert!(result.flows[0].delivered_bytes > 0);

@@ -153,6 +153,15 @@ pub struct Scenario {
     /// no RNG, so `None` is byte-for-byte identical to the pre-refresh
     /// runner, and a refresh over an unmoved topology changes nothing.
     pub route_refresh: Option<SimDuration>,
+    /// Shard count for the conservative sharded event loop, or `None` for
+    /// the single-loop engine. `None` is byte-for-byte the legacy engine
+    /// (the CI baseline's bytes); any `Some(k)` selects the sharded engine,
+    /// whose results are bit-identical for **every** `k ≥ 1` (pinned by the
+    /// determinism suites) but use a different RNG stream layout than the
+    /// single-loop engine, so `Some(1)` and `None` are two distinct,
+    /// individually deterministic engines. Counts above the station count
+    /// are clamped.
+    pub shards: Option<u32>,
 }
 
 impl Scenario {
@@ -210,6 +219,13 @@ impl Scenario {
                 self.name
             ));
         }
+        if self.shards == Some(0) {
+            return Err(format!(
+                "scenario {:?}: shards must be positive — use None for the single-loop \
+                 engine, Some(1) for the sharded engine on one shard",
+                self.name
+            ));
+        }
         Ok(())
     }
 }
@@ -250,6 +266,7 @@ mod tests {
             max_forwarders: 5,
             motion: MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         }
     }
 

@@ -64,46 +64,52 @@ impl FlowLayer {
         FlowLayer { flows }
     }
 
+    /// Every flow's arrival process as plain data: the offset from `t = 0`
+    /// and the event to fire, flow-major in seeding order. The VoIP
+    /// departure schedules are precomputed here (streams `voip/<index>`),
+    /// so both engines share one source of truth for what gets seeded: the
+    /// single-loop engine schedules the whole list
+    /// ([`FlowLayer::initial_queue`]); each shard worker schedules the
+    /// entries of the flows it owns, minting its own flow-lane keys.
+    pub(crate) fn seed_events(
+        &self,
+        scenario: &Scenario,
+        dir: &RngDirectory,
+    ) -> Vec<(SimDuration, Event)> {
+        let mut seeds = Vec::new();
+        for (i, flow) in self.flows.iter().enumerate() {
+            // Small deterministic stagger breaks pathological phase locks.
+            let stagger = SimDuration::from_micros(17 * i as u64);
+            match &flow.spec.workload {
+                Workload::Ftp | Workload::Web(_) => {
+                    seeds.push((stagger, Event::FlowStart { flow: flow.id }));
+                }
+                Workload::Voip(model) => {
+                    let mut rng = dir.stream(&format!("voip/{i}"));
+                    for dep in model.departure_schedule(scenario.duration, &mut rng) {
+                        seeds.push((dep, Event::UdpSend { flow: flow.id }));
+                    }
+                }
+                Workload::Cbr(_) => {
+                    seeds.push((stagger, Event::UdpSend { flow: flow.id }));
+                }
+            }
+        }
+        seeds
+    }
+
     /// Creates the event queue and seeds it with every flow's arrival
-    /// process. The VoIP departure schedules are precomputed (streams
-    /// `voip/<index>`) so the queue can be sized to the full initial event
-    /// load in one allocation.
+    /// process ([`FlowLayer::seed_events`]), sized to the full initial
+    /// event load in one allocation.
     pub(crate) fn initial_queue(
         &self,
         scenario: &Scenario,
         dir: &RngDirectory,
     ) -> EventQueue<Event> {
-        let voip_departures: Vec<Option<Vec<SimDuration>>> = self
-            .flows
-            .iter()
-            .enumerate()
-            .map(|(i, flow)| match &flow.spec.workload {
-                Workload::Voip(model) => {
-                    let mut rng = dir.stream(&format!("voip/{i}"));
-                    Some(model.departure_schedule(scenario.duration, &mut rng))
-                }
-                _ => None,
-            })
-            .collect();
-        let initial_events: usize =
-            voip_departures.iter().map(|deps| deps.as_ref().map_or(1, Vec::len)).sum();
-        let mut queue = EventQueue::with_capacity(initial_events);
-        for ((i, flow), departures) in self.flows.iter().enumerate().zip(voip_departures) {
-            // Small deterministic stagger breaks pathological phase locks.
-            let stagger = SimDuration::from_micros(17 * i as u64);
-            match &flow.spec.workload {
-                Workload::Ftp | Workload::Web(_) => {
-                    queue.schedule_in(stagger, Event::FlowStart { flow: flow.id });
-                }
-                Workload::Voip(_) => {
-                    for dep in departures.expect("departure schedule precomputed above") {
-                        queue.schedule_in(dep, Event::UdpSend { flow: flow.id });
-                    }
-                }
-                Workload::Cbr(_) => {
-                    queue.schedule_in(stagger, Event::UdpSend { flow: flow.id });
-                }
-            }
+        let seeds = self.seed_events(scenario, dir);
+        let mut queue = EventQueue::with_capacity(seeds.len());
+        for (delay, event) in seeds {
+            queue.schedule_in(delay, event);
         }
         queue
     }
@@ -121,57 +127,85 @@ impl FlowLayer {
     /// Condenses every flow's endpoints into its [`FlowResult`], in
     /// scenario order.
     pub(crate) fn results(&self, scenario: &Scenario) -> Vec<FlowResult> {
-        let mss = u64::from(TcpConfig::default().mss_wire_bytes);
-        let mut flows = Vec::with_capacity(self.flows.len());
-        for flow in &self.flows {
-            let (delivered_bytes, tcp, voip) = match &flow.spec.workload {
-                Workload::Ftp | Workload::Web(_) => {
-                    let rx = flow.tcp_rx.as_ref().expect("tcp flow has receiver");
-                    let tx = flow.tcp_tx.as_ref().expect("tcp flow has sender");
-                    let bytes = rx.delivered_segments() * mss;
-                    let tcp = TcpFlowResult {
-                        segments_arrived: rx.stats().segments_arrived,
-                        reordered_arrivals: rx.stats().reordered_arrivals,
-                        retransmits: tx.stats().retransmits,
-                        timeouts: tx.stats().timeouts,
-                    };
-                    (bytes, Some(tcp), None)
-                }
-                Workload::Voip(_) => {
-                    let sink = &flow.udp_sink;
-                    let sent = flow.udp_sent.max(1);
-                    let late = sink.late_fraction(WIRELESS_BUDGET);
-                    let ontime = sink.received() as f64 * (1.0 - late);
-                    let loss = (1.0 - ontime / sent as f64).clamp(0.0, 1.0);
-                    let mean_delay =
-                        sink.mean_ontime_delay(WIRELESS_BUDGET).unwrap_or(WIRELESS_BUDGET);
-                    let mos = voip_mos(VoipQualityInputs {
-                        mean_wireless_delay: mean_delay,
-                        loss_fraction: loss,
-                    });
-                    let v = VoipFlowResult {
-                        sent: flow.udp_sent,
-                        received: sink.received(),
-                        loss_fraction: loss,
-                        mean_delay,
-                        p95_delay: wmn_metrics::p95(sink.delays())
-                            .unwrap_or(wmn_sim::SimDuration::ZERO),
-                        jitter: wmn_metrics::jitter(sink.delays())
-                            .unwrap_or(wmn_sim::SimDuration::ZERO),
-                        mos,
-                    };
-                    (sink.bytes_received(), None, Some(v))
-                }
-                Workload::Cbr(_) => (flow.udp_sink.bytes_received(), None, None),
+        self.flows
+            .iter()
+            .map(|flow| {
+                flow_result(
+                    FlowEndpoints {
+                        spec: &flow.spec,
+                        id: flow.id,
+                        tcp_tx: flow.tcp_tx.as_ref(),
+                        tcp_rx: flow.tcp_rx.as_ref(),
+                        udp_sink: &flow.udp_sink,
+                        udp_sent: flow.udp_sent,
+                    },
+                    scenario.duration,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Borrowed views of the endpoint state one [`FlowResult`] is computed
+/// from. In a single-loop run every view borrows the same [`FlowRt`]; in a
+/// sharded run the sender-side halves (`tcp_tx`, `udp_sent`) come from the
+/// shard owning the flow's source and the receiver-side halves (`tcp_rx`,
+/// `udp_sink`) from the shard owning its destination — the result math is
+/// identical either way because [`flow_result`] is the single code path.
+pub(crate) struct FlowEndpoints<'a> {
+    pub(crate) spec: &'a FlowSpec,
+    pub(crate) id: FlowId,
+    pub(crate) tcp_tx: Option<&'a TcpSender>,
+    pub(crate) tcp_rx: Option<&'a TcpReceiver>,
+    pub(crate) udp_sink: &'a UdpSink,
+    pub(crate) udp_sent: u64,
+}
+
+/// Condenses one flow's endpoint state into its [`FlowResult`].
+pub(crate) fn flow_result(ep: FlowEndpoints<'_>, duration: SimDuration) -> FlowResult {
+    let mss = u64::from(TcpConfig::default().mss_wire_bytes);
+    let (delivered_bytes, tcp, voip) = match &ep.spec.workload {
+        Workload::Ftp | Workload::Web(_) => {
+            let rx = ep.tcp_rx.expect("tcp flow has receiver");
+            let tx = ep.tcp_tx.expect("tcp flow has sender");
+            let bytes = rx.delivered_segments() * mss;
+            let tcp = TcpFlowResult {
+                segments_arrived: rx.stats().segments_arrived,
+                reordered_arrivals: rx.stats().reordered_arrivals,
+                retransmits: tx.stats().retransmits,
+                timeouts: tx.stats().timeouts,
             };
-            flows.push(FlowResult {
-                flow: flow.id,
-                delivered_bytes,
-                throughput_mbps: throughput_mbps(delivered_bytes, scenario.duration),
-                tcp,
-                voip,
-            });
+            (bytes, Some(tcp), None)
         }
-        flows
+        Workload::Voip(_) => {
+            let sink = ep.udp_sink;
+            let sent = ep.udp_sent.max(1);
+            let late = sink.late_fraction(WIRELESS_BUDGET);
+            let ontime = sink.received() as f64 * (1.0 - late);
+            let loss = (1.0 - ontime / sent as f64).clamp(0.0, 1.0);
+            let mean_delay = sink.mean_ontime_delay(WIRELESS_BUDGET).unwrap_or(WIRELESS_BUDGET);
+            let mos = voip_mos(VoipQualityInputs {
+                mean_wireless_delay: mean_delay,
+                loss_fraction: loss,
+            });
+            let v = VoipFlowResult {
+                sent: ep.udp_sent,
+                received: sink.received(),
+                loss_fraction: loss,
+                mean_delay,
+                p95_delay: wmn_metrics::p95(sink.delays()).unwrap_or(wmn_sim::SimDuration::ZERO),
+                jitter: wmn_metrics::jitter(sink.delays()).unwrap_or(wmn_sim::SimDuration::ZERO),
+                mos,
+            };
+            (sink.bytes_received(), None, Some(v))
+        }
+        Workload::Cbr(_) => (ep.udp_sink.bytes_received(), None, None),
+    };
+    FlowResult {
+        flow: ep.id,
+        delivered_bytes,
+        throughput_mbps: throughput_mbps(delivered_bytes, duration),
+        tcp,
+        voip,
     }
 }

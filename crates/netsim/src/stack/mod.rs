@@ -33,6 +33,7 @@ pub mod flow_layer;
 pub mod mac_engine;
 pub mod net_layer;
 pub mod phy_io;
+pub mod shard;
 
 use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
 use wmn_mac::{MacAction, RateClass, TimerToken};
@@ -159,6 +160,15 @@ pub(crate) enum Event {
 
 /// Executes a scenario to completion and returns per-flow results.
 ///
+/// # Engines
+///
+/// [`Scenario::shards`] selects the engine: `None` runs the single-loop
+/// runner below (the legacy schedule every committed baseline pins);
+/// `Some(k)` runs the conservative sharded engine ([`shard`]), whose
+/// results are bit-identical for every `k ≥ 1` but deliberately *not*
+/// byte-identical to the legacy engine (per-entity RNG streams — see the
+/// [`shard`] module docs for the contract).
+///
 /// # Thread safety
 ///
 /// `run` is a pure function of `scenario`: the entire simulation world — MAC state
@@ -176,6 +186,9 @@ pub(crate) enum Event {
 /// opportunistic schemes with single-node paths, …) — these are programming
 /// errors in experiment definitions, not runtime conditions.
 pub fn run(scenario: &Scenario) -> RunResult {
+    if let Some(shards) = scenario.shards {
+        return shard::run_sharded(scenario, shards);
+    }
     let mut runner = Runner::build(scenario);
     runner.run_loop();
     runner.results(scenario)
@@ -640,6 +653,7 @@ mod tests {
             max_forwarders: 5,
             motion: MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         }
     }
 

@@ -53,20 +53,107 @@ fn split_arrival_id(id: u64) -> (u32, u32) {
     (id as u32, (id >> 32) as u32)
 }
 
+/// The in-flight arrival slab, factored out of [`PhyIo`] so shard workers
+/// can own one each: freed slots are recycled LIFO, so memory stays bounded
+/// by the peak number of concurrent arrivals instead of growing with the run
+/// length. Event ids pack the slot index with the slot's generation tag (see
+/// [`arrival_id`]): a stale id whose slot was recycled for a *different*
+/// arrival then fails the generation check instead of silently aliasing the
+/// new occupant. Slab ids are pure lookup handles — they never participate
+/// in event ordering, which is what lets each shard mint its own ids without
+/// perturbing the deterministic `(time, key)` schedule.
+#[derive(Default)]
+pub(crate) struct ArrivalSlab {
+    arrivals: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl ArrivalSlab {
+    /// Places an in-flight arrival into the slab, recycling a freed slot if
+    /// one is available, and returns its generation-tagged event id.
+    pub(crate) fn alloc(&mut self, state: ArrivalState) -> u64 {
+        match self.free.pop() {
+            Some(slot) => {
+                let entry = &mut self.arrivals[slot as usize];
+                entry.state = Some(state);
+                arrival_id(slot, entry.generation)
+            }
+            None => {
+                self.arrivals.push(Slot { generation: 0, state: Some(state) });
+                arrival_id((self.arrivals.len() - 1) as u32, 0)
+            }
+        }
+    }
+
+    /// Peeks at a parked arrival (for RxStart), if it is still in flight.
+    /// An id whose slot has since been freed — even if recycled for another
+    /// arrival — fails the generation check and returns `None`.
+    pub(crate) fn peek(&self, id: u64) -> Option<&ArrivalState> {
+        let (slot, generation) = split_arrival_id(id);
+        let entry = self.arrivals.get(slot as usize)?;
+        if entry.generation != generation {
+            return None;
+        }
+        entry.state.as_ref()
+    }
+
+    /// Removes a parked arrival (at RxEnd), freeing its slot. Stale ids are
+    /// rejected by the generation check like in [`ArrivalSlab::peek`].
+    pub(crate) fn take(&mut self, id: u64) -> Option<ArrivalState> {
+        let (slot, generation) = split_arrival_id(id);
+        let entry = self.arrivals.get_mut(slot as usize)?;
+        if entry.generation != generation {
+            return None;
+        }
+        let state = entry.state.take()?;
+        // Freeing bumps the generation, invalidating every id minted for
+        // the old occupant the moment the slot is recyclable. Wrapping is
+        // fine: an id only collides after exactly 2^32 reuses of one slot
+        // while it is somehow still in flight.
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(slot);
+        Some(state)
+    }
+}
+
+/// One mobility step over any medium handle: re-sample every moving node's
+/// trajectory at `now` and push changed positions into the medium's
+/// incremental link-state refresh. Shared by [`PhyIo::advance_positions`]
+/// (single-loop engine) and the shard coordinator's mobility barrier, so the
+/// two engines cannot drift apart on what a tick means.
+///
+/// A node whose sampled position equals its current one — typically a
+/// waypoint walker parked at its final target — skips the refresh entirely:
+/// recomputing link state from an identical position yields identical values
+/// (the computation is deterministic and draws no RNG), so the short-circuit
+/// cannot change results, only save the `2n − 1` entry updates per tick.
+pub(crate) fn advance_medium_positions(
+    medium: &mut Medium,
+    motion: &MotionPlan,
+    origin: &[Position],
+    now: SimTime,
+) {
+    for (i, path) in motion.paths.iter().enumerate() {
+        if path.is_static() {
+            continue;
+        }
+        let node = NodeId::new(i as u32);
+        let pos = path.position_at(origin[i], now);
+        if pos == medium.position(node) {
+            continue;
+        }
+        medium.update_node_position(node, pos);
+    }
+}
+
 /// The PHY I/O layer: medium, per-station receivers, arrival slab, BER, and
 /// mobility state.
 pub(crate) struct PhyIo {
     medium: Medium,
     ber: BerModel,
     receivers: Vec<Receiver>,
-    /// Slab of in-flight arrivals: freed slots are recycled LIFO, so memory
-    /// stays bounded by the peak number of concurrent arrivals instead of
-    /// growing with the run length. Event ids pack the slot index with the
-    /// slot's generation tag (see [`arrival_id`]): a stale id whose slot was
-    /// recycled for a *different* arrival then fails the generation check
-    /// instead of silently aliasing the new occupant.
-    arrivals: Vec<Slot>,
-    free_arrivals: Vec<u32>,
+    /// Slab of in-flight arrivals (see [`ArrivalSlab`]).
+    arrivals: ArrivalSlab,
     /// Reusable buffer for `Medium::plan_transmission_into` — zero planner
     /// allocations per transmission at steady state.
     plan_scratch: Vec<RxPlan>,
@@ -86,8 +173,7 @@ impl PhyIo {
             medium: Medium::new(scenario.params.clone(), scenario.positions.clone()),
             ber: BerModel::new(scenario.params.ber),
             receivers: (0..n).map(|_| Receiver::new()).collect(),
-            arrivals: Vec::new(),
-            free_arrivals: Vec::new(),
+            arrivals: ArrivalSlab::default(),
             plan_scratch: Vec::new(),
             medium_rng: dir.stream("medium"),
             ber_rng: dir.stream("ber"),
@@ -144,47 +230,19 @@ impl PhyIo {
     /// Places an in-flight arrival into the slab, recycling a freed slot if
     /// one is available, and returns its generation-tagged event id.
     fn alloc_arrival(&mut self, state: ArrivalState) -> u64 {
-        match self.free_arrivals.pop() {
-            Some(slot) => {
-                let entry = &mut self.arrivals[slot as usize];
-                entry.state = Some(state);
-                arrival_id(slot, entry.generation)
-            }
-            None => {
-                self.arrivals.push(Slot { generation: 0, state: Some(state) });
-                arrival_id((self.arrivals.len() - 1) as u32, 0)
-            }
-        }
+        self.arrivals.alloc(state)
     }
 
     /// Peeks at a parked arrival (for RxStart), if it is still in flight.
-    /// An id whose slot has since been freed — even if recycled for another
-    /// arrival — fails the generation check and returns `None`.
+    /// See [`ArrivalSlab::peek`].
     pub(crate) fn arrival(&self, id: u64) -> Option<&ArrivalState> {
-        let (slot, generation) = split_arrival_id(id);
-        let entry = self.arrivals.get(slot as usize)?;
-        if entry.generation != generation {
-            return None;
-        }
-        entry.state.as_ref()
+        self.arrivals.peek(id)
     }
 
-    /// Removes a parked arrival (at RxEnd), freeing its slot. Stale ids are
-    /// rejected by the generation check like in [`PhyIo::arrival`].
+    /// Removes a parked arrival (at RxEnd), freeing its slot. See
+    /// [`ArrivalSlab::take`].
     pub(crate) fn take_arrival(&mut self, id: u64) -> Option<ArrivalState> {
-        let (slot, generation) = split_arrival_id(id);
-        let entry = self.arrivals.get_mut(slot as usize)?;
-        if entry.generation != generation {
-            return None;
-        }
-        let state = entry.state.take()?;
-        // Freeing bumps the generation, invalidating every id minted for
-        // the old occupant the moment the slot is recyclable. Wrapping is
-        // fine: an id only collides after exactly 2^32 reuses of one slot
-        // while it is somehow still in flight.
-        entry.generation = entry.generation.wrapping_add(1);
-        self.free_arrivals.push(slot);
-        Some(state)
+        self.arrivals.take(id)
     }
 
     /// Applies the i.i.d. BER model to one received frame copy: the header
@@ -228,26 +286,10 @@ impl PhyIo {
 
     /// One mobility step: re-sample every moving node's trajectory at `now`
     /// and push the new position into the medium's incremental link-state
-    /// refresh (O(n) per moved node, instead of an n² matrix rebuild).
-    ///
-    /// A node whose sampled position equals its current one — typically a
-    /// waypoint walker parked at its final target — skips the refresh
-    /// entirely: recomputing link state from an identical position yields
-    /// identical values (the computation is deterministic and draws no
-    /// RNG), so the short-circuit cannot change results, only save the
-    /// `2n − 1` entry updates per tick.
+    /// refresh (O(n) per moved node, instead of an n² matrix rebuild). See
+    /// [`advance_medium_positions`], which the shard coordinator shares.
     pub(crate) fn advance_positions(&mut self, now: SimTime) {
-        for (i, path) in self.motion.paths.iter().enumerate() {
-            if path.is_static() {
-                continue;
-            }
-            let node = NodeId::new(i as u32);
-            let pos = path.position_at(self.origin[i], now);
-            if pos == self.medium.position(node) {
-                continue;
-            }
-            self.medium.update_node_position(node, pos);
-        }
+        advance_medium_positions(&mut self.medium, &self.motion, &self.origin, now);
     }
 
     /// The medium's current idea of a station's position (moves over time
@@ -293,6 +335,7 @@ mod tests {
             max_forwarders: 5,
             motion: MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         };
         PhyIo::build(&scenario, &RngDirectory::new(1))
     }
@@ -323,9 +366,9 @@ mod tests {
         let mut phy = phy();
         let id = phy.alloc_arrival(arrival(1));
         let (slot, _) = split_arrival_id(id);
-        phy.arrivals[slot as usize].generation = u32::MAX;
+        phy.arrivals.arrivals[slot as usize].generation = u32::MAX;
         let id = arrival_id(slot, u32::MAX);
         assert!(phy.take_arrival(id).is_some());
-        assert_eq!(phy.arrivals[slot as usize].generation, 0, "wrapping add");
+        assert_eq!(phy.arrivals.arrivals[slot as usize].generation, 0, "wrapping add");
     }
 }

@@ -1,0 +1,123 @@
+//! Deterministic spatial partition of stations into shards.
+//!
+//! Shards are strips along the placement's longest axis: stations are sorted
+//! by that coordinate (ties broken by node id) and cut into nearly-equal
+//! contiguous chunks. Strips keep spatially-close stations together, which
+//! maximises the minimum cross-shard distance — and therefore the
+//! conservative lookahead bound the window scheduler runs on. The partition
+//! is a pure function of the `t = 0` placement and the shard count, so every
+//! engine instance (and every rerun) derives the identical ownership map.
+
+use wmn_phy::Position;
+use wmn_sim::NodeId;
+
+/// The ownership map of one sharded run.
+pub(crate) struct Partition {
+    /// Shard owning each station, indexed densely by node id.
+    pub(crate) owner: Vec<u32>,
+    /// Each shard's stations, ascending node order.
+    pub(crate) members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Number of shards actually in use (the requested count clamped to the
+    /// station count).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Cuts the placement into `shards` spatial strips (clamped to the station
+/// count — more shards than stations would only mint empty workers).
+pub(crate) fn partition_stations(positions: &[Position], shards: u32) -> Partition {
+    let n = positions.len();
+    let k = (shards.max(1) as usize).min(n.max(1));
+    // Strip along whichever axis spans more: fewer cross-shard neighbours,
+    // larger minimum cross-shard distance, better lookahead.
+    let span = |coord: fn(&Position) -> f64| {
+        positions
+            .iter()
+            .map(coord)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), c| (lo.min(c), hi.max(c)))
+    };
+    let (min_x, max_x) = span(|p| p.x);
+    let (min_y, max_y) = span(|p| p.y);
+    let along_x = (max_x - min_x) >= (max_y - min_y);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (ca, cb) = if along_x {
+            (positions[a].x, positions[b].x)
+        } else {
+            (positions[a].y, positions[b].y)
+        };
+        // total_cmp: a placement with NaN coordinates is rejected upstream,
+        // but the sort must stay a total order regardless.
+        ca.total_cmp(&cb).then(a.cmp(&b))
+    });
+    let mut owner = vec![0u32; n];
+    let (base, extra) = (n / k, n % k);
+    let mut cursor = 0;
+    for shard in 0..k {
+        let take = base + usize::from(shard < extra);
+        for _ in 0..take {
+            owner[order[cursor]] = shard as u32;
+            cursor += 1;
+        }
+    }
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (node, &shard) in owner.iter().enumerate() {
+        members[shard as usize].push(NodeId::new(node as u32));
+    }
+    Partition { owner, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Position> {
+        (0..n).map(|i| Position::new(i as f64 * 5.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn strips_are_contiguous_along_the_long_axis() {
+        let part = partition_stations(&line(8), 2);
+        assert_eq!(part.owner, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(part.members[0], (0..4).map(NodeId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_counts_spread_the_remainder_over_the_first_shards() {
+        let part = partition_stations(&line(7), 3);
+        let sizes: Vec<usize> = part.members.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_station_count() {
+        let part = partition_stations(&line(3), 16);
+        assert_eq!(part.shard_count(), 3);
+        assert!(part.members.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn vertical_placements_strip_along_y() {
+        let positions: Vec<Position> = (0..6).map(|i| Position::new(0.0, i as f64 * 3.0)).collect();
+        let part = partition_stations(&positions, 2);
+        assert_eq!(part.owner, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let part = partition_stations(&line(5), 1);
+        assert!(part.owner.iter().all(|&s| s == 0));
+        assert_eq!(part.members.len(), 1);
+    }
+
+    #[test]
+    fn coordinate_ties_break_by_node_id() {
+        let positions = vec![Position::new(0.0, 0.0); 4];
+        let part = partition_stations(&positions, 2);
+        assert_eq!(part.owner, vec![0, 0, 1, 1]);
+    }
+}

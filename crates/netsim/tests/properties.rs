@@ -47,6 +47,7 @@ proptest! {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         };
         let result = run(&scenario);
         let flow = &result.flows[0];
@@ -84,6 +85,7 @@ proptest! {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         };
         let result = run(&scenario);
         prop_assert_eq!(result.flows[0].tcp.unwrap().reordered_arrivals, 0);

@@ -43,6 +43,7 @@
 //!     max_forwarders: 5,
 //!     mobility: wmn_scengen::MobilitySpec::Static,
 //!     route_refresh_ms: None,
+//!     shards: None,
 //! };
 //! // Specs are data: they round-trip to disk …
 //! let reloaded = ScenarioSpec::parse(&spec.to_json().to_string()).unwrap();

@@ -119,9 +119,48 @@ pub struct ScenarioSpec {
     /// default — freezes routes at their build-time tables (the
     /// pre-refresh behaviour, byte for byte).
     pub route_refresh_ms: Option<u64>,
+    /// Shard count for the conservative parallel engine. `None` — the
+    /// default — runs the legacy single-loop engine (baseline bytes);
+    /// `Some(k)` runs the sharded engine, whose results are bit-identical
+    /// for every `k >= 1`.
+    pub shards: Option<u32>,
 }
 
 impl ScenarioSpec {
+    /// The campus-at-scale preset: 32 clusters × 32 stations = 1,024 nodes
+    /// in a 60 m square — the workload the sharded engine exists for, and
+    /// the placement `wmn_bench`'s shard entry runs at two shard counts.
+    /// Density is deliberately high (mean nearest neighbour under a metre)
+    /// so the placement is radio-connected at the first attempt; `shards`
+    /// is left `None` for the caller to choose an engine.
+    pub fn campus_scale() -> Self {
+        ScenarioSpec {
+            name: "campus-1k".into(),
+            topology: TopologySpec::Campus {
+                clusters: 32,
+                nodes_per_cluster: 32,
+                cluster_radius_m: 3.0,
+                side_m: 60.0,
+            },
+            mix: TrafficMix {
+                ftp: 2,
+                web: 0,
+                voip: 2,
+                cbr: 2,
+                pairing: crate::mix::PairPolicy::Random,
+            },
+            scheme: Scheme::Ripple { aggregation: 16 },
+            phy: PhyPreset::Mbps216,
+            ber: None,
+            duration_ms: 40,
+            seed: 1,
+            max_forwarders: 5,
+            mobility: MobilitySpec::Static,
+            route_refresh_ms: None,
+            shards: None,
+        }
+    }
+
     /// Expands the spec into a runnable, validated [`Scenario`]:
     /// generates the placement, composes and routes the flows, and applies
     /// the PHY preset. Deterministic — same spec, same scenario, bit for
@@ -148,6 +187,7 @@ impl ScenarioSpec {
             max_forwarders: self.max_forwarders,
             motion,
             route_refresh: self.route_refresh_ms.map(SimDuration::from_millis),
+            shards: self.shards,
         };
         scenario.validate().map_err(err)?;
         Ok(scenario)
@@ -175,6 +215,11 @@ impl ScenarioSpec {
         // files stay byte-identical.
         if let Some(ms) = self.route_refresh_ms {
             doc = doc.with("route_refresh_ms", ms);
+        }
+        // And the shard knob: omitted when the legacy engine is in use, so
+        // pre-sharding spec files stay byte-identical.
+        if let Some(shards) = self.shards {
+            doc = doc.with("shards", u64::from(shards));
         }
         doc.with("duration_ms", self.duration_ms)
             .with("seed", self.seed)
@@ -211,6 +256,15 @@ impl ScenarioSpec {
                 Some(v) => {
                     Some(v.as_u64().ok_or("scenario: \"route_refresh_ms\" must be an integer")?)
                 }
+            },
+            shards: match value.get("shards") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .and_then(|k| u32::try_from(k).ok())
+                        .filter(|&k| k > 0)
+                        .ok_or("scenario: \"shards\" must be a positive integer")?,
+                ),
             },
         })
     }
@@ -285,6 +339,7 @@ mod tests {
             max_forwarders: 5,
             mobility: MobilitySpec::Static,
             route_refresh_ms: None,
+            shards: None,
         }
     }
 
@@ -347,6 +402,33 @@ mod tests {
         let scenario = on.materialise().unwrap();
         assert_eq!(scenario.route_refresh, Some(SimDuration::from_millis(50)));
         assert_eq!(spec().materialise().unwrap().route_refresh, None);
+    }
+
+    #[test]
+    fn shards_round_trip_and_legacy_stays_implicit() {
+        let legacy_text = spec().to_json().to_string();
+        assert!(
+            !legacy_text.contains("shards"),
+            "legacy-engine specs must serialise without the key (baseline byte-compat)"
+        );
+        let sharded = ScenarioSpec { shards: Some(4), ..spec() };
+        let text = sharded.to_json().to_string();
+        assert!(text.contains("\"shards\": 4"), "{text}");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), sharded);
+        assert_eq!(sharded.materialise().unwrap().shards, Some(4));
+        assert_eq!(spec().materialise().unwrap().shards, None);
+        // Zero shards is meaningless (there is no zero-queue engine).
+        let zero = text.replace("\"shards\": 4", "\"shards\": 0");
+        let msg = ScenarioSpec::parse(&zero).unwrap_err();
+        assert!(msg.contains("positive"), "{msg}");
+    }
+
+    #[test]
+    fn campus_scale_preset_materialises_a_thousand_station_mesh() {
+        let scenario = ScenarioSpec::campus_scale().materialise().unwrap();
+        assert_eq!(scenario.positions.len(), 1024);
+        assert_eq!(scenario.flows.len(), 6);
+        assert_eq!(scenario.validate(), Ok(()));
     }
 
     #[test]

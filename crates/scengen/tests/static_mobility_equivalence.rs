@@ -40,6 +40,7 @@ fn spec(topo_pick: usize, scheme_pick: usize, seed: u64) -> ScenarioSpec {
         max_forwarders: 5,
         mobility: MobilitySpec::Static,
         route_refresh_ms: None,
+        shards: None,
     }
 }
 
@@ -135,5 +136,40 @@ proptest! {
         let a = run(&scenario);
         let b = run(&scenario);
         prop_assert_eq!(a, b, "mobile runs must be deterministic per seed");
+    }
+}
+
+proptest! {
+    // Heavier cases (three full runs each, some mobile); fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sharded engine's contract over the generated-scenario space:
+    /// `shards: Some(k)` is bit-identical for every `k ≥ 1` — including on
+    /// mobile, live-routed scenarios, across topology families and schemes.
+    /// (`Some(k)` vs the legacy `None` engine is deliberately *not* byte-
+    /// comparable: the sharded engine consumes per-entity RNG streams.)
+    #[test]
+    fn prop_shard_counts_are_bit_identical(
+        topo_pick in 0usize..3,
+        scheme_pick in 0usize..4,
+        seed in 1u64..32,
+        mobile in any::<bool>(),
+    ) {
+        let mut base = spec(topo_pick, scheme_pick, seed);
+        if mobile {
+            base.mobility = MobilitySpec::Drift { max_speed_mps: 3.0 };
+            base.route_refresh_ms = Some(20);
+        }
+        base.shards = Some(1);
+        let reference = run(&base.materialise().expect("materialise"));
+        for k in [2, 8] {
+            let mut resharded = base.clone();
+            resharded.shards = Some(k);
+            prop_assert_eq!(
+                &reference,
+                &run(&resharded.materialise().expect("materialise")),
+                "{} shards drifted from 1", k
+            );
+        }
     }
 }

@@ -6,7 +6,9 @@
 //!   newtypes with microsecond convenience constructors (802.11 timing is
 //!   specified in µs),
 //! * [`EventQueue`] — a deterministic future-event list with stable FIFO
-//!   ordering among simultaneous events,
+//!   ordering among simultaneous events, plus [`KeyedEventQueue`], the
+//!   shard-safe variant ordered by content-derived [`EventKey`]s instead of
+//!   insertion order (so pop order survives resharding),
 //! * [`rng`] — named, independently-seeded random-number streams so that
 //!   changing how one component consumes randomness does not perturb others,
 //! * small shared identifier newtypes ([`NodeId`], [`FlowId`]).
@@ -33,6 +35,6 @@ pub mod rng;
 pub mod time;
 
 pub use ids::{FlowId, NodeId};
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue, KeyedEventQueue};
 pub use rng::{RngDirectory, StreamRng};
 pub use time::{SimDuration, SimTime};

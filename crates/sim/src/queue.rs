@@ -109,6 +109,18 @@ impl<E> EventQueue<E> {
         })
     }
 
+    /// Windowed pop: removes and returns the earliest event *strictly
+    /// before* `horizon`, or `None` if the earliest pending event is at or
+    /// past it (the queue itself is untouched in that case). This is the
+    /// conservative-window primitive: a shard may safely process every event
+    /// below its horizon because no peer can inject anything earlier.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.at >= horizon {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
@@ -136,6 +148,139 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
+    }
+}
+
+/// Canonical, content-derived identity of a scheduled event.
+///
+/// The plain [`EventQueue`] breaks simultaneous-event ties by insertion
+/// order — correct for a single loop, but meaningless across loops: when a
+/// scenario is sharded, the interleaving of schedules (and therefore every
+/// insertion sequence number) depends on the shard count. A sharded run
+/// instead tags each event with a key derived from its *origin* — the kind
+/// and index of the entity that caused it, plus that origin's own event
+/// counter — which is invariant under resharding. Keys order
+/// lexicographically as `(kind, entity, seq)`.
+///
+/// Contract: an origin must mint strictly increasing `seq` values, so every
+/// key in flight is unique and `(time, key)` is a total order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Origin lane: `kind << 32 | entity index`.
+    lane: u64,
+    /// The origin's own event counter at scheduling time.
+    seq: u64,
+}
+
+impl EventKey {
+    /// Builds a key from an origin kind, the origin's dense index, and the
+    /// origin's event counter.
+    pub fn new(kind: u32, entity: u32, seq: u64) -> EventKey {
+        EventKey { lane: (u64::from(kind) << 32) | u64::from(entity), seq }
+    }
+}
+
+/// A deterministic event queue ordered by `(time, EventKey)` instead of
+/// `(time, insertion order)` — the shard-safe variant of [`EventQueue`].
+///
+/// Two queues holding the same set of `(time, key, event)` entries pop them
+/// in the same order no matter how the entries were distributed or
+/// interleaved at insertion, which is exactly the property the window-merge
+/// seam of a sharded run needs: a cross-shard arrival injected at a window
+/// boundary sorts into the same place it would have occupied in a
+/// single-shard run.
+#[derive(Debug)]
+pub struct KeyedEventQueue<E> {
+    heap: BinaryHeap<KeyedEntry<E>>,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct KeyedEntry<E> {
+    at: SimTime,
+    key: EventKey,
+    event: E,
+}
+
+impl<E> PartialEq for KeyedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+
+impl<E> Eq for KeyedEntry<E> {}
+
+impl<E> PartialOrd for KeyedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for KeyedEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap, inverted: earliest (time, key) pops first.
+        other.at.cmp(&self.at).then_with(|| other.key.cmp(&self.key))
+    }
+}
+
+impl<E> KeyedEventQueue<E> {
+    /// Creates an empty queue with room for `capacity` pending events.
+    ///
+    /// The capacity is clamped to at least one slot: per-shard queues are
+    /// sized from the shard's share of the seeded events, and a shard that
+    /// owns none of them (all flows live elsewhere) would otherwise start at
+    /// zero capacity and pay its first growth reallocation mid-window.
+    pub fn with_capacity(capacity: usize) -> Self {
+        KeyedEventQueue { heap: BinaryHeap::with_capacity(capacity.max(1)), now: SimTime::ZERO }
+    }
+
+    /// Schedules `event` at the absolute instant `at` under `key`.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: EventKey, event: E) {
+        self.heap.push(KeyedEntry { at, key, event });
+    }
+
+    /// Schedules `event` under `key`, `delay` after [`KeyedEventQueue::now`].
+    pub fn schedule_keyed_in(&mut self, delay: SimDuration, key: EventKey, event: E) {
+        self.schedule_keyed(self.now + delay, key, event);
+    }
+
+    /// The queue's clock: the instant of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Removes and returns the earliest `(time, key)` event, advancing the
+    /// clock to its instant.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Windowed pop: the earliest event strictly before `horizon`, or
+    /// `None` (queue untouched) if the earliest pending event is at or past
+    /// it. See [`EventQueue::pop_before`].
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.at >= horizon {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// The `(time, key)` of the earliest pending event without removing it.
+    pub fn peek(&self) -> Option<(SimTime, EventKey)> {
+        self.heap.peek().map(|e| (e.at, e.key))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 
@@ -272,7 +417,104 @@ mod tests {
         }
     }
 
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(5), "early");
+        q.schedule(SimTime::from_nanos(10), "boundary");
+        q.schedule(SimTime::from_nanos(15), "late");
+        let h = SimTime::from_nanos(10);
+        assert_eq!(q.pop_before(h).unwrap(), (SimTime::from_nanos(5), "early"));
+        // An event exactly at the horizon must stay: cross-shard arrivals
+        // land at or past it, and may still sort before this one.
+        assert_eq!(q.pop_before(h), None);
+        assert_eq!(q.len(), 2, "refused pops leave the queue untouched");
+        assert_eq!(q.pop_before(SimTime::from_nanos(16)).unwrap().1, "boundary");
+        assert_eq!(q.pop_before(SimTime::from_nanos(16)).unwrap().1, "late");
+        assert_eq!(q.pop_before(SimTime::from_nanos(16)), None);
+    }
+
+    /// The satellite regression for the window-merge seam: simultaneous
+    /// events at a window boundary must pop in key order, no matter how
+    /// their insertion interleaved — including a cross-"shard" injection
+    /// arriving after local events with the same timestamp were scheduled.
+    #[test]
+    fn window_boundary_simultaneous_pops_are_key_ordered() {
+        let t = SimTime::from_micros(50);
+        // One queue schedules local-first, the other injection-first.
+        let mut local_first = KeyedEventQueue::with_capacity(4);
+        local_first.schedule_keyed(t, EventKey::new(0, 7, 3), "node7#3");
+        local_first.schedule_keyed(t, EventKey::new(1, 0, 0), "flow0#0");
+        local_first.schedule_keyed(t, EventKey::new(0, 2, 9), "node2#9"); // the injection
+        let mut inject_first = KeyedEventQueue::with_capacity(4);
+        inject_first.schedule_keyed(t, EventKey::new(0, 2, 9), "node2#9");
+        inject_first.schedule_keyed(t, EventKey::new(0, 7, 3), "node7#3");
+        inject_first.schedule_keyed(t, EventKey::new(1, 0, 0), "flow0#0");
+        for q in [&mut local_first, &mut inject_first] {
+            assert_eq!(q.pop_before(t + crate::SimDuration::from_nanos(1)).unwrap().1, "node2#9");
+            assert_eq!(q.pop().unwrap().1, "node7#3");
+            assert_eq!(q.pop().unwrap().1, "flow0#0");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn keyed_queue_orders_by_time_then_kind_then_entity_then_seq() {
+        let mut q = KeyedEventQueue::with_capacity(8);
+        q.schedule_keyed(SimTime::from_nanos(2), EventKey::new(0, 0, 1), 4);
+        q.schedule_keyed(SimTime::from_nanos(1), EventKey::new(1, 0, 0), 3);
+        q.schedule_keyed(SimTime::from_nanos(1), EventKey::new(0, 5, 0), 2);
+        q.schedule_keyed(SimTime::from_nanos(1), EventKey::new(0, 3, 8), 1);
+        q.schedule_keyed(SimTime::from_nanos(1), EventKey::new(0, 3, 2), 0);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn keyed_queue_zero_capacity_is_clamped() {
+        // The shard-split audit: a shard owning no seeded events must still
+        // start with a usable (non-zero-capacity) queue.
+        let mut q: KeyedEventQueue<()> = KeyedEventQueue::with_capacity(0);
+        assert!(q.is_empty());
+        q.schedule_keyed_in(SimDuration::from_nanos(3), EventKey::new(0, 0, 0), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(3));
+        assert_eq!(q.now(), SimTime::from_nanos(3));
+    }
+
     proptest! {
+        /// Keyed pop order is a pure function of the entry *set*: any
+        /// permutation of the same `(time, key)` entries pops identically —
+        /// the K-invariance property the sharded engine is built on.
+        #[test]
+        fn prop_keyed_pop_order_is_insertion_invariant(
+            entries in proptest::collection::vec((0u64..50, 0u32..3, 0u32..4, 0u64..5), 1..40),
+            rot in 0usize..40,
+        ) {
+            let mut a = KeyedEventQueue::with_capacity(entries.len());
+            for &(t, kind, ent, seq) in &entries {
+                a.schedule_keyed(SimTime::from_nanos(t), EventKey::new(kind, ent, seq), (t, kind, ent, seq));
+            }
+            let mut rotated = entries.clone();
+            rotated.rotate_left(rot % entries.len().max(1));
+            let mut b = KeyedEventQueue::with_capacity(rotated.len());
+            for &(t, kind, ent, seq) in &rotated {
+                b.schedule_keyed(SimTime::from_nanos(t), EventKey::new(kind, ent, seq), (t, kind, ent, seq));
+            }
+            // Entries may collide on (time, key) under this generator; the
+            // popped *multisets per (time, key)* still must match, and where
+            // keys are unique the order is fully pinned. Compare the full
+            // sorted-equivalence: pop sequences must agree on (time, key)
+            // at every position.
+            let pa: Vec<_> = std::iter::from_fn(|| a.pop()).collect();
+            let pb: Vec<_> = std::iter::from_fn(|| b.pop()).collect();
+            prop_assert_eq!(pa.len(), pb.len());
+            for ((ta, ea), (tb, eb)) in pa.iter().zip(&pb) {
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!((ea.0, ea.1, ea.2, ea.3), (eb.0, eb.1, eb.2, eb.3));
+            }
+        }
+
         /// Popping always yields a non-decreasing time sequence, regardless of
         /// the insertion order.
         #[test]

@@ -179,6 +179,21 @@ impl RngDirectory {
         // lint:allow(rng-label-registry): forwarding shim — each caller's literal label is registered at its own call site
         StreamRng::derive(self.master_seed, label)
     }
+
+    /// Derives the stream `"{prefix}/{index}"` — the canonical form for
+    /// per-entity stream families (`"shard/medium"` + transmitter index,
+    /// `"shard/ber"` + receiver index, …).
+    ///
+    /// Sharded engines must derive every per-entity stream through this
+    /// method with a literal prefix: the lint registry records the family as
+    /// `dynamic:<prefix>/{index}` from the call site, and the
+    /// `shard-rng-label` rule rejects unindexed derivations inside shard
+    /// code, where a shared stream would make consumption order depend on
+    /// the shard count.
+    pub fn indexed_stream(&self, prefix: &str, index: u32) -> StreamRng {
+        // lint:allow(rng-label-registry): forwarding shim — each caller's literal prefix is registered at its own call site
+        StreamRng::derive(self.master_seed, &format!("{prefix}/{index}"))
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +209,22 @@ mod tests {
         for _ in 0..16 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn indexed_stream_matches_the_formatted_label() {
+        // The indexed form is *defined* as the "{prefix}/{index}" label:
+        // shard code deriving `indexed_stream("shard/medium", 3)` and
+        // registry tooling reasoning about `dynamic:shard/medium/{index}`
+        // must agree on the stream.
+        let dir = RngDirectory::new(41);
+        let mut a = dir.indexed_stream("shard/medium", 3);
+        let mut b = dir.stream("shard/medium/3");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut other = dir.indexed_stream("shard/medium", 4);
+        assert_ne!(a.next_u64(), other.next_u64());
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn main() {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             };
             row.push(run(&scenario).flows[0].throughput_mbps);
         }

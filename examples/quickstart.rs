@@ -35,6 +35,7 @@ fn main() {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         };
         let result = run(&scenario);
         let flow = &result.flows[0];

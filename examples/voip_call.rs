@@ -34,6 +34,7 @@ fn main() {
                 max_forwarders: 5,
                 motion: wmn_netsim::MotionPlan::default(),
                 route_refresh: None,
+                shards: None,
             };
             let result = run(&scenario);
             let moses: Vec<f64> =

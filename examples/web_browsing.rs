@@ -31,6 +31,7 @@ fn main() {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         };
         let result = run(&scenario);
         let best = result.flows.iter().map(|f| f.throughput_mbps).fold(0.0f64, f64::max);

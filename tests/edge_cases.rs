@@ -19,6 +19,7 @@ fn base(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>) -> Scena
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 

@@ -20,6 +20,7 @@ fn scenario(scheme: Scheme, positions: Vec<Position>, flows: Vec<FlowSpec>, ms: 
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 

@@ -31,6 +31,7 @@ fn one_packet_scenario(seed: u64) -> Scenario {
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 

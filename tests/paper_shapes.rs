@@ -24,6 +24,7 @@ fn chain_scenario(scheme: Scheme, ms: u64) -> Scenario {
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 

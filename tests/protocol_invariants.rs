@@ -18,6 +18,7 @@ fn base(scheme: Scheme, ber: f64, seed: u64) -> Scenario {
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     }
 }
 
@@ -91,6 +92,7 @@ fn partitioned_network_terminates_cleanly() {
             max_forwarders: 5,
             motion: wmn_netsim::MotionPlan::default(),
             route_refresh: None,
+            shards: None,
         };
         let r = run(&scenario);
         assert_eq!(r.flows[0].delivered_bytes, 0, "{scheme:?}: nothing can cross a partition");
@@ -149,6 +151,7 @@ fn long_path_with_forwarder_cap() {
         max_forwarders: 5,
         motion: wmn_netsim::MotionPlan::default(),
         route_refresh: None,
+        shards: None,
     };
     let r = run(&scenario);
     // With only 5 forwarders on a 7-hop path the source's frames must hop
