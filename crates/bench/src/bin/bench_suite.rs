@@ -16,9 +16,16 @@
 //! tracked across commits with `jq`.
 //!
 //! ```text
-//! bench_suite [--quick] [--name suite] [--out PATH]   # measure and write
-//! bench_suite --validate PATH [--expect-keys REF]     # schema/drift check
+//! bench_suite [--quick] [--name suite] [--out PATH]      # measure and write
+//! bench_suite --validate PATH [--expect-keys REF] [--alloc-budget REF]
 //! ```
+//!
+//! The binary installs [`wmn_alloc::CountingAlloc`], so the zero-copy
+//! frame benches also report allocator pressure: `clean_decode_16sub`
+//! asserts zero allocations per clean decode outright, and the fig-6-class
+//! runs report `allocs_per_frame`/`peak_bytes`, gated in CI against the
+//! committed `ci/alloc_budget.json` via `--alloc-budget` (the allocation
+//! analogue of `--expect-keys`).
 //!
 //! `--quick` is the CI smoke profile: same workloads, fewer repetitions.
 //! Absolute numbers vary with the host; the cached-vs-naive *ratio* is the
@@ -30,6 +37,7 @@
 
 use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use wmn_bench::{
@@ -37,10 +45,20 @@ use wmn_bench::{
     naive_plan_reference,
 };
 use wmn_exec::json::{parse, Value};
+use wmn_mac::frame::{DataFrame, Frame, LinkDst, NetHeader, Packet, Proto, Subframe};
+use wmn_mac::FramePool;
 use wmn_netsim::run;
-use wmn_phy::{Medium, PhyParams, Position};
+use wmn_netsim::stack::decode::decode_frame;
+use wmn_phy::{BerModel, Medium, PhyParams, Position};
 use wmn_routing::LinkGraph;
-use wmn_sim::{EventQueue, NodeId, SimDuration, SimTime, StreamRng};
+use wmn_sim::{EventQueue, FlowId, NodeId, SimDuration, SimTime, StreamRng};
+
+/// The whole suite runs under the counting allocator, so any bench can
+/// report allocator activity alongside its timing. Counting is a few
+/// relaxed atomics per call — noise next to the syscalls and cache misses
+/// the timings absorb anyway, and identical for every bench.
+#[global_allocator]
+static ALLOC: wmn_alloc::CountingAlloc = wmn_alloc::CountingAlloc;
 
 struct Profile {
     label: &'static str,
@@ -56,6 +74,8 @@ struct Profile {
     route_refresh_reps: u64,
     /// Event-queue schedule/pop operations.
     queue_ops: u64,
+    /// Clean-channel decode calls on one pooled 16-subframe frame.
+    decode_reps: u64,
     /// Simulated duration of the end-to-end runs (static and mobile).
     e2e_duration: SimDuration,
     /// Simulated duration of the 1024-station sharded-engine probe.
@@ -69,6 +89,7 @@ const QUICK: Profile = Profile {
     refresh_reps: 200,
     route_refresh_reps: 50,
     queue_ops: 200_000,
+    decode_reps: 100_000,
     e2e_duration: SimDuration::from_millis(300),
     campus_duration: SimDuration::from_millis(5),
 };
@@ -80,6 +101,7 @@ const FULL: Profile = Profile {
     refresh_reps: 2_000,
     route_refresh_reps: 500,
     queue_ops: 2_000_000,
+    decode_reps: 1_000_000,
     e2e_duration: SimDuration::from_millis(2_000),
     campus_duration: SimDuration::from_millis(40),
 };
@@ -213,6 +235,57 @@ fn time_route_refresh(side: usize, spacing: f64, reps: u64, flows: usize) -> (f6
     (start.elapsed().as_nanos() as f64 / reps as f64, paths_found)
 }
 
+/// The zero-copy decode fast path under the counting allocator: one pooled
+/// 16-subframe broadcast frame, decoded `reps` times over a clean channel
+/// (BER 0 ⇒ every survival draw passes, so every decode takes the shared
+/// fast path). Returns (ns/op, allocator stats of the measured region);
+/// the caller asserts the headline claim — **zero** allocations per clean
+/// decode — so a regression fails the suite rather than drifting a number.
+fn time_clean_decode(reps: u64) -> (f64, wmn_alloc::AllocStats) {
+    let pool = FramePool::default();
+    let header = NetHeader {
+        flow: FlowId::new(0),
+        src: NodeId::new(0),
+        dst: NodeId::new(3),
+        proto: Proto::Tcp,
+        wire_bytes: 1000,
+    };
+    let mut subframes = pool.mint_subframes();
+    for seq in 0..16 {
+        subframes.push(Subframe {
+            seq,
+            packet: Packet::new(header, pool.mint_body(&[0u8; 18])),
+            corrupted: false,
+        });
+    }
+    let frame = Arc::new(Frame::Data(DataFrame {
+        transmitter: NodeId::new(0),
+        link_dst: LinkDst::Unicast(NodeId::new(1)),
+        flow: FlowId::new(0),
+        src: NodeId::new(0),
+        dst: NodeId::new(3),
+        frame_seq: 0,
+        subframes,
+        retry: 0,
+    }));
+    let ber = BerModel::new(0.0);
+    let mut rng = StreamRng::derive(7, "bench/decode");
+    let start = Instant::now();
+    let (decoded, stats) = wmn_alloc::measure(|| {
+        let mut decoded = 0u64;
+        for _ in 0..reps {
+            if let Some(rx) = decode_frame(&ber, &mut rng, &frame) {
+                decoded += 1;
+                black_box(&rx);
+            }
+        }
+        decoded
+    });
+    let ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    assert_eq!(decoded, reps, "BER 0 must decode every frame");
+    (ns, stats)
+}
+
 /// Event-queue churn under the simulator's steady-state pattern: a bounded
 /// frontier where every pop schedules a successor at or near "now".
 fn time_event_queue(ops: u64) -> f64 {
@@ -296,6 +369,25 @@ fn run_suite(profile: &Profile) -> Value {
         extras: vec![],
     });
 
+    // 5b. The zero-copy decode fast path. Clean decodes are an `Arc`
+    //     refcount bump, so the suite *asserts* zero allocations per op —
+    //     the allocation-budget gate then pins the same number in CI.
+    let (decode_ns, decode_alloc) = time_clean_decode(profile.decode_reps);
+    assert_eq!(
+        decode_alloc.allocs, 0,
+        "clean decode must be allocation-free ({} allocs over {} decodes)",
+        decode_alloc.allocs, profile.decode_reps
+    );
+    benches.push(Bench {
+        name: "clean_decode_16sub".into(),
+        reps: profile.decode_reps,
+        ns_per_op: decode_ns,
+        extras: vec![
+            ("allocs_per_op", Value::from(decode_alloc.allocs as f64 / profile.decode_reps as f64)),
+            ("bytes_allocated", Value::Uint(decode_alloc.bytes_allocated)),
+        ],
+    });
+
     // 6. End-to-end fig-6(b)-class runs (RIPPLE-16 + 5 hidden CBR senders):
     //    the static original and the mobile variant whose relays pace
     //    laterally on a 10 ms tick, exercising the incremental refresh
@@ -305,9 +397,15 @@ fn run_suite(profile: &Profile) -> Value {
         ("fig6_class_mobile_end_to_end", fig6_class_mobile_scenario(5, profile.e2e_duration)),
     ] {
         let start = Instant::now();
-        let result = run(&scenario);
+        let (result, alloc) = wmn_alloc::measure(|| run(&scenario));
         let wall = start.elapsed();
         assert!(result.flows[0].delivered_bytes > 0, "{name}: run made no progress");
+        // Allocation pressure per frame on the air (data + ACK): the
+        // pooled-buffer path's tracked signal, gated by the committed
+        // `ci/alloc_budget.json` in the smoke job.
+        let frames: u64 =
+            result.mac_stats.iter().map(|s| s.data_frames_sent + s.ack_frames_sent).sum();
+        assert!(frames > 0, "{name}: no frames transmitted");
         benches.push(Bench {
             name: name.into(),
             reps: 1,
@@ -315,6 +413,9 @@ fn run_suite(profile: &Profile) -> Value {
             extras: vec![
                 ("sim_millis", Value::Uint(profile.e2e_duration.as_nanos() / 1_000_000)),
                 ("delivered_bytes", Value::Uint(result.flows[0].delivered_bytes)),
+                ("frames_sent", Value::Uint(frames)),
+                ("allocs_per_frame", Value::from(alloc.allocs as f64 / frames as f64)),
+                ("peak_bytes", Value::Uint(alloc.peak_bytes_in_use)),
             ],
         });
     }
@@ -404,6 +505,56 @@ fn check_expected_keys(measured: &Value, reference: &Value) -> Result<(), String
     ))
 }
 
+/// Enforces the committed allocation budget against a measured report: for
+/// every budget entry the named bench must exist, expose the metric, and
+/// measure at or below `max`. The analogue of `--expect-keys` for
+/// allocation pressure — a frame path that starts allocating again fails
+/// the smoke job, while improvements pass silently (ratcheting the budget
+/// down means regenerating `ci/alloc_budget.json`).
+fn check_alloc_budget(measured: &Value, budget: &Value) -> Result<(), String> {
+    if budget.get("artefact").and_then(Value::as_str) != Some("alloc_budget") {
+        return Err("budget artefact must be \"alloc_budget\"".into());
+    }
+    let entries = budget
+        .get("budgets")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "budgets must be an array".to_string())?;
+    if entries.is_empty() {
+        return Err("budgets must be non-empty".into());
+    }
+    let benches = measured.get("benches").and_then(Value::as_arr).unwrap_or(&[]);
+    for entry in entries {
+        let name = entry
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "every budget entry needs a bench name".to_string())?;
+        let metric = entry
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("budget for {name:?}: metric must be a string"))?;
+        let max = entry
+            .get("max")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("budget for {name:?}: max must be numeric"))?;
+        let bench = benches
+            .iter()
+            .find(|b| b.get("name").and_then(Value::as_str) == Some(name))
+            .ok_or_else(|| format!("alloc budget names bench {name:?}, absent from the report"))?;
+        let got = bench
+            .get(metric)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench {name:?} does not report {metric:?}"))?;
+        if !got.is_finite() || got > max {
+            return Err(format!(
+                "bench {name:?}: {metric} = {got} exceeds the committed budget {max} — \
+                 a frame-path allocation regression (or regenerate ci/alloc_budget.json \
+                 if the change is intentional)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Schema check for a written report. This is the CI gate against malformed
 /// output; it deliberately does not gate on timing values beyond "positive
 /// and finite" (container speed varies).
@@ -455,7 +606,7 @@ fn validate(doc: &Value) -> Result<(), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_suite [--quick] [--name NAME] [--out PATH]\n\
-         \x20      bench_suite --validate PATH [--expect-keys REF]"
+         \x20      bench_suite --validate PATH [--expect-keys REF] [--alloc-budget REF]"
     );
     std::process::exit(2);
 }
@@ -466,6 +617,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut validate_path: Option<String> = None;
     let mut expect_keys: Option<String> = None;
+    let mut alloc_budget: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -474,10 +626,11 @@ fn main() -> ExitCode {
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--validate" => validate_path = Some(args.next().unwrap_or_else(|| usage())),
             "--expect-keys" => expect_keys = Some(args.next().unwrap_or_else(|| usage())),
+            "--alloc-budget" => alloc_budget = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
-    if expect_keys.is_some() && validate_path.is_none() {
+    if (expect_keys.is_some() || alloc_budget.is_some()) && validate_path.is_none() {
         usage();
     }
 
@@ -495,6 +648,11 @@ fn main() -> ExitCode {
                 let ref_text = std::fs::read_to_string(ref_path)
                     .map_err(|err| format!("cannot read key reference {ref_path}: {err}"))?;
                 check_expected_keys(&doc, &parse(&ref_text)?)?;
+            }
+            if let Some(budget_path) = &alloc_budget {
+                let budget_text = std::fs::read_to_string(budget_path)
+                    .map_err(|err| format!("cannot read alloc budget {budget_path}: {err}"))?;
+                check_alloc_budget(&doc, &parse(&budget_text)?)?;
             }
             Ok(())
         });

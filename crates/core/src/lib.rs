@@ -25,6 +25,13 @@
 //! through the [`wmn_mac::MacEntity`] interface; see `wmn-netsim` for the
 //! runner and `wmn-experiments` for the paper's full evaluation.
 //!
+//! The relay path rebuilds each forwarded frame from `Packet` clones, which
+//! is deliberate and cheap: a `wmn_mac::Packet` clone is a small header copy
+//! plus an `Arc` refcount bump on the pooled payload body, so a relayed
+//! subframe never duplicates its bytes. Cloning a whole *frame*, by
+//! contrast, is what the `no-frame-deep-clone` lint rule forbids outside
+//! the decode seam.
+//!
 //! # Example
 //!
 //! ```

@@ -22,10 +22,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wmn_mac::frame::{AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe};
+use wmn_mac::frame::{
+    AckFrame, AckList, DataFrame, Frame, LinkDst, NodeList, Packet, RouteInfo, RxFrame, Subframe,
+};
 use wmn_mac::{
-    Backoff, DropReason, IfQueue, MacAction, MacEntity, MacStats, RateClass, ReorderBuffer,
-    TimerToken,
+    Backoff, DropReason, FramePool, IfQueue, MacAction, MacEntity, MacStats, RateClass,
+    ReorderBuffer, TimerToken,
 };
 use wmn_phy::PhyParams;
 use wmn_sim::{FlowId, NodeId, SimTime, StreamRng};
@@ -42,7 +44,7 @@ enum DataState {
 #[derive(Debug)]
 struct Inflight {
     subframes: Vec<(u32, Packet)>,
-    list: Vec<NodeId>,
+    list: NodeList,
     flow: FlowId,
     retries: u8,
     frame_seq: u64,
@@ -105,6 +107,7 @@ pub struct RippleMac {
     seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
     rq: BTreeMap<(FlowId, NodeId), ReorderBuffer>,
+    pool: FramePool,
     rng: StreamRng,
     stats: MacStats,
     /// Relays performed (diagnostic; counts both data and ACK relays).
@@ -151,6 +154,7 @@ impl RippleMac {
             seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
             rq: BTreeMap::new(),
+            pool: FramePool::default(),
             rng,
             stats: MacStats::default(),
             relays_performed: 0,
@@ -338,8 +342,14 @@ impl RippleMac {
         }
         self.frame_seq_counter += 1;
         let fs = self.frame_seq_counter;
+        // Pooled subframe vector + by-reference packet bodies: building a
+        // (re)transmission attempt allocates nothing at steady state.
+        let mut subframes = self.pool.mint_subframes();
         let inflight = self.inflight.as_mut().expect("just set");
         inflight.frame_seq = fs;
+        for (seq, p) in &inflight.subframes {
+            subframes.push(Subframe { seq: *seq, packet: p.clone(), corrupted: false });
+        }
         let first = &inflight.subframes[0].1.header;
         let frame = DataFrame {
             transmitter: self.node,
@@ -348,11 +358,7 @@ impl RippleMac {
             src: first.src,
             dst: first.dst,
             frame_seq: fs,
-            subframes: inflight
-                .subframes
-                .iter()
-                .map(|(seq, p)| Subframe { seq: *seq, packet: p.clone(), corrupted: false })
-                .collect(),
+            subframes,
             retry: inflight.retries,
         };
         self.data_state = DataState::Transmitting;
@@ -360,7 +366,7 @@ impl RippleMac {
         out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
     }
 
-    fn handle_data_frame(&mut self, d: DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_data_frame(&mut self, d: &DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
         let LinkDst::Opportunistic { list } = &d.link_dst else {
             return; // unicast traffic belongs to other MACs
         };
@@ -390,25 +396,34 @@ impl RippleMac {
         if self.data_relayed.contains(&key) {
             return; // at most one relay per overheard frame
         }
-        let clean: Vec<Subframe> = d
-            .subframes
-            .iter()
-            .filter(|s| !s.corrupted)
-            .map(|s| Subframe { seq: s.seq, packet: s.packet.clone(), corrupted: false })
-            .collect();
+        // Build the relay copy out of this MAC's pool; the kept packets
+        // share their bodies with the overheard frame by reference.
+        let mut clean = self.pool.mint_subframes();
+        for s in d.subframes.iter().filter(|s| !s.corrupted) {
+            clean.push(Subframe { seq: s.seq, packet: s.packet.clone(), corrupted: false });
+        }
         if clean.is_empty() {
             return;
         }
-        let relay = DataFrame { transmitter: self.node, subframes: clean, ..d.clone() };
+        let relay = DataFrame {
+            transmitter: self.node,
+            link_dst: d.link_dst.clone(),
+            flow: d.flow,
+            src: d.src,
+            dst: d.dst,
+            frame_seq: d.frame_seq,
+            subframes: clean,
+            retry: d.retry,
+        };
         let wait = self.cfg.timing.data_relay_wait(my_rank);
         self.data_relayed.insert(key);
         self.schedule_relay((d.flow, d.src, d.frame_seq, false), Frame::Data(relay), wait, out);
         let _ = now;
     }
 
-    fn destination_receive(&mut self, d: DataFrame, out: &mut Vec<MacAction>) {
+    fn destination_receive(&mut self, d: &DataFrame, out: &mut Vec<MacAction>) {
         let LinkDst::Opportunistic { list } = &d.link_dst else { return };
-        let mut acked_seqs = Vec::new();
+        let mut acked_seqs = AckList::new();
         let cap = self.cfg.reorder_capacity;
         let mut released = Vec::new();
         for sf in &d.subframes {
@@ -446,7 +461,7 @@ impl RippleMac {
         out.push(MacAction::SetTimer { delay: self.cfg.timing.destination_ack_wait(), token });
     }
 
-    fn handle_ack_frame(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
         if a.to == self.node {
             self.source_apply_ack(a, now, out);
             return;
@@ -476,13 +491,21 @@ impl RippleMac {
         if self.ack_relayed.contains(&key) {
             return;
         }
-        let relay = AckFrame { transmitter: self.node, ..a.clone() };
+        // Inline lists make this a plain memcpy, not a heap clone.
+        let relay = AckFrame {
+            transmitter: self.node,
+            to: a.to,
+            flow: a.flow,
+            frame_seq: a.frame_seq,
+            acked_seqs: a.acked_seqs.clone(),
+            relay_list: a.relay_list.clone(),
+        };
         let wait = self.cfg.timing.ack_relay_wait(my_rank);
         self.ack_relayed.insert(key);
         self.schedule_relay((a.flow, a.to, a.frame_seq, true), Frame::Ack(relay), wait, out);
     }
 
-    fn source_apply_ack(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn source_apply_ack(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
         let Some(inflight) = self.inflight.as_mut() else { return };
         if a.frame_seq != inflight.frame_seq || !self.handled_acks.insert(a.frame_seq) {
             return; // stale attempt or duplicate (relayed) ACK copy
@@ -613,9 +636,9 @@ impl MacEntity for RippleMac {
         out
     }
 
-    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction> {
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
         let mut out = Vec::new();
-        match frame {
+        match &*frame {
             Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
             Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
         }
@@ -747,8 +770,8 @@ mod tests {
     }
 
     /// List for flow 0→3 via forwarders 2 (rank 1) and 1 (rank 2).
-    fn list() -> Vec<NodeId> {
-        vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)]
+    fn list() -> NodeList {
+        vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)].into()
     }
 
     fn route() -> RouteInfo {
@@ -796,7 +819,7 @@ mod tests {
         let d = source_frame(&mut src, t(100));
         // Node 1 has rank 2: waits SIFS + 2 slots.
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         assert_eq!(delay, SimDuration::from_micros(16 + 18));
         // Fire it: the relay goes out with us as transmitter.
@@ -816,7 +839,7 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d), t(200));
+        let acts = f1.on_frame_rx(Frame::Data(d).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         // Someone transmits during the wait: the idle window broke.
         f1.on_busy(t(210));
@@ -838,7 +861,7 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         // The destination's ACK arrives before our relay slot: the frame
         // already made it end-to-end, so the relay is pointless.
@@ -847,10 +870,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        f1.on_frame_rx(Frame::Ack(ack), t(205));
+        f1.on_frame_rx(Frame::Ack(ack).into(), t(205));
         let acts = f1.on_timer(token, t(200) + delay);
         assert!(find_tx(&acts).is_none(), "ACK proves delivery; relay cancelled");
         assert_eq!(f1.relays_performed(), 0);
@@ -863,10 +886,10 @@ mod tests {
         // Node 1 (rank 2) holds a pending relay; then hears node 2 (rank 1)
         // relay the same frame: it progressed past us.
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         let downstream = DataFrame { transmitter: NodeId::new(2), ..d };
-        f1.on_frame_rx(Frame::Data(downstream), t(210));
+        f1.on_frame_rx(Frame::Data(downstream).into(), t(210));
         let acts = f1.on_timer(token, t(200) + delay);
         assert!(find_tx(&acts).is_none(), "higher-priority relay cancels ours");
     }
@@ -876,10 +899,10 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         assert_eq!(timers(&acts).len(), 1);
         // Hearing the same frame again (e.g. another copy) arms nothing.
-        let acts = f1.on_frame_rx(Frame::Data(d), t(400));
+        let acts = f1.on_frame_rx(Frame::Data(d).into(), t(400));
         assert!(timers(&acts).is_empty(), "at most one relay per frame");
     }
 
@@ -891,7 +914,7 @@ mod tests {
         // the frame already progressed past it.
         let relayed = DataFrame { transmitter: NodeId::new(2), ..d };
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(relayed), t(300));
+        let acts = f1.on_frame_rx(Frame::Data(relayed).into(), t(300));
         assert!(timers(&acts).is_empty());
     }
 
@@ -900,7 +923,7 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut dst = mac(3, 16);
-        let acts = dst.on_frame_rx(Frame::Data(d), t(200));
+        let acts = dst.on_frame_rx(Frame::Data(d).into(), t(200));
         assert!(acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         let (delay, token) = timers(&acts)[0];
         assert_eq!(delay, SimDuration::from_micros(16));
@@ -908,7 +931,7 @@ mod tests {
         match find_tx(&acts) {
             Some(Frame::Ack(a)) => {
                 assert_eq!(a.to, NodeId::new(0), "ACK targets the end-to-end source");
-                assert_eq!(a.acked_seqs, vec![(FlowId::new(0), 0)]);
+                assert_eq!(a.acked_seqs.as_slice(), &[(FlowId::new(0), 0)]);
                 assert_eq!(a.relay_list, list(), "ACK carries the relay priority list");
             }
             _ => panic!("expected bitmap ACK"),
@@ -920,19 +943,19 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut dst = mac(3, 16);
-        dst.on_frame_rx(Frame::Data(d.clone()), t(200));
+        dst.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         // Retransmission arrives with the same seq corrupted this time.
         let mut retx = d;
         retx.frame_seq += 1;
         retx.subframes[0].corrupted = true;
-        let acts = dst.on_frame_rx(Frame::Data(retx), t(400));
+        let acts = dst.on_frame_rx(Frame::Data(retx).into(), t(400));
         let (_, token) = timers(&acts)[0];
         let acts = dst.on_timer(token, t(420));
         match find_tx(&acts) {
             Some(Frame::Ack(a)) => {
                 assert_eq!(
-                    a.acked_seqs,
-                    vec![(FlowId::new(0), 0)],
+                    a.acked_seqs.as_slice(),
+                    &[(FlowId::new(0), 0)],
                     "already-held subframe still acknowledged"
                 );
             }
@@ -949,12 +972,12 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
         // Rank-1 forwarder (node 2) relays after SIFS exactly.
         let mut f2 = mac(2, 16);
-        let acts = f2.on_frame_rx(Frame::Ack(ack.clone()), t(300));
+        let acts = f2.on_frame_rx(Frame::Ack(ack.clone()).into(), t(300));
         let (delay, token) = timers(&acts)[0];
         assert_eq!(delay, SimDuration::from_micros(16));
         let acts = f2.on_timer(token, t(316));
@@ -963,7 +986,7 @@ mod tests {
         // node 2 (rank 1) ignores a copy transmitted by node 1 (rank 2).
         let upstream_copy = AckFrame { transmitter: NodeId::new(1), ..ack };
         let mut f2b = mac(2, 16);
-        let acts = f2b.on_frame_rx(Frame::Ack(upstream_copy), t(300));
+        let acts = f2b.on_frame_rx(Frame::Ack(upstream_copy).into(), t(300));
         assert!(timers(&acts).is_empty());
     }
 
@@ -977,13 +1000,13 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        src.on_frame_rx(Frame::Ack(ack.clone()), t(400));
+        src.on_frame_rx(Frame::Ack(ack.clone()).into(), t(400));
         assert!(src.inflight.is_none(), "frame acknowledged end-to-end");
         // A duplicate ACK copy (the destination's direct one) is harmless.
-        let acts = src.on_frame_rx(Frame::Ack(ack), t(410));
+        let acts = src.on_frame_rx(Frame::Ack(ack).into(), t(410));
         assert!(acts.is_empty());
     }
 
@@ -1001,10 +1024,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: fs,
-            acked_seqs: vec![(FlowId::new(0), 0)],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        let acts = src.on_frame_rx(Frame::Ack(ack), t(400));
+        let acts = src.on_frame_rx(Frame::Ack(ack).into(), t(400));
         let (delay, token) = timers(&acts)[0];
         let acts = src.on_timer(token, t(400) + delay);
         let Some(Frame::Data(d2)) = find_tx(&acts) else { panic!("expected retx") };
@@ -1064,16 +1087,16 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut outsider = mac(7, 16);
-        assert!(outsider.on_frame_rx(Frame::Data(d.clone()), t(200)).is_empty());
+        assert!(outsider.on_frame_rx(Frame::Data(d.clone()).into(), t(200)).is_empty());
         let ack = AckFrame {
             transmitter: NodeId::new(3),
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        assert!(outsider.on_frame_rx(Frame::Ack(ack), t(300)).is_empty());
+        assert!(outsider.on_frame_rx(Frame::Ack(ack).into(), t(300)).is_empty());
     }
 
     #[test]
@@ -1084,7 +1107,7 @@ mod tests {
             sf.corrupted = true;
         }
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d), t(200));
+        let acts = f1.on_frame_rx(Frame::Data(d).into(), t(200));
         assert!(timers(&acts).is_empty(), "nothing decodable to relay");
     }
 
@@ -1108,10 +1131,10 @@ mod tests {
                 retry: 0,
             })
         };
-        let acts = dst.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1), t(100));
+        let acts = dst.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1).into(), t(100));
         let delivered = acts.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 1, "only seq 0 may be delivered");
-        let acts = dst.on_frame_rx(mk(vec![(1, false)], 2), t(1000));
+        let acts = dst.on_frame_rx(mk(vec![(1, false)], 2).into(), t(1000));
         let delivered = acts.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 2, "seqs 1 and 2 released in order");
     }

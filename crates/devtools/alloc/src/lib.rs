@@ -1,0 +1,164 @@
+//! A counting global allocator for the bench suite.
+//!
+//! [`CountingAlloc`] wraps the system allocator and keeps four process-wide
+//! counters behind relaxed atomics: allocation calls, cumulative bytes
+//! requested, bytes currently live, and the high-water mark of live bytes.
+//! The accounting itself never allocates, so installing it cannot perturb
+//! what it measures beyond a few atomic adds per call.
+//!
+//! Counting is compiled in only with the `count` feature (the bench suite
+//! enables it; everyone else gets a zero-overhead passthrough), so linking
+//! the crate costs nothing unless a binary explicitly opts into profiling.
+//!
+//! # Usage
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: wmn_alloc::CountingAlloc = wmn_alloc::CountingAlloc;
+//!
+//! let (result, stats) = wmn_alloc::measure(|| run_workload());
+//! println!("{} allocations, peak {} bytes", stats.allocs, stats.peak_bytes_in_use);
+//! ```
+//!
+//! The counters are process-wide: [`measure`] reports deltas, so it is only
+//! meaningful when nothing else allocates concurrently (the bench suite is
+//! single-threaded while measuring; the sharded-engine benches skip
+//! per-region accounting for exactly this reason).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+#[cfg(feature = "count")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "count")]
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "count")]
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "count")]
+static BYTES_IN_USE: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "count")]
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts calls and bytes when the
+/// `count` feature is on, and forwards untouched otherwise.
+pub struct CountingAlloc;
+
+#[cfg(feature = "count")]
+fn on_alloc(bytes: usize) {
+    let bytes = bytes as u64;
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    BYTES_ALLOCATED.fetch_add(bytes, Ordering::Relaxed);
+    let live = BYTES_IN_USE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+#[cfg(feature = "count")]
+fn on_dealloc(bytes: usize) {
+    BYTES_IN_USE.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        #[cfg(feature = "count")]
+        on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        #[cfg(feature = "count")]
+        on_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        #[cfg(feature = "count")]
+        on_dealloc(layout.size());
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink counts as one allocation event for the new size;
+        // the old block's bytes retire. This matches how a `Vec` growth
+        // would look if it were a fresh alloc + copy + free, so
+        // `allocs_per_frame` cannot be gamed by reallocating in place.
+        #[cfg(feature = "count")]
+        {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A snapshot of allocator activity over one [`measure`] region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocation calls (including the alloc half of every realloc).
+    pub allocs: u64,
+    /// Total bytes requested across those calls.
+    pub bytes_allocated: u64,
+    /// High-water mark of live bytes during the region, measured from the
+    /// region's own starting point (bytes already live at entry included).
+    pub peak_bytes_in_use: u64,
+}
+
+/// Whether allocation counting is compiled in. `false` means every
+/// [`AllocStats`] this process reports is all zeros.
+pub const fn counting_enabled() -> bool {
+    cfg!(feature = "count")
+}
+
+/// Runs `f` and reports the allocator activity it caused. Deltas are exact
+/// only while nothing else allocates concurrently — measure single-threaded
+/// regions.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, AllocStats) {
+    #[cfg(feature = "count")]
+    {
+        let calls_before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let bytes_before = BYTES_ALLOCATED.load(Ordering::Relaxed);
+        // Rebase the high-water mark to the region entry so the reported
+        // peak is this region's own, not some earlier workload's.
+        PEAK_BYTES.store(BYTES_IN_USE.load(Ordering::Relaxed), Ordering::Relaxed);
+        let value = f();
+        let stats = AllocStats {
+            allocs: ALLOC_CALLS.load(Ordering::Relaxed) - calls_before,
+            bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed) - bytes_before,
+            peak_bytes_in_use: PEAK_BYTES.load(Ordering::Relaxed),
+        };
+        (value, stats)
+    }
+    #[cfg(not(feature = "count"))]
+    {
+        (f(), AllocStats::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary installs the counting allocator for itself; these
+    // tests are meaningless (all-zero stats) without the feature.
+    #[cfg(feature = "count")]
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn measure_counts_a_boxed_alloc() {
+        let (_, stats) = measure(|| std::hint::black_box(vec![0u8; 4096]));
+        if counting_enabled() {
+            assert!(stats.allocs >= 1, "a 4 KiB Vec must register");
+            assert!(stats.bytes_allocated >= 4096);
+            assert!(stats.peak_bytes_in_use >= 4096);
+        } else {
+            assert_eq!(stats, AllocStats::default());
+        }
+    }
+
+    #[test]
+    fn measure_of_pure_arithmetic_is_allocation_free() {
+        let (sum, stats) = measure(|| (0u64..100).map(std::hint::black_box).sum::<u64>());
+        assert_eq!(sum, 4950);
+        assert_eq!(stats.allocs, 0, "no heap traffic from register arithmetic");
+        assert_eq!(stats.bytes_allocated, 0);
+    }
+}

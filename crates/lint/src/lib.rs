@@ -11,6 +11,11 @@
 //! * reading the wall clock or other ambient process state inside a run,
 //! * colliding or drifting RNG stream labels.
 //!
+//! One further rule guards a performance contract rather than a repro one:
+//! `no-frame-deep-clone` keeps the zero-copy receive path honest — a deep
+//! frame clone outside the corruption seam reintroduces per-receiver
+//! allocations without failing a single functional test.
+//!
 //! This crate enforces those mechanically. It lexes every workspace source
 //! file with its own comment/string-aware lexer (no rule ever fires inside
 //! a doc comment or a log message), runs the rules in [`rules`], extracts
@@ -62,6 +67,7 @@ pub fn analyze_source(rel: &str, crate_name: &str, src: &str, cfg: RuleConfig) -
     let mut findings = Vec::new();
     if cfg.deterministic {
         findings.extend(rules::no_hash_iter(&tokens, rel));
+        findings.extend(rules::no_frame_deep_clone(&tokens, rel));
     }
     if !cfg.wall_clock_allowed {
         findings.extend(rules::no_wall_clock(&tokens, rel));

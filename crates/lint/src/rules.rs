@@ -17,6 +17,8 @@ pub const NO_WALL_CLOCK: &str = "no-wall-clock";
 /// Rule id: nondeterministic std surface (`sleep`, `process::id`,
 /// `RandomState`, env reads).
 pub const NO_NONDET_STD: &str = "no-nondeterministic-std";
+/// Rule id: deep-cloning a frame outside the corruption seam.
+pub const NO_FRAME_DEEP_CLONE: &str = "no-frame-deep-clone";
 /// Rule id: RNG label extraction / registry problems.
 pub const RNG_LABEL_REGISTRY: &str = "rng-label-registry";
 /// Rule id: unkeyed event scheduling inside the sharded engine.
@@ -33,6 +35,7 @@ pub const RULES: &[&str] = &[
     NO_HASH_ITER,
     NO_WALL_CLOCK,
     NO_NONDET_STD,
+    NO_FRAME_DEEP_CLONE,
     RNG_LABEL_REGISTRY,
     SHARD_MERGE_ORDER,
     SHARD_RNG_LABEL,
@@ -82,14 +85,14 @@ const ORDER_METHODS: &[&str] = &[
     "retain",
 ];
 
-/// Collects identifiers bound to a `HashMap`/`HashSet` in this file, from
-/// type annotations (`name: [path::]HashMap<…>` — struct fields, lets, fn
-/// params, struct-literal fields) and constructor assignments
-/// (`name = [path::]HashMap::new()` and friends).
-fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+/// Collects identifiers bound to one of `types` in this file, from type
+/// annotations (`name: [path::]Type<…>` — struct fields, lets, fn params,
+/// struct-literal fields) and constructor assignments
+/// (`name = [path::]Type::new()` and friends).
+fn typed_names(tokens: &[Token], types: &[&str]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, t) in tokens.iter().enumerate() {
-        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+        if !(t.kind == TokKind::Ident && types.contains(&t.text.as_str())) {
             continue;
         }
         // Walk left across a `seg::seg::` path prefix.
@@ -124,7 +127,7 @@ fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
 /// (`get`/`insert`/`remove`/`entry`/`contains_key`) is deliberately allowed:
 /// the contract forbids observing the randomised order, not the collection.
 pub fn no_hash_iter(tokens: &[Token], file: &str) -> Vec<Finding> {
-    let tracked = hash_typed_names(tokens);
+    let tracked = typed_names(tokens, &["HashMap", "HashSet"]);
     if tracked.is_empty() {
         return Vec::new();
     }
@@ -449,6 +452,69 @@ pub fn shard_state_isolation(tokens: &[Token], file: &str) -> Vec<Finding> {
     out
 }
 
+/// The frame types whose `.clone()` deep-copies payload state. `Packet` is
+/// deliberately absent: its clone is a header copy plus an `Arc` refcount
+/// bump on the pooled body — the sanctioned cheap fan-out — and `Arc<Frame>`
+/// handles never match the binding shapes below, so refcount bumps are
+/// never flagged either.
+const FRAME_TYPES: &[&str] = &["Frame", "DataFrame", "AckFrame", "Subframe", "RxFrame"];
+
+/// Identifiers bound to a frame type: the annotation/constructor shapes of
+/// [`typed_names`], plus single-ident variant patterns `Frame::Data(x)` /
+/// `Frame::Ack(x)` — the shape both engines use to name a received frame's
+/// payload in match arms and if-lets.
+fn frame_bound_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = typed_names(tokens, FRAME_TYPES);
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("Frame")
+            && path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("Data") || t.is_ident("Ack"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 5).is_some_and(|t| t.kind == TokKind::Ident)
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct(')'))
+        {
+            names.insert(tokens[i + 5].text.clone());
+        }
+    }
+    names
+}
+
+/// `no-frame-deep-clone` (deterministic crates only): flags `.clone()` on a
+/// binding typed as a frame (`Frame`/`DataFrame`/`AckFrame`/`Subframe`/
+/// `RxFrame`). The zero-copy receive path shares one broadcast allocation
+/// by `Arc` across every receiver; a deep frame clone anywhere else defeats
+/// it silently — throughput sags but every test stays green. The one
+/// legitimate copy is the corruption seam (`stack/decode.rs`), which is
+/// waived inline. Field access through a frame binding (`sf.packet.clone()`)
+/// is not flagged: `Packet` clones are shallow by design.
+pub fn no_frame_deep_clone(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let tracked = frame_bound_names(tokens);
+    if tracked.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if dot_call(tokens, i, &["clone"]).is_some()
+            && i >= 1
+            && tokens[i - 1].kind == TokKind::Ident
+            && tracked.contains(&tokens[i - 1].text)
+        {
+            let recv = &tokens[i - 1].text;
+            out.push(Finding::new(
+                NO_FRAME_DEEP_CLONE,
+                file,
+                tokens[i + 1].line,
+                format!(
+                    "`{recv}.clone()` deep-copies a frame — receivers share the broadcast \
+                     allocation by `Arc` (`RxFrame::Shared`); only the corruption seam in \
+                     `stack/decode.rs` may copy, under an inline waiver"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +663,36 @@ mod tests {
         let found = run(src, shard_state_isolation);
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].message.contains("coordinator barrier"));
+    }
+
+    #[test]
+    fn frame_deep_clone_flags_typed_and_pattern_bindings() {
+        let src = "
+            fn f(frame: &Frame, sf: &Subframe) -> Frame {
+                match frame {
+                    Frame::Data(d) => relay(d.clone()),
+                    Frame::Ack(a) => echo(a.clone()),
+                }
+                stash(sf.clone());
+                frame.clone()
+            }
+        ";
+        let found = run(src, no_frame_deep_clone);
+        assert_eq!(found.len(), 4, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("deep-copies")));
+    }
+
+    #[test]
+    fn frame_deep_clone_allows_arc_handles_and_packet_fields() {
+        let src = "
+            fn f(af: &Arc<Frame>, sf: &Subframe, route: &RouteInfo) {
+                let shared = Arc::clone(af);
+                let handle = af.clone();
+                let p = sf.packet.clone();
+                let r = route.clone();
+            }
+        ";
+        assert!(run(src, no_frame_deep_clone).is_empty());
     }
 
     #[test]

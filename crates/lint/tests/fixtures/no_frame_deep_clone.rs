@@ -1,0 +1,28 @@
+//! Fixture: `no-frame-deep-clone` true/false positives (lexed only).
+//! Runs under a deterministic-crate config; the bench/exec layers are
+//! exempt, and the corruption seam carries the one legitimate waiver.
+
+fn true_positives(frame: &Frame, sf: &Subframe) -> Frame {
+    match frame {
+        Frame::Data(d) => relay(d.clone()), //~ no-frame-deep-clone
+        Frame::Ack(a) => echo(a.clone()), //~ no-frame-deep-clone
+    }
+    stash(sf.clone()); //~ no-frame-deep-clone
+    frame.clone() //~ no-frame-deep-clone
+}
+
+fn waived(d: &DataFrame) -> DataFrame {
+    // lint:allow(no-frame-deep-clone): corruption seam fixture — this receiver needs private corrupted flags
+    let mut owned = d.clone(); //~ waived no-frame-deep-clone
+    owned.subframes.truncate(1);
+    owned
+}
+
+fn true_negatives(af: &Arc<Frame>, sf: &Subframe, route: &RouteInfo) {
+    let shared = Arc::clone(af); // refcount bump, not a copy
+    let handle = af.clone(); // Arc handle — also just a refcount bump
+    let p = sf.packet.clone(); // Packet is shallow by design (header + Arc body)
+    let r = route.clone(); // not a frame type
+    // frame.clone() — commented out, must not fire
+    drop((shared, handle, p, r));
+}

@@ -21,8 +21,10 @@ use wmn_sim::{FlowId, NodeId, SimDuration, SimTime, StreamRng};
 
 use crate::backoff::Backoff;
 use crate::frame::{
-    AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe, ACK_BITMAP_BYTES, ACK_BYTES,
+    AckFrame, AckList, DataFrame, Frame, LinkDst, NodeList, Packet, RouteInfo, RxFrame, Subframe,
+    ACK_BITMAP_BYTES, ACK_BYTES,
 };
+use crate::pool::FramePool;
 use crate::queue::IfQueue;
 use crate::reorder::{AcceptOutcome, ReorderBuffer};
 use crate::{DropReason, MacAction, MacEntity, MacStats, RateClass, TimerToken};
@@ -136,6 +138,7 @@ pub struct DcfMac {
     seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
     rq: BTreeMap<(FlowId, NodeId), ReorderBuffer>,
+    pool: FramePool,
     rng: StreamRng,
     stats: MacStats,
 }
@@ -176,6 +179,7 @@ impl DcfMac {
             seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
             rq: BTreeMap::new(),
+            pool: FramePool::default(),
             rng,
             stats: MacStats::default(),
         }
@@ -309,7 +313,14 @@ impl DcfMac {
             self.inflight.as_mut().unwrap().frame_seq = self.frame_seq_counter;
         }
 
+        // The subframe vector comes from this MAC's pool and the packet
+        // clones share their bodies by reference, so building a
+        // (re)transmission attempt allocates nothing at steady state.
+        let mut subframes = self.pool.mint_subframes();
         let inflight = self.inflight.as_ref().expect("just set");
+        for (seq, p) in &inflight.subframes {
+            subframes.push(Subframe { seq: *seq, packet: p.clone(), corrupted: false });
+        }
         let first = &inflight.subframes[0].1.header;
         let frame = DataFrame {
             transmitter: self.node,
@@ -318,11 +329,7 @@ impl DcfMac {
             src: first.src,
             dst: first.dst,
             frame_seq: inflight.frame_seq,
-            subframes: inflight
-                .subframes
-                .iter()
-                .map(|(seq, p)| Subframe { seq: *seq, packet: p.clone(), corrupted: false })
-                .collect(),
+            subframes,
             retry: inflight.retries,
         };
         self.data_state = DataState::Transmitting;
@@ -330,24 +337,26 @@ impl DcfMac {
         out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
     }
 
-    fn handle_data_frame(&mut self, d: DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_data_frame(&mut self, d: &DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
         match &d.link_dst {
             LinkDst::Unicast(to) if *to == self.node => {}
             _ => return, // overheard or opportunistic: plain DCF ignores it
         }
         self.stats.data_frames_received += 1;
-        let acked_seqs: Vec<(FlowId, u32)> = d
+        let acked_seqs: AckList = d
             .subframes
             .iter()
             .filter(|s| !s.corrupted)
             .map(|s| (s.packet.header.flow, s.seq))
             .collect();
         // Deliver clean, non-duplicate subframes in order through the Rq.
-        for sf in d.subframes.into_iter().filter(|s| !s.corrupted) {
+        // The frame is borrowed (it may be the shared broadcast copy), so
+        // kept packets are cloned — a header copy plus a body refcount bump.
+        for sf in d.subframes.iter().filter(|s| !s.corrupted) {
             let key = (sf.packet.header.flow, sf.packet.header.src);
             let cap = self.cfg.reorder_capacity;
             let rq = self.rq.entry(key).or_insert_with(|| ReorderBuffer::new(cap));
-            let (outcome, released) = rq.accept(sf.seq, sf.packet);
+            let (outcome, released) = rq.accept(sf.seq, sf.packet.clone());
             if outcome == AcceptOutcome::Accepted || outcome == AcceptOutcome::Duplicate {
                 for p in released {
                     self.stats.delivered_up += 1;
@@ -362,7 +371,7 @@ impl DcfMac {
             flow: d.flow,
             frame_seq: d.frame_seq,
             acked_seqs,
-            relay_list: Vec::new(),
+            relay_list: NodeList::new(),
         };
         self.pending_ack = Some(ack);
         let token = self.mint(TimerRole::SendAck);
@@ -371,7 +380,7 @@ impl DcfMac {
         let _ = now;
     }
 
-    fn handle_ack_frame(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
         if a.to != self.node || self.data_state != DataState::WaitAck {
             return;
         }
@@ -482,9 +491,9 @@ impl MacEntity for DcfMac {
         out
     }
 
-    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction> {
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
         let mut out = Vec::new();
-        match frame {
+        match &*frame {
             Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
             Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
         }
@@ -676,7 +685,7 @@ mod tests {
         let frame = find_tx(&actions).unwrap().clone();
 
         let mut receiver = mac(1, 1);
-        let actions = receiver.on_frame_rx(frame, t(200));
+        let actions = receiver.on_frame_rx(frame.into(), t(200));
         // Delivered upward…
         assert!(actions.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         // …and an ACK scheduled at SIFS.
@@ -686,7 +695,7 @@ mod tests {
         match find_tx(&actions) {
             Some(Frame::Ack(a)) => {
                 assert_eq!(a.to, NodeId::new(0));
-                assert_eq!(a.acked_seqs, vec![(FlowId::new(0), 0)]);
+                assert_eq!(a.acked_seqs.as_slice(), &[(FlowId::new(0), 0)]);
             }
             _ => panic!("expected ACK"),
         }
@@ -704,10 +713,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
+            relay_list: NodeList::new(),
         };
-        sender.on_frame_rx(Frame::Ack(ack), t(180));
+        sender.on_frame_rx(Frame::Ack(ack).into(), t(180));
         assert!(sender.inflight.is_none(), "frame acknowledged");
         assert_eq!(sender.stats().acks_received, 1);
     }
@@ -763,7 +772,7 @@ mod tests {
                 src: NodeId::new(0),
                 dst: NodeId::new(1),
                 frame_seq: m.inflight.as_ref().unwrap().frame_seq,
-                subframes: vec![],
+                subframes: vec![].into(),
                 retry: 0,
             })
         }) else {
@@ -775,10 +784,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: first.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
+            relay_list: NodeList::new(),
         };
-        let actions = m.on_frame_rx(Frame::Ack(ack), t(220));
+        let actions = m.on_frame_rx(Frame::Ack(ack).into(), t(220));
         // Post-backoff timer armed; fire it.
         let (delay, token) = find_timer(&actions).expect("post backoff");
         let actions = m.on_timer(token, t(220) + delay);
@@ -804,10 +813,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: fs,
-            acked_seqs: vec![(FlowId::new(0), 0)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
+            relay_list: NodeList::new(),
         };
-        let actions = m.on_frame_rx(Frame::Ack(ack), t(170));
+        let actions = m.on_frame_rx(Frame::Ack(ack).into(), t(170));
         let (delay, token) = find_timer(&actions).unwrap();
         let actions = m.on_timer(token, t(170) + delay);
         let Some(Frame::Data(d2)) = find_tx(&actions) else { panic!() };
@@ -822,10 +831,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d2.frame_seq,
-            acked_seqs: acked,
-            relay_list: vec![],
+            acked_seqs: acked.into(),
+            relay_list: NodeList::new(),
         };
-        let actions = m.on_frame_rx(Frame::Ack(ack2), t(420));
+        let actions = m.on_frame_rx(Frame::Ack(ack2).into(), t(420));
         let (delay, token) = find_timer(&actions).unwrap();
         let actions = m.on_timer(token, t(420) + delay);
         let Some(Frame::Data(d3)) = find_tx(&actions) else { panic!() };
@@ -852,11 +861,11 @@ mod tests {
                 retry: 0,
             })
         };
-        let actions = rx.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1), t(100));
+        let actions = rx.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1).into(), t(100));
         let delivered = actions.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 1, "seq 0 delivered, seq 2 held for seq 1");
         // Retransmission of seq 1 releases 1 and 2 in order.
-        let actions = rx.on_frame_rx(mk(vec![(1, false)], 2), t(500));
+        let actions = rx.on_frame_rx(mk(vec![(1, false)], 2).into(), t(500));
         let delivered: Vec<u32> = actions
             .iter()
             .filter_map(|a| match a {
@@ -895,10 +904,10 @@ mod tests {
             src: NodeId::new(0),
             dst: NodeId::new(3),
             frame_seq: 1,
-            subframes: vec![Subframe { seq: 0, packet: packet(0, 0, 3), corrupted: false }],
+            subframes: vec![Subframe { seq: 0, packet: packet(0, 0, 3), corrupted: false }].into(),
             retry: 0,
         });
-        let actions = m.on_frame_rx(frame, t(100));
+        let actions = m.on_frame_rx(frame.into(), t(100));
         assert!(actions.is_empty(), "not addressed to us");
     }
 
@@ -912,15 +921,15 @@ mod tests {
             src: NodeId::new(0),
             dst: NodeId::new(1),
             frame_seq: 1,
-            subframes: vec![Subframe { seq: 0, packet: packet(0, 0, 1), corrupted: false }],
+            subframes: vec![Subframe { seq: 0, packet: packet(0, 0, 1), corrupted: false }].into(),
             retry: 0,
         });
-        let first = rx.on_frame_rx(frame.clone(), t(100));
+        let first = rx.on_frame_rx(frame.clone().into(), t(100));
         assert!(first.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         // Retransmission of the same subframe (sender missed the ACK).
         let Frame::Data(mut d) = frame else { panic!() };
         d.frame_seq = 2;
-        let second = rx.on_frame_rx(Frame::Data(d), t(400));
+        let second = rx.on_frame_rx(Frame::Data(d).into(), t(400));
         assert!(
             !second.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
             "duplicate must not be delivered twice"

@@ -7,10 +7,26 @@
 //! header survives.
 //!
 //! Simulated wire sizes are computed from the declared packet size plus
-//! fixed header costs; the in-memory `body` bytes are metadata (an encoded
+//! fixed header costs; the in-memory [`Body`] bytes are metadata (an encoded
 //! transport segment) and do not influence airtime.
+//!
+//! Since the zero-copy rework, frame state is built to be *shared*, not
+//! copied: packet bodies are reference-counted [`Body`] buffers (cloning a
+//! [`Packet`] bumps a count, it does not copy bytes), subframe storage is a
+//! copy-on-write [`SubframeVec`], and forwarder/relay/ACK lists are inline
+//! [`SmallList`]s ([`NodeList`], [`AckList`]) that never touch the heap at
+//! their in-protocol sizes. A received frame reaches the MAC as an
+//! [`RxFrame`]: the shared broadcast `Arc` on the clean-channel fast path,
+//! an owned diverged copy only when the channel actually corrupted
+//! something.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 use wmn_sim::{FlowId, NodeId};
+
+pub use crate::pool::{Body, SubframeVec};
+use crate::smalllist::SmallList;
 
 /// MAC header + FCS cost of a data frame, bytes.
 pub const MAC_HEADER_BYTES: u32 = 28;
@@ -22,6 +38,15 @@ pub const ACK_BYTES: u32 = 14;
 pub const ACK_BITMAP_BYTES: u32 = 4;
 /// Bytes consumed per entry of an in-frame forwarder list.
 pub const FORWARDER_ENTRY_BYTES: u32 = 6;
+
+/// A forwarder/relay priority list: inline up to 8 entries (the paper's
+/// lists stay well under the default `max_forwarders = 5`), heap-spilled
+/// beyond that so oversized scenarios still work.
+pub type NodeList = SmallList<NodeId, 8>;
+
+/// An ACK bitmap as `(flow, seq)` entries: inline up to the aggregation cap
+/// of 16 subframes per frame.
+pub type AckList = SmallList<(FlowId, u32), 16>;
 
 /// Transport protocol selector for a network packet.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -49,18 +74,24 @@ pub struct NetHeader {
 }
 
 /// An upper-layer packet queued at, carried by, and delivered from the MAC.
-#[derive(Clone, Debug)]
+///
+/// Cloning is cheap by construction: the header is `Copy` and the body is a
+/// shared [`Body`] (reference-count bump, no byte copy) — which is why the
+/// MAC retransmission paths may clone packets freely while the
+/// `no-frame-deep-clone` lint forbids cloning whole frames.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Packet {
     /// End-to-end header.
     pub header: NetHeader,
     /// Encoded transport segment (metadata; see module docs).
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Packet {
-    /// Convenience constructor.
-    pub fn new(header: NetHeader, body: Vec<u8>) -> Self {
-        Packet { header, body }
+    /// Convenience constructor; accepts a plain `Vec<u8>` (tests, unpooled
+    /// callers) or a pool-minted [`Body`].
+    pub fn new(header: NetHeader, body: impl Into<Body>) -> Self {
+        Packet { header, body: body.into() }
     }
 }
 
@@ -75,7 +106,7 @@ pub enum RouteInfo {
     /// priority.
     Opportunistic {
         /// Priority list; `list[0]` must be the packet's destination.
-        list: Vec<NodeId>,
+        list: NodeList,
     },
 }
 
@@ -112,11 +143,15 @@ pub enum LinkDst {
     /// Opportunistic: any station on the priority list may act on it.
     Opportunistic {
         /// Priority list; position 0 is the end-to-end destination.
-        list: Vec<NodeId>,
+        list: NodeList,
     },
 }
 
 /// A MAC data frame: header, addressing, and up to 16 subframes.
+///
+/// `Clone` is shallow — the subframe storage is shared copy-on-write (see
+/// [`SubframeVec`]) — and outside the channel-corruption seam nothing should
+/// clone frames at all; the `no-frame-deep-clone` lint enforces that.
 #[derive(Clone, Debug)]
 pub struct DataFrame {
     /// Station whose radio emitted this copy (changes as relays forward it).
@@ -134,7 +169,7 @@ pub struct DataFrame {
     /// values, relays keep the value so duplicates can be suppressed.
     pub frame_seq: u64,
     /// Aggregated packets (1 for plain DCF, up to 16 under AFR/RIPPLE).
-    pub subframes: Vec<Subframe>,
+    pub subframes: SubframeVec,
     /// Retry counter of the attempt that produced this frame (diagnostic).
     pub retry: u8,
 }
@@ -165,6 +200,9 @@ impl DataFrame {
 
 /// A MAC acknowledgement, possibly carrying an aggregation bitmap and — for
 /// RIPPLE's two-way opportunistic forwarding — a relay priority list.
+///
+/// Both lists are inline [`SmallList`]s: cloning an ACK never allocates at
+/// in-protocol sizes.
 #[derive(Clone, Debug)]
 pub struct AckFrame {
     /// Station whose radio emitted this copy.
@@ -179,11 +217,11 @@ pub struct AckFrame {
     /// Subframes received correctly, identified by (flow, sequence) — the
     /// flow id disambiguates frames that aggregate packets of several flows
     /// sharing a route (bitmap ACK). Plain DCF ACKs carry one entry.
-    pub acked_seqs: Vec<(FlowId, u32)>,
+    pub acked_seqs: AckList,
     /// For RIPPLE: the priority list the ACK travels back along (position 0
     /// = the end-to-end destination that generated the ACK). Empty for
     /// single-hop ACKs.
-    pub relay_list: Vec<NodeId>,
+    pub relay_list: NodeList,
 }
 
 impl AckFrame {
@@ -235,6 +273,50 @@ impl Frame {
     }
 }
 
+/// A frame as it reaches a receiving MAC: shared on the clean-channel fast
+/// path, owned only when the channel corrupted this receiver's copy.
+///
+/// A broadcast fans one `Arc<Frame>` out to every receiver; the channel
+/// decode (`wmn_netsim`'s shared seam) hands each MAC a `Shared` handle when
+/// every CRC survived — zero allocations, zero copies — and materialises an
+/// `Owned` diverged copy only on the corruption branch. MACs read through
+/// `Deref` and clone out the (cheap, reference-counted) pieces they keep.
+///
+/// Both variants are one pointer wide: the diverged copy is boxed so that
+/// moving an `RxFrame` through the receive path never copies a whole
+/// `Frame` by value — the box is one more allocation on the corruption
+/// branch, which already allocates, and zero on the fast path.
+#[derive(Clone, Debug)]
+pub enum RxFrame {
+    /// The transmitter's copy, shared by every clean receiver.
+    Shared(Arc<Frame>),
+    /// This receiver's diverged copy (some subframe corrupted in transit).
+    Owned(Box<Frame>),
+}
+
+impl Deref for RxFrame {
+    type Target = Frame;
+
+    fn deref(&self) -> &Frame {
+        match self {
+            RxFrame::Shared(frame) => frame,
+            RxFrame::Owned(frame) => frame,
+        }
+    }
+}
+
+impl From<Frame> for RxFrame {
+    fn from(frame: Frame) -> Self {
+        RxFrame::Owned(Box::new(frame))
+    }
+}
+
+impl From<Arc<Frame>> for RxFrame {
+    fn from(frame: Arc<Frame>) -> Self {
+        RxFrame::Shared(frame)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,7 +336,7 @@ mod tests {
         DataFrame {
             transmitter: NodeId::new(0),
             link_dst: match list {
-                Some(list) => LinkDst::Opportunistic { list },
+                Some(list) => LinkDst::Opportunistic { list: list.into() },
                 None => LinkDst::Unicast(NodeId::new(1)),
             },
             flow: FlowId::new(0),
@@ -298,13 +380,13 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: 9,
-            acked_seqs: vec![(FlowId::new(0), 4)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 4)].into(),
+            relay_list: NodeList::new(),
         };
         assert_eq!(a.wire_bytes(), 14);
         a.acked_seqs = (4u32..7).map(|q| (FlowId::new(0), q)).collect();
         assert_eq!(a.wire_bytes(), 18);
-        a.relay_list = vec![NodeId::new(3), NodeId::new(2)];
+        a.relay_list = vec![NodeId::new(3), NodeId::new(2)].into();
         assert_eq!(a.wire_bytes(), 18 + 12);
     }
 
@@ -317,12 +399,30 @@ mod tests {
 
     #[test]
     fn rank_of_positions() {
-        let route =
-            RouteInfo::Opportunistic { list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)] };
+        let route = RouteInfo::Opportunistic {
+            list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)].into(),
+        };
         assert_eq!(route.rank_of(NodeId::new(3)), Some(0));
         assert_eq!(route.rank_of(NodeId::new(1)), Some(2));
         assert_eq!(route.rank_of(NodeId::new(9)), None);
         assert_eq!(RouteInfo::NextHop(NodeId::new(1)).rank_of(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn rx_frame_derefs_to_either_representation() {
+        let frame = Frame::Data(frame_with(2, None));
+        let shared = RxFrame::from(Arc::new(frame.clone()));
+        let owned = RxFrame::from(frame);
+        assert_eq!(shared.wire_bytes(), owned.wire_bytes());
+        assert_eq!(shared.transmitter(), NodeId::new(0));
+    }
+
+    #[test]
+    fn packet_clone_shares_the_body() {
+        let p = Packet::new(hdr(1000), b"segment".to_vec());
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(&*q.body, b"segment");
     }
 
     proptest! {

@@ -30,19 +30,24 @@ pub mod backoff;
 pub mod dcf;
 pub mod frame;
 pub mod overhead;
+pub mod pool;
 pub mod queue;
 pub mod reorder;
 pub mod scheme;
+pub mod smalllist;
 
 pub use backoff::Backoff;
 pub use dcf::{DcfConfig, DcfMac, DcfScheme};
 pub use frame::{
-    AckFrame, DataFrame, Frame, LinkDst, NetHeader, Packet, Proto, RouteInfo, Subframe,
+    AckFrame, AckList, DataFrame, Frame, LinkDst, NetHeader, NodeList, Packet, Proto, RouteInfo,
+    RxFrame, Subframe,
 };
 pub use overhead::OverheadModel;
+pub use pool::{Body, FramePool, SubframeVec};
 pub use queue::IfQueue;
 pub use reorder::ReorderBuffer;
 pub use scheme::MacScheme;
+pub use smalllist::SmallList;
 
 use wmn_sim::{SimDuration, SimTime};
 
@@ -144,8 +149,11 @@ pub trait MacEntity: Send {
     /// The channel at this station turned idle.
     fn on_idle(&mut self, now: SimTime) -> Vec<MacAction>;
     /// A frame was received cleanly (header intact; per-subframe corruption
-    /// flags already applied by the channel).
-    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction>;
+    /// flags already applied by the channel). The frame arrives as an
+    /// [`RxFrame`]: on the clean-channel fast path it is the *shared*
+    /// broadcast copy, so implementations read through `Deref` and clone out
+    /// only the (reference-counted, cheap) pieces they keep.
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction>;
     /// Our own transmission just finished.
     fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction>;
     /// A previously requested timer fired.

@@ -138,7 +138,7 @@ mod tests {
     }
 
     fn seq_of(p: &Packet) -> u32 {
-        u32::from_le_bytes(p.body.clone().try_into().unwrap())
+        u32::from_le_bytes(p.body.as_slice().try_into().unwrap())
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! A small-vector list for the frame hot path.
+//!
+//! Forwarder lists, relay lists, and ACK bitmaps are tiny (the paper caps
+//! forwarder lists at a handful of entries and aggregation at 16 subframes),
+//! yet until the zero-copy rework every one of them was a heap `Vec` cloned
+//! on every transmission attempt. [`SmallList`] stores up to `N` elements
+//! inline — copying one is a `memcpy`, never an allocation — and spills to a
+//! heap `Vec` only in the (never-hit-in-practice) case of an oversized list,
+//! so no caller has to reason about capacity limits.
+//!
+//! The type is deliberately minimal: `Copy + Default` elements only (ids and
+//! id tuples), append-only growth, slice access through `Deref`. That is the
+//! exact surface the MAC layer uses, and nothing more.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// An inline-first list of up to `N` `Copy` elements, spilling to the heap
+/// beyond that.
+///
+/// Equality, ordering of iteration, and `Debug` all view the list as the
+/// slice of its live elements; the unused inline slots are zero-filled
+/// padding and never observable.
+///
+/// # Example
+///
+/// ```
+/// use wmn_mac::SmallList;
+/// let list: SmallList<u32, 4> = [7, 8].into_iter().collect();
+/// assert_eq!(&*list, &[7, 8]);
+/// assert_eq!(list.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct SmallList<T: Copy + Default, const N: usize> {
+    /// Inline storage; only `inline[..len]` is live (unless spilled).
+    inline: [T; N],
+    /// Number of live inline elements. Unused once spilled.
+    len: usize,
+    /// Overflow storage. Empty ⇒ the list is inline; non-empty ⇒ it holds
+    /// *all* elements and the inline array is dead.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallList<T, N> {
+    /// An empty list (no heap allocation).
+    pub fn new() -> Self {
+        SmallList { inline: [T::default(); N], len: 0, spill: Vec::new() }
+    }
+
+    /// Appends an element, spilling to the heap only past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if !self.spill.is_empty() {
+            self.spill.push(value);
+        } else if self.len < N {
+            self.inline[self.len] = value;
+            self.len += 1;
+        } else {
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline[..N]);
+            self.spill.push(value);
+        }
+    }
+
+    /// The live elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallList<T, N> {
+    fn default() -> Self {
+        SmallList::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallList<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallList<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallList<T, N> {}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallList<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for SmallList<T, N> {
+    fn from(values: &[T]) -> Self {
+        let mut list = SmallList::new();
+        if values.len() <= N {
+            list.inline[..values.len()].copy_from_slice(values);
+            list.len = values.len();
+        } else {
+            list.spill = values.to_vec();
+        }
+        list
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for SmallList<T, N> {
+    fn from(values: Vec<T>) -> Self {
+        // An oversized Vec is adopted as-is (its allocation is reused);
+        // a small one is copied inline and the Vec freed.
+        if values.len() > N {
+            SmallList { inline: [T::default(); N], len: 0, spill: values }
+        } else {
+            SmallList::from(values.as_slice())
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallList<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = SmallList::new();
+        for value in iter {
+            list.push(value);
+        }
+        list
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallList<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut list: SmallList<u32, 3> = SmallList::new();
+        for v in 0..3 {
+            list.push(v);
+        }
+        assert_eq!(&*list, &[0, 1, 2]);
+        list.push(3);
+        assert_eq!(&*list, &[0, 1, 2, 3], "spill preserves order");
+        list.push(4);
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_dead_inline_slots() {
+        let a: SmallList<u32, 4> = vec![1, 2].into();
+        let mut b: SmallList<u32, 4> = SmallList::new();
+        b.push(1);
+        b.push(2);
+        assert_eq!(a, b);
+        let c: SmallList<u32, 4> = vec![1, 2, 3].into();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_vec_keeps_oversized_allocation_and_inlines_small_ones() {
+        let big: SmallList<u32, 2> = vec![1, 2, 3, 4].into();
+        assert_eq!(&*big, &[1, 2, 3, 4]);
+        let small: SmallList<u32, 2> = vec![9].into();
+        assert_eq!(&*small, &[9]);
+        assert!(small.spill.is_empty(), "small lists stay inline");
+    }
+
+    #[test]
+    fn slice_ops_come_through_deref() {
+        let list: SmallList<u32, 4> = vec![5, 6, 7].into();
+        assert_eq!(list[0], 5);
+        assert_eq!(list.iter().position(|&v| v == 7), Some(2));
+        assert_eq!(list.last(), Some(&7));
+    }
+
+    #[test]
+    fn collect_and_debug() {
+        let list: SmallList<u32, 2> = (0..4).collect();
+        assert_eq!(format!("{list:?}"), "[0, 1, 2, 3]");
+        let empty: SmallList<u32, 2> = SmallList::default();
+        assert!(empty.is_empty());
+    }
+}

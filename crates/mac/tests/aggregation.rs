@@ -106,9 +106,9 @@ fn mixed_flow_ack_is_unambiguous() {
             .filter(|s| s.packet.header.flow == FlowId::new(0))
             .map(|s| (s.packet.header.flow, s.seq))
             .collect(),
-        relay_list: vec![],
+        relay_list: Default::default(),
     };
-    let actions = mac.on_frame_rx(Frame::Ack(ack), t(2100));
+    let actions = mac.on_frame_rx(Frame::Ack(ack).into(), t(2100));
     // The retransmission must contain exactly flow 1's subframes.
     let (delay, token) = actions
         .iter()

@@ -8,7 +8,11 @@
 //! [`stack::net_layer`] (per-flow route tables) and [`stack::flow_layer`]
 //! (transport endpoints and workloads) — orchestrated by a thin runner
 //! that interprets every [`wmn_mac::MacAction`] /
-//! [`wmn_transport::TcpAction`] against simulated time.
+//! [`wmn_transport::TcpAction`] against simulated time. Both engines (the
+//! single loop and the sharded windowed loop) decode received frames
+//! through one shared BER seam, [`stack::decode`], whose clean-channel
+//! fast path hands every receiver the transmitter's own `Arc`-backed
+//! allocation — zero copies, zero allocations per clean decode.
 //!
 //! A [`Scenario`] fully describes one run (placement, forwarding scheme,
 //! flows, duration, seed, and optionally a [`MotionPlan`] of per-node

@@ -1,0 +1,93 @@
+//! The shared clean-decode / corruption seam of both engines.
+//!
+//! The single-loop runner (`PhyIo::apply_bit_errors`) and the shard
+//! workers (`ShardWorker::apply_bit_errors`) used to carry byte-for-byte
+//! copies of the same BER logic; this module is the one implementation both
+//! now delegate to, so the two engines cannot drift apart on what "decoded"
+//! means.
+//!
+//! # Zero-copy fast path
+//!
+//! The draws are planned in two passes: first every subframe's survival is
+//! drawn into a corruption bitmask (consuming the RNG in exactly the order
+//! the old mutate-as-you-go loop did), and only *then* is anything copied.
+//! A frame whose mask comes back empty — the overwhelmingly common case on
+//! a healthy channel — is handed to the MAC as [`RxFrame::Shared`], a pure
+//! `Arc` refcount bump of the broadcast allocation: zero heap allocations
+//! per clean decode. Only a frame with at least one corrupted subframe pays
+//! for a copy, and that copy-on-write branch is the single waived
+//! `.clone()` seam the `no-frame-deep-clone` lint rule polices.
+
+use std::sync::Arc;
+
+use wmn_mac::frame::{Frame, RxFrame, SUBFRAME_OVERHEAD_BYTES};
+use wmn_phy::BerModel;
+use wmn_sim::StreamRng;
+
+/// Subframe-count ceiling of the bitmask fast path. Frames wider than this
+/// (none exist today; aggregation is capped at 16) take an eager-clone
+/// fallback with the identical draw order.
+const MASK_WIDTH: usize = 128;
+
+/// Applies the i.i.d. BER model to one received frame: the header must
+/// survive for anything to be decoded; each subframe's CRC fails
+/// independently. Returns `None` when the header is lost, a shared handle
+/// when every subframe survived, and an owned corrupted-flagged copy
+/// otherwise.
+///
+/// Draw order (header, then each subframe in frame order, one draw each) is
+/// identical on every branch — the clean/corrupt split is decided *after*
+/// the draws, so this refactor is invisible to the RNG streams.
+///
+/// Public so the bench suite can pin the fast path's zero-allocation claim
+/// with the counting allocator; simulation code reaches it through the
+/// engines' `apply_bit_errors` wrappers.
+pub fn decode_frame(ber: &BerModel, rng: &mut StreamRng, frame: &Arc<Frame>) -> Option<RxFrame> {
+    if !ber.unit_survives(frame.header_bytes(), rng) {
+        return None;
+    }
+    let d = match &**frame {
+        // An ACK has no subframes: header survival is the whole decode.
+        Frame::Ack(_) => return Some(RxFrame::Shared(Arc::clone(frame))),
+        Frame::Data(d) => d,
+    };
+    if d.subframes.len() > MASK_WIDTH {
+        return Some(decode_wide(ber, rng, d));
+    }
+    let mut mask: u128 = 0;
+    for (i, sf) in d.subframes.iter().enumerate() {
+        let bytes = SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
+        if !ber.unit_survives(bytes, rng) {
+            mask |= 1 << i;
+        }
+    }
+    if mask == 0 {
+        return Some(RxFrame::Shared(Arc::clone(frame)));
+    }
+    // Copy-on-write branch: at least one subframe was corrupted, so this
+    // receiver needs its own flags. The DataFrame clone is shallow (the
+    // subframe storage is an `Arc`); the `iter_mut` below is what detaches
+    // a private copy to write the flags into.
+    // lint:allow(no-frame-deep-clone): the corruption seam — the one place a received frame is legitimately copied, to flag this receiver's own subframe losses without touching the shared broadcast allocation
+    let mut owned = d.clone();
+    for (i, sf) in owned.subframes.iter_mut().enumerate() {
+        if mask & (1 << i) != 0 {
+            sf.corrupted = true;
+        }
+    }
+    Some(Frame::Data(owned).into())
+}
+
+/// Fallback for frames wider than the bitmask: clone eagerly and mutate in
+/// place, drawing in the exact same order as the masked path.
+fn decode_wide(ber: &BerModel, rng: &mut StreamRng, d: &wmn_mac::DataFrame) -> RxFrame {
+    // lint:allow(no-frame-deep-clone): corruption-seam fallback for frames wider than the 128-bit mask — same waiver as the masked branch above
+    let mut owned = d.clone();
+    for sf in owned.subframes.iter_mut() {
+        let bytes = SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
+        if !ber.unit_survives(bytes, rng) {
+            sf.corrupted = true;
+        }
+    }
+    Frame::Data(owned).into()
+}

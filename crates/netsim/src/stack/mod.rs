@@ -29,6 +29,7 @@
 //! byte-identical to the pre-stack runner (pinned by the golden snapshots,
 //! the sweep determinism suite, and the committed CI baseline).
 
+pub mod decode;
 pub mod flow_layer;
 pub mod mac_engine;
 pub mod net_layer;
@@ -36,7 +37,7 @@ pub mod phy_io;
 pub mod shard;
 
 use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
-use wmn_mac::{MacAction, RateClass, TimerToken};
+use wmn_mac::{FramePool, MacAction, RateClass, TimerToken};
 use wmn_phy::medium::BusyTransition;
 use wmn_phy::ArrivalOutcome;
 use wmn_routing::LinkGraph;
@@ -226,6 +227,10 @@ struct Runner {
     queue: EventQueue<Event>,
     /// Live routing period, if the scenario enables refresh.
     route_refresh: Option<SimDuration>,
+    /// Recycler for transport packet bodies: once warm, minting a TCP
+    /// segment or UDP datagram body reuses a retired buffer instead of
+    /// allocating.
+    pool: FramePool,
     trace: Option<Trace>,
 }
 
@@ -258,6 +263,7 @@ impl Runner {
             flows,
             queue,
             route_refresh: scenario.route_refresh,
+            pool: FramePool::default(),
             trace: None,
         }
     }
@@ -323,7 +329,7 @@ impl Runner {
                 if outcome == ArrivalOutcome::Clean && state.decodable {
                     if let Some(frame) = self.phy.apply_bit_errors(&state.frame) {
                         if self.trace.is_some() {
-                            let (kind, flow, frame_seq) = match &frame {
+                            let (kind, flow, frame_seq) = match &*frame {
                                 Frame::Data(d) => (FrameKind::Data, d.flow, d.frame_seq),
                                 Frame::Ack(a) => (FrameKind::Ack, a.flow, a.frame_seq),
                             };
@@ -550,7 +556,7 @@ impl Runner {
         let Some(route) = self.net.route(flow_id, src, forward) else { return };
         let packet = Packet::new(
             NetHeader { flow: flow_id, src, dst, proto: Proto::Tcp, wire_bytes },
-            segment.encode(),
+            self.pool.mint_body_with(|out| segment.encode_into(out)),
         );
         let now = self.now();
         let actions = self.macs.node(src).on_enqueue(packet, route, now);
@@ -608,7 +614,7 @@ impl Runner {
             flow.udp_sent += 1;
             Packet::new(
                 NetHeader { flow: flow_id, src, dst, proto: Proto::Udp, wire_bytes: bytes },
-                dg.encode(),
+                self.pool.mint_body_with(|out| dg.encode_into(out)),
             )
         };
         let actions = self.macs.node(src).on_enqueue(packet, route, now);

@@ -117,9 +117,10 @@ fn build_routes(
     if opportunistic {
         let reversed: Vec<NodeId> = path.iter().rev().copied().collect();
         fwd[path[0].index()] =
-            Some(RouteInfo::Opportunistic { list: forwarder_list(path, max_forwarders) });
-        rev[reversed[0].index()] =
-            Some(RouteInfo::Opportunistic { list: forwarder_list(&reversed, max_forwarders) });
+            Some(RouteInfo::Opportunistic { list: forwarder_list(path, max_forwarders).into() });
+        rev[reversed[0].index()] = Some(RouteInfo::Opportunistic {
+            list: forwarder_list(&reversed, max_forwarders).into(),
+        });
     } else {
         for w in path.windows(2) {
             fwd[w[0].index()] = Some(RouteInfo::NextHop(w[1]));

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use wmn_mac::frame::Frame;
+use wmn_mac::frame::{Frame, RxFrame};
 use wmn_phy::{BerModel, Medium, Position, Receiver, RxPlan};
 use wmn_sim::{EventQueue, NodeId, RngDirectory, SimDuration, SimTime, StreamRng};
 use wmn_topology::MotionPlan;
@@ -25,9 +25,10 @@ pub(crate) struct ArrivalState {
     /// The receiving station.
     pub(crate) node: NodeId,
     /// Shared handle to the transmitted frame: a broadcast to k receivers
-    /// costs one allocation, not k deep clones. A mutable copy is made only
-    /// when an arrival actually decodes cleanly (see
-    /// [`PhyIo::apply_bit_errors`]).
+    /// costs one allocation, not k deep clones. Clean decodes ride the same
+    /// shared handle all the way into the MAC; a private copy is made only
+    /// when bit errors corrupt a subframe (see
+    /// [`decode_frame`](super::decode::decode_frame)).
     pub(crate) frame: Arc<Frame>,
     /// Whether the arrival is strong enough to decode.
     pub(crate) decodable: bool,
@@ -245,31 +246,15 @@ impl PhyIo {
         self.arrivals.take(id)
     }
 
-    /// Applies the i.i.d. BER model to one received frame copy: the header
-    /// must survive for anything to be decoded; each subframe's CRC fails
-    /// independently.
+    /// Applies the i.i.d. BER model to one received frame — a thin wrapper
+    /// over the engines' shared [`decode_frame`](super::decode::decode_frame)
+    /// seam, consuming this engine's global `ber` stream.
     ///
-    /// Takes the shared broadcast frame by reference and clones only when
-    /// something actually reaches the MAC — the per-receiver deep copy the
-    /// fan-out used to pay is gone.
-    pub(crate) fn apply_bit_errors(&mut self, frame: &Frame) -> Option<Frame> {
-        if !self.ber.unit_survives(frame.header_bytes(), &mut self.ber_rng) {
-            return None;
-        }
-        match frame {
-            Frame::Ack(a) => Some(Frame::Ack(a.clone())),
-            Frame::Data(d) => {
-                let mut d = d.clone();
-                for sf in &mut d.subframes {
-                    let bytes =
-                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
-                    if !self.ber.unit_survives(bytes, &mut self.ber_rng) {
-                        sf.corrupted = true;
-                    }
-                }
-                Some(Frame::Data(d))
-            }
-        }
+    /// A frame that decodes with no subframe losses is handed to the MAC as
+    /// a shared handle to the broadcast allocation (zero copies); only a
+    /// corrupted frame pays for a copy-on-write detach.
+    pub(crate) fn apply_bit_errors(&mut self, frame: &Arc<Frame>) -> Option<RxFrame> {
+        super::decode::decode_frame(&self.ber, &mut self.ber_rng, frame)
     }
 
     /// Whether any station actually moves (drives whether the runner
@@ -312,8 +297,8 @@ mod tests {
                 to: NodeId::new(node),
                 flow: wmn_sim::FlowId::new(0),
                 frame_seq: 0,
-                acked_seqs: Vec::new(),
-                relay_list: Vec::new(),
+                acked_seqs: Default::default(),
+                relay_list: Default::default(),
             })),
             decodable: true,
             power_dbm: -50.0,

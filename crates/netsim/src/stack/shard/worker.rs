@@ -31,8 +31,8 @@
 
 use std::sync::{Arc, RwLock};
 
-use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
-use wmn_mac::{MacAction, MacStats, RateClass};
+use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo, RxFrame};
+use wmn_mac::{FramePool, MacAction, MacStats, RateClass};
 use wmn_phy::medium::BusyTransition;
 use wmn_phy::{ArrivalOutcome, BerModel, Medium, PhyParams, Receiver, RxPlan};
 use wmn_sim::{EventKey, FlowId, KeyedEventQueue, NodeId, RngDirectory, SimTime, StreamRng};
@@ -137,6 +137,10 @@ pub(crate) struct ShardWorker {
     flow_seq: Vec<u64>,
     outbox: Vec<CrossShardArrival>,
     emit_seq: u64,
+    /// Recycler for the transport packet bodies this shard's flows mint
+    /// (shard-local, so recycling order stays shard-count-invariant for
+    /// the buffers themselves and invisible to results either way).
+    pool: FramePool,
 }
 
 impl ShardWorker {
@@ -195,6 +199,7 @@ impl ShardWorker {
             flow_seq,
             outbox: Vec::new(),
             emit_seq: 0,
+            pool: FramePool::default(),
         }
     }
 
@@ -339,29 +344,13 @@ impl ShardWorker {
         }
     }
 
-    /// The per-receiver twin of `PhyIo::apply_bit_errors`: same model, same
-    /// draw order per frame, but consuming the receiving station's own
-    /// `shard/ber/<rx>` stream so the draw order is independent of how
-    /// other stations' receptions interleave.
-    fn apply_bit_errors(&mut self, rx: NodeId, frame: &Frame) -> Option<Frame> {
-        let rng = &mut self.ber_rngs[rx.index()];
-        if !self.ber.unit_survives(frame.header_bytes(), rng) {
-            return None;
-        }
-        match frame {
-            Frame::Ack(a) => Some(Frame::Ack(a.clone())),
-            Frame::Data(d) => {
-                let mut d = d.clone();
-                for sf in &mut d.subframes {
-                    let bytes =
-                        wmn_mac::frame::SUBFRAME_OVERHEAD_BYTES + sf.packet.header.wire_bytes;
-                    if !self.ber.unit_survives(bytes, rng) {
-                        sf.corrupted = true;
-                    }
-                }
-                Some(Frame::Data(d))
-            }
-        }
+    /// The per-receiver twin of `PhyIo::apply_bit_errors`: the same shared
+    /// [`decode_frame`](crate::stack::decode::decode_frame) seam (so the two
+    /// engines cannot drift apart on decode semantics), but consuming the
+    /// receiving station's own `shard/ber/<rx>` stream so the draw order is
+    /// independent of how other stations' receptions interleave.
+    fn apply_bit_errors(&mut self, rx: NodeId, frame: &Arc<Frame>) -> Option<RxFrame> {
+        crate::stack::decode::decode_frame(&self.ber, &mut self.ber_rngs[rx.index()], frame)
     }
 
     fn apply_mac_actions(&mut self, node: NodeId, actions: Vec<MacAction>) {
@@ -558,7 +547,7 @@ impl ShardWorker {
         let Some(route) = self.route(flow_id, src, forward) else { return };
         let packet = Packet::new(
             NetHeader { flow: flow_id, src, dst, proto: Proto::Tcp, wire_bytes },
-            segment.encode(),
+            self.pool.mint_body_with(|out| segment.encode_into(out)),
         );
         let now = self.now();
         let actions = self.macs.node(src).on_enqueue(packet, route, now);
@@ -616,7 +605,7 @@ impl ShardWorker {
             flow.udp_sent += 1;
             Packet::new(
                 NetHeader { flow: flow_id, src, dst, proto: Proto::Udp, wire_bytes: bytes },
-                dg.encode(),
+                self.pool.mint_body_with(|out| dg.encode_into(out)),
             )
         };
         let actions = self.macs.node(src).on_enqueue(packet, route, now);

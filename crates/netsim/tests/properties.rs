@@ -91,3 +91,79 @@ proptest! {
         prop_assert_eq!(result.flows[0].tcp.unwrap().reordered_arrivals, 0);
     }
 }
+
+/// Builds a pooled `n`-subframe data frame like a transmitter would.
+fn pooled_frame(pool: &wmn_mac::FramePool, n: u32) -> std::sync::Arc<wmn_mac::Frame> {
+    use wmn_mac::frame::{LinkDst, NetHeader, Packet, Proto, Subframe};
+    let header = NetHeader {
+        flow: wmn_sim::FlowId::new(0),
+        src: NodeId::new(0),
+        dst: NodeId::new(3),
+        proto: Proto::Tcp,
+        wire_bytes: 1000,
+    };
+    let mut subframes = pool.mint_subframes();
+    for seq in 0..n {
+        subframes.push(Subframe {
+            seq,
+            packet: Packet::new(header, pool.mint_body(&[0u8; 18])),
+            corrupted: false,
+        });
+    }
+    std::sync::Arc::new(wmn_mac::Frame::Data(wmn_mac::DataFrame {
+        transmitter: NodeId::new(0),
+        link_dst: LinkDst::Unicast(NodeId::new(1)),
+        flow: wmn_sim::FlowId::new(0),
+        src: NodeId::new(0),
+        dst: NodeId::new(3),
+        frame_seq: 0,
+        subframes,
+        retry: 0,
+    }))
+}
+
+proptest! {
+    /// The decode seam's zero-copy contract, end to end: a clean channel
+    /// hands back the transmitter's own allocation (`Arc::ptr_eq`, no
+    /// copy), and a corrupting channel detaches a private copy without
+    /// ever writing a `corrupted` flag through to the shared frame.
+    #[test]
+    fn prop_decode_shares_clean_and_isolates_corrupt(
+        seed in 1u64..500,
+        n_subframes in 1u32..16,
+    ) {
+        use wmn_mac::frame::{Frame, RxFrame};
+        use wmn_netsim::stack::decode::decode_frame;
+        use wmn_phy::BerModel;
+        use wmn_sim::StreamRng;
+
+        let pool = wmn_mac::FramePool::default();
+        let frame = pooled_frame(&pool, n_subframes);
+
+        let clean = BerModel::new(0.0);
+        let mut rng = StreamRng::derive(seed, "netsim-test/decode-clean");
+        match decode_frame(&clean, &mut rng, &frame) {
+            Some(RxFrame::Shared(shared)) => {
+                prop_assert!(std::sync::Arc::ptr_eq(&shared, &frame),
+                    "clean decode must share the broadcast allocation");
+            }
+            other => prop_assert!(false, "clean decode must be Shared, got {other:?}"),
+        }
+
+        // A punishing channel: most decodes corrupt something (or lose the
+        // header). Whenever an Owned copy comes back, the original must be
+        // untouched and the copy must actually diverge.
+        let noisy = BerModel::new(1e-3);
+        let mut rng = StreamRng::derive(seed, "netsim-test/decode-noisy");
+        for _ in 0..32 {
+            if let Some(RxFrame::Owned(owned)) = decode_frame(&noisy, &mut rng, &frame) {
+                let Frame::Data(ref orig) = *frame else { unreachable!() };
+                prop_assert!(orig.subframes.iter().all(|sf| !sf.corrupted),
+                    "corruption must never write through to the shared frame");
+                let Frame::Data(ref diverged) = *owned else { unreachable!() };
+                prop_assert!(diverged.subframes.iter().any(|sf| sf.corrupted),
+                    "an Owned decode exists only to carry corrupted flags");
+            }
+        }
+    }
+}

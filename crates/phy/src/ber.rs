@@ -52,6 +52,12 @@ impl BerModel {
     }
 
     /// Randomly decides whether a `bytes`-long protected unit survives.
+    ///
+    /// Exactly one RNG draw per call. The decode seam
+    /// (`wmn-netsim`'s `stack::decode`) relies on this: it draws header
+    /// first, then each subframe in frame order, and decides clean-vs-copy
+    /// only *after* the draws — so the zero-copy fast path consumes the
+    /// stream in precisely the order the old mutate-as-you-go loop did.
     pub fn unit_survives(&self, bytes: u32, rng: &mut StreamRng) -> bool {
         rng.chance(self.unit_success_probability(bytes))
     }

@@ -22,9 +22,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wmn_mac::frame::{AckFrame, DataFrame, Frame, LinkDst, Packet, RouteInfo, Subframe};
+use wmn_mac::frame::{
+    AckFrame, DataFrame, Frame, LinkDst, NodeList, Packet, RouteInfo, RxFrame, Subframe,
+};
 use wmn_mac::{
-    Backoff, DropReason, IfQueue, MacAction, MacEntity, MacStats, RateClass, TimerToken,
+    Backoff, DropReason, FramePool, IfQueue, MacAction, MacEntity, MacStats, RateClass, TimerToken,
 };
 use wmn_phy::PhyParams;
 use wmn_sim::{FlowId, NodeId, SimDuration, SimTime, StreamRng};
@@ -91,7 +93,7 @@ enum DataState {
 struct Inflight {
     seq: u32,
     packet: Packet,
-    list: Vec<NodeId>,
+    list: NodeList,
     retries: u8,
     frame_seq: u64,
 }
@@ -100,14 +102,14 @@ struct Inflight {
 struct QItem {
     seq: u32,
     packet: Packet,
-    list: Vec<NodeId>,
+    list: NodeList,
 }
 
 #[derive(Debug)]
 struct Pending {
     seq: u32,
     packet: Packet,
-    list: Vec<NodeId>,
+    list: NodeList,
     my_rank: usize,
     flow: FlowId,
     data_tx: NodeId,
@@ -153,6 +155,7 @@ pub struct ExorMac {
     seen: BTreeMap<(FlowId, NodeId), BTreeSet<u32>>,
     seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
+    pool: FramePool,
     rng: StreamRng,
     stats: MacStats,
 }
@@ -192,6 +195,7 @@ impl ExorMac {
             seen: BTreeMap::new(),
             seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
+            pool: FramePool::default(),
             rng,
             stats: MacStats::default(),
         }
@@ -279,7 +283,7 @@ impl ExorMac {
         }
     }
 
-    fn next_outgoing(&mut self) -> Option<(u32, Packet, Vec<NodeId>)> {
+    fn next_outgoing(&mut self) -> Option<(u32, Packet, NodeList)> {
         // Relays first: they carry packets already mid-path.
         if !self.relay_q.is_empty() {
             let item = self.relay_q.remove(0);
@@ -301,8 +305,16 @@ impl ExorMac {
         }
         self.frame_seq_counter += 1;
         let fs = self.frame_seq_counter;
+        // Pooled subframe vector + by-reference packet body: each
+        // (re)transmission attempt is allocation-free at steady state.
+        let mut subframes = self.pool.mint_subframes();
         let inflight = self.inflight.as_mut().expect("just set");
         inflight.frame_seq = fs;
+        subframes.push(Subframe {
+            seq: inflight.seq,
+            packet: inflight.packet.clone(),
+            corrupted: false,
+        });
         let frame = DataFrame {
             transmitter: self.node,
             link_dst: LinkDst::Opportunistic { list: inflight.list.clone() },
@@ -310,11 +322,7 @@ impl ExorMac {
             src: inflight.packet.header.src,
             dst: inflight.packet.header.dst,
             frame_seq: fs,
-            subframes: vec![Subframe {
-                seq: inflight.seq,
-                packet: inflight.packet.clone(),
-                corrupted: false,
-            }],
+            subframes,
             retry: inflight.retries,
         };
         self.data_state = DataState::Transmitting;
@@ -322,7 +330,7 @@ impl ExorMac {
         out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
     }
 
-    fn handle_data_frame(&mut self, d: DataFrame, _now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_data_frame(&mut self, d: &DataFrame, _now: SimTime, out: &mut Vec<MacAction>) {
         let LinkDst::Opportunistic { list } = &d.link_dst else {
             return; // unicast frames belong to other MACs
         };
@@ -370,7 +378,7 @@ impl ExorMac {
         }
     }
 
-    fn handle_ack_frame(&mut self, a: AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
         // Sender side: does this acknowledge our inflight frame?
         if a.to == self.node && self.data_state == DataState::WaitAck {
             if let Some(inflight) = self.inflight.as_ref() {
@@ -410,8 +418,8 @@ impl ExorMac {
             to: p.data_tx,
             flow: p.flow,
             frame_seq: p.frame_seq,
-            acked_seqs: vec![(p.flow, p.seq)],
-            relay_list: Vec::new(),
+            acked_seqs: [(p.flow, p.seq)].as_slice().into(),
+            relay_list: NodeList::new(),
         };
         if self.radio_free() {
             self.ack_tx_in_progress = true;
@@ -422,7 +430,7 @@ impl ExorMac {
         if self.mode == ExorMode::McExor {
             let p = self.pending.remove(&key).expect("present");
             if p.my_rank > 0 && p.fresh {
-                let list = p.list[..p.my_rank].to_vec();
+                let list = NodeList::from(&p.list[..p.my_rank]);
                 self.relay_q.push(QItem { seq: p.seq, packet: p.packet, list });
                 self.try_progress(now, out);
             }
@@ -433,7 +441,7 @@ impl ExorMac {
     fn fire_relay_decision(&mut self, key: (NodeId, u64), now: SimTime, out: &mut Vec<MacAction>) {
         let Some(p) = self.pending.remove(&key) else { return };
         if p.my_rank > 0 && p.fresh && !p.heard_higher {
-            let list = p.list[..p.my_rank].to_vec();
+            let list = NodeList::from(&p.list[..p.my_rank]);
             self.relay_q.push(QItem { seq: p.seq, packet: p.packet, list });
             self.try_progress(now, out);
         }
@@ -491,9 +499,9 @@ impl MacEntity for ExorMac {
         out
     }
 
-    fn on_frame_rx(&mut self, frame: Frame, now: SimTime) -> Vec<MacAction> {
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
         let mut out = Vec::new();
-        match frame {
+        match &*frame {
             Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
             Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
         }
@@ -607,7 +615,9 @@ mod tests {
 
     fn route_0_to_3() -> RouteInfo {
         // Destination 3 first, then forwarders 2 (rank 1) and 1 (rank 2).
-        RouteInfo::Opportunistic { list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)] }
+        RouteInfo::Opportunistic {
+            list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)].into(),
+        }
     }
 
     fn find_tx(actions: &[MacAction]) -> Option<&Frame> {
@@ -641,7 +651,9 @@ mod tests {
         let d = tx_data_frame(&mut m, t(100));
         assert_eq!(
             d.link_dst,
-            LinkDst::Opportunistic { list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)] }
+            LinkDst::Opportunistic {
+                list: vec![NodeId::new(3), NodeId::new(2), NodeId::new(1)].into(),
+            }
         );
         assert_eq!(d.subframes.len(), 1, "no aggregation in preExOR/MCExOR");
     }
@@ -653,12 +665,12 @@ mod tests {
         let c = cfg();
         // Destination (rank 0).
         let mut dest = mac(ExorMode::PreExor, 3);
-        let acts = dest.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = dest.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let (delay0, _) = timers(&acts)[0];
         assert_eq!(delay0, c.sifs);
         // Forwarder rank 2 (node 1).
         let mut fwd = mac(ExorMode::PreExor, 1);
-        let acts = fwd.on_frame_rx(Frame::Data(d), t(200));
+        let acts = fwd.on_frame_rx(Frame::Data(d).into(), t(200));
         let (delay2, _) = timers(&acts)[0];
         assert_eq!(delay2, c.sifs + (c.t_ack + c.sifs) * 2);
     }
@@ -669,7 +681,7 @@ mod tests {
         let d = tx_data_frame(&mut src, t(100));
         let c = cfg();
         let mut fwd = mac(ExorMode::McExor, 2); // rank 1
-        let acts = fwd.on_frame_rx(Frame::Data(d), t(200));
+        let acts = fwd.on_frame_rx(Frame::Data(d).into(), t(200));
         let (delay, _) = timers(&acts)[0];
         assert_eq!(delay, c.sifs * 2, "rank 1 waits 2 SIFS");
     }
@@ -679,7 +691,7 @@ mod tests {
         let mut src = mac(ExorMode::PreExor, 0);
         let d = tx_data_frame(&mut src, t(100));
         let mut dest = mac(ExorMode::PreExor, 3);
-        let acts = dest.on_frame_rx(Frame::Data(d), t(200));
+        let acts = dest.on_frame_rx(Frame::Data(d).into(), t(200));
         assert!(acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
     }
 
@@ -688,11 +700,11 @@ mod tests {
         let mut src = mac(ExorMode::PreExor, 0);
         let d1 = tx_data_frame(&mut src, t(100));
         let mut dest = mac(ExorMode::PreExor, 3);
-        dest.on_frame_rx(Frame::Data(d1.clone()), t(200));
+        dest.on_frame_rx(Frame::Data(d1.clone()).into(), t(200));
         // Source retransmits (missed ACK): same seq, new frame_seq.
         let mut d2 = d1;
         d2.frame_seq += 10;
-        let acts = dest.on_frame_rx(Frame::Data(d2), t(400));
+        let acts = dest.on_frame_rx(Frame::Data(d2).into(), t(400));
         assert!(
             !acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
             "duplicates must not be delivered twice"
@@ -705,7 +717,7 @@ mod tests {
         let mut src = mac(ExorMode::McExor, 0);
         let d = tx_data_frame(&mut src, t(100));
         let mut fwd = mac(ExorMode::McExor, 1); // rank 2
-        let acts = fwd.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = fwd.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let (_, token) = timers(&acts)[0];
         // The destination's ACK is overheard before our slot.
         let higher_ack = AckFrame {
@@ -713,10 +725,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
+            relay_list: NodeList::new(),
         };
-        fwd.on_frame_rx(Frame::Ack(higher_ack), t(210));
+        fwd.on_frame_rx(Frame::Ack(higher_ack).into(), t(210));
         let acts = fwd.on_timer(token, t(232));
         assert!(find_tx(&acts).is_none(), "ACK suppressed");
         assert!(fwd.relay_q.is_empty(), "no relay adopted");
@@ -727,7 +739,7 @@ mod tests {
         let mut src = mac(ExorMode::McExor, 0);
         let d = tx_data_frame(&mut src, t(100));
         let mut fwd = mac(ExorMode::McExor, 2); // rank 1: best receiver if dest missed
-        let acts = fwd.on_frame_rx(Frame::Data(d), t(200));
+        let acts = fwd.on_frame_rx(Frame::Data(d).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         let acts = fwd.on_timer(token, t(200) + delay);
         match find_tx(&acts) {
@@ -735,7 +747,7 @@ mod tests {
             _ => panic!("expected ACK"),
         }
         assert_eq!(fwd.relay_q.len(), 1, "forwarder adopts the packet");
-        assert_eq!(fwd.relay_q[0].list, vec![NodeId::new(3)], "truncated list");
+        assert_eq!(fwd.relay_q[0].list.as_slice(), &[NodeId::new(3)], "truncated list");
     }
 
     #[test]
@@ -744,13 +756,16 @@ mod tests {
         let d = tx_data_frame(&mut src, t(100));
         // Case 1: no higher-priority ACK heard → relay.
         let mut fwd = mac(ExorMode::PreExor, 2); // rank 1
-        let acts = fwd.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = fwd.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let relay_timer = timers(&acts).last().copied().unwrap();
         let acts = fwd.on_timer(relay_timer.1, t(200) + relay_timer.0);
         // The idle channel lets the adopted relay transmit immediately.
         let relayed = match find_tx(&acts) {
             Some(Frame::Data(r)) => {
-                assert_eq!(r.link_dst, LinkDst::Opportunistic { list: vec![NodeId::new(3)] });
+                assert_eq!(
+                    r.link_dst,
+                    LinkDst::Opportunistic { list: vec![NodeId::new(3)].into() }
+                );
                 true
             }
             _ => !fwd.relay_q.is_empty(),
@@ -758,17 +773,17 @@ mod tests {
         assert!(relayed, "forwarder must adopt and relay the packet");
         // Case 2: destination ACK heard → discard.
         let mut fwd2 = mac(ExorMode::PreExor, 2);
-        let acts = fwd2.on_frame_rx(Frame::Data(d.clone()), t(200));
+        let acts = fwd2.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
         let relay_timer = timers(&acts).last().copied().unwrap();
         let dest_ack = AckFrame {
             transmitter: NodeId::new(3),
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
+            relay_list: NodeList::new(),
         };
-        fwd2.on_frame_rx(Frame::Ack(dest_ack), t(220));
+        fwd2.on_frame_rx(Frame::Ack(dest_ack).into(), t(220));
         fwd2.on_timer(relay_timer.1, t(200) + relay_timer.0);
         assert!(fwd2.relay_q.is_empty(), "higher-priority ACK cancels the relay");
     }
@@ -783,10 +798,10 @@ mod tests {
             to: NodeId::new(0),
             flow: FlowId::new(0),
             frame_seq: d.frame_seq,
-            acked_seqs: vec![(FlowId::new(0), 0)],
-            relay_list: vec![],
+            acked_seqs: vec![(FlowId::new(0), 0)].into(),
+            relay_list: NodeList::new(),
         };
-        src.on_frame_rx(Frame::Ack(fwd_ack), t(260));
+        src.on_frame_rx(Frame::Ack(fwd_ack).into(), t(260));
         assert!(src.inflight.is_none(), "forwarder ACK means progress");
         assert_eq!(src.stats().acks_received, 1);
     }

@@ -15,7 +15,10 @@ use std::fmt;
 /// assert_eq!(n.index(), 3);
 /// assert_eq!(format!("{n}"), "n3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// `Default` (index 0) exists so dense inline containers (`wmn_mac`'s
+/// `SmallList`) can zero-fill their unused slots; a defaulted id is a
+/// legitimate station index, never a sentinel.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -47,7 +50,9 @@ impl From<u32> for NodeId {
 /// A flow is directional at the application level (e.g. an FTP download), but
 /// its id is shared by both directions of the underlying conversation (TCP
 /// data and TCP acknowledgements use the same `FlowId`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// `Default` (index 0) exists for the same inline-container zero-fill as
+/// [`NodeId`]'s.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(u32);
 
 impl FlowId {

@@ -14,7 +14,10 @@
 //!
 //! Segments travel through the simulator as encoded byte bodies inside
 //! network packets; the codecs live next to the endpoint logic and are
-//! round-trip property-tested.
+//! round-trip property-tested. Each codec offers an `encode_into` variant
+//! that appends to a caller-supplied buffer, which is how the engines mint
+//! packet bodies straight into recycled `wmn_mac` pool buffers instead of
+//! allocating a fresh `Vec` per segment.
 
 pub mod tcp;
 pub mod udp;

@@ -83,6 +83,15 @@ impl TcpSegment {
     /// Serialises the segment into a packet body.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(18);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialises the segment into a caller-provided buffer — the
+    /// allocation-free variant the engines use with pooled frame bodies.
+    /// Appends without clearing, so a recycled buffer must arrive empty.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(18);
         match self {
             TcpSegment::Data { seq, ts, retx } => {
                 out.push(Self::TAG_DATA);
@@ -97,7 +106,6 @@ impl TcpSegment {
                 out.push(0);
             }
         }
-        out
     }
 
     /// Parses a segment from a packet body.

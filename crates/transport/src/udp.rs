@@ -19,9 +19,17 @@ impl UdpDatagram {
     /// Serialises the datagram into a packet body.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialises the datagram into a caller-provided buffer — the
+    /// allocation-free variant the engines use with pooled frame bodies.
+    /// Appends without clearing, so a recycled buffer must arrive empty.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(16);
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.sent_at_ns.to_le_bytes());
-        out
     }
 
     /// Parses a datagram from a packet body; `None` if malformed.
