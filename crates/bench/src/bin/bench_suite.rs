@@ -45,8 +45,8 @@ use wmn_bench::{
     naive_plan_reference,
 };
 use wmn_exec::json::{parse, Value};
-use wmn_mac::frame::{DataFrame, Frame, LinkDst, NetHeader, Packet, Proto, Subframe};
-use wmn_mac::FramePool;
+use wmn_mac::frame::{DataFrame, Frame, LinkDst, NetHeader, Packet, Proto, RouteInfo, Subframe};
+use wmn_mac::{FramePool, IfQueue};
 use wmn_netsim::run;
 use wmn_netsim::stack::decode::decode_frame;
 use wmn_phy::{BerModel, Medium, PhyParams, Position};
@@ -74,6 +74,8 @@ struct Profile {
     route_refresh_reps: u64,
     /// Event-queue schedule/pop operations.
     queue_ops: u64,
+    /// Saturated interface-queue batch/refill cycles.
+    ifq_ops: u64,
     /// Clean-channel decode calls on one pooled 16-subframe frame.
     decode_reps: u64,
     /// Simulated duration of the end-to-end runs (static and mobile).
@@ -89,6 +91,7 @@ const QUICK: Profile = Profile {
     refresh_reps: 200,
     route_refresh_reps: 50,
     queue_ops: 200_000,
+    ifq_ops: 20_000,
     decode_reps: 100_000,
     e2e_duration: SimDuration::from_millis(300),
     campus_duration: SimDuration::from_millis(5),
@@ -101,6 +104,7 @@ const FULL: Profile = Profile {
     refresh_reps: 2_000,
     route_refresh_reps: 500,
     queue_ops: 2_000_000,
+    ifq_ops: 200_000,
     decode_reps: 1_000_000,
     e2e_duration: SimDuration::from_millis(2_000),
     campus_duration: SimDuration::from_millis(40),
@@ -286,6 +290,46 @@ fn time_clean_decode(reps: u64) -> (f64, wmn_alloc::AllocStats) {
     (ns, stats)
 }
 
+/// The saturated interface-queue cycle the aggregation path drives: a full
+/// `Sq` where every "transmission" pulls a route-matched batch into a
+/// pooled slot and the packets are re-enqueued (the refill a saturated
+/// sender performs). After one warm-up cycle the deque, the batch slot and
+/// the packet bodies are all at steady-state capacity, so the measured
+/// region must be allocation-free — the pooled-slot claim, asserted.
+fn time_saturated_queue(ops: u64) -> (f64, wmn_alloc::AllocStats) {
+    let header = NetHeader {
+        flow: FlowId::new(0),
+        src: NodeId::new(0),
+        dst: NodeId::new(9),
+        proto: Proto::Udp,
+        wire_bytes: 1000,
+    };
+    let route = RouteInfo::NextHop(NodeId::new(1));
+    let mut q = IfQueue::new(50);
+    for _ in 0..50 {
+        assert!(q.push(Packet::new(header, vec![]), route.clone()).is_none());
+    }
+    let cycle = |q: &mut IfQueue| {
+        let mut batch = q.pop_batch_matching_head(16, u32::MAX);
+        for qp in batch.drain(..) {
+            assert!(q.push(qp.packet, qp.route).is_none(), "refill must fit");
+        }
+    };
+    // Warm-up: let the batch slot grow to its 16-packet capacity.
+    for _ in 0..4 {
+        cycle(&mut q);
+    }
+    let start = Instant::now();
+    let ((), stats) = wmn_alloc::measure(|| {
+        for _ in 0..ops {
+            cycle(&mut q);
+        }
+    });
+    let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+    assert_eq!(q.len(), 50, "every batch is fully re-enqueued");
+    (ns, stats)
+}
+
 /// Event-queue churn under the simulator's steady-state pattern: a bounded
 /// frontier where every pop schedules a successor at or near "now".
 fn time_event_queue(ops: u64) -> f64 {
@@ -305,6 +349,30 @@ fn time_event_queue(ops: u64) -> f64 {
     }
     black_box(sum);
     start.elapsed().as_nanos() as f64 / ops as f64
+}
+
+/// The recycled-node claim on the future-event list: the same interleaved
+/// frontier as [`time_event_queue`], but measured under the counting
+/// allocator with the heap pre-sized to the frontier. Pops hand their
+/// storage straight back to the pushes, so the steady state must be
+/// allocation-free.
+fn time_event_churn_recycled(ops: u64) -> (f64, wmn_alloc::AllocStats) {
+    let mut q = EventQueue::with_capacity(64);
+    for i in 0..64u64 {
+        q.schedule(SimTime::from_nanos(i / 4), i);
+    }
+    let mut sum = 0u64;
+    let start = Instant::now();
+    let ((), stats) = wmn_alloc::measure(|| {
+        for i in 64..ops {
+            let (_, e) = q.pop().expect("frontier never empties");
+            sum = sum.wrapping_add(e);
+            q.schedule_in(SimDuration::from_nanos(i % 3), i);
+        }
+    });
+    let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+    black_box(sum);
+    (ns, stats)
 }
 
 fn run_suite(profile: &Profile) -> Value {
@@ -369,6 +437,41 @@ fn run_suite(profile: &Profile) -> Value {
         extras: vec![],
     });
 
+    // 5a. The two steady-state zero-allocation claims, asserted outright:
+    //     a saturated interface queue cycling pooled batch slots, and the
+    //     recycled future-event list. Like `clean_decode_16sub`, a single
+    //     allocation per op here is a regression, not noise.
+    let (ifq_ns, ifq_alloc) = time_saturated_queue(profile.ifq_ops);
+    assert_eq!(
+        ifq_alloc.allocs, 0,
+        "saturated queue cycle must be allocation-free ({} allocs over {} cycles)",
+        ifq_alloc.allocs, profile.ifq_ops
+    );
+    benches.push(Bench {
+        name: "saturated_queue_enqueue".into(),
+        reps: profile.ifq_ops,
+        ns_per_op: ifq_ns,
+        extras: vec![(
+            "allocs_per_op",
+            Value::from(ifq_alloc.allocs as f64 / profile.ifq_ops as f64),
+        )],
+    });
+    let (churn_ns, churn_alloc) = time_event_churn_recycled(profile.queue_ops);
+    assert_eq!(
+        churn_alloc.allocs, 0,
+        "recycled event churn must be allocation-free ({} allocs over {} ops)",
+        churn_alloc.allocs, profile.queue_ops
+    );
+    benches.push(Bench {
+        name: "event_churn_recycled".into(),
+        reps: profile.queue_ops,
+        ns_per_op: churn_ns,
+        extras: vec![(
+            "allocs_per_op",
+            Value::from(churn_alloc.allocs as f64 / profile.queue_ops as f64),
+        )],
+    });
+
     // 5b. The zero-copy decode fast path. Clean decodes are an `Arc`
     //     refcount bump, so the suite *asserts* zero allocations per op —
     //     the allocation-budget gate then pins the same number in CI.
@@ -396,9 +499,11 @@ fn run_suite(profile: &Profile) -> Value {
         ("fig6_class_end_to_end", fig6_class_scenario(5, profile.e2e_duration)),
         ("fig6_class_mobile_end_to_end", fig6_class_mobile_scenario(5, profile.e2e_duration)),
     ] {
+        let phases_before = wmn_alloc::phase_totals();
         let start = Instant::now();
         let (result, alloc) = wmn_alloc::measure(|| run(&scenario));
         let wall = start.elapsed();
+        let phases_after = wmn_alloc::phase_totals();
         assert!(result.flows[0].delivered_bytes > 0, "{name}: run made no progress");
         // Allocation pressure per frame on the air (data + ACK): the
         // pooled-buffer path's tracked signal, gated by the committed
@@ -406,17 +511,41 @@ fn run_suite(profile: &Profile) -> Value {
         let frames: u64 =
             result.mac_stats.iter().map(|s| s.data_frames_sent + s.ack_frames_sent).sum();
         assert!(frames > 0, "{name}: no frames transmitted");
+        // Phase attribution of the run's allocations: the runner's scoped
+        // guards charge hot-loop traffic to tx-path / queue / event-loop,
+        // leaving scenario build and result collection unattributed. The
+        // itemisation names the next ratchet target instead of reporting
+        // one opaque total.
+        let mut extras = vec![
+            ("sim_millis", Value::Uint(profile.e2e_duration.as_nanos() / 1_000_000)),
+            ("delivered_bytes", Value::Uint(result.flows[0].delivered_bytes)),
+            ("frames_sent", Value::Uint(frames)),
+            ("allocs_per_frame", Value::from(alloc.allocs as f64 / frames as f64)),
+            ("peak_bytes", Value::Uint(alloc.peak_bytes_in_use)),
+        ];
+        let mut attributed = 0u64;
+        for (phase, key) in [
+            (wmn_alloc::Phase::TxPath, "allocs_tx_path"),
+            (wmn_alloc::Phase::Queue, "allocs_queue"),
+            (wmn_alloc::Phase::EventLoop, "allocs_event_loop"),
+        ] {
+            let delta = phases_after[phase as usize].allocs - phases_before[phase as usize].allocs;
+            attributed += delta;
+            extras.push((key, Value::Uint(delta)));
+        }
+        extras.push((
+            "alloc_attribution",
+            Value::from(if alloc.allocs > 0 {
+                attributed as f64 / alloc.allocs as f64
+            } else {
+                1.0
+            }),
+        ));
         benches.push(Bench {
             name: name.into(),
             reps: 1,
             ns_per_op: wall.as_nanos() as f64,
-            extras: vec![
-                ("sim_millis", Value::Uint(profile.e2e_duration.as_nanos() / 1_000_000)),
-                ("delivered_bytes", Value::Uint(result.flows[0].delivered_bytes)),
-                ("frames_sent", Value::Uint(frames)),
-                ("allocs_per_frame", Value::from(alloc.allocs as f64 / frames as f64)),
-                ("peak_bytes", Value::Uint(alloc.peak_bytes_in_use)),
-            ],
+            extras,
         });
     }
 
@@ -426,8 +555,10 @@ fn run_suite(profile: &Profile) -> Value {
     //    really compares two computations of the same answer. The ratio is
     //    tracked, not gated: conservative lookahead on this PHY is the radio
     //    propagation delay (tens of ns), so on few-core or oversubscribed
-    //    hosts parity (≈1×) is the honest expectation — the number exists to
-    //    show the trajectory as windows widen, not to claim a speed-up.
+    //    hosts a ratio *below 1* (4 shards slower than 1 — window/merge
+    //    overhead with no cores to hide it) is the expected reading, not a
+    //    regression — the number exists to show the trajectory as windows
+    //    widen, not to claim a speed-up.
     let mut campus_results = Vec::new();
     let mut campus_ns = Vec::new();
     for shards in [1u32, 4] {

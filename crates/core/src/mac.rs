@@ -26,8 +26,8 @@ use wmn_mac::frame::{
     AckFrame, AckList, DataFrame, Frame, LinkDst, NodeList, Packet, RouteInfo, RxFrame, Subframe,
 };
 use wmn_mac::{
-    Backoff, DropReason, FramePool, IfQueue, MacAction, MacEntity, MacStats, RateClass,
-    ReorderBuffer, TimerToken,
+    ActionSink, Backoff, DropReason, FramePool, IfQueue, MacAction, MacEntity, MacStats, RateClass,
+    ReorderBuffer, Slot, SlotPool, TimerToken,
 };
 use wmn_phy::PhyParams;
 use wmn_sim::{FlowId, NodeId, SimTime, StreamRng};
@@ -43,7 +43,9 @@ enum DataState {
 
 #[derive(Debug)]
 struct Inflight {
-    subframes: Vec<(u32, Packet)>,
+    /// The (seq, packet) pairs awaiting acknowledgement, in a recycled
+    /// slot so starting a new frame never allocates at steady state.
+    subframes: Slot<(u32, Packet)>,
     list: NodeList,
     flow: FlowId,
     retries: u8,
@@ -96,7 +98,10 @@ pub struct RippleMac {
     /// Relays waiting for their idle window (armed or paused).
     pending_relays: Vec<PendingRelay>,
     next_pending: u64,
-    timer_roles: BTreeMap<u64, Role>,
+    /// Live timer tokens and what they mean. A handful are outstanding at
+    /// any instant, so a linear-scan `Vec` beats a node-allocating map —
+    /// and its capacity is retained, keeping timer churn off the allocator.
+    timer_roles: Vec<(u64, Role)>,
     next_token: u64,
     /// (flow, origin, frame_seq) data frames this node has already relayed.
     data_relayed: BTreeSet<(FlowId, NodeId, u64)>,
@@ -107,11 +112,21 @@ pub struct RippleMac {
     seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
     rq: BTreeMap<(FlowId, NodeId), ReorderBuffer>,
+    /// Recycled buffers for [`Inflight::subframes`].
+    inflight_slots: SlotPool<(u32, Packet)>,
     pool: FramePool,
     rng: StreamRng,
     stats: MacStats,
     /// Relays performed (diagnostic; counts both data and ACK relays).
     relays_performed: u64,
+}
+
+/// Removes and returns the role of a live token from the linear-scan timer
+/// table (`None` = cancelled or superseded). A free function over the field
+/// so call sites holding other `self` borrows can still use it.
+fn take_role_in(roles: &mut Vec<(u64, Role)>, token: TimerToken) -> Option<Role> {
+    let idx = roles.iter().position(|(t, _)| *t == token.0)?;
+    Some(roles.swap_remove(idx).1)
 }
 
 impl std::fmt::Debug for RippleMac {
@@ -146,7 +161,7 @@ impl RippleMac {
             armed_timeout: None,
             pending_relays: Vec::new(),
             next_pending: 0,
-            timer_roles: BTreeMap::new(),
+            timer_roles: Vec::new(),
             next_token: 0,
             data_relayed: BTreeSet::new(),
             ack_relayed: BTreeSet::new(),
@@ -154,6 +169,7 @@ impl RippleMac {
             seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
             rq: BTreeMap::new(),
+            inflight_slots: SlotPool::new(),
             pool: FramePool::default(),
             rng,
             stats: MacStats::default(),
@@ -174,7 +190,7 @@ impl RippleMac {
     fn mint(&mut self, role: Role) -> TimerToken {
         let token = TimerToken(self.next_token);
         self.next_token += 1;
-        self.timer_roles.insert(token.0, role);
+        self.timer_roles.push((token.0, role));
         token
     }
 
@@ -195,7 +211,7 @@ impl RippleMac {
         self.inflight.is_some() || !self.q.is_empty()
     }
 
-    fn try_progress(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn try_progress(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.data_state != DataState::Idle || !self.radio_free() || !self.has_work() {
             return;
         }
@@ -210,7 +226,7 @@ impl RippleMac {
         self.arm_backoff(now, out);
     }
 
-    fn arm_backoff(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn arm_backoff(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.armed_backoff.is_some() || self.channel_busy {
             return;
         }
@@ -226,7 +242,7 @@ impl RippleMac {
 
     fn disarm_backoff(&mut self, now: SimTime) {
         if let Some(token) = self.armed_backoff.take() {
-            self.timer_roles.remove(&token.0);
+            take_role_in(&mut self.timer_roles, token);
             let idle = now.saturating_since(self.countdown_anchor);
             self.backoff.consume_idle(idle, self.cfg.slot);
         }
@@ -236,25 +252,21 @@ impl RippleMac {
     fn pause_relays(&mut self) {
         for pr in &mut self.pending_relays {
             if let Some(token) = pr.token.take() {
-                self.timer_roles.remove(&token.0);
+                take_role_in(&mut self.timer_roles, token);
             }
         }
     }
 
     /// Idle channel: re-arm every paused relay with its full wait.
-    fn resume_relays(&mut self, out: &mut Vec<MacAction>) {
-        let mut arms = Vec::new();
+    fn resume_relays(&mut self, out: &mut ActionSink) {
         for pr in &mut self.pending_relays {
             if pr.token.is_none() {
                 let token = TimerToken(self.next_token);
                 self.next_token += 1;
                 pr.token = Some(token);
-                arms.push((token, pr.id, pr.wait));
+                self.timer_roles.push((token.0, Role::RelayFire { pending: pr.id }));
+                out.push(MacAction::SetTimer { delay: pr.wait, token });
             }
-        }
-        for (token, id, wait) in arms {
-            self.timer_roles.insert(token.0, Role::RelayFire { pending: id });
-            out.push(MacAction::SetTimer { delay: wait, token });
         }
     }
 
@@ -263,7 +275,7 @@ impl RippleMac {
         key: (FlowId, NodeId, u64, bool),
         frame: Frame,
         wait: wmn_sim::SimDuration,
-        out: &mut Vec<MacAction>,
+        out: &mut ActionSink,
     ) {
         let id = self.next_pending;
         self.next_pending += 1;
@@ -278,7 +290,7 @@ impl RippleMac {
         while self.pending_relays.len() > 32 {
             let dead = self.pending_relays.remove(0);
             if let Some(token) = dead.token {
-                self.timer_roles.remove(&token.0);
+                take_role_in(&mut self.timer_roles, token);
             }
         }
     }
@@ -287,17 +299,17 @@ impl RippleMac {
         if let Some(idx) = self.pending_relays.iter().position(|pr| pr.key == key) {
             let dead = self.pending_relays.remove(idx);
             if let Some(token) = dead.token {
-                self.timer_roles.remove(&token.0);
+                take_role_in(&mut self.timer_roles, token);
             }
         }
     }
 
     /// Source side: build and transmit the next aggregated frame, topping up
     /// a partial retransmission with fresh packets for the same list.
-    fn transmit_data(&mut self, out: &mut Vec<MacAction>) {
+    fn transmit_data(&mut self, out: &mut ActionSink) {
         self.backoff.clear();
         if self.inflight.is_none() {
-            let batch = self.q.pop_batch_matching_head(
+            let mut batch = self.q.pop_batch_matching_head(
                 self.cfg.max_aggregation,
                 self.cfg.max_frame_payload_bytes,
             );
@@ -308,13 +320,12 @@ impl RippleMac {
                 panic!("RIPPLE requires opportunistic priority-list routes");
             };
             let flow = batch[0].packet.header.flow;
-            let subframes: Vec<(u32, Packet)> = batch
-                .into_iter()
-                .map(|qp| {
-                    let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
-                    (seq, qp.packet)
-                })
-                .collect();
+            let mut subframes = self.inflight_slots.mint();
+            for qp in batch.drain(..) {
+                let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
+                subframes.push((seq, qp.packet));
+            }
+            drop(batch);
             self.inflight = Some(Inflight { subframes, list, flow, retries: 0, frame_seq: 0 });
         } else {
             let route = {
@@ -333,8 +344,8 @@ impl RippleMac {
                     .map(|(_, p)| p.header.wire_bytes)
                     .sum();
                 let byte_budget = self.cfg.max_frame_payload_bytes.saturating_sub(spent).max(1);
-                let extra = self.q.pop_matching(&route, space, byte_budget);
-                for qp in extra {
+                let mut extra = self.q.pop_matching(&route, space, byte_budget);
+                for qp in extra.drain(..) {
                     let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
                     self.inflight.as_mut().expect("checked").subframes.push((seq, qp.packet));
                 }
@@ -366,7 +377,7 @@ impl RippleMac {
         out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
     }
 
-    fn handle_data_frame(&mut self, d: &DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_data_frame(&mut self, d: &DataFrame, now: SimTime, out: &mut ActionSink) {
         let LinkDst::Opportunistic { list } = &d.link_dst else {
             return; // unicast traffic belongs to other MACs
         };
@@ -421,11 +432,10 @@ impl RippleMac {
         let _ = now;
     }
 
-    fn destination_receive(&mut self, d: &DataFrame, out: &mut Vec<MacAction>) {
+    fn destination_receive(&mut self, d: &DataFrame, out: &mut ActionSink) {
         let LinkDst::Opportunistic { list } = &d.link_dst else { return };
         let mut acked_seqs = AckList::new();
         let cap = self.cfg.reorder_capacity;
-        let mut released = Vec::new();
         for sf in &d.subframes {
             // Rq per (flow, end-to-end source): frames may mix flows that
             // share a route, so the key comes from the subframe.
@@ -440,12 +450,13 @@ impl RippleMac {
                 continue;
             }
             acked_seqs.push((sf.packet.header.flow, sf.seq));
-            let (_, rel) = rq.accept(sf.seq, sf.packet.clone());
-            released.extend(rel);
-        }
-        for p in released {
-            self.stats.delivered_up += 1;
-            out.push(MacAction::Deliver { packet: p });
+            // The release run drains straight into Deliver actions — same
+            // order as before, no intermediate accumulator.
+            let (_, mut rel) = rq.accept(sf.seq, sf.packet.clone());
+            for p in rel.drain(..) {
+                self.stats.delivered_up += 1;
+                out.push(MacAction::Deliver { packet: p });
+            }
         }
         let ack = AckFrame {
             transmitter: self.node,
@@ -461,7 +472,7 @@ impl RippleMac {
         out.push(MacAction::SetTimer { delay: self.cfg.timing.destination_ack_wait(), token });
     }
 
-    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut ActionSink) {
         if a.to == self.node {
             self.source_apply_ack(a, now, out);
             return;
@@ -505,7 +516,7 @@ impl RippleMac {
         self.schedule_relay((a.flow, a.to, a.frame_seq, true), Frame::Ack(relay), wait, out);
     }
 
-    fn source_apply_ack(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn source_apply_ack(&mut self, a: &AckFrame, now: SimTime, out: &mut ActionSink) {
         let Some(inflight) = self.inflight.as_mut() else { return };
         if a.frame_seq != inflight.frame_seq || !self.handled_acks.insert(a.frame_seq) {
             return; // stale attempt or duplicate (relayed) ACK copy
@@ -515,7 +526,7 @@ impl RippleMac {
         }
         self.stats.acks_received += 1;
         if let Some(token) = self.armed_timeout.take() {
-            self.timer_roles.remove(&token.0);
+            take_role_in(&mut self.timer_roles, token);
         }
         let before = inflight.subframes.len();
         inflight.subframes.retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
@@ -533,8 +544,8 @@ impl RippleMac {
                 inflight.retries += 1;
             }
             if inflight.retries > self.cfg.retry_limit {
-                let dead = self.inflight.take().expect("present");
-                for (_, packet) in dead.subframes {
+                let mut dead = self.inflight.take().expect("present");
+                for (_, packet) in dead.subframes.drain(..) {
                     self.stats.drops_retry_limit += 1;
                     out.push(MacAction::Drop { packet, reason: DropReason::RetryLimit });
                 }
@@ -544,7 +555,7 @@ impl RippleMac {
         self.try_progress(now, out);
     }
 
-    fn handle_mtxop_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_mtxop_timeout(&mut self, now: SimTime, out: &mut ActionSink) {
         self.armed_timeout = None;
         if self.data_state != DataState::WaitAck {
             return;
@@ -558,8 +569,8 @@ impl RippleMac {
             inflight.retries > self.cfg.retry_limit
         };
         if drop_all {
-            let dead = self.inflight.take().expect("present");
-            for (_, packet) in dead.subframes {
+            let mut dead = self.inflight.take().expect("present");
+            for (_, packet) in dead.subframes.drain(..) {
                 self.stats.drops_retry_limit += 1;
                 out.push(MacAction::Drop { packet, reason: DropReason::RetryLimit });
             }
@@ -569,7 +580,7 @@ impl RippleMac {
         self.try_progress(now, out);
     }
 
-    fn fire_send_ack(&mut self, out: &mut Vec<MacAction>) {
+    fn fire_send_ack(&mut self, out: &mut ActionSink) {
         self.armed_send_ack = None;
         let Some(ack) = self.pending_ack.take() else { return };
         if !self.radio_free() {
@@ -580,7 +591,7 @@ impl RippleMac {
         out.push(MacAction::StartTx { frame: Frame::Ack(ack), rate: RateClass::Basic });
     }
 
-    fn fire_relay(&mut self, pending: u64, out: &mut Vec<MacAction>) {
+    fn fire_relay(&mut self, pending: u64, out: &mut ActionSink) {
         let Some(idx) = self.pending_relays.iter().position(|pr| pr.id == pending) else {
             return; // cancelled in the meantime
         };
@@ -605,53 +616,45 @@ impl RippleMac {
 }
 
 impl MacEntity for RippleMac {
-    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime, out: &mut ActionSink) {
         if let Some(rejected) = self.q.push(packet, route) {
             self.stats.drops_queue_full += 1;
             out.push(MacAction::Drop { packet: rejected, reason: DropReason::QueueFull });
-            return out;
+            return;
         }
-        self.try_progress(now, &mut out);
-        out
+        self.try_progress(now, out);
     }
 
-    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn on_busy(&mut self, now: SimTime, _out: &mut ActionSink) {
         self.channel_busy = true;
         self.disarm_backoff(now);
         // A busy channel breaks every pending idle window; the relays pause
         // and restart their full wait on the next idle edge.
         self.pause_relays();
-        Vec::new()
     }
 
-    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn on_idle(&mut self, now: SimTime, out: &mut ActionSink) {
         self.channel_busy = false;
         self.idle_since = now;
-        let mut out = Vec::new();
-        self.resume_relays(&mut out);
+        self.resume_relays(out);
         if self.data_state == DataState::Idle && self.radio_free() && self.has_work() {
-            self.arm_backoff(now, &mut out);
+            self.arm_backoff(now, out);
         }
-        out
     }
 
-    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime, out: &mut ActionSink) {
         match &*frame {
-            Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
-            Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
+            Frame::Data(d) => self.handle_data_frame(d, now, out),
+            Frame::Ack(a) => self.handle_ack_frame(a, now, out),
         }
-        out
     }
 
-    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_tx_end(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.relay_tx_in_progress {
             self.relay_tx_in_progress = false;
         } else if self.ack_tx_in_progress {
             self.ack_tx_in_progress = false;
-            self.try_progress(now, &mut out);
+            self.try_progress(now, out);
         } else if self.data_state == DataState::Transmitting {
             self.data_state = DataState::WaitAck;
             let (list_len, bytes) = {
@@ -669,13 +672,11 @@ impl MacEntity for RippleMac {
             self.armed_timeout = Some(token);
             out.push(MacAction::SetTimer { delay: timeout, token });
         }
-        out
     }
 
-    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
-        let Some(role) = self.timer_roles.remove(&token.0) else {
-            return out;
+    fn on_timer(&mut self, token: TimerToken, now: SimTime, out: &mut ActionSink) {
+        let Some(role) = take_role_in(&mut self.timer_roles, token) else {
+            return;
         };
         match role {
             Role::BackoffDone => {
@@ -687,23 +688,22 @@ impl MacEntity for RippleMac {
                         && self.has_work()
                     {
                         self.backoff.clear();
-                        self.transmit_data(&mut out);
+                        self.transmit_data(out);
                     }
                 }
             }
             Role::MtxopTimeout => {
                 if self.armed_timeout == Some(token) {
-                    self.handle_mtxop_timeout(now, &mut out);
+                    self.handle_mtxop_timeout(now, out);
                 }
             }
             Role::SendAck => {
                 if self.armed_send_ack == Some(token) {
-                    self.fire_send_ack(&mut out);
+                    self.fire_send_ack(out);
                 }
             }
-            Role::RelayFire { pending } => self.fire_relay(pending, &mut out),
+            Role::RelayFire { pending } => self.fire_relay(pending, out),
         }
-        out
     }
 
     fn stats(&self) -> MacStats {
@@ -741,6 +741,7 @@ impl wmn_mac::MacScheme for RippleScheme {
 mod tests {
     use super::*;
     use wmn_mac::frame::{NetHeader, Proto};
+    use wmn_mac::MacEntityExt;
     use wmn_phy::PhyParams;
     use wmn_sim::SimDuration;
 
@@ -796,7 +797,7 @@ mod tests {
     }
 
     fn source_frame(src: &mut RippleMac, now: SimTime) -> DataFrame {
-        let acts = src.on_enqueue(packet(0, 0, 3), route(), now);
+        let acts = src.on_enqueue_vec(packet(0, 0, 3), route(), now);
         match find_tx(&acts) {
             Some(Frame::Data(d)) => d.clone(),
             _ => panic!("expected immediate data tx"),
@@ -819,11 +820,11 @@ mod tests {
         let d = source_frame(&mut src, t(100));
         // Node 1 has rank 2: waits SIFS + 2 slots.
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         assert_eq!(delay, SimDuration::from_micros(16 + 18));
         // Fire it: the relay goes out with us as transmitter.
-        let acts = f1.on_timer(token, t(200) + delay);
+        let acts = f1.on_timer_vec(token, t(200) + delay);
         match find_tx(&acts) {
             Some(Frame::Data(r)) => {
                 assert_eq!(r.transmitter, NodeId::new(1));
@@ -839,19 +840,19 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         // Someone transmits during the wait: the idle window broke.
-        f1.on_busy(t(210));
-        let acts = f1.on_timer(token, t(200) + delay);
+        f1.on_busy_vec(t(210));
+        let acts = f1.on_timer_vec(token, t(200) + delay);
         assert!(find_tx(&acts).is_none(), "paused relay must not fire");
         assert_eq!(f1.relays_performed(), 0);
         // The next idle edge restarts the full wait…
-        let acts = f1.on_idle(t(400));
+        let acts = f1.on_idle_vec(t(400));
         let (delay2, token2) = timers(&acts)[0];
         assert_eq!(delay2, delay, "the wait restarts in full");
         // …and the relay finally goes out.
-        let acts = f1.on_timer(token2, t(400) + delay2);
+        let acts = f1.on_timer_vec(token2, t(400) + delay2);
         assert!(matches!(find_tx(&acts), Some(Frame::Data(_))));
         assert_eq!(f1.relays_performed(), 1);
     }
@@ -861,7 +862,7 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         // The destination's ACK arrives before our relay slot: the frame
         // already made it end-to-end, so the relay is pointless.
@@ -873,8 +874,8 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        f1.on_frame_rx(Frame::Ack(ack).into(), t(205));
-        let acts = f1.on_timer(token, t(200) + delay);
+        f1.on_frame_rx_vec(Frame::Ack(ack).into(), t(205));
+        let acts = f1.on_timer_vec(token, t(200) + delay);
         assert!(find_tx(&acts).is_none(), "ACK proves delivery; relay cancelled");
         assert_eq!(f1.relays_performed(), 0);
     }
@@ -886,11 +887,11 @@ mod tests {
         // Node 1 (rank 2) holds a pending relay; then hears node 2 (rank 1)
         // relay the same frame: it progressed past us.
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let (delay, token) = timers(&acts)[0];
         let downstream = DataFrame { transmitter: NodeId::new(2), ..d };
-        f1.on_frame_rx(Frame::Data(downstream).into(), t(210));
-        let acts = f1.on_timer(token, t(200) + delay);
+        f1.on_frame_rx_vec(Frame::Data(downstream).into(), t(210));
+        let acts = f1.on_timer_vec(token, t(200) + delay);
         assert!(find_tx(&acts).is_none(), "higher-priority relay cancels ours");
     }
 
@@ -899,10 +900,10 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         assert_eq!(timers(&acts).len(), 1);
         // Hearing the same frame again (e.g. another copy) arms nothing.
-        let acts = f1.on_frame_rx(Frame::Data(d).into(), t(400));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d).into(), t(400));
         assert!(timers(&acts).is_empty(), "at most one relay per frame");
     }
 
@@ -914,7 +915,7 @@ mod tests {
         // the frame already progressed past it.
         let relayed = DataFrame { transmitter: NodeId::new(2), ..d };
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(relayed).into(), t(300));
+        let acts = f1.on_frame_rx_vec(Frame::Data(relayed).into(), t(300));
         assert!(timers(&acts).is_empty());
     }
 
@@ -923,11 +924,11 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut dst = mac(3, 16);
-        let acts = dst.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = dst.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         assert!(acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         let (delay, token) = timers(&acts)[0];
         assert_eq!(delay, SimDuration::from_micros(16));
-        let acts = dst.on_timer(token, t(216));
+        let acts = dst.on_timer_vec(token, t(216));
         match find_tx(&acts) {
             Some(Frame::Ack(a)) => {
                 assert_eq!(a.to, NodeId::new(0), "ACK targets the end-to-end source");
@@ -943,14 +944,14 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut dst = mac(3, 16);
-        dst.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        dst.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         // Retransmission arrives with the same seq corrupted this time.
         let mut retx = d;
         retx.frame_seq += 1;
         retx.subframes[0].corrupted = true;
-        let acts = dst.on_frame_rx(Frame::Data(retx).into(), t(400));
+        let acts = dst.on_frame_rx_vec(Frame::Data(retx).into(), t(400));
         let (_, token) = timers(&acts)[0];
-        let acts = dst.on_timer(token, t(420));
+        let acts = dst.on_timer_vec(token, t(420));
         match find_tx(&acts) {
             Some(Frame::Ack(a)) => {
                 assert_eq!(
@@ -977,16 +978,16 @@ mod tests {
         };
         // Rank-1 forwarder (node 2) relays after SIFS exactly.
         let mut f2 = mac(2, 16);
-        let acts = f2.on_frame_rx(Frame::Ack(ack.clone()).into(), t(300));
+        let acts = f2.on_frame_rx_vec(Frame::Ack(ack.clone()).into(), t(300));
         let (delay, token) = timers(&acts)[0];
         assert_eq!(delay, SimDuration::from_micros(16));
-        let acts = f2.on_timer(token, t(316));
+        let acts = f2.on_timer_vec(token, t(316));
         assert!(matches!(find_tx(&acts), Some(Frame::Ack(_))));
         // A forwarder never relays an ACK heard from upstream of itself:
         // node 2 (rank 1) ignores a copy transmitted by node 1 (rank 2).
         let upstream_copy = AckFrame { transmitter: NodeId::new(1), ..ack };
         let mut f2b = mac(2, 16);
-        let acts = f2b.on_frame_rx(Frame::Ack(upstream_copy).into(), t(300));
+        let acts = f2b.on_frame_rx_vec(Frame::Ack(upstream_copy).into(), t(300));
         assert!(timers(&acts).is_empty());
     }
 
@@ -994,7 +995,7 @@ mod tests {
     fn source_completes_on_bitmap_ack() {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
-        src.on_tx_end(t(160));
+        src.on_tx_end_vec(t(160));
         let ack = AckFrame {
             transmitter: NodeId::new(2), // a relayed ACK copy works too
             to: NodeId::new(0),
@@ -1003,10 +1004,10 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        src.on_frame_rx(Frame::Ack(ack.clone()).into(), t(400));
+        src.on_frame_rx_vec(Frame::Ack(ack.clone()).into(), t(400));
         assert!(src.inflight.is_none(), "frame acknowledged end-to-end");
         // A duplicate ACK copy (the destination's direct one) is harmless.
-        let acts = src.on_frame_rx(Frame::Ack(ack).into(), t(410));
+        let acts = src.on_frame_rx_vec(Frame::Ack(ack).into(), t(410));
         assert!(acts.is_empty());
     }
 
@@ -1014,10 +1015,10 @@ mod tests {
     fn partial_ack_retransmits_missing_subframes_only() {
         let mut src = mac(0, 16);
         // Enqueue 3 packets; the first transmits alone, 2 queue up.
-        src.on_enqueue(packet(0, 0, 3), route(), t(100));
-        src.on_enqueue(packet(0, 0, 3), route(), t(101));
-        src.on_enqueue(packet(0, 0, 3), route(), t(102));
-        src.on_tx_end(t(160));
+        src.on_enqueue_vec(packet(0, 0, 3), route(), t(100));
+        src.on_enqueue_vec(packet(0, 0, 3), route(), t(101));
+        src.on_enqueue_vec(packet(0, 0, 3), route(), t(102));
+        src.on_tx_end_vec(t(160));
         let fs = src.inflight.as_ref().unwrap().frame_seq;
         let ack = AckFrame {
             transmitter: NodeId::new(3),
@@ -1027,9 +1028,9 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        let acts = src.on_frame_rx(Frame::Ack(ack).into(), t(400));
+        let acts = src.on_frame_rx_vec(Frame::Ack(ack).into(), t(400));
         let (delay, token) = timers(&acts)[0];
-        let acts = src.on_timer(token, t(400) + delay);
+        let acts = src.on_timer_vec(token, t(400) + delay);
         let Some(Frame::Data(d2)) = find_tx(&acts) else { panic!("expected retx") };
         // Seq 0 acked; seqs 1,2 (queued packets) aggregate into the frame.
         assert_eq!(d2.subframes.len(), 2);
@@ -1039,14 +1040,14 @@ mod tests {
     #[test]
     fn timeout_retries_and_eventually_drops() {
         let mut src = mac(0, 1);
-        src.on_enqueue(packet(0, 0, 3), route(), t(100));
+        src.on_enqueue_vec(packet(0, 0, 3), route(), t(100));
         let mut now = t(160);
         let mut drops = 0;
         for _ in 0..30 {
-            let acts = src.on_tx_end(now);
+            let acts = src.on_tx_end_vec(now);
             let Some((delay, token)) = timers(&acts).first().copied() else { break };
             now += delay;
-            let acts = src.on_timer(token, now);
+            let acts = src.on_timer_vec(token, now);
             drops += acts
                 .iter()
                 .filter(|a| matches!(a, MacAction::Drop { reason: DropReason::RetryLimit, .. }))
@@ -1056,7 +1057,7 @@ mod tests {
             }
             if let Some((d2, tok2)) = timers(&acts).first().copied() {
                 now += d2;
-                let acts = src.on_timer(tok2, now);
+                let acts = src.on_timer_vec(tok2, now);
                 if find_tx(&acts).is_none() {
                     break;
                 }
@@ -1069,13 +1070,13 @@ mod tests {
     #[test]
     fn aggregates_up_to_sixteen() {
         let mut src = mac(0, 16);
-        src.on_busy(t(0)); // hold the channel so packets accumulate
+        src.on_busy_vec(t(0)); // hold the channel so packets accumulate
         for i in 0..20 {
-            src.on_enqueue(packet(0, 0, 3), route(), t(1 + i));
+            src.on_enqueue_vec(packet(0, 0, 3), route(), t(1 + i));
         }
-        let acts = src.on_idle(t(100));
+        let acts = src.on_idle_vec(t(100));
         let (delay, token) = timers(&acts)[0];
-        let acts = src.on_timer(token, t(100) + delay);
+        let acts = src.on_timer_vec(token, t(100) + delay);
         match find_tx(&acts) {
             Some(Frame::Data(d)) => assert_eq!(d.subframes.len(), 16),
             _ => panic!("expected aggregated frame"),
@@ -1087,7 +1088,7 @@ mod tests {
         let mut src = mac(0, 16);
         let d = source_frame(&mut src, t(100));
         let mut outsider = mac(7, 16);
-        assert!(outsider.on_frame_rx(Frame::Data(d.clone()).into(), t(200)).is_empty());
+        assert!(outsider.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200)).is_empty());
         let ack = AckFrame {
             transmitter: NodeId::new(3),
             to: NodeId::new(0),
@@ -1096,7 +1097,7 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: list(),
         };
-        assert!(outsider.on_frame_rx(Frame::Ack(ack).into(), t(300)).is_empty());
+        assert!(outsider.on_frame_rx_vec(Frame::Ack(ack).into(), t(300)).is_empty());
     }
 
     #[test]
@@ -1107,7 +1108,7 @@ mod tests {
             sf.corrupted = true;
         }
         let mut f1 = mac(1, 16);
-        let acts = f1.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = f1.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         assert!(timers(&acts).is_empty(), "nothing decodable to relay");
     }
 
@@ -1131,10 +1132,11 @@ mod tests {
                 retry: 0,
             })
         };
-        let acts = dst.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1).into(), t(100));
+        let acts =
+            dst.on_frame_rx_vec(mk(vec![(0, false), (1, true), (2, false)], 1).into(), t(100));
         let delivered = acts.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 1, "only seq 0 may be delivered");
-        let acts = dst.on_frame_rx(mk(vec![(1, false)], 2).into(), t(1000));
+        let acts = dst.on_frame_rx_vec(mk(vec![(1, false)], 2).into(), t(1000));
         let delivered = acts.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 2, "seqs 1 and 2 released in order");
     }

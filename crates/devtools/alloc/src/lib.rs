@@ -38,6 +38,21 @@ static BYTES_IN_USE: AtomicU64 = AtomicU64::new(0);
 #[cfg(feature = "count")]
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
+#[cfg(feature = "count")]
+static PHASE_ALLOCS: [AtomicU64; Phase::COUNT] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+#[cfg(feature = "count")]
+static PHASE_BYTES: [AtomicU64; Phase::COUNT] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+#[cfg(feature = "count")]
+thread_local! {
+    /// The phase allocations on this thread are attributed to. Const-initialised
+    /// `Cell<u8>` so reading it from inside the allocator never allocates
+    /// (no lazy TLS init, no destructor registration).
+    static CURRENT_PHASE: std::cell::Cell<u8> = const { std::cell::Cell::new(0) };
+}
+
 /// A [`System`]-backed allocator that counts calls and bytes when the
 /// `count` feature is on, and forwards untouched otherwise.
 pub struct CountingAlloc;
@@ -49,6 +64,9 @@ fn on_alloc(bytes: usize) {
     BYTES_ALLOCATED.fetch_add(bytes, Ordering::Relaxed);
     let live = BYTES_IN_USE.fetch_add(bytes, Ordering::Relaxed) + bytes;
     PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    let phase = CURRENT_PHASE.with(|p| p.get()) as usize;
+    PHASE_ALLOCS[phase].fetch_add(1, Ordering::Relaxed);
+    PHASE_BYTES[phase].fetch_add(bytes, Ordering::Relaxed);
 }
 
 #[cfg(feature = "count")]
@@ -107,6 +125,99 @@ pub const fn counting_enabled() -> bool {
     cfg!(feature = "count")
 }
 
+/// An attribution bucket for the scoped phase counters.
+///
+/// Hot-loop code marks its regions with [`phase_scope`]; every allocation
+/// made on that thread while the guard lives is charged to the bucket, so
+/// the bench suite can itemise *where* residual steady-state allocations
+/// come from instead of reporting one opaque total. Anything outside a
+/// scope lands in [`Phase::Unattributed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Allocations made outside any phase scope (setup, result collection).
+    Unattributed = 0,
+    /// Frame assembly, MAC action dispatch, and broadcast — the transmit path.
+    TxPath = 1,
+    /// Interface-queue and transport enqueue traffic.
+    Queue = 2,
+    /// Event-loop bookkeeping: the future-event list and event payloads.
+    EventLoop = 3,
+}
+
+impl Phase {
+    /// Number of attribution buckets (array size for the counters).
+    pub const COUNT: usize = 4;
+
+    /// Every bucket, in counter order.
+    pub const ALL: [Phase; Phase::COUNT] =
+        [Phase::Unattributed, Phase::TxPath, Phase::Queue, Phase::EventLoop];
+
+    /// Stable snake_case key for reports and JSON artefacts.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::Unattributed => "unattributed",
+            Phase::TxPath => "tx_path",
+            Phase::Queue => "queue",
+            Phase::EventLoop => "event_loop",
+        }
+    }
+}
+
+/// Cumulative per-phase allocator activity on this process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Allocation calls charged to the phase.
+    pub allocs: u64,
+    /// Bytes requested by those calls.
+    pub bytes_allocated: u64,
+}
+
+/// Attributes this thread's allocations to `phase` until the returned
+/// guard drops. Scopes nest; the innermost wins, and dropping restores the
+/// enclosing phase. Compiled to a no-op without the `count` feature, so
+/// production binaries pay nothing for the markers.
+pub fn phase_scope(phase: Phase) -> PhaseGuard {
+    #[cfg(feature = "count")]
+    {
+        let prev = CURRENT_PHASE.with(|p| p.replace(phase as u8));
+        PhaseGuard { prev }
+    }
+    #[cfg(not(feature = "count"))]
+    {
+        let _ = phase;
+        PhaseGuard {}
+    }
+}
+
+/// RAII guard of one [`phase_scope`]; restores the previous phase on drop.
+#[must_use = "the phase lasts only while the guard lives"]
+pub struct PhaseGuard {
+    #[cfg(feature = "count")]
+    prev: u8,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "count")]
+        CURRENT_PHASE.with(|p| p.set(self.prev));
+    }
+}
+
+/// Cumulative per-phase totals since process start, indexed like
+/// [`Phase::ALL`]. Callers wanting a region's attribution snapshot this
+/// before and after and subtract.
+pub fn phase_totals() -> [PhaseStats; Phase::COUNT] {
+    #[allow(unused_mut)]
+    let mut out = [PhaseStats::default(); Phase::COUNT];
+    #[cfg(feature = "count")]
+    for (i, slot) in out.iter_mut().enumerate() {
+        slot.allocs = PHASE_ALLOCS[i].load(Ordering::Relaxed);
+        slot.bytes_allocated = PHASE_BYTES[i].load(Ordering::Relaxed);
+    }
+    out
+}
+
 /// Runs `f` and reports the allocator activity it caused. Deltas are exact
 /// only while nothing else allocates concurrently — measure single-threaded
 /// regions.
@@ -152,6 +263,44 @@ mod tests {
         } else {
             assert_eq!(stats, AllocStats::default());
         }
+    }
+
+    #[test]
+    fn phase_scopes_attribute_and_nest() {
+        let before = phase_totals();
+        {
+            let _queue = phase_scope(Phase::Queue);
+            std::hint::black_box(vec![0u8; 1024]);
+            {
+                let _tx = phase_scope(Phase::TxPath);
+                std::hint::black_box(vec![0u8; 2048]);
+            }
+            // Back in the queue scope after the inner guard dropped.
+            std::hint::black_box(vec![0u8; 512]);
+        }
+        let after = phase_totals();
+        let delta = |p: Phase| {
+            (
+                after[p as usize].allocs - before[p as usize].allocs,
+                after[p as usize].bytes_allocated - before[p as usize].bytes_allocated,
+            )
+        };
+        if counting_enabled() {
+            let (q_allocs, q_bytes) = delta(Phase::Queue);
+            let (tx_allocs, tx_bytes) = delta(Phase::TxPath);
+            assert!(q_allocs >= 2, "both queue-scoped Vecs must be charged to Queue");
+            assert!(q_bytes >= 1024 + 512);
+            assert!(tx_allocs >= 1, "the nested Vec must be charged to TxPath");
+            assert!(tx_bytes >= 2048);
+        } else {
+            assert_eq!(after, before, "phase counters stay zero without `count`");
+        }
+    }
+
+    #[test]
+    fn phase_labels_are_stable_report_keys() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["unattributed", "tx_path", "queue", "event_loop"]);
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //! * reading the wall clock or other ambient process state inside a run,
 //! * colliding or drifting RNG stream labels.
 //!
-//! One further rule guards a performance contract rather than a repro one:
+//! Two further rules guard performance contracts rather than repro ones:
 //! `no-frame-deep-clone` keeps the zero-copy receive path honest — a deep
 //! frame clone outside the corruption seam reintroduces per-receiver
-//! allocations without failing a single functional test.
+//! allocations without failing a single functional test — and
+//! `hot-path-vec-new` keeps the steady-state allocation budget honest: a
+//! `Vec::new()`/`vec![]` inside a `MacEntity` handler or an engine
+//! per-event handler reintroduces per-frame churn the pooled-buffer work
+//! (`ActionSink`, `SlotPool`) exists to eliminate.
 //!
 //! This crate enforces those mechanically. It lexes every workspace source
 //! file with its own comment/string-aware lexer (no rule ever fires inside
@@ -68,6 +72,7 @@ pub fn analyze_source(rel: &str, crate_name: &str, src: &str, cfg: RuleConfig) -
     if cfg.deterministic {
         findings.extend(rules::no_hash_iter(&tokens, rel));
         findings.extend(rules::no_frame_deep_clone(&tokens, rel));
+        findings.extend(rules::hot_path_vec_new(&tokens, rel));
     }
     if !cfg.wall_clock_allowed {
         findings.extend(rules::no_wall_clock(&tokens, rel));

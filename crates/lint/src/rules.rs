@@ -19,6 +19,8 @@ pub const NO_WALL_CLOCK: &str = "no-wall-clock";
 pub const NO_NONDET_STD: &str = "no-nondeterministic-std";
 /// Rule id: deep-cloning a frame outside the corruption seam.
 pub const NO_FRAME_DEEP_CLONE: &str = "no-frame-deep-clone";
+/// Rule id: `Vec::new()`/`vec![]` inside a per-event hot-path handler.
+pub const HOT_PATH_VEC_NEW: &str = "hot-path-vec-new";
 /// Rule id: RNG label extraction / registry problems.
 pub const RNG_LABEL_REGISTRY: &str = "rng-label-registry";
 /// Rule id: unkeyed event scheduling inside the sharded engine.
@@ -36,6 +38,7 @@ pub const RULES: &[&str] = &[
     NO_WALL_CLOCK,
     NO_NONDET_STD,
     NO_FRAME_DEEP_CLONE,
+    HOT_PATH_VEC_NEW,
     RNG_LABEL_REGISTRY,
     SHARD_MERGE_ORDER,
     SHARD_RNG_LABEL,
@@ -515,6 +518,113 @@ pub fn no_frame_deep_clone(tokens: &[Token], file: &str) -> Vec<Finding> {
     out
 }
 
+/// Function names that run once per dispatched event: the `MacEntity` trait
+/// handlers (MACs also implement same-named inherent helpers) plus both
+/// engines' per-event handlers — everything reachable from one dispatch
+/// step. Setup fns (`build`, `new`) and result collection are deliberately
+/// absent: pre-sizing at construction time is the sanctioned place to
+/// allocate.
+const HOT_HANDLERS: &[&str] = &[
+    // MacEntity trait surface.
+    "on_enqueue",
+    "on_busy",
+    "on_idle",
+    "on_frame_rx",
+    "on_tx_end",
+    "on_timer",
+    // Engine per-event handlers (conservative and sharded).
+    "dispatch",
+    "apply_mac_actions",
+    "start_transmission",
+    "handle_delivery",
+    "broadcast",
+    "apply_bit_errors",
+];
+
+/// `hot-path-vec-new` (deterministic crates only): flags `Vec::new()` and
+/// `vec![…]` inside `impl … MacEntity for …` bodies and inside the named
+/// per-event handlers of `HOT_HANDLERS`. The steady-state allocation
+/// budget (`ci/alloc_budget.json`) holds because those paths reuse pooled
+/// buffers (`SlotPool`/`FramePool`) and drained sinks (`ActionSink`); a
+/// fresh `Vec` there reintroduces per-frame churn that no functional test
+/// notices — only the bench gate does, long after the PR that caused it.
+/// Cold-path allocation (constructors, setup, result collection) is fine
+/// and out of scope.
+pub fn hot_path_vec_new(tokens: &[Token], file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Region tracking: one entry per `{`, true when that brace opens a
+    // MacEntity impl body or a hot handler's fn body. Nested braces push
+    // `false` but `hot_depth` keeps the region hot until its own `}` pops.
+    let mut stack: Vec<bool> = Vec::new();
+    let mut hot_depth = 0usize;
+    let mut pending_fn_hot = false;
+    // Between `impl` and its `{`: does the header name the MacEntity trait?
+    let mut impl_header = false;
+    let mut impl_macentity = false;
+    let mut impl_for = false;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if t.text == "impl" => {
+                impl_header = true;
+                impl_macentity = false;
+                impl_for = false;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                pending_fn_hot = tokens.get(i + 1).is_some_and(|n| {
+                    n.kind == TokKind::Ident && HOT_HANDLERS.contains(&n.text.as_str())
+                });
+            }
+            TokKind::Ident if impl_header && t.text == "MacEntity" => impl_macentity = true,
+            TokKind::Ident if impl_header && t.text == "for" => impl_for = true,
+            // A trait-method declaration (`fn on_idle(…);`) has no body.
+            TokKind::Punct(';') => pending_fn_hot = false,
+            TokKind::Punct('{') => {
+                let hot = std::mem::take(&mut pending_fn_hot)
+                    || (impl_header && impl_macentity && impl_for);
+                impl_header = false;
+                stack.push(hot);
+                hot_depth += usize::from(hot);
+            }
+            TokKind::Punct('}') => {
+                if let Some(was) = stack.pop() {
+                    hot_depth -= usize::from(was);
+                }
+            }
+            _ => {}
+        }
+        if hot_depth == 0 {
+            continue;
+        }
+        if t.is_ident("Vec")
+            && path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding::new(
+                HOT_PATH_VEC_NEW,
+                file,
+                t.line,
+                "`Vec::new()` allocates inside a per-event handler — steady-state MAC and \
+                 engine code reuses pooled buffers (`SlotPool`/`FramePool`) or a drained \
+                 `ActionSink`; allocate in the constructor and recycle here"
+                    .to_string(),
+            ));
+        }
+        if t.is_ident("vec") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(Finding::new(
+                HOT_PATH_VEC_NEW,
+                file,
+                t.line,
+                "`vec![…]` allocates inside a per-event handler — steady-state MAC and \
+                 engine code reuses pooled buffers (`SlotPool`/`FramePool`) or a drained \
+                 `ActionSink`; allocate in the constructor and recycle here"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,6 +803,73 @@ mod tests {
             }
         ";
         assert!(run(src, no_frame_deep_clone).is_empty());
+    }
+
+    #[test]
+    fn hot_path_vec_new_flags_mac_entity_impl_bodies() {
+        let src = "
+            impl wmn_mac::MacEntity for DcfMac {
+                fn on_frame_rx(&mut self, now: SimTime, rx: &RxFrame, sink: &mut ActionSink) {
+                    let mut acks = Vec::new();
+                    let seqs = vec![1, 2, 3];
+                    use_it(acks, seqs);
+                }
+            }
+        ";
+        let found = run(src, hot_path_vec_new);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].message.contains("Vec::new()"));
+        assert!(found[1].message.contains("vec![…]"));
+    }
+
+    #[test]
+    fn hot_path_vec_new_flags_named_engine_handlers() {
+        let src = "
+            impl Runner {
+                fn handle_delivery(&mut self, node: NodeId, packet: Packet) {
+                    let mut staged = Vec::new();
+                    use_it(staged);
+                }
+                fn dispatch(&mut self, event: Event) {
+                    if deep { let nested = vec![event]; use_it(nested); }
+                }
+            }
+        ";
+        let found = run(src, hot_path_vec_new);
+        assert_eq!(found.len(), 2, "nested braces stay hot: {found:?}");
+    }
+
+    #[test]
+    fn hot_path_vec_new_allows_constructors_and_cold_impls() {
+        let src = "
+            impl DcfMac {
+                pub fn new(cfg: DcfConfig) -> DcfMac {
+                    DcfMac { timer_roles: Vec::new(), pending: vec![] }
+                }
+            }
+            impl Scheme for Dcf {
+                fn build_mac(&self) -> Box<dyn MacEntity> {
+                    let seeds = Vec::new();
+                    make(seeds)
+                }
+            }
+            fn results() -> Vec<u32> { vec![1, 2] }
+        ";
+        assert!(run(src, hot_path_vec_new).is_empty());
+    }
+
+    #[test]
+    fn hot_path_vec_new_trait_decl_without_body_does_not_leak() {
+        // The `fn on_idle(…);` declaration has no body — its trailing `;`
+        // must clear the pending-hot flag so the *next* brace (a cold fn)
+        // is not misattributed.
+        let src = "
+            trait MacEntity {
+                fn on_idle(&mut self, now: SimTime, sink: &mut ActionSink);
+            }
+            fn cold() { let v = Vec::new(); use_it(v); }
+        ";
+        assert!(run(src, hot_path_vec_new).is_empty());
     }
 
     #[test]

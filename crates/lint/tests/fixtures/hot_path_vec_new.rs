@@ -1,0 +1,64 @@
+//! Fixture: `hot-path-vec-new` true/false positives (lexed only).
+//! Runs under a deterministic-crate config; constructors and cold helpers
+//! may allocate freely — only MacEntity impl bodies and the named engine
+//! per-event handlers are hot.
+
+impl MacEntity for FixtureMac {
+    fn on_enqueue(&mut self, now: SimTime, packet: Packet, sink: &mut ActionSink) {
+        let mut staged = Vec::new(); //~ hot-path-vec-new
+        staged.push(packet);
+        self.queue.extend(staged);
+        sink.push(MacAction::None);
+    }
+
+    fn on_frame_rx(&mut self, now: SimTime, rx: &RxFrame, sink: &mut ActionSink) {
+        let acked = vec![rx.seq()]; //~ hot-path-vec-new
+        self.note(acked);
+        drop((now, sink));
+    }
+
+    fn helper_inside_hot_impl(&mut self) {
+        // The whole MacEntity impl body is hot — helpers called from the
+        // handlers churn per frame just the same.
+        self.scratch = Vec::new(); //~ hot-path-vec-new
+    }
+}
+
+impl Runner {
+    fn handle_delivery(&mut self, node: NodeId, packet: Packet) {
+        if packet.is_last() {
+            let tail = vec![node]; //~ hot-path-vec-new
+            self.finish(tail);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        // lint:allow(hot-path-vec-new): bootstrap branch — runs once per flow, not per frame
+        let once = Vec::new(); //~ waived hot-path-vec-new
+        self.seed(once, event);
+    }
+
+    fn results(&self) -> Vec<u32> {
+        // Cold path: result collection runs after the loop exits.
+        let mut out = Vec::new();
+        out.extend(self.counts.iter().copied());
+        out
+    }
+}
+
+impl FixtureMac {
+    pub fn new(cfg: Config) -> FixtureMac {
+        // Constructors are the sanctioned place to allocate what the
+        // handlers later recycle.
+        FixtureMac { queue: Vec::new(), scratch: vec![], cfg }
+    }
+}
+
+trait MacEntity {
+    // A bodyless trait declaration must not mark the next brace hot.
+    fn on_idle(&mut self, now: SimTime, sink: &mut ActionSink);
+}
+
+fn cold_free_fn() -> Vec<u32> {
+    vec![1, 2, 3]
+}

@@ -8,8 +8,8 @@ use std::fs;
 use std::path::Path;
 
 use wmn_lint::rules::{
-    NO_FRAME_DEEP_CLONE, NO_HASH_ITER, NO_WALL_CLOCK, RNG_LABEL_REGISTRY, SHARD_MERGE_ORDER,
-    SHARD_RNG_LABEL, SHARD_STATE_ISOLATION, WAIVER,
+    HOT_PATH_VEC_NEW, NO_FRAME_DEEP_CLONE, NO_HASH_ITER, NO_WALL_CLOCK, RNG_LABEL_REGISTRY,
+    SHARD_MERGE_ORDER, SHARD_RNG_LABEL, SHARD_STATE_ISOLATION, WAIVER,
 };
 use wmn_lint::workspace::RuleConfig;
 use wmn_lint::{analyze_source, FileAnalysis};
@@ -119,6 +119,28 @@ fn no_frame_deep_clone_is_off_outside_deterministic_crates() {
     let src = fixture("no_frame_deep_clone.rs");
     let fa = analyze_source(
         "no_frame_deep_clone.rs",
+        "bench",
+        &src,
+        RuleConfig { wall_clock_allowed: true, ..RuleConfig::default() },
+    );
+    // Without the rule, only the fixture's now-unused waiver surfaces.
+    assert!(fa.findings.iter().all(|f| f.rule == WAIVER), "{:?}", fa.findings);
+    assert!(fa.waived.is_empty());
+}
+
+#[test]
+fn hot_path_vec_new_fixture_matches_markers() {
+    let fa = check("hot_path_vec_new.rs", det());
+    assert!(fa.findings.iter().all(|f| f.rule == HOT_PATH_VEC_NEW));
+    assert_eq!(fa.waived.len(), 1);
+    assert!(fa.waived[0].waive_reason.as_deref().unwrap().contains("once per flow"));
+}
+
+#[test]
+fn hot_path_vec_new_is_off_outside_deterministic_crates() {
+    let src = fixture("hot_path_vec_new.rs");
+    let fa = analyze_source(
+        "hot_path_vec_new.rs",
         "bench",
         &src,
         RuleConfig { wall_clock_allowed: true, ..RuleConfig::default() },
@@ -239,6 +261,7 @@ fn rng_label_registry_rule_name_is_reserved_for_sites_and_registry() {
     assert_eq!(NO_WALL_CLOCK, "no-wall-clock");
     assert_eq!(wmn_lint::rules::NO_NONDET_STD, "no-nondeterministic-std");
     assert_eq!(NO_FRAME_DEEP_CLONE, "no-frame-deep-clone");
+    assert_eq!(HOT_PATH_VEC_NEW, "hot-path-vec-new");
     assert_eq!(RNG_LABEL_REGISTRY, "rng-label-registry");
     assert_eq!(SHARD_MERGE_ORDER, "shard-merge-order");
     assert_eq!(SHARD_RNG_LABEL, "shard-rng-label");

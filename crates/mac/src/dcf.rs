@@ -24,9 +24,10 @@ use crate::frame::{
     AckFrame, AckList, DataFrame, Frame, LinkDst, NodeList, Packet, RouteInfo, RxFrame, Subframe,
     ACK_BITMAP_BYTES, ACK_BYTES,
 };
-use crate::pool::FramePool;
+use crate::pool::{FramePool, Slot, SlotPool};
 use crate::queue::IfQueue;
 use crate::reorder::{AcceptOutcome, ReorderBuffer};
+use crate::sink::ActionSink;
 use crate::{DropReason, MacAction, MacEntity, MacStats, RateClass, TimerToken};
 
 /// Configuration of a [`DcfMac`], derived from the scenario's PHY parameters.
@@ -102,7 +103,9 @@ enum DataState {
 
 #[derive(Debug)]
 struct Inflight {
-    subframes: Vec<(u32, Packet)>,
+    /// The (seq, packet) pairs awaiting acknowledgement, in a recycled
+    /// slot so starting a new frame never allocates at steady state.
+    subframes: Slot<(u32, Packet)>,
     route: RouteInfo,
     next_hop: NodeId,
     flow: FlowId,
@@ -133,11 +136,16 @@ pub struct DcfMac {
     countdown_anchor: SimTime,
     armed_ack_timeout: Option<TimerToken>,
     armed_send_ack: Option<TimerToken>,
-    timer_roles: BTreeMap<u64, TimerRole>,
+    /// Live timer tokens and what they mean. A handful are outstanding at
+    /// any instant, so a linear-scan `Vec` beats a node-allocating map —
+    /// and its capacity is retained, keeping timer churn off the allocator.
+    timer_roles: Vec<(u64, TimerRole)>,
     next_token: u64,
     seq_counters: BTreeMap<(FlowId, NodeId), u32>,
     frame_seq_counter: u64,
     rq: BTreeMap<(FlowId, NodeId), ReorderBuffer>,
+    /// Recycled buffers for [`Inflight::subframes`].
+    inflight_slots: SlotPool<(u32, Packet)>,
     pool: FramePool,
     rng: StreamRng,
     stats: MacStats,
@@ -174,11 +182,12 @@ impl DcfMac {
             countdown_anchor: SimTime::ZERO,
             armed_ack_timeout: None,
             armed_send_ack: None,
-            timer_roles: BTreeMap::new(),
+            timer_roles: Vec::new(),
             next_token: 0,
             seq_counters: BTreeMap::new(),
             frame_seq_counter: 0,
             rq: BTreeMap::new(),
+            inflight_slots: SlotPool::new(),
             pool: FramePool::default(),
             rng,
             stats: MacStats::default(),
@@ -198,8 +207,15 @@ impl DcfMac {
     fn mint(&mut self, role: TimerRole) -> TimerToken {
         let token = TimerToken(self.next_token);
         self.next_token += 1;
-        self.timer_roles.insert(token.0, role);
+        self.timer_roles.push((token.0, role));
         token
+    }
+
+    /// Removes and returns the role of a live token (`None` = cancelled or
+    /// superseded).
+    fn take_role(&mut self, token: TimerToken) -> Option<TimerRole> {
+        let idx = self.timer_roles.iter().position(|(t, _)| *t == token.0)?;
+        Some(self.timer_roles.swap_remove(idx).1)
     }
 
     fn next_seq(&mut self, flow: FlowId, src: NodeId) -> u32 {
@@ -220,7 +236,7 @@ impl DcfMac {
     /// Attempts to move the data pipeline forward: transmit immediately if
     /// the channel has been idle past DIFS with no pending backoff,
     /// otherwise (re)arm the backoff countdown.
-    fn try_progress(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn try_progress(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.data_state != DataState::Idle || !self.radio_free() || !self.has_work() {
             return;
         }
@@ -235,7 +251,7 @@ impl DcfMac {
         self.arm_backoff(now, out);
     }
 
-    fn arm_backoff(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn arm_backoff(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.armed_backoff.is_some() || self.channel_busy {
             return;
         }
@@ -257,16 +273,16 @@ impl DcfMac {
 
     fn disarm_backoff(&mut self, now: SimTime) {
         if let Some(token) = self.armed_backoff.take() {
-            self.timer_roles.remove(&token.0);
+            self.take_role(token);
             let idle = now.saturating_since(self.countdown_anchor);
             self.backoff.consume_idle(idle, self.cfg.slot);
         }
     }
 
-    fn transmit_data(&mut self, _now: SimTime, out: &mut Vec<MacAction>) {
+    fn transmit_data(&mut self, _now: SimTime, out: &mut ActionSink) {
         self.backoff.clear();
         if self.inflight.is_none() {
-            let batch = self.q.pop_batch_matching_head(
+            let mut batch = self.q.pop_batch_matching_head(
                 self.cfg.max_aggregation,
                 self.cfg.max_frame_payload_bytes,
             );
@@ -278,13 +294,12 @@ impl DcfMac {
                 panic!("DCF requires predetermined next-hop routes");
             };
             let flow = batch[0].packet.header.flow;
-            let subframes: Vec<(u32, Packet)> = batch
-                .into_iter()
-                .map(|qp| {
-                    let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
-                    (seq, qp.packet)
-                })
-                .collect();
+            let mut subframes = self.inflight_slots.mint();
+            for qp in batch.drain(..) {
+                let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
+                subframes.push((seq, qp.packet));
+            }
+            drop(batch);
             self.frame_seq_counter += 1;
             self.inflight = Some(Inflight {
                 subframes,
@@ -303,8 +318,8 @@ impl DcfMac {
                 let route = inflight.route.clone();
                 let spent: u32 = inflight.subframes.iter().map(|(_, p)| p.header.wire_bytes).sum();
                 let byte_budget = self.cfg.max_frame_payload_bytes.saturating_sub(spent).max(1);
-                let extra = self.q.pop_matching(&route, space, byte_budget);
-                for qp in extra {
+                let mut extra = self.q.pop_matching(&route, space, byte_budget);
+                for qp in extra.drain(..) {
                     let seq = self.next_seq(qp.packet.header.flow, qp.packet.header.src);
                     self.inflight.as_mut().unwrap().subframes.push((seq, qp.packet));
                 }
@@ -337,7 +352,7 @@ impl DcfMac {
         out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
     }
 
-    fn handle_data_frame(&mut self, d: &DataFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_data_frame(&mut self, d: &DataFrame, now: SimTime, out: &mut ActionSink) {
         match &d.link_dst {
             LinkDst::Unicast(to) if *to == self.node => {}
             _ => return, // overheard or opportunistic: plain DCF ignores it
@@ -356,9 +371,9 @@ impl DcfMac {
             let key = (sf.packet.header.flow, sf.packet.header.src);
             let cap = self.cfg.reorder_capacity;
             let rq = self.rq.entry(key).or_insert_with(|| ReorderBuffer::new(cap));
-            let (outcome, released) = rq.accept(sf.seq, sf.packet.clone());
+            let (outcome, mut released) = rq.accept(sf.seq, sf.packet.clone());
             if outcome == AcceptOutcome::Accepted || outcome == AcceptOutcome::Duplicate {
-                for p in released {
+                for p in released.drain(..) {
                     self.stats.delivered_up += 1;
                     out.push(MacAction::Deliver { packet: p });
                 }
@@ -380,7 +395,7 @@ impl DcfMac {
         let _ = now;
     }
 
-    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut ActionSink) {
         if a.to != self.node || self.data_state != DataState::WaitAck {
             return;
         }
@@ -390,7 +405,10 @@ impl DcfMac {
         }
         self.stats.acks_received += 1;
         if let Some(token) = self.armed_ack_timeout.take() {
-            self.timer_roles.remove(&token.0);
+            // Field access, not `take_role`: `inflight` still borrows self.
+            if let Some(idx) = self.timer_roles.iter().position(|(t, _)| *t == token.0) {
+                self.timer_roles.swap_remove(idx);
+            }
         }
         let before = inflight.subframes.len();
         inflight.subframes.retain(|(seq, p)| !a.acked_seqs.contains(&(p.header.flow, *seq)));
@@ -412,8 +430,8 @@ impl DcfMac {
                 inflight.retries += 1;
             }
             if inflight.retries > self.cfg.retry_limit {
-                let dead = self.inflight.take().expect("present");
-                for (_, packet) in dead.subframes {
+                let mut dead = self.inflight.take().expect("present");
+                for (_, packet) in dead.subframes.drain(..) {
                     self.stats.drops_retry_limit += 1;
                     out.push(MacAction::Drop { packet, reason: DropReason::RetryLimit });
                 }
@@ -424,7 +442,7 @@ impl DcfMac {
         self.try_progress(now, out);
     }
 
-    fn handle_ack_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_timeout(&mut self, now: SimTime, out: &mut ActionSink) {
         self.armed_ack_timeout = None;
         if self.data_state != DataState::WaitAck {
             return;
@@ -438,8 +456,8 @@ impl DcfMac {
             inflight.retries > self.cfg.retry_limit
         };
         if drop_all {
-            let dead = self.inflight.take().expect("present");
-            for (_, packet) in dead.subframes {
+            let mut dead = self.inflight.take().expect("present");
+            for (_, packet) in dead.subframes.drain(..) {
                 self.stats.drops_retry_limit += 1;
                 out.push(MacAction::Drop { packet, reason: DropReason::RetryLimit });
             }
@@ -449,7 +467,7 @@ impl DcfMac {
         self.try_progress(now, out);
     }
 
-    fn handle_send_ack(&mut self, _now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_send_ack(&mut self, _now: SimTime, out: &mut ActionSink) {
         self.armed_send_ack = None;
         let Some(ack) = self.pending_ack.take() else { return };
         if !self.radio_free() {
@@ -464,60 +482,50 @@ impl DcfMac {
 }
 
 impl MacEntity for DcfMac {
-    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime, out: &mut ActionSink) {
         if let Some(rejected) = self.q.push(packet, route) {
             self.stats.drops_queue_full += 1;
             out.push(MacAction::Drop { packet: rejected, reason: DropReason::QueueFull });
-            return out;
+            return;
         }
-        self.try_progress(now, &mut out);
-        out
+        self.try_progress(now, out);
     }
 
-    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn on_busy(&mut self, now: SimTime, _out: &mut ActionSink) {
         self.channel_busy = true;
         self.disarm_backoff(now);
-        Vec::new()
     }
 
-    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn on_idle(&mut self, now: SimTime, out: &mut ActionSink) {
         self.channel_busy = false;
         self.idle_since = now;
-        let mut out = Vec::new();
         if self.data_state == DataState::Idle && self.radio_free() && self.has_work() {
-            self.arm_backoff(now, &mut out);
+            self.arm_backoff(now, out);
         }
-        out
     }
 
-    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime, out: &mut ActionSink) {
         match &*frame {
-            Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
-            Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
+            Frame::Data(d) => self.handle_data_frame(d, now, out),
+            Frame::Ack(a) => self.handle_ack_frame(a, now, out),
         }
-        out
     }
 
-    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_tx_end(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.ack_tx_in_progress {
             self.ack_tx_in_progress = false;
-            self.try_progress(now, &mut out);
+            self.try_progress(now, out);
         } else if self.data_state == DataState::Transmitting {
             self.data_state = DataState::WaitAck;
             let token = self.mint(TimerRole::AckTimeout);
             self.armed_ack_timeout = Some(token);
             out.push(MacAction::SetTimer { delay: self.cfg.ack_timeout, token });
         }
-        out
     }
 
-    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
-        let Some(role) = self.timer_roles.remove(&token.0) else {
-            return out; // cancelled or superseded
+    fn on_timer(&mut self, token: TimerToken, now: SimTime, out: &mut ActionSink) {
+        let Some(role) = self.take_role(token) else {
+            return; // cancelled or superseded
         };
         match role {
             TimerRole::BackoffDone => {
@@ -529,22 +537,21 @@ impl MacEntity for DcfMac {
                         && self.has_work()
                     {
                         self.backoff.clear();
-                        self.transmit_data(now, &mut out);
+                        self.transmit_data(now, out);
                     }
                 }
             }
             TimerRole::AckTimeout => {
                 if self.armed_ack_timeout == Some(token) {
-                    self.handle_ack_timeout(now, &mut out);
+                    self.handle_ack_timeout(now, out);
                 }
             }
             TimerRole::SendAck => {
                 if self.armed_send_ack == Some(token) {
-                    self.handle_send_ack(now, &mut out);
+                    self.handle_send_ack(now, out);
                 }
             }
         }
-        out
     }
 
     fn stats(&self) -> MacStats {
@@ -582,6 +589,7 @@ impl crate::MacScheme for DcfScheme {
 mod tests {
     use super::*;
     use crate::frame::{NetHeader, Proto};
+    use crate::MacEntityExt;
 
     fn cfg(max_agg: usize) -> DcfConfig {
         DcfConfig::from_phy(&PhyParams::paper_216(), max_agg)
@@ -626,7 +634,7 @@ mod tests {
     fn immediate_tx_when_idle_past_difs() {
         let mut m = mac(0, 1);
         // Channel idle since time zero; enqueue at t=100us >> DIFS.
-        let actions = m.on_enqueue(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(100));
+        let actions = m.on_enqueue_vec(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(100));
         let frame = find_tx(&actions).expect("should transmit immediately");
         match frame {
             Frame::Data(d) => {
@@ -641,39 +649,39 @@ mod tests {
     #[test]
     fn backoff_armed_when_enqueue_follows_busy() {
         let mut m = mac(0, 1);
-        m.on_busy(t(0));
-        m.on_idle(t(50));
+        m.on_busy_vec(t(0));
+        m.on_idle_vec(t(50));
         // Only 5us of idle so far: must arm a backoff, not transmit.
-        let actions = m.on_enqueue(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(55));
+        let actions = m.on_enqueue_vec(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(55));
         assert!(find_tx(&actions).is_none());
         let (delay, token) = find_timer(&actions).expect("backoff timer armed");
         // Fire time ≥ DIFS boundary (50 + 34 = 84us) relative to 55us.
         assert!(delay >= SimDuration::from_micros(29));
         // Fire the timer: transmission starts.
         let fire_at = t(55) + delay;
-        let actions = m.on_timer(token, fire_at);
+        let actions = m.on_timer_vec(token, fire_at);
         assert!(find_tx(&actions).is_some(), "tx after backoff completes");
     }
 
     #[test]
     fn busy_freezes_and_idle_resumes_backoff() {
         let mut m = mac(0, 1);
-        m.on_busy(t(0));
-        m.on_idle(t(10));
-        let actions = m.on_enqueue(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(11));
+        m.on_busy_vec(t(0));
+        m.on_idle_vec(t(10));
+        let actions = m.on_enqueue_vec(packet(0, 0, 3), RouteInfo::NextHop(NodeId::new(1)), t(11));
         let (_, token1) = find_timer(&actions).expect("armed");
         let before = m.backoff.remaining().unwrap();
         // Channel turns busy mid-countdown: timer token1 becomes stale.
-        m.on_busy(t(60));
+        m.on_busy_vec(t(60));
         let after = m.backoff.remaining().unwrap();
         assert!(after <= before, "some slots may have been consumed");
         // Stale timer fire is ignored.
-        let actions = m.on_timer(token1, t(70));
+        let actions = m.on_timer_vec(token1, t(70));
         assert!(find_tx(&actions).is_none());
         // Idle again: new timer, eventually transmits.
-        let actions = m.on_idle(t(80));
+        let actions = m.on_idle_vec(t(80));
         let (delay, token2) = find_timer(&actions).expect("re-armed");
-        let actions = m.on_timer(token2, t(80) + delay);
+        let actions = m.on_timer_vec(token2, t(80) + delay);
         assert!(find_tx(&actions).is_some());
     }
 
@@ -681,17 +689,17 @@ mod tests {
     fn receiver_acks_and_delivers() {
         let mut sender = mac(0, 1);
         let actions =
-            sender.on_enqueue(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100));
+            sender.on_enqueue_vec(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100));
         let frame = find_tx(&actions).unwrap().clone();
 
         let mut receiver = mac(1, 1);
-        let actions = receiver.on_frame_rx(frame.into(), t(200));
+        let actions = receiver.on_frame_rx_vec(frame.into(), t(200));
         // Delivered upward…
         assert!(actions.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         // …and an ACK scheduled at SIFS.
         let (delay, token) = find_timer(&actions).expect("SIFS ack timer");
         assert_eq!(delay, SimDuration::from_micros(16));
-        let actions = receiver.on_timer(token, t(216));
+        let actions = receiver.on_timer_vec(token, t(216));
         match find_tx(&actions) {
             Some(Frame::Ack(a)) => {
                 assert_eq!(a.to, NodeId::new(0));
@@ -705,9 +713,9 @@ mod tests {
     fn ack_completes_transfer() {
         let mut sender = mac(0, 1);
         let actions =
-            sender.on_enqueue(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100));
+            sender.on_enqueue_vec(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100));
         let Frame::Data(d) = find_tx(&actions).unwrap().clone() else { panic!() };
-        sender.on_tx_end(t(160));
+        sender.on_tx_end_vec(t(160));
         let ack = AckFrame {
             transmitter: NodeId::new(1),
             to: NodeId::new(0),
@@ -716,7 +724,7 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: NodeList::new(),
         };
-        sender.on_frame_rx(Frame::Ack(ack).into(), t(180));
+        sender.on_frame_rx_vec(Frame::Ack(ack).into(), t(180));
         assert!(sender.inflight.is_none(), "frame acknowledged");
         assert_eq!(sender.stats().acks_received, 1);
     }
@@ -724,16 +732,16 @@ mod tests {
     #[test]
     fn timeout_retries_then_drops() {
         let mut m = mac(0, 1);
-        let actions = m.on_enqueue(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100));
+        let actions = m.on_enqueue_vec(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100));
         assert!(find_tx(&actions).is_some());
         let mut now = t(160);
         let mut drops = 0;
         // Drive through all retries via ACK timeouts.
         for _ in 0..20 {
-            let actions = m.on_tx_end(now);
+            let actions = m.on_tx_end_vec(now);
             let Some((delay, token)) = find_timer(&actions) else { break };
             now += delay;
-            let actions = m.on_timer(token, now);
+            let actions = m.on_timer_vec(token, now);
             drops += actions
                 .iter()
                 .filter(|a| matches!(a, MacAction::Drop { reason: DropReason::RetryLimit, .. }))
@@ -744,7 +752,7 @@ mod tests {
             // Find the retransmission backoff timer and fire it.
             if let Some((d2, tok2)) = find_timer(&actions) {
                 now += d2;
-                let acts = m.on_timer(tok2, now);
+                let acts = m.on_timer_vec(tok2, now);
                 if find_tx(&acts).is_none() {
                     break;
                 }
@@ -759,7 +767,8 @@ mod tests {
         let mut m = mac(0, 16);
         let mut last = Vec::new();
         for i in 0..20 {
-            last = m.on_enqueue(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100 + i));
+            last =
+                m.on_enqueue_vec(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100 + i));
         }
         // First enqueue triggered an immediate tx with 1 subframe; the rest
         // queued. Complete the exchange and check the next frame carries 16.
@@ -778,7 +787,7 @@ mod tests {
         }) else {
             panic!()
         };
-        m.on_tx_end(t(200));
+        m.on_tx_end_vec(t(200));
         let ack = AckFrame {
             transmitter: NodeId::new(1),
             to: NodeId::new(0),
@@ -787,10 +796,10 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: NodeList::new(),
         };
-        let actions = m.on_frame_rx(Frame::Ack(ack).into(), t(220));
+        let actions = m.on_frame_rx_vec(Frame::Ack(ack).into(), t(220));
         // Post-backoff timer armed; fire it.
         let (delay, token) = find_timer(&actions).expect("post backoff");
-        let actions = m.on_timer(token, t(220) + delay);
+        let actions = m.on_timer_vec(token, t(220) + delay);
         match find_tx(&actions) {
             Some(Frame::Data(d)) => {
                 assert_eq!(d.subframes.len(), 16, "AFR aggregates 16 packets");
@@ -803,10 +812,10 @@ mod tests {
     fn partial_retransmission_keeps_only_lost_subframes() {
         let mut m = mac(0, 16);
         for i in 0..4 {
-            m.on_enqueue(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100 + i));
+            m.on_enqueue_vec(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(100 + i));
         }
         // The first enqueue transmitted a 1-subframe frame (queue was empty).
-        m.on_tx_end(t(150));
+        m.on_tx_end_vec(t(150));
         let fs = m.inflight.as_ref().unwrap().frame_seq;
         let ack = AckFrame {
             transmitter: NodeId::new(1),
@@ -816,12 +825,12 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: NodeList::new(),
         };
-        let actions = m.on_frame_rx(Frame::Ack(ack).into(), t(170));
+        let actions = m.on_frame_rx_vec(Frame::Ack(ack).into(), t(170));
         let (delay, token) = find_timer(&actions).unwrap();
-        let actions = m.on_timer(token, t(170) + delay);
+        let actions = m.on_timer_vec(token, t(170) + delay);
         let Some(Frame::Data(d2)) = find_tx(&actions) else { panic!() };
         assert_eq!(d2.subframes.len(), 3, "remaining queued packets aggregated");
-        m.on_tx_end(t(400));
+        m.on_tx_end_vec(t(400));
         // ACK only two of the three (one subframe corrupted by BER).
         let acked: Vec<(FlowId, u32)> =
             d2.subframes.iter().map(|s| (s.packet.header.flow, s.seq)).take(2).collect();
@@ -834,9 +843,9 @@ mod tests {
             acked_seqs: acked.into(),
             relay_list: NodeList::new(),
         };
-        let actions = m.on_frame_rx(Frame::Ack(ack2).into(), t(420));
+        let actions = m.on_frame_rx_vec(Frame::Ack(ack2).into(), t(420));
         let (delay, token) = find_timer(&actions).unwrap();
-        let actions = m.on_timer(token, t(420) + delay);
+        let actions = m.on_timer_vec(token, t(420) + delay);
         let Some(Frame::Data(d3)) = find_tx(&actions) else { panic!() };
         assert_eq!(d3.subframes.len(), 1, "only the lost subframe retransmits");
         assert_eq!(d3.subframes[0].seq, lost_seq);
@@ -861,11 +870,12 @@ mod tests {
                 retry: 0,
             })
         };
-        let actions = rx.on_frame_rx(mk(vec![(0, false), (1, true), (2, false)], 1).into(), t(100));
+        let actions =
+            rx.on_frame_rx_vec(mk(vec![(0, false), (1, true), (2, false)], 1).into(), t(100));
         let delivered = actions.iter().filter(|a| matches!(a, MacAction::Deliver { .. })).count();
         assert_eq!(delivered, 1, "seq 0 delivered, seq 2 held for seq 1");
         // Retransmission of seq 1 releases 1 and 2 in order.
-        let actions = rx.on_frame_rx(mk(vec![(1, false)], 2).into(), t(500));
+        let actions = rx.on_frame_rx_vec(mk(vec![(1, false)], 2).into(), t(500));
         let delivered: Vec<u32> = actions
             .iter()
             .filter_map(|a| match a {
@@ -880,11 +890,11 @@ mod tests {
     #[test]
     fn queue_overflow_drops() {
         let mut m = mac(0, 1);
-        m.on_busy(t(0)); // keep the channel busy so nothing drains
+        m.on_busy_vec(t(0)); // keep the channel busy so nothing drains
         let mut dropped = 0;
         for i in 0..60 {
             let actions =
-                m.on_enqueue(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(1 + i));
+                m.on_enqueue_vec(packet(0, 0, 1), RouteInfo::NextHop(NodeId::new(1)), t(1 + i));
             dropped += actions
                 .iter()
                 .filter(|a| matches!(a, MacAction::Drop { reason: DropReason::QueueFull, .. }))
@@ -907,7 +917,7 @@ mod tests {
             subframes: vec![Subframe { seq: 0, packet: packet(0, 0, 3), corrupted: false }].into(),
             retry: 0,
         });
-        let actions = m.on_frame_rx(frame.into(), t(100));
+        let actions = m.on_frame_rx_vec(frame.into(), t(100));
         assert!(actions.is_empty(), "not addressed to us");
     }
 
@@ -924,12 +934,12 @@ mod tests {
             subframes: vec![Subframe { seq: 0, packet: packet(0, 0, 1), corrupted: false }].into(),
             retry: 0,
         });
-        let first = rx.on_frame_rx(frame.clone().into(), t(100));
+        let first = rx.on_frame_rx_vec(frame.clone().into(), t(100));
         assert!(first.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
         // Retransmission of the same subframe (sender missed the ACK).
         let Frame::Data(mut d) = frame else { panic!() };
         d.frame_seq = 2;
-        let second = rx.on_frame_rx(Frame::Data(d).into(), t(400));
+        let second = rx.on_frame_rx_vec(Frame::Data(d).into(), t(400));
         assert!(
             !second.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
             "duplicate must not be delivered twice"

@@ -3,11 +3,12 @@
 //!
 //! Every MAC in this workspace (plain DCF, AFR, preExOR, MCExOR and RIPPLE
 //! itself) is written as a *passive state machine*: the simulation runner
-//! calls `on_*` input methods and interprets the returned [`MacAction`]s
-//! (start a transmission, set a timer, deliver a packet upwards, …) against
-//! the event queue and the shared medium. Nothing in this crate touches the
-//! clock directly, which is what makes the protocol logic unit-testable at
-//! microsecond precision.
+//! calls `on_*` input methods, each of which writes its [`MacAction`]s
+//! (start a transmission, set a timer, deliver a packet upwards, …) into a
+//! reusable engine-owned [`ActionSink`]; the runner drains the sink and
+//! interprets the actions against the event queue and the shared medium.
+//! Nothing in this crate touches the clock directly, which is what makes
+//! the protocol logic unit-testable at microsecond precision.
 //!
 //! Contents:
 //!
@@ -34,6 +35,7 @@ pub mod pool;
 pub mod queue;
 pub mod reorder;
 pub mod scheme;
+pub mod sink;
 pub mod smalllist;
 
 pub use backoff::Backoff;
@@ -43,10 +45,11 @@ pub use frame::{
     RxFrame, Subframe,
 };
 pub use overhead::OverheadModel;
-pub use pool::{Body, FramePool, SubframeVec};
+pub use pool::{Body, FramePool, Slot, SlotPool, SubframeVec};
 pub use queue::IfQueue;
 pub use reorder::ReorderBuffer;
 pub use scheme::MacScheme;
+pub use sink::ActionSink;
 pub use smalllist::SmallList;
 
 use wmn_sim::{SimDuration, SimTime};
@@ -141,23 +144,83 @@ pub struct MacStats {
 /// event loop moves per-station MACs onto shard worker threads — every MAC
 /// is plain owned state plus seeded RNG streams, so the bound costs
 /// implementations nothing.
+/// Every handler writes its actions into the engine-owned [`ActionSink`]
+/// passed as `out` instead of returning a fresh `Vec` — the engine drains
+/// the sink after the call and reuses it for the next event, so the
+/// steady-state action path never allocates. Handlers append in the order
+/// the actions must be applied; they never read the sink back.
 pub trait MacEntity: Send {
     /// A packet arrives from the upper layer with its routing decision.
-    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction>;
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime, out: &mut ActionSink);
     /// The channel at this station turned busy.
-    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction>;
+    fn on_busy(&mut self, now: SimTime, out: &mut ActionSink);
     /// The channel at this station turned idle.
-    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction>;
+    fn on_idle(&mut self, now: SimTime, out: &mut ActionSink);
     /// A frame was received cleanly (header intact; per-subframe corruption
     /// flags already applied by the channel). The frame arrives as an
     /// [`RxFrame`]: on the clean-channel fast path it is the *shared*
     /// broadcast copy, so implementations read through `Deref` and clone out
     /// only the (reference-counted, cheap) pieces they keep.
-    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction>;
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime, out: &mut ActionSink);
     /// Our own transmission just finished.
-    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction>;
+    fn on_tx_end(&mut self, now: SimTime, out: &mut ActionSink);
     /// A previously requested timer fired.
-    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction>;
+    fn on_timer(&mut self, token: TimerToken, now: SimTime, out: &mut ActionSink);
     /// Running statistics.
     fn stats(&self) -> MacStats;
 }
+
+/// Vec-collecting drivers for [`MacEntity`] handlers: each method runs the
+/// sink-style handler against a fresh [`ActionSink`] and returns the drained
+/// actions as a `Vec`, in emission order.
+///
+/// This is the *reference* surface — what the pre-sink interface returned —
+/// kept for tests and tooling that want to pattern-match an action slice.
+/// Engines must not use it: a fresh sink per call is exactly the allocation
+/// the sink rework removed (the `hot-path-vec-new` lint watches the hot
+/// paths).
+pub trait MacEntityExt: MacEntity {
+    /// [`MacEntity::on_enqueue`] through a fresh sink, actions collected.
+    fn on_enqueue_vec(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction> {
+        let mut sink = ActionSink::new();
+        self.on_enqueue(packet, route, now, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    /// [`MacEntity::on_busy`] through a fresh sink, actions collected.
+    fn on_busy_vec(&mut self, now: SimTime) -> Vec<MacAction> {
+        let mut sink = ActionSink::new();
+        self.on_busy(now, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    /// [`MacEntity::on_idle`] through a fresh sink, actions collected.
+    fn on_idle_vec(&mut self, now: SimTime) -> Vec<MacAction> {
+        let mut sink = ActionSink::new();
+        self.on_idle(now, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    /// [`MacEntity::on_frame_rx`] through a fresh sink, actions collected.
+    fn on_frame_rx_vec(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
+        let mut sink = ActionSink::new();
+        self.on_frame_rx(frame, now, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    /// [`MacEntity::on_tx_end`] through a fresh sink, actions collected.
+    fn on_tx_end_vec(&mut self, now: SimTime) -> Vec<MacAction> {
+        let mut sink = ActionSink::new();
+        self.on_tx_end(now, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    /// [`MacEntity::on_timer`] through a fresh sink, actions collected.
+    fn on_timer_vec(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction> {
+        let mut sink = ActionSink::new();
+        self.on_timer(token, now, &mut sink);
+        sink.drain_to_vec()
+    }
+}
+
+impl<M: MacEntity + ?Sized> MacEntityExt for M {}

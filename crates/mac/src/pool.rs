@@ -326,6 +326,163 @@ impl fmt::Debug for SubframeVec {
     }
 }
 
+/// Shared free list + generation counter behind a [`SlotPool`] handle.
+struct SlotPoolInner<T> {
+    /// Parked slot buffers, each cleared before parking.
+    slots: Mutex<Vec<Vec<T>>>,
+    /// Monotonic mint counter; every minted slot carries one value.
+    generation: AtomicU64,
+}
+
+/// A recyclable pool of uniquely-owned scratch buffers ("slots") — the
+/// [`FramePool`] sibling for the MAC's queue and reorder entries.
+///
+/// Where [`FramePool`] recycles *shared* frame state (reference-counted
+/// bodies and subframe vectors), a `SlotPool` recycles plain `Vec<T>`
+/// buffers that one owner fills, drains, and drops: the batch a saturated
+/// interface queue hands to the aggregator, the contiguous run a reorder
+/// buffer releases. Minting pops a parked buffer (or allocates the first
+/// time), dropping a [`Slot`] clears it and parks it back, and every mint
+/// stamps a fresh generation so the property tests can pin that no stale
+/// entry ever leaks across reuse.
+///
+/// Like its sibling, the pool is invisible to simulation results: which
+/// buffer a mint returns affects addresses only, never values.
+pub struct SlotPool<T> {
+    inner: Arc<SlotPoolInner<T>>,
+}
+
+impl<T> SlotPool<T> {
+    /// A fresh pool with an empty free list.
+    pub fn new() -> Self {
+        SlotPool {
+            inner: Arc::new(SlotPoolInner {
+                slots: Mutex::new(Vec::new()),
+                generation: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Mints an empty slot, reusing a parked buffer (and its capacity)
+    /// when one is available.
+    pub fn mint(&self) -> Slot<T> {
+        let buf = FramePool::lock(&self.inner.slots).pop().unwrap_or_default();
+        debug_assert!(buf.is_empty(), "parked slots are cleared before parking");
+        let generation = self.inner.generation.fetch_add(1, Ordering::Relaxed);
+        Slot { buf: Some(buf), home: Some(self.clone()), generation }
+    }
+
+    /// The number of generations minted so far (test/diagnostic surface).
+    pub fn generations_minted(&self) -> u64 {
+        self.inner.generation.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently parked (test/diagnostic surface).
+    pub fn parked(&self) -> usize {
+        FramePool::lock(&self.inner.slots).len()
+    }
+
+    /// Parks a drained buffer for reuse.
+    fn park(&self, mut buf: Vec<T>) {
+        buf.clear();
+        FramePool::lock(&self.inner.slots).push(buf);
+    }
+}
+
+impl<T> Default for SlotPool<T> {
+    fn default() -> Self {
+        SlotPool::new()
+    }
+}
+
+impl<T> Clone for SlotPool<T> {
+    fn clone(&self) -> Self {
+        SlotPool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for SlotPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotPool")
+            .field("parked", &self.parked())
+            .field("generations_minted", &self.generations_minted())
+            .finish()
+    }
+}
+
+/// A pool-minted scratch buffer: a `Vec<T>` that clears itself and parks
+/// back in its home [`SlotPool`] on drop. Derefs to the `Vec`, so filling
+/// (`push`) and draining (`drain(..)`) read like plain vector code.
+pub struct Slot<T> {
+    /// The buffer. `Some` until drop (the `Option` exists so `Drop` can
+    /// move it out for parking).
+    buf: Option<Vec<T>>,
+    /// The pool to park in, if pool-minted.
+    home: Option<SlotPool<T>>,
+    /// Mint generation (0 for detached slots).
+    generation: u64,
+}
+
+impl<T> Slot<T> {
+    /// An empty slot with no home pool (tests, unpooled callers): behaves
+    /// like a plain `Vec` and is simply dropped.
+    pub fn detached() -> Slot<T> {
+        Slot { buf: Some(Vec::new()), home: None, generation: 0 }
+    }
+
+    /// The generation stamped at mint time (0 for detached slots). Two
+    /// slots minted from the same pool never share a generation, even when
+    /// they recycled the same buffer.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn vec(&self) -> &Vec<T> {
+        self.buf.as_ref().expect("live slot has storage")
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<T> {
+        self.buf.as_mut().expect("live slot has storage")
+    }
+}
+
+impl<T> Drop for Slot<T> {
+    fn drop(&mut self) {
+        if let (Some(buf), Some(home)) = (self.buf.take(), self.home.take()) {
+            home.park(buf);
+        }
+    }
+}
+
+impl<T> Deref for Slot<T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        self.vec()
+    }
+}
+
+impl<T> DerefMut for Slot<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.vec_mut()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Slot<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vec().iter()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Slot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.vec().iter()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +629,70 @@ mod tests {
                     pool.mint_subframes().is_empty(),
                     "no stale subframes (or corrupted flags) survive recycling"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn slot_pool_recycles_capacity_across_mints() {
+        let pool: SlotPool<u32> = SlotPool::new();
+        let mut slot = pool.mint();
+        slot.extend(0..100);
+        let capacity = slot.capacity();
+        assert!(capacity >= 100);
+        drop(slot);
+        assert_eq!(pool.parked(), 1);
+        let recycled = pool.mint();
+        assert!(recycled.is_empty(), "a recycled slot starts life empty");
+        assert_eq!(recycled.capacity(), capacity, "recycling keeps the grown capacity");
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn detached_slots_work_without_a_pool() {
+        let mut slot: Slot<u8> = Slot::detached();
+        slot.push(7);
+        assert_eq!(slot.generation(), 0);
+        assert_eq!(slot.as_slice(), &[7]);
+    }
+
+    proptest::proptest! {
+        /// Mirror of the `FramePool` pin above, for [`SlotPool`]: whatever
+        /// the mint/fill/drop interleaving, a reminted slot is always empty
+        /// and carries a never-before-seen generation — no stale entries
+        /// leak across reuse even though the buffers themselves recycle.
+        #[test]
+        fn prop_slot_remint_is_empty_with_fresh_generation(
+            ops in proptest::collection::vec(
+                (proptest::prelude::any::<bool>(), 0usize..8, 0u32..1000),
+                1..64,
+            ),
+        ) {
+            let pool: SlotPool<u32> = SlotPool::new();
+            let mut live: Vec<Slot<u32>> = Vec::new();
+            let mut seen_generations = std::collections::BTreeSet::new();
+            for (mint, slot_idx, fill) in ops {
+                if mint || live.is_empty() {
+                    let mut s = pool.mint();
+                    proptest::prop_assert!(s.is_empty(), "a reminted slot starts life empty");
+                    proptest::prop_assert!(
+                        seen_generations.insert(s.generation()),
+                        "generation tags are never reused"
+                    );
+                    // Dirty the buffer — the stale state a later occupant
+                    // must not see.
+                    s.extend(std::iter::repeat_n(fill, slot_idx + 1));
+                    live.push(s);
+                } else {
+                    live.swap_remove(slot_idx % live.len());
+                }
+            }
+            // Drain everything, then remint every parked buffer.
+            drop(live);
+            for _ in 0..pool.parked() {
+                let s = pool.mint();
+                proptest::prop_assert!(s.is_empty(), "no stale entries survive recycling");
+                proptest::prop_assert!(seen_generations.insert(s.generation()));
             }
         }
     }

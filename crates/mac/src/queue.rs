@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use crate::frame::{Packet, RouteInfo};
+use crate::pool::{Slot, SlotPool};
 
 /// A packet waiting in the interface queue with its routing decision.
 #[derive(Clone, Debug)]
@@ -35,6 +36,10 @@ pub struct QueuedPacket {
 pub struct IfQueue {
     items: VecDeque<QueuedPacket>,
     capacity: usize,
+    /// Recycled batch buffers for [`pop_matching`](IfQueue::pop_matching):
+    /// in saturated-queue regimes the aggregator pulls a batch per
+    /// transmission, and the pool keeps that off the allocator.
+    batches: SlotPool<QueuedPacket>,
 }
 
 impl IfQueue {
@@ -45,7 +50,11 @@ impl IfQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "interface queue capacity must be positive");
-        IfQueue { items: VecDeque::with_capacity(capacity.min(64)), capacity }
+        IfQueue {
+            items: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            batches: SlotPool::new(),
+        }
     }
 
     /// Appends a packet; returns it back (drop-tail) if the queue is full.
@@ -72,9 +81,12 @@ impl IfQueue {
     /// aggregation rule: one frame addresses one link destination).
     /// Non-matching packets keep their relative order. The first matching
     /// packet is always taken even if it alone exceeds the byte budget.
-    pub fn pop_batch_matching_head(&mut self, max: usize, max_bytes: u32) -> Vec<QueuedPacket> {
+    ///
+    /// The batch comes back in a recycled [`Slot`]; drain it and drop it,
+    /// and the buffer parks for the next transmission.
+    pub fn pop_batch_matching_head(&mut self, max: usize, max_bytes: u32) -> Slot<QueuedPacket> {
         let Some(head_route) = self.items.front().map(|q| q.route.clone()) else {
-            return Vec::new();
+            return self.batches.mint();
         };
         self.pop_matching(&head_route, max, max_bytes)
     }
@@ -85,26 +97,30 @@ impl IfQueue {
     /// packets for the same link destination. The byte budget keeps frame
     /// airtimes bounded (real 802.11n caps A-MPDU duration); the first
     /// matching packet is exempt so oversized packets still move.
+    ///
+    /// Matching packets are extracted in place (`VecDeque::remove` shifts
+    /// at most `capacity` entries — 50 per Table I) into a pooled batch
+    /// [`Slot`], so a saturated enqueue/aggregate cycle never allocates.
     pub fn pop_matching(
         &mut self,
         route: &RouteInfo,
         max: usize,
         max_bytes: u32,
-    ) -> Vec<QueuedPacket> {
-        let mut batch: Vec<QueuedPacket> = Vec::new();
+    ) -> Slot<QueuedPacket> {
+        let mut batch = self.batches.mint();
         let mut bytes: u64 = 0;
-        let mut rest = VecDeque::with_capacity(self.items.len());
-        while let Some(item) = self.items.pop_front() {
+        let mut i = 0;
+        while i < self.items.len() {
+            let item = &self.items[i];
             let cost = u64::from(item.packet.header.wire_bytes);
             let fits = batch.is_empty() || bytes + cost <= u64::from(max_bytes);
             if batch.len() < max && fits && item.route == *route {
                 bytes += cost;
-                batch.push(item);
+                batch.push(self.items.remove(i).expect("index is in range"));
             } else {
-                rest.push_back(item);
+                i += 1;
             }
         }
-        self.items = rest;
         batch
     }
 
@@ -198,6 +214,22 @@ mod tests {
     fn batch_on_empty_queue() {
         let mut q = IfQueue::new(5);
         assert!(q.pop_batch_matching_head(16, u32::MAX).is_empty());
+    }
+
+    #[test]
+    fn batch_buffers_recycle_across_calls() {
+        let mut q = IfQueue::new(10);
+        for i in 0..4 {
+            q.push(pkt(i), hop(1));
+        }
+        let first = q.pop_batch_matching_head(2, u32::MAX);
+        assert_eq!(first.len(), 2);
+        let first_generation = first.generation();
+        drop(first);
+        let second = q.pop_batch_matching_head(2, u32::MAX);
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].packet.header.flow, FlowId::new(2));
+        assert!(second.generation() > first_generation, "each batch is freshly minted");
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! exhausted its retries): when the buffer is full, the window advances to
 //! the oldest buffered packet, accepting the hole.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use crate::frame::Packet;
+use crate::pool::{Slot, SlotPool};
 
 /// What happened to one subframe offered to the buffer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,11 +46,20 @@ pub enum AcceptOutcome {
 /// let (_, released) = rq.accept(0, Packet::new(h, vec![]));
 /// assert_eq!(released.len(), 2);
 /// ```
+/// Out-of-order arrivals live in a sequence-sorted `VecDeque` (a `BTreeMap`
+/// would pay one node allocation per buffered packet — with aggregation,
+/// one per *subframe*); insertion shifts at most `capacity` entries, and
+/// the deque's capacity is retained across the whole flow. Released runs
+/// come back in a recycled [`Slot`], so the in-order fast path — by far the
+/// common case on a clean channel — never touches the allocator.
 #[derive(Debug)]
 pub struct ReorderBuffer {
     next_expected: u32,
-    pending: BTreeMap<u32, Packet>,
+    /// Held-back packets, sorted by sequence number (strictly increasing).
+    pending: VecDeque<(u32, Packet)>,
     capacity: usize,
+    /// Recycled buffers for the released runs [`accept`](ReorderBuffer::accept) returns.
+    releases: SlotPool<Packet>,
     /// Packets released out of their original order because the window was
     /// force-advanced past a hole.
     holes_skipped: u64,
@@ -63,34 +73,56 @@ impl ReorderBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reorder buffer capacity must be positive");
-        ReorderBuffer { next_expected: 0, pending: BTreeMap::new(), capacity, holes_skipped: 0 }
+        ReorderBuffer {
+            next_expected: 0,
+            pending: VecDeque::new(),
+            capacity,
+            releases: SlotPool::new(),
+            holes_skipped: 0,
+        }
     }
 
     /// Offers a received subframe. Returns the outcome plus the packets now
-    /// releasable to the upper layer, in sequence order.
-    pub fn accept(&mut self, seq: u32, packet: Packet) -> (AcceptOutcome, Vec<Packet>) {
-        if seq < self.next_expected || self.pending.contains_key(&seq) {
-            return (AcceptOutcome::Duplicate, Vec::new());
+    /// releasable to the upper layer, in sequence order, in a recycled
+    /// [`Slot`] (drain it and drop it; the buffer parks for the next run).
+    pub fn accept(&mut self, seq: u32, packet: Packet) -> (AcceptOutcome, Slot<Packet>) {
+        let mut released = self.releases.mint();
+        if seq < self.next_expected {
+            return (AcceptOutcome::Duplicate, released);
         }
-        self.pending.insert(seq, packet);
-        let mut released = Vec::new();
-        // Release the contiguous run starting at next_expected.
-        while let Some(p) = self.pending.remove(&self.next_expected) {
-            released.push(p);
+        if seq == self.next_expected {
+            // In-order fast path: straight into the release run, no
+            // pending-buffer traffic at all.
+            released.push(packet);
             self.next_expected += 1;
+        } else {
+            let idx = self.pending.partition_point(|(s, _)| *s < seq);
+            if self.pending.get(idx).is_some_and(|(s, _)| *s == seq) {
+                return (AcceptOutcome::Duplicate, released);
+            }
+            self.pending.insert(idx, (seq, packet));
         }
+        // Release the contiguous run starting at next_expected.
+        self.release_run(&mut released);
         // Window-full recovery: the sender has given up on a hole; advance
         // to the oldest buffered packet so the flow is not stalled forever.
         while self.pending.len() > self.capacity {
-            let (&oldest, _) = self.pending.iter().next().expect("non-empty");
+            let oldest = self.pending.front().expect("non-empty").0;
             self.holes_skipped += u64::from(oldest - self.next_expected);
             self.next_expected = oldest;
-            while let Some(p) = self.pending.remove(&self.next_expected) {
-                released.push(p);
-                self.next_expected += 1;
-            }
+            self.release_run(&mut released);
         }
         (AcceptOutcome::Accepted, released)
+    }
+
+    /// Moves the contiguous run starting at `next_expected` out of
+    /// `pending` and into `released`.
+    fn release_run(&mut self, released: &mut Slot<Packet>) {
+        while self.pending.front().is_some_and(|(s, _)| *s == self.next_expected) {
+            let (_, p) = self.pending.pop_front().expect("front just matched");
+            released.push(p);
+            self.next_expected += 1;
+        }
     }
 
     /// The next sequence number the upper layer is waiting for.
@@ -102,7 +134,7 @@ impl ReorderBuffer {
     /// RIPPLE destinations use this to acknowledge retransmitted subframes
     /// they already hold, so the source stops resending them.
     pub fn has(&self, seq: u32) -> bool {
-        seq < self.next_expected || self.pending.contains_key(&seq)
+        seq < self.next_expected || self.pending.binary_search_by_key(&seq, |(s, _)| *s).is_ok()
     }
 
     /// Number of packets currently held back.
@@ -187,6 +219,18 @@ mod tests {
         assert!(rq.holes_skipped() >= 1, "hole at 0 must be abandoned");
         assert_eq!(rq.next_expected(), 5);
         assert_eq!(rq.buffered(), 0);
+    }
+
+    #[test]
+    fn release_buffers_recycle_across_accepts() {
+        let mut rq = ReorderBuffer::new(8);
+        let first = rq.accept(0, pkt(0)).1;
+        assert_eq!(first.len(), 1);
+        let first_generation = first.generation();
+        drop(first);
+        let second = rq.accept(1, pkt(1)).1;
+        assert_eq!(second.len(), 1);
+        assert!(second.generation() > first_generation, "each release run is freshly minted");
     }
 
     proptest! {

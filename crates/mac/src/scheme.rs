@@ -47,6 +47,6 @@ mod tests {
         let mut mac = plain.build_mac(&params, NodeId::new(0), StreamRng::derive(1, "mac/test"));
         assert_eq!(mac.stats(), crate::MacStats::default());
         // The built entity is live: an idle notification is accepted.
-        let _ = mac.on_idle(wmn_sim::SimTime::ZERO);
+        let _ = crate::MacEntityExt::on_idle_vec(&mut *mac, wmn_sim::SimTime::ZERO);
     }
 }

@@ -3,7 +3,7 @@
 //! (flow, seq) bitmap acknowledgements.
 
 use wmn_mac::frame::{AckFrame, Frame, LinkDst, NetHeader, Packet, Proto, RouteInfo};
-use wmn_mac::{DcfConfig, DcfMac, MacAction, MacEntity};
+use wmn_mac::{DcfConfig, DcfMac, MacAction, MacEntityExt};
 use wmn_phy::{PhyParams, Rate};
 use wmn_sim::{FlowId, NodeId, SimTime, StreamRng};
 
@@ -34,15 +34,15 @@ fn find_data(actions: &[MacAction]) -> Option<&wmn_mac::DataFrame> {
 fn drain_first_frame(mac: &mut DcfMac, n_queued: usize) -> wmn_mac::DataFrame {
     // Queue packets while busy, then release the channel and fire the
     // backoff to obtain one aggregated frame.
-    mac.on_busy(t(0));
+    mac.on_busy_vec(t(0));
     for i in 0..n_queued {
-        mac.on_enqueue(
+        mac.on_enqueue_vec(
             packet(i as u32 % 2, 1000),
             RouteInfo::NextHop(NodeId::new(1)),
             t(1 + i as u64),
         );
     }
-    let actions = mac.on_idle(t(1000));
+    let actions = mac.on_idle_vec(t(1000));
     let (delay, token) = actions
         .iter()
         .find_map(|a| match a {
@@ -50,7 +50,7 @@ fn drain_first_frame(mac: &mut DcfMac, n_queued: usize) -> wmn_mac::DataFrame {
             _ => None,
         })
         .expect("backoff armed");
-    let actions = mac.on_timer(token, t(1000) + delay);
+    let actions = mac.on_timer_vec(token, t(1000) + delay);
     find_data(&actions).expect("frame transmitted").clone()
 }
 
@@ -93,7 +93,7 @@ fn mixed_flow_ack_is_unambiguous() {
     // Both flows restart their seq space at 0: same numeric seqs.
     assert_eq!(frame.subframes[0].seq, frame.subframes[1].seq);
 
-    mac.on_tx_end(t(2000));
+    mac.on_tx_end_vec(t(2000));
     // Acknowledge ONLY flow 0's two subframes.
     let ack = AckFrame {
         transmitter: NodeId::new(1),
@@ -108,7 +108,7 @@ fn mixed_flow_ack_is_unambiguous() {
             .collect(),
         relay_list: Default::default(),
     };
-    let actions = mac.on_frame_rx(Frame::Ack(ack).into(), t(2100));
+    let actions = mac.on_frame_rx_vec(Frame::Ack(ack).into(), t(2100));
     // The retransmission must contain exactly flow 1's subframes.
     let (delay, token) = actions
         .iter()
@@ -117,7 +117,7 @@ fn mixed_flow_ack_is_unambiguous() {
             _ => None,
         })
         .expect("post-ack backoff");
-    let actions = mac.on_timer(token, t(2100) + delay);
+    let actions = mac.on_timer_vec(token, t(2100) + delay);
     let retx = find_data(&actions).expect("partial retransmission");
     assert_eq!(retx.subframes.len(), 2);
     assert!(
@@ -132,11 +132,11 @@ fn mixed_flow_ack_is_unambiguous() {
 fn different_next_hops_never_share_a_frame() {
     let cfg = DcfConfig::from_phy(&PhyParams::paper_216(), 16);
     let mut mac = DcfMac::new(cfg, NodeId::new(0), StreamRng::derive(3, "hops"));
-    mac.on_busy(t(0));
-    mac.on_enqueue(packet(0, 1000), RouteInfo::NextHop(NodeId::new(1)), t(1));
-    mac.on_enqueue(packet(0, 1000), RouteInfo::NextHop(NodeId::new(2)), t(2));
-    mac.on_enqueue(packet(0, 1000), RouteInfo::NextHop(NodeId::new(1)), t(3));
-    let actions = mac.on_idle(t(100));
+    mac.on_busy_vec(t(0));
+    mac.on_enqueue_vec(packet(0, 1000), RouteInfo::NextHop(NodeId::new(1)), t(1));
+    mac.on_enqueue_vec(packet(0, 1000), RouteInfo::NextHop(NodeId::new(2)), t(2));
+    mac.on_enqueue_vec(packet(0, 1000), RouteInfo::NextHop(NodeId::new(1)), t(3));
+    let actions = mac.on_idle_vec(t(100));
     let (delay, token) = actions
         .iter()
         .find_map(|a| match a {
@@ -144,7 +144,7 @@ fn different_next_hops_never_share_a_frame() {
             _ => None,
         })
         .unwrap();
-    let actions = mac.on_timer(token, t(100) + delay);
+    let actions = mac.on_timer_vec(token, t(100) + delay);
     let frame = find_data(&actions).unwrap();
     assert_eq!(frame.subframes.len(), 2, "only the node-1 packets aggregate");
     assert_eq!(frame.link_dst, LinkDst::Unicast(NodeId::new(1)));

@@ -344,7 +344,7 @@ mod tests {
                 StreamRng::derive(1, "mac/0"),
             );
             assert_eq!(mac.stats(), wmn_mac::MacStats::default());
-            let _ = mac.on_idle(wmn_sim::SimTime::ZERO);
+            let _ = wmn_mac::MacEntityExt::on_idle_vec(&mut *mac, wmn_sim::SimTime::ZERO);
         }
     }
 

@@ -37,7 +37,7 @@ pub mod phy_io;
 pub mod shard;
 
 use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo};
-use wmn_mac::{FramePool, MacAction, RateClass, TimerToken};
+use wmn_mac::{ActionSink, FramePool, MacAction, RateClass, TimerToken};
 use wmn_phy::medium::BusyTransition;
 use wmn_phy::ArrivalOutcome;
 use wmn_routing::LinkGraph;
@@ -245,6 +245,11 @@ impl Runner {
         let net = NetLayer::build(scenario);
         let flows = FlowLayer::build(scenario, &dir);
         let mut queue = flows.initial_queue(scenario, &dir);
+        // Pre-size the per-station schedule burst: in steady state each
+        // station keeps a backoff timer, a TxEnd and in-flight deliveries
+        // pending at once, so the heap warms up here instead of growing
+        // inside the hot loop.
+        queue.reserve(scenario.positions.len() * 4);
         let phy = PhyIo::build(scenario, &dir);
         if phy.is_mobile() {
             // First re-sample one tick in: t = 0 is the placement itself.
@@ -283,6 +288,10 @@ impl Runner {
     }
 
     fn run_loop(&mut self) {
+        // Phase attribution for the counting allocator: everything in the
+        // loop is event-loop churn unless a nested scope (tx-path, queue)
+        // claims it. No-op outside `wmn_alloc/count` builds.
+        let _phase = wmn_alloc::phase_scope(wmn_alloc::Phase::EventLoop);
         while let Some((t, event)) = self.queue.pop() {
             if t > self.end {
                 break;
@@ -296,11 +305,15 @@ impl Runner {
         match event {
             Event::TxEnd { node } => {
                 self.record(node, TraceKind::TxEnd);
-                let actions = self.macs.node(node).on_tx_end(now);
-                self.apply_mac_actions(node, actions);
+                let mut sink = self.macs.take_sink();
+                self.macs.node(node).on_tx_end(now, &mut sink);
+                self.apply_mac_actions(node, &mut sink);
+                self.macs.park_sink(sink);
                 if let Some(BusyTransition::BecameIdle) = self.phy.receiver(node).on_tx_end(now) {
-                    let actions = self.macs.node(node).on_idle(now);
-                    self.apply_mac_actions(node, actions);
+                    let mut sink = self.macs.take_sink();
+                    self.macs.node(node).on_idle(now, &mut sink);
+                    self.apply_mac_actions(node, &mut sink);
+                    self.macs.park_sink(sink);
                 }
             }
             Event::RxStart { arrival } => {
@@ -311,8 +324,10 @@ impl Runner {
                 if let Some(BusyTransition::BecameBusy) =
                     self.phy.receiver(node).on_arrival_start(arrival, decodable, power, now)
                 {
-                    let actions = self.macs.node(node).on_busy(now);
-                    self.apply_mac_actions(node, actions);
+                    let mut sink = self.macs.take_sink();
+                    self.macs.node(node).on_busy(now, &mut sink);
+                    self.apply_mac_actions(node, &mut sink);
+                    self.macs.park_sink(sink);
                 }
             }
             Event::RxEnd { arrival } => {
@@ -323,8 +338,10 @@ impl Runner {
                 let (outcome, transition) = self.phy.receiver(node).on_arrival_end(arrival, now);
                 // Idle first so relay waits measure from the channel edge.
                 if let Some(BusyTransition::BecameIdle) = transition {
-                    let actions = self.macs.node(node).on_idle(now);
-                    self.apply_mac_actions(node, actions);
+                    let mut sink = self.macs.take_sink();
+                    self.macs.node(node).on_idle(now, &mut sink);
+                    self.apply_mac_actions(node, &mut sink);
+                    self.macs.park_sink(sink);
                 }
                 if outcome == ArrivalOutcome::Clean && state.decodable {
                     if let Some(frame) = self.phy.apply_bit_errors(&state.frame) {
@@ -343,14 +360,18 @@ impl Runner {
                                 },
                             );
                         }
-                        let actions = self.macs.node(node).on_frame_rx(frame, now);
-                        self.apply_mac_actions(node, actions);
+                        let mut sink = self.macs.take_sink();
+                        self.macs.node(node).on_frame_rx(frame, now, &mut sink);
+                        self.apply_mac_actions(node, &mut sink);
+                        self.macs.park_sink(sink);
                     }
                 }
             }
             Event::MacTimer { node, token } => {
-                let actions = self.macs.node(node).on_timer(token, now);
-                self.apply_mac_actions(node, actions);
+                let mut sink = self.macs.take_sink();
+                self.macs.node(node).on_timer(token, now, &mut sink);
+                self.apply_mac_actions(node, &mut sink);
+                self.macs.park_sink(sink);
             }
             Event::TcpRto { flow, generation } => {
                 let actions = self
@@ -402,8 +423,8 @@ impl Runner {
         }
     }
 
-    fn apply_mac_actions(&mut self, node: NodeId, actions: Vec<MacAction>) {
-        for action in actions {
+    fn apply_mac_actions(&mut self, node: NodeId, sink: &mut ActionSink) {
+        while let Some(action) = sink.pop() {
             match action {
                 MacAction::StartTx { frame, rate } => self.start_transmission(node, frame, rate),
                 MacAction::SetTimer { delay, token } => {
@@ -421,6 +442,7 @@ impl Runner {
     }
 
     fn start_transmission(&mut self, node: NodeId, frame: Frame, rate: RateClass) {
+        let _phase = wmn_alloc::phase_scope(wmn_alloc::Phase::TxPath);
         if self.trace.is_some() {
             let (kind, flow, frame_seq, subframes) = match &frame {
                 Frame::Data(d) => (FrameKind::Data, d.flow, d.frame_seq, d.subframes.len()),
@@ -437,14 +459,17 @@ impl Runner {
         let airtime = params.airtime(rate, frame.wire_bytes());
         let now = self.now();
         if let Some(BusyTransition::BecameBusy) = self.phy.receiver(node).on_tx_start(now) {
-            let actions = self.macs.node(node).on_busy(now);
-            self.apply_mac_actions(node, actions);
+            let mut sink = self.macs.take_sink();
+            self.macs.node(node).on_busy(now, &mut sink);
+            self.apply_mac_actions(node, &mut sink);
+            self.macs.park_sink(sink);
         }
         self.queue.schedule_in(airtime, Event::TxEnd { node });
         self.phy.broadcast(node, frame, airtime, &mut self.queue);
     }
 
     fn handle_delivery(&mut self, node: NodeId, packet: Packet) {
+        let _phase = wmn_alloc::phase_scope(wmn_alloc::Phase::Queue);
         let flow_id = packet.header.flow;
         let spec_src = self.flows.flow(flow_id).spec.src();
         let spec_dst = self.flows.flow(flow_id).spec.dst();
@@ -469,8 +494,10 @@ impl Runner {
                 }
             }
             let now = self.now();
-            let actions = self.macs.node(node).on_enqueue(packet, route, now);
-            self.apply_mac_actions(node, actions);
+            let mut sink = self.macs.take_sink();
+            self.macs.node(node).on_enqueue(packet, route, now, &mut sink);
+            self.apply_mac_actions(node, &mut sink);
+            self.macs.park_sink(sink);
         }
     }
 
@@ -551,6 +578,7 @@ impl Runner {
         wire_bytes: u32,
         forward: bool,
     ) {
+        let _phase = wmn_alloc::phase_scope(wmn_alloc::Phase::Queue);
         let spec = &self.flows.flow(flow_id).spec;
         let (src, dst) = if forward { (spec.src(), spec.dst()) } else { (spec.dst(), spec.src()) };
         let Some(route) = self.net.route(flow_id, src, forward) else { return };
@@ -559,8 +587,10 @@ impl Runner {
             self.pool.mint_body_with(|out| segment.encode_into(out)),
         );
         let now = self.now();
-        let actions = self.macs.node(src).on_enqueue(packet, route, now);
-        self.apply_mac_actions(src, actions);
+        let mut sink = self.macs.take_sink();
+        self.macs.node(src).on_enqueue(packet, route, now, &mut sink);
+        self.apply_mac_actions(src, &mut sink);
+        self.macs.park_sink(sink);
     }
 
     fn start_flow(&mut self, flow_id: FlowId) {
@@ -617,8 +647,10 @@ impl Runner {
                 self.pool.mint_body_with(|out| dg.encode_into(out)),
             )
         };
-        let actions = self.macs.node(src).on_enqueue(packet, route, now);
-        self.apply_mac_actions(src, actions);
+        let mut sink = self.macs.take_sink();
+        self.macs.node(src).on_enqueue(packet, route, now, &mut sink);
+        self.apply_mac_actions(src, &mut sink);
+        self.macs.park_sink(sink);
         if let Some(interval) = next {
             if now + interval <= self.end {
                 self.queue.schedule_in(interval, Event::UdpSend { flow: flow_id });

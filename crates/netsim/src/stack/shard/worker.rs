@@ -32,7 +32,7 @@
 use std::sync::{Arc, RwLock};
 
 use wmn_mac::frame::{Frame, NetHeader, Packet, Proto, RouteInfo, RxFrame};
-use wmn_mac::{FramePool, MacAction, MacStats, RateClass};
+use wmn_mac::{ActionSink, FramePool, MacAction, MacStats, RateClass};
 use wmn_phy::medium::BusyTransition;
 use wmn_phy::{ArrivalOutcome, BerModel, Medium, PhyParams, Receiver, RxPlan};
 use wmn_sim::{EventKey, FlowId, KeyedEventQueue, NodeId, RngDirectory, SimTime, StreamRng};
@@ -178,6 +178,9 @@ impl ShardWorker {
             flow_seq[flow.index()] += 1;
             queue.schedule_keyed_in(delay, key, event);
         }
+        // Pre-size the shard's share of the per-station schedule burst
+        // (backoff timer + TxEnd + in-flight deliveries per owned station).
+        queue.reserve(owner.iter().filter(|&&s| s == shard).count() * 4);
         ShardWorker {
             shard,
             end: SimTime::ZERO + scenario.duration,
@@ -281,13 +284,17 @@ impl ShardWorker {
         let now = self.now();
         match event {
             Event::TxEnd { node } => {
-                let actions = self.macs.node(node).on_tx_end(now);
-                self.apply_mac_actions(node, actions);
+                let mut sink = self.macs.take_sink();
+                self.macs.node(node).on_tx_end(now, &mut sink);
+                self.apply_mac_actions(node, &mut sink);
+                self.macs.park_sink(sink);
                 if let Some(BusyTransition::BecameIdle) =
                     self.receivers[node.index()].on_tx_end(now)
                 {
-                    let actions = self.macs.node(node).on_idle(now);
-                    self.apply_mac_actions(node, actions);
+                    let mut sink = self.macs.take_sink();
+                    self.macs.node(node).on_idle(now, &mut sink);
+                    self.apply_mac_actions(node, &mut sink);
+                    self.macs.park_sink(sink);
                 }
             }
             Event::RxStart { arrival } => {
@@ -298,8 +305,10 @@ impl ShardWorker {
                 if let Some(BusyTransition::BecameBusy) =
                     self.receivers[node.index()].on_arrival_start(arrival, decodable, power, now)
                 {
-                    let actions = self.macs.node(node).on_busy(now);
-                    self.apply_mac_actions(node, actions);
+                    let mut sink = self.macs.take_sink();
+                    self.macs.node(node).on_busy(now, &mut sink);
+                    self.apply_mac_actions(node, &mut sink);
+                    self.macs.park_sink(sink);
                 }
             }
             Event::RxEnd { arrival } => {
@@ -311,19 +320,25 @@ impl ShardWorker {
                     self.receivers[node.index()].on_arrival_end(arrival, now);
                 // Idle first so relay waits measure from the channel edge.
                 if let Some(BusyTransition::BecameIdle) = transition {
-                    let actions = self.macs.node(node).on_idle(now);
-                    self.apply_mac_actions(node, actions);
+                    let mut sink = self.macs.take_sink();
+                    self.macs.node(node).on_idle(now, &mut sink);
+                    self.apply_mac_actions(node, &mut sink);
+                    self.macs.park_sink(sink);
                 }
                 if outcome == ArrivalOutcome::Clean && state.decodable {
                     if let Some(frame) = self.apply_bit_errors(node, &state.frame) {
-                        let actions = self.macs.node(node).on_frame_rx(frame, now);
-                        self.apply_mac_actions(node, actions);
+                        let mut sink = self.macs.take_sink();
+                        self.macs.node(node).on_frame_rx(frame, now, &mut sink);
+                        self.apply_mac_actions(node, &mut sink);
+                        self.macs.park_sink(sink);
                     }
                 }
             }
             Event::MacTimer { node, token } => {
-                let actions = self.macs.node(node).on_timer(token, now);
-                self.apply_mac_actions(node, actions);
+                let mut sink = self.macs.take_sink();
+                self.macs.node(node).on_timer(token, now, &mut sink);
+                self.apply_mac_actions(node, &mut sink);
+                self.macs.park_sink(sink);
             }
             Event::TcpRto { flow, generation } => {
                 let actions = self
@@ -353,8 +368,8 @@ impl ShardWorker {
         crate::stack::decode::decode_frame(&self.ber, &mut self.ber_rngs[rx.index()], frame)
     }
 
-    fn apply_mac_actions(&mut self, node: NodeId, actions: Vec<MacAction>) {
-        for action in actions {
+    fn apply_mac_actions(&mut self, node: NodeId, sink: &mut ActionSink) {
+        while let Some(action) = sink.pop() {
             match action {
                 MacAction::StartTx { frame, rate } => self.start_transmission(node, frame, rate),
                 MacAction::SetTimer { delay, token } => {
@@ -379,8 +394,10 @@ impl ShardWorker {
         let airtime = self.params.airtime(rate, frame.wire_bytes());
         let now = self.now();
         if let Some(BusyTransition::BecameBusy) = self.receivers[node.index()].on_tx_start(now) {
-            let actions = self.macs.node(node).on_busy(now);
-            self.apply_mac_actions(node, actions);
+            let mut sink = self.macs.take_sink();
+            self.macs.node(node).on_busy(now, &mut sink);
+            self.apply_mac_actions(node, &mut sink);
+            self.macs.park_sink(sink);
         }
         let key = self.node_key(node);
         self.queue.schedule_keyed_in(airtime, key, Event::TxEnd { node });
@@ -454,8 +471,10 @@ impl ShardWorker {
         // Intermediate hop (predetermined routing only): forward along.
         if let Some(route) = self.route(flow_id, node, forward) {
             let now = self.now();
-            let actions = self.macs.node(node).on_enqueue(packet, route, now);
-            self.apply_mac_actions(node, actions);
+            let mut sink = self.macs.take_sink();
+            self.macs.node(node).on_enqueue(packet, route, now, &mut sink);
+            self.apply_mac_actions(node, &mut sink);
+            self.macs.park_sink(sink);
         }
     }
 
@@ -550,8 +569,10 @@ impl ShardWorker {
             self.pool.mint_body_with(|out| segment.encode_into(out)),
         );
         let now = self.now();
-        let actions = self.macs.node(src).on_enqueue(packet, route, now);
-        self.apply_mac_actions(src, actions);
+        let mut sink = self.macs.take_sink();
+        self.macs.node(src).on_enqueue(packet, route, now, &mut sink);
+        self.apply_mac_actions(src, &mut sink);
+        self.macs.park_sink(sink);
     }
 
     fn start_flow(&mut self, flow_id: FlowId) {
@@ -608,8 +629,10 @@ impl ShardWorker {
                 self.pool.mint_body_with(|out| dg.encode_into(out)),
             )
         };
-        let actions = self.macs.node(src).on_enqueue(packet, route, now);
-        self.apply_mac_actions(src, actions);
+        let mut sink = self.macs.take_sink();
+        self.macs.node(src).on_enqueue(packet, route, now, &mut sink);
+        self.apply_mac_actions(src, &mut sink);
+        self.macs.park_sink(sink);
         if let Some(interval) = next {
             if now + interval <= self.end {
                 let key = self.flow_key(flow_id);

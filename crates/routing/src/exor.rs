@@ -26,7 +26,8 @@ use wmn_mac::frame::{
     AckFrame, DataFrame, Frame, LinkDst, NodeList, Packet, RouteInfo, RxFrame, Subframe,
 };
 use wmn_mac::{
-    Backoff, DropReason, FramePool, IfQueue, MacAction, MacEntity, MacStats, RateClass, TimerToken,
+    ActionSink, Backoff, DropReason, FramePool, IfQueue, MacAction, MacEntity, MacStats, RateClass,
+    TimerToken,
 };
 use wmn_phy::PhyParams;
 use wmn_sim::{FlowId, NodeId, SimDuration, SimTime, StreamRng};
@@ -246,7 +247,7 @@ impl ExorMac {
         last + self.cfg.timeout_margin
     }
 
-    fn try_progress(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn try_progress(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.data_state != DataState::Idle || !self.radio_free() || !self.has_work() {
             return;
         }
@@ -261,7 +262,7 @@ impl ExorMac {
         self.arm_backoff(now, out);
     }
 
-    fn arm_backoff(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn arm_backoff(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.armed_backoff.is_some() || self.channel_busy {
             return;
         }
@@ -297,7 +298,7 @@ impl ExorMac {
         Some((seq, qp.packet, list))
     }
 
-    fn transmit_data(&mut self, out: &mut Vec<MacAction>) {
+    fn transmit_data(&mut self, out: &mut ActionSink) {
         self.backoff.clear();
         if self.inflight.is_none() {
             let Some((seq, packet, list)) = self.next_outgoing() else { return };
@@ -330,7 +331,7 @@ impl ExorMac {
         out.push(MacAction::StartTx { frame: Frame::Data(frame), rate: RateClass::Data });
     }
 
-    fn handle_data_frame(&mut self, d: &DataFrame, _now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_data_frame(&mut self, d: &DataFrame, _now: SimTime, out: &mut ActionSink) {
         let LinkDst::Opportunistic { list } = &d.link_dst else {
             return; // unicast frames belong to other MACs
         };
@@ -378,7 +379,7 @@ impl ExorMac {
         }
     }
 
-    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_frame(&mut self, a: &AckFrame, now: SimTime, out: &mut ActionSink) {
         // Sender side: does this acknowledge our inflight frame?
         if a.to == self.node && self.data_state == DataState::WaitAck {
             if let Some(inflight) = self.inflight.as_ref() {
@@ -406,7 +407,7 @@ impl ExorMac {
         }
     }
 
-    fn fire_send_ack(&mut self, key: (NodeId, u64), now: SimTime, out: &mut Vec<MacAction>) {
+    fn fire_send_ack(&mut self, key: (NodeId, u64), now: SimTime, out: &mut ActionSink) {
         let Some(p) = self.pending.get(&key) else { return };
         let suppressed = self.mode == ExorMode::McExor && p.heard_higher;
         if suppressed {
@@ -438,7 +439,7 @@ impl ExorMac {
         // preExOR keeps `pending` until the window-end relay decision.
     }
 
-    fn fire_relay_decision(&mut self, key: (NodeId, u64), now: SimTime, out: &mut Vec<MacAction>) {
+    fn fire_relay_decision(&mut self, key: (NodeId, u64), now: SimTime, out: &mut ActionSink) {
         let Some(p) = self.pending.remove(&key) else { return };
         if p.my_rank > 0 && p.fresh && !p.heard_higher {
             let list = NodeList::from(&p.list[..p.my_rank]);
@@ -447,7 +448,7 @@ impl ExorMac {
         }
     }
 
-    fn handle_ack_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+    fn handle_ack_timeout(&mut self, now: SimTime, out: &mut ActionSink) {
         self.armed_ack_timeout = None;
         if self.data_state != DataState::WaitAck {
             return;
@@ -472,47 +473,39 @@ impl ExorMac {
 }
 
 impl MacEntity for ExorMac {
-    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_enqueue(&mut self, packet: Packet, route: RouteInfo, now: SimTime, out: &mut ActionSink) {
         if let Some(rejected) = self.q.push(packet, route) {
             self.stats.drops_queue_full += 1;
             out.push(MacAction::Drop { packet: rejected, reason: DropReason::QueueFull });
-            return out;
+            return;
         }
-        self.try_progress(now, &mut out);
-        out
+        self.try_progress(now, out);
     }
 
-    fn on_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn on_busy(&mut self, now: SimTime, _out: &mut ActionSink) {
         self.channel_busy = true;
         self.disarm_backoff(now);
-        Vec::new()
     }
 
-    fn on_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn on_idle(&mut self, now: SimTime, out: &mut ActionSink) {
         self.channel_busy = false;
         self.idle_since = now;
-        let mut out = Vec::new();
         if self.data_state == DataState::Idle && self.radio_free() && self.has_work() {
-            self.arm_backoff(now, &mut out);
+            self.arm_backoff(now, out);
         }
-        out
     }
 
-    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_frame_rx(&mut self, frame: RxFrame, now: SimTime, out: &mut ActionSink) {
         match &*frame {
-            Frame::Data(d) => self.handle_data_frame(d, now, &mut out),
-            Frame::Ack(a) => self.handle_ack_frame(a, now, &mut out),
+            Frame::Data(d) => self.handle_data_frame(d, now, out),
+            Frame::Ack(a) => self.handle_ack_frame(a, now, out),
         }
-        out
     }
 
-    fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_tx_end(&mut self, now: SimTime, out: &mut ActionSink) {
         if self.ack_tx_in_progress {
             self.ack_tx_in_progress = false;
-            self.try_progress(now, &mut out);
+            self.try_progress(now, out);
         } else if self.data_state == DataState::Transmitting {
             self.data_state = DataState::WaitAck;
             let m = self.inflight.as_ref().map(|i| i.list.len()).unwrap_or(1);
@@ -520,13 +513,11 @@ impl MacEntity for ExorMac {
             self.armed_ack_timeout = Some(token);
             out.push(MacAction::SetTimer { delay: self.ack_window(m), token });
         }
-        out
     }
 
-    fn on_timer(&mut self, token: TimerToken, now: SimTime) -> Vec<MacAction> {
-        let mut out = Vec::new();
+    fn on_timer(&mut self, token: TimerToken, now: SimTime, out: &mut ActionSink) {
         let Some(role) = self.timer_roles.remove(&token.0) else {
-            return out;
+            return;
         };
         match role {
             Role::BackoffDone => {
@@ -538,19 +529,18 @@ impl MacEntity for ExorMac {
                         && self.has_work()
                     {
                         self.backoff.clear();
-                        self.transmit_data(&mut out);
+                        self.transmit_data(out);
                     }
                 }
             }
             Role::AckTimeout => {
                 if self.armed_ack_timeout == Some(token) {
-                    self.handle_ack_timeout(now, &mut out);
+                    self.handle_ack_timeout(now, out);
                 }
             }
-            Role::SendAck { key } => self.fire_send_ack(key, now, &mut out),
-            Role::RelayDecision { key } => self.fire_relay_decision(key, now, &mut out),
+            Role::SendAck { key } => self.fire_send_ack(key, now, out),
+            Role::RelayDecision { key } => self.fire_relay_decision(key, now, out),
         }
-        out
     }
 
     fn stats(&self) -> MacStats {
@@ -587,6 +577,7 @@ impl wmn_mac::MacScheme for ExorScheme {
 mod tests {
     use super::*;
     use wmn_mac::frame::{NetHeader, Proto};
+    use wmn_mac::MacEntityExt;
 
     fn cfg() -> ExorConfig {
         ExorConfig::from_phy(&PhyParams::paper_216())
@@ -638,7 +629,7 @@ mod tests {
     }
 
     fn tx_data_frame(src_mac: &mut ExorMac, now: SimTime) -> DataFrame {
-        let actions = src_mac.on_enqueue(packet(0, 0, 3), route_0_to_3(), now);
+        let actions = src_mac.on_enqueue_vec(packet(0, 0, 3), route_0_to_3(), now);
         match find_tx(&actions) {
             Some(Frame::Data(d)) => d.clone(),
             _ => panic!("expected immediate data tx"),
@@ -665,12 +656,12 @@ mod tests {
         let c = cfg();
         // Destination (rank 0).
         let mut dest = mac(ExorMode::PreExor, 3);
-        let acts = dest.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = dest.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let (delay0, _) = timers(&acts)[0];
         assert_eq!(delay0, c.sifs);
         // Forwarder rank 2 (node 1).
         let mut fwd = mac(ExorMode::PreExor, 1);
-        let acts = fwd.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = fwd.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         let (delay2, _) = timers(&acts)[0];
         assert_eq!(delay2, c.sifs + (c.t_ack + c.sifs) * 2);
     }
@@ -681,7 +672,7 @@ mod tests {
         let d = tx_data_frame(&mut src, t(100));
         let c = cfg();
         let mut fwd = mac(ExorMode::McExor, 2); // rank 1
-        let acts = fwd.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = fwd.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         let (delay, _) = timers(&acts)[0];
         assert_eq!(delay, c.sifs * 2, "rank 1 waits 2 SIFS");
     }
@@ -691,7 +682,7 @@ mod tests {
         let mut src = mac(ExorMode::PreExor, 0);
         let d = tx_data_frame(&mut src, t(100));
         let mut dest = mac(ExorMode::PreExor, 3);
-        let acts = dest.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = dest.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         assert!(acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })));
     }
 
@@ -700,11 +691,11 @@ mod tests {
         let mut src = mac(ExorMode::PreExor, 0);
         let d1 = tx_data_frame(&mut src, t(100));
         let mut dest = mac(ExorMode::PreExor, 3);
-        dest.on_frame_rx(Frame::Data(d1.clone()).into(), t(200));
+        dest.on_frame_rx_vec(Frame::Data(d1.clone()).into(), t(200));
         // Source retransmits (missed ACK): same seq, new frame_seq.
         let mut d2 = d1;
         d2.frame_seq += 10;
-        let acts = dest.on_frame_rx(Frame::Data(d2).into(), t(400));
+        let acts = dest.on_frame_rx_vec(Frame::Data(d2).into(), t(400));
         assert!(
             !acts.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
             "duplicates must not be delivered twice"
@@ -717,7 +708,7 @@ mod tests {
         let mut src = mac(ExorMode::McExor, 0);
         let d = tx_data_frame(&mut src, t(100));
         let mut fwd = mac(ExorMode::McExor, 1); // rank 2
-        let acts = fwd.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = fwd.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let (_, token) = timers(&acts)[0];
         // The destination's ACK is overheard before our slot.
         let higher_ack = AckFrame {
@@ -728,8 +719,8 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: NodeList::new(),
         };
-        fwd.on_frame_rx(Frame::Ack(higher_ack).into(), t(210));
-        let acts = fwd.on_timer(token, t(232));
+        fwd.on_frame_rx_vec(Frame::Ack(higher_ack).into(), t(210));
+        let acts = fwd.on_timer_vec(token, t(232));
         assert!(find_tx(&acts).is_none(), "ACK suppressed");
         assert!(fwd.relay_q.is_empty(), "no relay adopted");
     }
@@ -739,9 +730,9 @@ mod tests {
         let mut src = mac(ExorMode::McExor, 0);
         let d = tx_data_frame(&mut src, t(100));
         let mut fwd = mac(ExorMode::McExor, 2); // rank 1: best receiver if dest missed
-        let acts = fwd.on_frame_rx(Frame::Data(d).into(), t(200));
+        let acts = fwd.on_frame_rx_vec(Frame::Data(d).into(), t(200));
         let (delay, token) = timers(&acts)[0];
-        let acts = fwd.on_timer(token, t(200) + delay);
+        let acts = fwd.on_timer_vec(token, t(200) + delay);
         match find_tx(&acts) {
             Some(Frame::Ack(a)) => assert_eq!(a.to, NodeId::new(0)),
             _ => panic!("expected ACK"),
@@ -756,9 +747,9 @@ mod tests {
         let d = tx_data_frame(&mut src, t(100));
         // Case 1: no higher-priority ACK heard → relay.
         let mut fwd = mac(ExorMode::PreExor, 2); // rank 1
-        let acts = fwd.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = fwd.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let relay_timer = timers(&acts).last().copied().unwrap();
-        let acts = fwd.on_timer(relay_timer.1, t(200) + relay_timer.0);
+        let acts = fwd.on_timer_vec(relay_timer.1, t(200) + relay_timer.0);
         // The idle channel lets the adopted relay transmit immediately.
         let relayed = match find_tx(&acts) {
             Some(Frame::Data(r)) => {
@@ -773,7 +764,7 @@ mod tests {
         assert!(relayed, "forwarder must adopt and relay the packet");
         // Case 2: destination ACK heard → discard.
         let mut fwd2 = mac(ExorMode::PreExor, 2);
-        let acts = fwd2.on_frame_rx(Frame::Data(d.clone()).into(), t(200));
+        let acts = fwd2.on_frame_rx_vec(Frame::Data(d.clone()).into(), t(200));
         let relay_timer = timers(&acts).last().copied().unwrap();
         let dest_ack = AckFrame {
             transmitter: NodeId::new(3),
@@ -783,8 +774,8 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: NodeList::new(),
         };
-        fwd2.on_frame_rx(Frame::Ack(dest_ack).into(), t(220));
-        fwd2.on_timer(relay_timer.1, t(200) + relay_timer.0);
+        fwd2.on_frame_rx_vec(Frame::Ack(dest_ack).into(), t(220));
+        fwd2.on_timer_vec(relay_timer.1, t(200) + relay_timer.0);
         assert!(fwd2.relay_q.is_empty(), "higher-priority ACK cancels the relay");
     }
 
@@ -792,7 +783,7 @@ mod tests {
     fn sender_succeeds_on_any_list_ack() {
         let mut src = mac(ExorMode::PreExor, 0);
         let d = tx_data_frame(&mut src, t(100));
-        src.on_tx_end(t(160));
+        src.on_tx_end_vec(t(160));
         let fwd_ack = AckFrame {
             transmitter: NodeId::new(1),
             to: NodeId::new(0),
@@ -801,7 +792,7 @@ mod tests {
             acked_seqs: vec![(FlowId::new(0), 0)].into(),
             relay_list: NodeList::new(),
         };
-        src.on_frame_rx(Frame::Ack(fwd_ack).into(), t(260));
+        src.on_frame_rx_vec(Frame::Ack(fwd_ack).into(), t(260));
         assert!(src.inflight.is_none(), "forwarder ACK means progress");
         assert_eq!(src.stats().acks_received, 1);
     }
@@ -810,13 +801,13 @@ mod tests {
     fn sender_times_out_and_retries() {
         let mut src = mac(ExorMode::McExor, 0);
         let d = tx_data_frame(&mut src, t(100));
-        let acts = src.on_tx_end(t(160));
+        let acts = src.on_tx_end_vec(t(160));
         let (delay, token) = timers(&acts)[0];
-        let acts = src.on_timer(token, t(160) + delay);
+        let acts = src.on_timer_vec(token, t(160) + delay);
         assert_eq!(src.stats().timeouts, 1);
         // Retry goes through backoff.
         let (d2, tok2) = timers(&acts)[0];
-        let acts = src.on_timer(tok2, t(160) + delay + d2);
+        let acts = src.on_timer_vec(tok2, t(160) + delay + d2);
         match find_tx(&acts) {
             Some(Frame::Data(retry)) => {
                 assert_eq!(retry.subframes[0].seq, d.subframes[0].seq);

@@ -89,8 +89,33 @@ impl<E> EventQueue<E> {
     /// instant of the most recently popped event. This is the natural form
     /// for discrete-event handlers ("this timer expires 34 µs from now")
     /// and saves every caller from adding `SimTime`s by hand.
+    ///
+    /// Debug builds assert that `now + delay` does not overflow the
+    /// [`SimTime`] range: a wrapped instant would silently schedule the
+    /// event in the *past* and corrupt the pop order.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        debug_assert!(
+            self.now.as_nanos().checked_add(delay.as_nanos()).is_some(),
+            "schedule_in overflows SimTime: now + {delay:?} wraps past SimTime::MAX",
+        );
         self.schedule(self.now + delay, event);
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    ///
+    /// Runners call this once after seeding to pre-size the per-station
+    /// schedule burst (each station keeps a backoff timer, a `TxEnd` and a
+    /// handful of deliveries in flight at once), so heap growth happens
+    /// before the hot loop instead of inside it. After the warm-up the
+    /// backing storage is recycled across pops and pushes — the steady
+    /// state never returns event nodes to the allocator.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current capacity of the backing heap, in events.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// The queue's clock: the instant of the most recently popped event
@@ -240,8 +265,26 @@ impl<E> KeyedEventQueue<E> {
     }
 
     /// Schedules `event` under `key`, `delay` after [`KeyedEventQueue::now`].
+    ///
+    /// Debug builds assert that `now + delay` does not overflow the
+    /// [`SimTime`] range (see [`EventQueue::schedule_in`]).
     pub fn schedule_keyed_in(&mut self, delay: SimDuration, key: EventKey, event: E) {
+        debug_assert!(
+            self.now.as_nanos().checked_add(delay.as_nanos()).is_some(),
+            "schedule_keyed_in overflows SimTime: now + {delay:?} wraps past SimTime::MAX",
+        );
         self.schedule_keyed(self.now + delay, key, event);
+    }
+
+    /// Reserves room for at least `additional` more pending events — the
+    /// per-station burst pre-sizing twin of [`EventQueue::reserve`].
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current capacity of the backing heap, in events.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// The queue's clock: the instant of the most recently popped event.
@@ -468,6 +511,74 @@ mod tests {
         q.schedule_keyed(SimTime::from_nanos(1), EventKey::new(0, 3, 2), 0);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Equal-time *same-key* entries violate the key-uniqueness contract,
+    /// so no FIFO promise holds — but the order must still be a pure
+    /// function of the insertion sequence (heap mechanics, no address or
+    /// hash dependence), or a contract slip would silently break run
+    /// reproducibility instead of showing up as a diff. This pins the
+    /// current order; if it ever changes, the heap implementation changed
+    /// underneath us and shard bit-identity needs re-auditing.
+    #[test]
+    fn equal_time_same_key_pop_order_is_deterministic() {
+        let t = SimTime::from_micros(1);
+        let k = EventKey::new(0, 0, 0);
+        let build = || {
+            let mut q = KeyedEventQueue::with_capacity(4);
+            for name in ["a", "b", "c", "d"] {
+                q.schedule_keyed(t, k, name);
+            }
+            q
+        };
+        fn drain(mut q: KeyedEventQueue<&str>) -> Vec<&str> {
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect()
+        }
+        let order = drain(build());
+        assert_eq!(order, vec!["a", "c", "b", "d"], "insertion-determined, not FIFO");
+        assert_eq!(order, drain(build()), "same insertions, same pops");
+        // With the contract honoured — unique seqs — the same instant is
+        // strictly seq-ordered regardless of insertion interleaving.
+        let mut q = KeyedEventQueue::with_capacity(4);
+        for (seq, name) in [(2, "third"), (0, "first"), (1, "second")] {
+            q.schedule_keyed(t, EventKey::new(0, 0, seq), name);
+        }
+        assert_eq!(drain(q), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn reserve_pre_sizes_the_burst() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(2);
+        q.reserve(100);
+        let warm = q.capacity();
+        assert!(warm >= 100);
+        for i in 0..100 {
+            q.schedule(SimTime::from_nanos(u64::from(i)), i);
+        }
+        assert_eq!(q.capacity(), warm, "no growth inside the reserved burst");
+        let mut kq: KeyedEventQueue<u32> = KeyedEventQueue::with_capacity(1);
+        kq.reserve(64);
+        assert!(kq.capacity() >= 64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows SimTime")]
+    fn schedule_in_overflow_is_caught_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX - SimDuration::from_nanos(1), ());
+        q.pop();
+        q.schedule_in(SimDuration::from_nanos(2), ());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows SimTime")]
+    fn schedule_keyed_in_overflow_is_caught_in_debug() {
+        let mut q = KeyedEventQueue::with_capacity(1);
+        q.schedule_keyed(SimTime::MAX - SimDuration::from_nanos(1), EventKey::new(0, 0, 0), ());
+        q.pop();
+        q.schedule_keyed_in(SimDuration::from_nanos(2), EventKey::new(0, 0, 1), ());
     }
 
     #[test]
